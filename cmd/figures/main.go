@@ -1,0 +1,74 @@
+// Command figures emits the data series behind the paper's standalone
+// figures.
+//
+// Figure 2 plots the signed integer interpretation SI(B) against the
+// floating point interpretation FP(B) for 32-bit vectors B: increasing on
+// the non-negative half, decreasing on the negative half. The command
+// samples the curve densely and writes CSV suitable for any plotting
+// tool.
+//
+// Example:
+//
+//	figures -fig 2 -points 4096 > figure2.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/big"
+
+	"flint/internal/ieee754"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+
+	var (
+		fig    = flag.Int("fig", 2, "figure number (only 2 is standalone)")
+		points = flag.Int("points", 4096, "samples per half of the bit space")
+	)
+	flag.Parse()
+
+	if *fig != 2 {
+		log.Fatalf("figure %d is produced by flintbench; only -fig 2 is standalone", *fig)
+	}
+	if err := writeFigure2(*points); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeFigure2(points int) error {
+	f := ieee754.Binary32
+	fmt.Println("bits,si,fp")
+	emit := func(b uint64) {
+		if f.IsNaN(b) {
+			return
+		}
+		fmt.Printf("0x%08x,%d,%s\n", b, f.SI(b), formatBig(f.FP(b)))
+	}
+	// Non-negative half: 0 .. +Inf (0x7F800000).
+	step := uint64(0x7F80_0000) / uint64(points)
+	if step == 0 {
+		step = 1
+	}
+	for b := uint64(0); b <= 0x7F80_0000; b += step {
+		emit(b)
+	}
+	// Negative half: -0 (0x80000000) .. -Inf (0xFF800000).
+	for b := uint64(0x8000_0000); b <= 0xFF80_0000; b += step {
+		emit(b)
+	}
+	return nil
+}
+
+func formatBig(v *big.Float) string {
+	if v.IsInf() {
+		if v.Signbit() {
+			return "-inf"
+		}
+		return "+inf"
+	}
+	return v.Text('g', 9)
+}

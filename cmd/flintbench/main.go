@@ -1,0 +1,203 @@
+// Command flintbench regenerates the FLInt paper's evaluation: the
+// normalized execution time sweep of Figure 3, the geometric mean
+// summaries of Tables II and III, the C-vs-assembly comparison of
+// Figure 4 and the Table I machine inventory.
+//
+// Backends:
+//
+//	interp — interpreted engines timed on this host
+//	cc     — generated C compiled with the system compiler and timed on
+//	         this host (the paper's actual toolchain)
+//	sim    — generated ARMv8 assembly on the four simulated Table I
+//	         machine profiles
+//
+// Examples:
+//
+//	flintbench -machines
+//	flintbench -grid quick -backends interp,cc
+//	flintbench -grid quick -backends sim -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"flint/internal/asmsim"
+	"flint/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flintbench: ")
+
+	var (
+		grid     = flag.String("grid", "quick", "sweep grid: tiny|quick|paper")
+		backends = flag.String("backends", "interp", "comma-separated: interp|cc|sim|sim:<machine>")
+		rows     = flag.Int("rows", 0, "override dataset rows (0 = grid default)")
+		csvDir   = flag.String("csv", "", "write raw and series CSVs into this directory")
+		machines = flag.Bool("machines", false, "print the Table I machine profiles and exit")
+		verbose  = flag.Bool("v", false, "log every measured grid point")
+	)
+	flag.Parse()
+
+	if *machines {
+		printMachines()
+		return
+	}
+
+	cfg, err := gridConfig(*grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *rows > 0 {
+		cfg.Rows = *rows
+	}
+	bks, withASM, err := buildBackends(*backends)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	progress := os.Stderr
+	if !*verbose {
+		progress = nil
+	}
+	res, err := bench.RunSweep(cfg, bks, progress)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	series := bench.Figure3(res, bench.ImplNaive)
+	fmt.Println("=== Figure 3: normalized execution time vs maximal tree depth ===")
+	mainSeries := filterSeries(series, bench.ImplNaive, bench.ImplCAGS, bench.ImplFLInt, bench.ImplCAGSFLInt)
+	if err := bench.WriteFigure3(os.Stdout, mainSeries); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Table II: average (geometric mean) normalized execution time ===")
+	rowsII := bench.Table(res, bench.ImplNaive,
+		[]bench.Impl{bench.ImplCAGS, bench.ImplFLInt, bench.ImplCAGSFLInt})
+	if err := bench.WriteTable(os.Stdout, "Table II", rowsII); err != nil {
+		log.Fatal(err)
+	}
+
+	if withASM {
+		fmt.Println("=== Figure 4: FLInt C vs FLInt ASM (simulated machines) ===")
+		fig4 := filterSeries(series, bench.ImplNaive, bench.ImplFLInt, bench.ImplFLIntASM)
+		if err := bench.WriteFigure3(os.Stdout, fig4); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("=== Table III: average normalized time, assembly implementation ===")
+		rowsIII := bench.Table(res, bench.ImplNaive, []bench.Impl{bench.ImplFLIntASM})
+		if err := bench.WriteTable(os.Stdout, "Table III", rowsIII); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		raw, err := os.Create(filepath.Join(*csvDir, "cells.csv"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer raw.Close()
+		if err := bench.WriteCSV(raw, res); err != nil {
+			log.Fatal(err)
+		}
+		sf, err := os.Create(filepath.Join(*csvDir, "figure3.csv"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sf.Close()
+		if err := bench.WriteSeriesCSV(sf, series); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s and %s\n",
+			filepath.Join(*csvDir, "cells.csv"), filepath.Join(*csvDir, "figure3.csv"))
+	}
+}
+
+func gridConfig(name string) (bench.SweepConfig, error) {
+	switch name {
+	case "paper":
+		return bench.PaperGrid(), nil
+	case "quick":
+		return bench.QuickGrid(), nil
+	case "tiny":
+		return bench.SweepConfig{
+			Datasets:   []string{"magic", "wine"},
+			TreeCounts: []int{1, 5},
+			Depths:     []int{1, 5, 10, 20},
+			Rows:       600,
+			Seed:       1,
+		}, nil
+	}
+	return bench.SweepConfig{}, fmt.Errorf("unknown grid %q (tiny|quick|paper)", name)
+}
+
+func buildBackends(spec string) ([]bench.Backend, bool, error) {
+	var out []bench.Backend
+	withASM := false
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		switch {
+		case name == "interp":
+			out = append(out, &bench.InterpBackend{WithExtensions: true})
+		case name == "cc":
+			cc := &bench.CCBackend{}
+			if !cc.Available() {
+				return nil, false, fmt.Errorf("cc backend requested but no C compiler found")
+			}
+			out = append(out, cc)
+		case name == "sim":
+			for _, m := range asmsim.TableI() {
+				out = append(out, &bench.SimBackend{Machine: m, WithASM: true})
+			}
+			withASM = true
+		case strings.HasPrefix(name, "sim:"):
+			m, ok := asmsim.MachineByName(strings.TrimPrefix(name, "sim:"))
+			if !ok {
+				return nil, false, fmt.Errorf("unknown machine %q", strings.TrimPrefix(name, "sim:"))
+			}
+			out = append(out, &bench.SimBackend{Machine: m, WithASM: true})
+			withASM = true
+		case name == "":
+		default:
+			return nil, false, fmt.Errorf("unknown backend %q", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, false, fmt.Errorf("no backends selected")
+	}
+	return out, withASM, nil
+}
+
+func filterSeries(series []bench.Series, impls ...bench.Impl) []bench.Series {
+	keep := map[bench.Impl]bool{}
+	for _, im := range impls {
+		keep[im] = true
+	}
+	var out []bench.Series
+	for _, s := range series {
+		if keep[s.Impl] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// printMachines renders the Table I stand-ins.
+func printMachines() {
+	fmt.Println("Machine profiles standing in for the paper's Table I:")
+	fmt.Printf("%-16s %-52s %6s %6s %6s %6s\n", "name", "stands in for", "fcmp", "mispr", "L1I", "L1D")
+	for _, m := range asmsim.Machines() {
+		fmt.Printf("%-16s %-52s %6d %6d %5dK %5dK\n",
+			m.Name, m.Description, m.FPCompareCycles, m.MispredictPenalty,
+			m.ICache.SizeBytes>>10, m.DCache.SizeBytes>>10)
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+
+	"flint/internal/bench"
+)
+
+func TestGridConfig(t *testing.T) {
+	for _, name := range []string{"tiny", "quick", "paper"} {
+		cfg, err := gridConfig(name)
+		if err != nil {
+			t.Errorf("gridConfig(%s): %v", name, err)
+		}
+		if len(cfg.Depths) == 0 {
+			t.Errorf("gridConfig(%s): empty depth axis", name)
+		}
+	}
+	if _, err := gridConfig("huge"); err == nil {
+		t.Error("unknown grid accepted")
+	}
+	paper, _ := gridConfig("paper")
+	if len(paper.TreeCounts) != 9 || len(paper.Depths) != 7 || len(paper.Datasets) != 5 {
+		t.Errorf("paper grid does not match Section V-A: %+v", paper)
+	}
+}
+
+func TestBuildBackends(t *testing.T) {
+	bks, asm, err := buildBackends("interp")
+	if err != nil || len(bks) != 1 || asm {
+		t.Errorf("interp: %v %v %v", bks, asm, err)
+	}
+	bks, asm, err = buildBackends("sim")
+	if err != nil || len(bks) != 4 || !asm {
+		t.Errorf("sim: got %d backends, asm=%v, err=%v", len(bks), asm, err)
+	}
+	bks, asm, err = buildBackends("sim:armv8-server,interp")
+	if err != nil || len(bks) != 2 || !asm {
+		t.Errorf("mixed: got %d backends, asm=%v, err=%v", len(bks), asm, err)
+	}
+	if _, _, err := buildBackends("sim:pdp11"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if _, _, err := buildBackends("fpga"); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	if _, _, err := buildBackends(""); err == nil {
+		t.Error("empty backend list accepted")
+	}
+}
+
+func TestFilterSeries(t *testing.T) {
+	in := []bench.Series{
+		{Impl: bench.ImplNaive}, {Impl: bench.ImplFLInt},
+		{Impl: bench.ImplSoftFloat}, {Impl: bench.ImplFLIntASM},
+	}
+	out := filterSeries(in, bench.ImplNaive, bench.ImplFLIntASM)
+	if len(out) != 2 || out[0].Impl != bench.ImplNaive || out[1].Impl != bench.ImplFLIntASM {
+		t.Errorf("filterSeries = %+v", out)
+	}
+	if len(filterSeries(in)) != 0 {
+		t.Error("empty filter must drop everything")
+	}
+}

@@ -1,0 +1,63 @@
+// Command flintdata synthesizes the evaluation workloads (the stand-ins
+// for the paper's five UCI datasets) and writes them as CSV.
+//
+// Examples:
+//
+//	flintdata -dataset magic -rows 2000 > magic.csv
+//	flintdata -all -rows 0 -dir data/   # full-size, all five workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"flint/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flintdata: ")
+
+	var (
+		name = flag.String("dataset", "magic", "workload (eye|gas|magic|sensorless|wine)")
+		rows = flag.Int("rows", 1000, "rows to synthesize (0 = UCI-equivalent full size)")
+		seed = flag.Int64("seed", 1, "generator seed")
+		all  = flag.Bool("all", false, "generate all five workloads")
+		dir  = flag.String("dir", "", "output directory for -all (default current)")
+	)
+	flag.Parse()
+
+	if *all {
+		for _, n := range dataset.Names() {
+			d, err := dataset.Generate(n, *rows, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(*dir, n+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := dataset.WriteCSV(f, d); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d rows, %d features, %d classes)\n",
+				path, d.Len(), d.NumFeatures(), d.NumClasses)
+		}
+		return
+	}
+
+	d, err := dataset.Generate(*name, *rows, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dataset.WriteCSV(os.Stdout, d); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Command flintgen turns trained random forests into source code: the
+// arch-forest role in the FLInt paper's toolchain. It can train a forest
+// on one of the synthetic evaluation workloads (or load one from JSON)
+// and emit C (Listings 1-4), Go, ARMv8 assembly (Listing 5) or x86-64
+// assembly, in the float or FLInt comparison variant, optionally with
+// CAGS branch swapping.
+//
+// Examples:
+//
+//	flintgen -dataset magic -trees 5 -depth 8 -lang c -variant flint
+//	flintgen -model forest.json -lang armv8 -variant flint -flavor hand
+//	flintgen -pregen        # regenerate internal/generated
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"flint/internal/cags"
+	"flint/internal/cart"
+	"flint/internal/codegen"
+	"flint/internal/dataset"
+	"flint/internal/generated"
+	"flint/internal/rf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flintgen: ")
+
+	var (
+		dsName  = flag.String("dataset", "magic", "workload to train on (eye|gas|magic|sensorless|wine)")
+		rows    = flag.Int("rows", 1000, "synthetic dataset rows (0 = UCI-equivalent full size)")
+		seed    = flag.Int64("seed", 1, "dataset and training seed")
+		trees   = flag.Int("trees", 5, "ensemble size")
+		depth   = flag.Int("depth", 8, "maximal tree depth (0 = unlimited)")
+		model   = flag.String("model", "", "load forest from JSON instead of training")
+		lang    = flag.String("lang", "c", "output language: c|go|armv8|x86")
+		variant = flag.String("variant", "flint", "comparison variant: float|flint")
+		flavor  = flag.String("flavor", "hand", "assembly constant flavor: hand|cc")
+		useCAGS = flag.Bool("cags", false, "apply CAGS branch swapping")
+		double  = flag.Bool("double", false, "emit double precision trees (c/go)")
+		native  = flag.Bool("native", false, "emit native trees (node arrays + loop; c only)")
+		prefix  = flag.String("prefix", "forest", "emitted function name prefix")
+		out     = flag.String("o", "", "output file (default stdout)")
+		pregen  = flag.Bool("pregen", false, "regenerate internal/generated from its manifest")
+		dir     = flag.String("pregen-dir", "internal/generated", "output directory for -pregen")
+	)
+	flag.Parse()
+
+	if *pregen {
+		if err := runPregen(*dir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	forest, err := obtainForest(*model, *dsName, *rows, *seed, *trees, *depth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts, err := parseOptions(*lang, *variant, *flavor, *useCAGS, *prefix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.Double = *double
+	opts.Native = *native
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := codegen.Forest(w, forest, opts); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// obtainForest loads a JSON model or trains one.
+func obtainForest(model, dsName string, rows int, seed int64, trees, depth int) (*rf.Forest, error) {
+	if model != "" {
+		f, err := os.Open(model)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return rf.ReadJSON(f)
+	}
+	d, err := dataset.Generate(dsName, rows, seed)
+	if err != nil {
+		return nil, err
+	}
+	return cart.TrainForest(d, cart.Config{NumTrees: trees, MaxDepth: depth, Seed: seed})
+}
+
+func parseOptions(lang, variant, flavor string, useCAGS bool, prefix string) (codegen.Options, error) {
+	opts := codegen.Options{CAGS: useCAGS, Prefix: prefix}
+	switch lang {
+	case "c":
+		opts.Language = codegen.LangC
+	case "go":
+		opts.Language = codegen.LangGo
+	case "armv8", "arm":
+		opts.Language = codegen.LangARMv8
+	case "x86", "x86-64":
+		opts.Language = codegen.LangX86
+	default:
+		return opts, fmt.Errorf("unknown language %q", lang)
+	}
+	switch variant {
+	case "float":
+		opts.Variant = codegen.VariantFloat
+	case "flint":
+		opts.Variant = codegen.VariantFLInt
+	default:
+		return opts, fmt.Errorf("unknown variant %q", variant)
+	}
+	switch flavor {
+	case "hand":
+		opts.Flavor = codegen.FlavorHand
+	case "cc":
+		opts.Flavor = codegen.FlavorCC
+	default:
+		return opts, fmt.Errorf("unknown flavor %q", flavor)
+	}
+	return opts, nil
+}
+
+// runPregen regenerates every manifest entry of internal/generated as Go
+// sources (one file per variant), in the shape the package's registry
+// expects.
+func runPregen(dir string) error {
+	for _, spec := range generated.PregenSpecs {
+		d, err := dataset.Generate(spec.Dataset, spec.Rows, spec.Seed)
+		if err != nil {
+			return err
+		}
+		forest, err := cart.TrainForest(d, cart.Config{
+			NumTrees: spec.Trees, MaxDepth: spec.Depth, Seed: spec.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := cags.ReorderForest(forest); err != nil {
+			return err // sanity: the forest must be CAGS-compatible
+		}
+		for _, variant := range []codegen.Variant{codegen.VariantFloat, codegen.VariantFLInt} {
+			var buf bytes.Buffer
+			err := codegen.Forest(&buf, forest, codegen.Options{
+				Language:   codegen.LangGo,
+				Variant:    variant,
+				CAGS:       spec.CAGS,
+				Prefix:     spec.Name + "_" + variant.String(),
+				GoPackage:  "generated",
+				GoRegister: spec.Name,
+			})
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(dir, fmt.Sprintf("gen_%s_%s.go", spec.Name, variant))
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d bytes)\n", path, buf.Len())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flint/internal/codegen"
+	"flint/internal/generated"
+)
+
+func TestParseOptions(t *testing.T) {
+	cases := []struct {
+		lang, variant, flavor string
+		cags                  bool
+		ok                    bool
+		want                  codegen.Options
+	}{
+		{"c", "flint", "hand", false, true,
+			codegen.Options{Language: codegen.LangC, Variant: codegen.VariantFLInt}},
+		{"go", "float", "hand", true, true,
+			codegen.Options{Language: codegen.LangGo, Variant: codegen.VariantFloat, CAGS: true}},
+		{"armv8", "flint", "cc", false, true,
+			codegen.Options{Language: codegen.LangARMv8, Variant: codegen.VariantFLInt, Flavor: codegen.FlavorCC}},
+		{"arm", "flint", "hand", false, true,
+			codegen.Options{Language: codegen.LangARMv8, Variant: codegen.VariantFLInt}},
+		{"x86", "float", "cc", false, true,
+			codegen.Options{Language: codegen.LangX86, Variant: codegen.VariantFloat, Flavor: codegen.FlavorCC}},
+		{"cobol", "flint", "hand", false, false, codegen.Options{}},
+		{"c", "double", "hand", false, false, codegen.Options{}},
+		{"c", "flint", "inline", false, false, codegen.Options{}},
+	}
+	for _, c := range cases {
+		got, err := parseOptions(c.lang, c.variant, c.flavor, c.cags, "p")
+		if c.ok && err != nil {
+			t.Errorf("parseOptions(%s,%s,%s): %v", c.lang, c.variant, c.flavor, err)
+			continue
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("parseOptions(%s,%s,%s): expected error", c.lang, c.variant, c.flavor)
+			}
+			continue
+		}
+		c.want.Prefix = "p"
+		if got != c.want {
+			t.Errorf("parseOptions(%s,%s,%s) = %+v, want %+v", c.lang, c.variant, c.flavor, got, c.want)
+		}
+	}
+}
+
+func TestObtainForestTrains(t *testing.T) {
+	f, err := obtainForest("", "wine", 200, 1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Trees) != 2 || f.MaxDepth() > 4 {
+		t.Errorf("trained forest shape wrong: %d trees, depth %d", len(f.Trees), f.MaxDepth())
+	}
+}
+
+func TestObtainForestLoadsJSON(t *testing.T) {
+	f, err := obtainForest("", "wine", 150, 2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "forest.json")
+	out, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteJSON(out); err != nil {
+		t.Fatal(err)
+	}
+	out.Close()
+	back, err := obtainForest(path, "", 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != f.NumNodes() {
+		t.Error("JSON round trip changed the forest")
+	}
+	if _, err := obtainForest(filepath.Join(dir, "missing.json"), "", 0, 0, 0, 0); err == nil {
+		t.Error("missing model file accepted")
+	}
+}
+
+// TestPregenIsInSync regenerates the manifest into a temp directory and
+// compares against the checked-in files, catching stale generation.
+func TestPregenIsInSync(t *testing.T) {
+	dir := t.TempDir()
+	if err := runPregen(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range generated.PregenSpecs {
+		for _, variant := range []string{"float", "flint"} {
+			name := "gen_" + spec.Name + "_" + variant + ".go"
+			fresh, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checked, err := os.ReadFile(filepath.Join("..", "..", "internal", "generated", name))
+			if err != nil {
+				t.Fatalf("%s: checked-in file missing (run flintgen -pregen): %v", name, err)
+			}
+			if !strings.Contains(string(checked), "DO NOT EDIT") {
+				t.Errorf("%s: missing generated-code marker", name)
+			}
+			if string(fresh) != string(checked) {
+				t.Errorf("%s is stale; run `go run ./cmd/flintgen -pregen`", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command flintsim trains a forest, generates ARMv8 assembly for it and
+// executes the result on one of the simulated machine profiles, printing
+// per-inference cycles and the micro-architectural counter breakdown.
+// It is the inspection tool behind the sim backend of flintbench.
+//
+// Example:
+//
+//	flintsim -dataset magic -trees 10 -depth 10 -machine armv8-server \
+//	         -variant flint -flavor hand
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"flint/internal/asmsim"
+	"flint/internal/cart"
+	"flint/internal/codegen"
+	"flint/internal/dataset"
+	"flint/internal/isa"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flintsim: ")
+
+	var (
+		dsName  = flag.String("dataset", "magic", "workload (eye|gas|magic|sensorless|wine)")
+		rows    = flag.Int("rows", 800, "synthetic dataset rows")
+		seed    = flag.Int64("seed", 1, "dataset and training seed")
+		trees   = flag.Int("trees", 5, "ensemble size")
+		depth   = flag.Int("depth", 8, "maximal tree depth")
+		machine = flag.String("machine", "x86-server", "machine profile (see flintbench -machines)")
+		variant = flag.String("variant", "flint", "comparison variant: float|flint")
+		flavor  = flag.String("flavor", "hand", "constant flavor: hand|cc")
+		useCAGS = flag.Bool("cags", false, "apply CAGS branch swapping")
+		maxRows = flag.Int("inferences", 200, "test rows to simulate")
+	)
+	flag.Parse()
+
+	m, ok := asmsim.MachineByName(*machine)
+	if !ok {
+		log.Fatalf("unknown machine %q", *machine)
+	}
+	opts := codegen.Options{Language: codegen.LangARMv8, CAGS: *useCAGS}
+	switch *variant {
+	case "float":
+		opts.Variant = codegen.VariantFloat
+	case "flint":
+		opts.Variant = codegen.VariantFLInt
+	default:
+		log.Fatalf("unknown variant %q", *variant)
+	}
+	switch *flavor {
+	case "hand":
+		opts.Flavor = codegen.FlavorHand
+	case "cc":
+		opts.Flavor = codegen.FlavorCC
+	default:
+		log.Fatalf("unknown flavor %q", *flavor)
+	}
+
+	d, err := dataset.Generate(*dsName, *rows, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := d.Split(0.75, *seed)
+	forest, err := cart.TrainForest(train, cart.Config{
+		NumTrees: *trees, MaxDepth: *depth, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := codegen.Forest(&buf, forest, opts); err != nil {
+		log.Fatal(err)
+	}
+	prog, err := isa.Parse(buf.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := asmsim.New(prog, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	n := *maxRows
+	if n > test.Len() {
+		n = test.Len()
+	}
+	var total uint64
+	correct := 0
+	for i := 0; i < n; i++ {
+		x := test.Features[i]
+		bits := make([]uint32, len(x))
+		for j, v := range x {
+			bits[j] = math.Float32bits(v)
+		}
+		cls, cycles, err := sim.RunForest("forest", len(forest.Trees), forest.NumClasses, bits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cls == test.Labels[i] {
+			correct++
+		}
+		if want := forest.Predict(x); cls != want {
+			log.Fatalf("simulated prediction %d differs from reference %d at row %d", cls, want, i)
+		}
+		total += cycles
+	}
+
+	st := sim.Stats()
+	fmt.Printf("machine        %s (%s)\n", m.Name, m.Description)
+	fmt.Printf("program        %s/%s cags=%v: %d instructions, %d trees\n",
+		opts.Variant, opts.Flavor, *useCAGS, len(prog.Instrs), len(forest.Trees))
+	fmt.Printf("inferences     %d (accuracy %.3f)\n", n, float64(correct)/float64(n))
+	fmt.Printf("cycles/inf     %.1f\n", float64(total)/float64(n))
+	fmt.Printf("instructions   %d (%.1f per inference)\n", st.Instructions, float64(st.Instructions)/float64(n))
+	fmt.Printf("loads          %d   d-cache misses %d\n", st.Loads, st.DCacheMisses)
+	fmt.Printf("i-cache misses %d\n", st.ICacheMisses)
+	fmt.Printf("branches       %d taken %d mispredicted %d\n", st.Branches, st.Taken, st.Mispredicts)
+	fmt.Printf("fp compares    %d   soft-float ops %d\n", st.FPCompares, st.SoftFloatOps)
+}

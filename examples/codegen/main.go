@@ -1,0 +1,50 @@
+// Codegen: reproduce the paper's Listings 1-5 on a freshly trained tree.
+// The example trains a small forest on the EEG eye-state stand-in (which
+// yields both positive and negative split values), then emits the naive
+// C realization (Listing 1), the FLInt C realization (Listings 2 and 4),
+// and the direct ARMv8 assembly (Listing 5).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"flint"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	data, err := flint.GenerateDataset("eye", 600, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	forest, err := flint.Train(data, flint.TrainConfig{NumTrees: 1, MaxDepth: 3, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sections := []struct {
+		title string
+		opts  flint.CodegenOptions
+	}{
+		{"Listing 1 — standard if-else tree in C", flint.CodegenOptions{
+			Language: flint.LangC, Variant: flint.VariantFloat}},
+		{"Listings 2/4 — FLInt if-else tree in C", flint.CodegenOptions{
+			Language: flint.LangC, Variant: flint.VariantFLInt}},
+		{"FLInt if-else tree in C with CAGS branch swapping", flint.CodegenOptions{
+			Language: flint.LangC, Variant: flint.VariantFLInt, CAGS: true}},
+		{"Listing 5 — FLInt ARMv8 assembly (hand immediates)", flint.CodegenOptions{
+			Language: flint.LangARMv8, Variant: flint.VariantFLInt, Flavor: flint.FlavorHand}},
+		{"FLInt x86-64 assembly", flint.CodegenOptions{
+			Language: flint.LangX86, Variant: flint.VariantFLInt, Flavor: flint.FlavorHand}},
+	}
+	for _, s := range sections {
+		fmt.Printf("// ======== %s ========\n", s.title)
+		if err := flint.GenerateCode(os.Stdout, forest, s.opts); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,222 @@
+// Package flint is a Go implementation of FLInt — full-precision IEEE 754
+// floating point comparison using only two's-complement integer and logic
+// operations — together with the complete random forest inference stack
+// the FLInt paper (Hakert, Chen, Chen; DATE 2024) builds and evaluates it
+// in: a CART trainer, interpreted and code-generated if-else tree
+// execution engines, the cache-aware grouping-and-swapping optimization
+// of Chen et al., C/Go/ARMv8/x86-64 code generators, a soft-float
+// baseline and an ARMv8-subset cost-model simulator.
+//
+// This package is the public facade: it re-exports the library's
+// user-facing types and functions from the internal packages. A typical
+// workflow:
+//
+//	data, _ := flint.GenerateDataset("magic", 2000, 1)
+//	train, test := data.Split(0.75, 1)
+//	forest, _ := flint.Train(train, flint.TrainConfig{NumTrees: 20, MaxDepth: 10})
+//	engine, _ := flint.NewFLIntEngine(forest)
+//	class := engine.Predict(test.Features[0])
+//
+// The comparison operator itself is available directly:
+//
+//	flint.GE32(a, b)                 // a >= b via integer operations
+//	sp := flint.MustEncodeSplit32(s) // offline split encoding
+//	sp.LE(flint.FeatureBits32(x))    // x <= s, one integer comparison
+package flint
+
+import (
+	"io"
+
+	"flint/internal/cags"
+	"flint/internal/cart"
+	"flint/internal/codegen"
+	"flint/internal/core"
+	"flint/internal/dataset"
+	"flint/internal/flintsort"
+	"flint/internal/ieee754"
+	"flint/internal/rf"
+	"flint/internal/softfloat"
+	"flint/internal/treeexec"
+)
+
+// ---- The FLInt operator (the paper's primary contribution) ----
+
+// GE32 reports x >= y for float32 operands using only integer and logic
+// operations (Theorem 1 of the paper). See internal/core for the domain
+// discussion: NaN is excluded, and -0.0 orders below +0.0.
+func GE32(x, y float32) bool { return core.GE32(x, y) }
+
+// LE32 reports x <= y via integer operations.
+func LE32(x, y float32) bool { return core.LE32(x, y) }
+
+// GT32 reports x > y via integer operations.
+func GT32(x, y float32) bool { return core.GT32(x, y) }
+
+// LT32 reports x < y via integer operations.
+func LT32(x, y float32) bool { return core.LT32(x, y) }
+
+// GE64 reports x >= y for float64 operands via integer operations.
+func GE64(x, y float64) bool { return core.GE64(x, y) }
+
+// LE64 reports x <= y via integer operations.
+func LE64(x, y float64) bool { return core.LE64(x, y) }
+
+// Compare32 orders x against y (-1, 0, +1) in FLInt's total order.
+func Compare32(x, y float32) int { return core.Compare32(x, y) }
+
+// Compare64 orders x against y (-1, 0, +1) in FLInt's total order.
+func Compare64(x, y float64) int { return core.Compare64(x, y) }
+
+// Split32 is a decision tree split value encoded offline for single-
+// comparison FLInt evaluation (Section IV-B of the paper).
+type Split32 = core.Split32
+
+// Split64 is the float64 counterpart of Split32.
+type Split64 = core.Split64
+
+// EncodeSplit32 encodes a split value, rejecting NaN.
+func EncodeSplit32(s float32) (Split32, error) { return core.EncodeSplit32(s) }
+
+// MustEncodeSplit32 encodes a split value, panicking on NaN.
+func MustEncodeSplit32(s float32) Split32 { return core.MustEncodeSplit32(s) }
+
+// EncodeSplit64 encodes a float64 split value, rejecting NaN.
+func EncodeSplit64(s float64) (Split64, error) { return core.EncodeSplit64(s) }
+
+// MustEncodeSplit64 encodes a float64 split value, panicking on NaN.
+func MustEncodeSplit64(s float64) Split64 { return core.MustEncodeSplit64(s) }
+
+// FeatureBits32 reinterprets a float32 feature as the signed integer the
+// split predicates consume (the `(int*)` cast of Listing 2).
+func FeatureBits32(x float32) int32 { return ieee754.SI32(x) }
+
+// FeatureBits64 reinterprets a float64 feature as a signed integer.
+func FeatureBits64(x float64) int64 { return ieee754.SI64(x) }
+
+// EncodeFeatures32 reinterprets a feature vector into dst.
+func EncodeFeatures32(dst []int32, src []float32) []int32 {
+	return core.EncodeFeatures32(dst, src)
+}
+
+// SoftLE32 is the software IEEE `<=` used on FPU-less devices, provided
+// as the baseline FLInt replaces (package softfloat).
+func SoftLE32(a, b float32) bool { return softfloat.LEFloat32(a, b) }
+
+// ---- Model, data and training ----
+
+// Forest is a trained random forest over float32 features.
+type Forest = rf.Forest
+
+// Tree is a single decision tree.
+type Tree = rf.Tree
+
+// Node is one decision tree node.
+type Node = rf.Node
+
+// Predictor classifies float32 feature vectors.
+type Predictor = rf.Predictor
+
+// Dataset is an in-memory classification dataset.
+type Dataset = dataset.Dataset
+
+// TrainConfig configures random forest training (scikit-learn-like
+// defaults; see internal/cart).
+type TrainConfig = cart.Config
+
+// GenerateDataset synthesizes one of the paper's five evaluation
+// workloads ("eye", "gas", "magic", "sensorless", "wine"); rows <= 0
+// selects the full UCI-equivalent size.
+func GenerateDataset(name string, rows int, seed int64) (*Dataset, error) {
+	return dataset.Generate(name, rows, seed)
+}
+
+// DatasetNames returns the workload names in the paper's order.
+func DatasetNames() []string { return dataset.Names() }
+
+// Train trains a random forest.
+func Train(d *Dataset, cfg TrainConfig) (*Forest, error) { return cart.TrainForest(d, cfg) }
+
+// TrainTree trains a single deterministic CART tree.
+func TrainTree(d *Dataset, maxDepth int, seed int64) (*Tree, error) {
+	return cart.TrainTree(d, maxDepth, seed)
+}
+
+// ReadForestJSON loads a forest serialized with Forest.WriteJSON.
+func ReadForestJSON(r io.Reader) (*Forest, error) { return rf.ReadJSON(r) }
+
+// Accuracy returns the fraction of correct predictions.
+func Accuracy(p Predictor, x [][]float32, y []int32) float64 { return rf.Accuracy(p, x, y) }
+
+// ---- Execution engines ----
+
+// Float32Engine executes a forest with hardware float comparisons.
+type Float32Engine = treeexec.Float32Engine
+
+// FLIntEngine executes a forest with offline-resolved FLInt comparisons.
+type FLIntEngine = treeexec.FLIntEngine
+
+// PrecodedEngine executes a forest in total-order key space (one
+// transformation per feature vector, one unsigned compare per node).
+type PrecodedEngine = treeexec.PrecodedEngine
+
+// SoftFloatEngine executes a forest with software float comparisons,
+// modeling an FPU-less device.
+type SoftFloatEngine = treeexec.SoftFloatEngine
+
+// NewFloatEngine compiles a forest for hardware float traversal.
+func NewFloatEngine(f *Forest) (*Float32Engine, error) { return treeexec.NewFloat32(f) }
+
+// NewFLIntEngine compiles a forest for FLInt traversal.
+func NewFLIntEngine(f *Forest) (*FLIntEngine, error) { return treeexec.NewFLInt(f) }
+
+// NewPrecodedEngine compiles a forest for precoded traversal.
+func NewPrecodedEngine(f *Forest) (*PrecodedEngine, error) { return treeexec.NewPrecoded(f) }
+
+// NewSoftFloatEngine compiles a forest for soft-float traversal.
+func NewSoftFloatEngine(f *Forest) (*SoftFloatEngine, error) { return treeexec.NewSoftFloat(f) }
+
+// ---- CAGS (Chen et al. [6]) ----
+
+// Reorder applies the grouping half of CAGS: it permutes every tree's
+// node array into hot-path preorder using the branch probabilities
+// collected during training.
+func Reorder(f *Forest) (*Forest, error) { return cags.ReorderForest(f) }
+
+// ---- Code generation ----
+
+// CodegenOptions configures source emission.
+type CodegenOptions = codegen.Options
+
+// Code generation languages, comparison variants and assembly constant
+// flavors (re-exported from internal/codegen).
+const (
+	LangC        = codegen.LangC
+	LangGo       = codegen.LangGo
+	LangARMv8    = codegen.LangARMv8
+	LangX86      = codegen.LangX86
+	VariantFloat = codegen.VariantFloat
+	VariantFLInt = codegen.VariantFLInt
+	FlavorHand   = codegen.FlavorHand
+	FlavorCC     = codegen.FlavorCC
+)
+
+// GenerateCode writes a forest as source code in the configured
+// language/variant (Listings 1-5 of the paper).
+func GenerateCode(w io.Writer, f *Forest, opts CodegenOptions) error {
+	return codegen.Forest(w, f, opts)
+}
+
+// ---- Beyond trees: comparison-free sorting (the paper's future work) ----
+
+// SortFloat32s sorts x ascending in IEEE 754 totalOrder without
+// executing a single floating point comparison (package flintsort): the
+// FLInt future-work direction of applying the operator to other
+// comparison-heavy applications.
+func SortFloat32s(x []float32) { flintsort.Sort32(x) }
+
+// SortFloat64s is SortFloat32s for float64 slices.
+func SortFloat64s(x []float64) { flintsort.Sort64(x) }
+
+// SearchFloat32s returns the smallest index i in totalOrder-sorted x
+// with x[i] >= v, using integer comparisons only.
+func SearchFloat32s(x []float32, v float32) int { return flintsort.Search32(x, v) }

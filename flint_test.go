@@ -1,0 +1,154 @@
+package flint
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFacadeWorkflow runs the package-comment workflow end to end.
+func TestFacadeWorkflow(t *testing.T) {
+	data, err := GenerateDataset("magic", 600, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := data.Split(0.75, 1)
+	forest, err := Train(train, TrainConfig{NumTrees: 10, MaxDepth: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewFLIntEngine(forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floatEngine, err := NewFloatEngine(forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range test.Features {
+		if engine.Predict(x) != forest.Predict(x) || floatEngine.Predict(x) != forest.Predict(x) {
+			t.Fatalf("facade engines diverge at row %d", i)
+		}
+	}
+	acc := Accuracy(engine, test.Features, test.Labels)
+	if acc < 0.6 {
+		t.Errorf("accuracy %.3f suspiciously low", acc)
+	}
+}
+
+func TestFacadeOperator(t *testing.T) {
+	if !GE32(2, 1) || GE32(1, 2) || !GE32(2, 2) {
+		t.Error("GE32 broken")
+	}
+	if !LE32(-5, -4) || LE32(-4, -5) {
+		t.Error("LE32 broken")
+	}
+	if !GT32(3, 2) || !LT32(2, 3) {
+		t.Error("GT32/LT32 broken")
+	}
+	if !GE64(math.Pi, 3) || !LE64(3, math.Pi) {
+		t.Error("64-bit operators broken")
+	}
+	if Compare32(1, 2) != -1 || Compare64(2, 1) != 1 {
+		t.Error("Compare broken")
+	}
+	sp := MustEncodeSplit32(-2.935417)
+	if !sp.LE(FeatureBits32(-3)) || sp.LE(FeatureBits32(-2)) {
+		t.Error("split predicate broken via facade")
+	}
+	if _, err := EncodeSplit32(float32(math.NaN())); err == nil {
+		t.Error("EncodeSplit32 must reject NaN")
+	}
+	if _, err := EncodeSplit64(math.NaN()); err == nil {
+		t.Error("EncodeSplit64 must reject NaN")
+	}
+	sp64 := MustEncodeSplit64(1.5)
+	if !sp64.LE(FeatureBits64(1.5)) || sp64.LE(FeatureBits64(1.6)) {
+		t.Error("Split64 predicate broken via facade")
+	}
+	xi := EncodeFeatures32(nil, []float32{1, -2})
+	if len(xi) != 2 || xi[0] != FeatureBits32(1) {
+		t.Error("EncodeFeatures32 broken")
+	}
+	if !SoftLE32(1, 2) || SoftLE32(2, 1) {
+		t.Error("SoftLE32 broken")
+	}
+}
+
+func TestFacadeReorderAndCodegen(t *testing.T) {
+	data, err := GenerateDataset("wine", 400, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := Train(data, TrainConfig{NumTrees: 3, MaxDepth: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := Reorder(forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range data.Features[:50] {
+		if grouped.Predict(x) != forest.Predict(x) {
+			t.Fatal("Reorder changed predictions")
+		}
+	}
+	var buf bytes.Buffer
+	if err := GenerateCode(&buf, forest, CodegenOptions{Language: LangC, Variant: VariantFLInt}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "forest_predict") {
+		t.Error("generated C lacks predict entry point")
+	}
+	buf.Reset()
+	if err := GenerateCode(&buf, forest, CodegenOptions{
+		Language: LangARMv8, Variant: VariantFLInt, Flavor: FlavorHand,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "movz") {
+		t.Error("generated ARM lacks immediates")
+	}
+}
+
+func TestFacadeJSONAndSoftFloat(t *testing.T) {
+	data, err := GenerateDataset("eye", 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := Train(data, TrainConfig{NumTrees: 2, MaxDepth: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := forest.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadForestJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft, err := NewSoftFloatEngine(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := NewPrecodedEngine(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := TrainTree(data, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range data.Features[:50] {
+		want := forest.Predict(x)
+		if soft.Predict(x) != want || pre.Predict(x) != want {
+			t.Fatal("facade engines diverge after JSON round trip")
+		}
+		_ = tree.Predict(x)
+	}
+	if len(DatasetNames()) != 5 {
+		t.Error("DatasetNames must list the paper's five workloads")
+	}
+}

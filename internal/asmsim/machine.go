@@ -1,0 +1,163 @@
+// Package asmsim executes the ARMv8-subset assembly produced by the
+// flint code generator on a parameterized micro-architectural cost model.
+//
+// It is the reproduction's stand-in for the four physical evaluation
+// machines of the paper's Table I (X86 server, X86 desktop, ARMv8
+// server, ARMv8 desktop), which are not available in this environment.
+// All machine profiles execute the same ARMv8-subset code; they differ in
+// the cost parameters that drive the paper's observed effects —
+// instruction latencies, floating point compare latency, cache geometry
+// and miss penalties, and branch misprediction cost. A fifth profile
+// models an FPU-less embedded device where every float comparison pays a
+// software floating point trap, the paper's Section I motivation.
+//
+// The simulator is a cost model, not a cycle-accurate replica: it claims
+// fidelity for the *mechanisms* the paper attributes its results to
+// (instruction count, constant-materialization style, data vs instruction
+// stream constants, branch fall-through locality), not for absolute
+// cycle counts. DESIGN.md documents this substitution.
+package asmsim
+
+// Machine parameterizes the cost model.
+type Machine struct {
+	// Name identifies the profile in benchmark output.
+	Name string
+	// Description ties the profile to the Table I machine it stands for.
+	Description string
+
+	// IntOpCycles is the cost of simple integer/move ALU operations
+	// (movz, movk, eor, mov, cmp).
+	IntOpCycles uint64
+	// LoadCycles is the L1-hit load-to-use latency (ldrsw, ldr).
+	LoadCycles uint64
+	// FPCompareCycles is the fcmp latency including the flag transfer
+	// (the paper's "overheads to use the floating point unit").
+	FPCompareCycles uint64
+	// FPMoveCycles is the GP-to-FP register move latency (fmov).
+	FPMoveCycles uint64
+	// BranchCycles is the base cost of a branch instruction.
+	BranchCycles uint64
+	// TakenPenalty is the front-end fetch-redirect cost of a taken
+	// branch even when correctly predicted; fall-through branches avoid
+	// it, which is the mechanism behind CAGS branch swapping.
+	TakenPenalty uint64
+	// MispredictPenalty is added when the 2-bit predictor guesses wrong.
+	MispredictPenalty uint64
+
+	// HasFPU selects hardware float comparison. Without an FPU, every
+	// fcmp/fmov is charged SoftFloatCycles, modeling a call into
+	// compiler soft-float routines (package softfloat).
+	HasFPU          bool
+	SoftFloatCycles uint64
+
+	// ICache and DCache describe direct-mapped first-level caches.
+	ICache CacheGeometry
+	DCache CacheGeometry
+	// ICacheMissPenalty and DCacheMissPenalty are charged per miss.
+	ICacheMissPenalty uint64
+	DCacheMissPenalty uint64
+
+	// BytesPerInstr positions instructions in the I-cache. ARMv8
+	// instructions are 4 bytes.
+	BytesPerInstr uint64
+}
+
+// CacheGeometry describes a direct-mapped cache.
+type CacheGeometry struct {
+	// SizeBytes is the total capacity. Zero disables the cache (every
+	// access hits).
+	SizeBytes uint64
+	// LineBytes is the line size.
+	LineBytes uint64
+}
+
+// Lines returns the number of lines.
+func (g CacheGeometry) Lines() uint64 {
+	if g.SizeBytes == 0 || g.LineBytes == 0 {
+		return 0
+	}
+	return g.SizeBytes / g.LineBytes
+}
+
+// Machines returns the evaluation profiles standing in for the paper's
+// Table I, in the paper's order, plus the FPU-less embedded profile.
+// The parameters are public-datasheet-scale approximations; see the
+// package comment for the fidelity claim.
+func Machines() []Machine {
+	return []Machine{
+		{
+			Name:        "x86-server",
+			Description: "stands in for 2x AMD EPYC 7742 (Table I)",
+			IntOpCycles: 1, LoadCycles: 4,
+			FPCompareCycles: 5, FPMoveCycles: 3,
+			BranchCycles: 1, TakenPenalty: 2, MispredictPenalty: 18,
+			HasFPU:            true,
+			ICache:            CacheGeometry{SizeBytes: 32 << 10, LineBytes: 64},
+			DCache:            CacheGeometry{SizeBytes: 32 << 10, LineBytes: 64},
+			ICacheMissPenalty: 14, DCacheMissPenalty: 14,
+			BytesPerInstr: 4,
+		},
+		{
+			Name:        "x86-desktop",
+			Description: "stands in for Intel Core i7-10700 (Table I)",
+			IntOpCycles: 1, LoadCycles: 5,
+			FPCompareCycles: 4, FPMoveCycles: 2,
+			BranchCycles: 1, TakenPenalty: 2, MispredictPenalty: 16,
+			HasFPU:            true,
+			ICache:            CacheGeometry{SizeBytes: 32 << 10, LineBytes: 64},
+			DCache:            CacheGeometry{SizeBytes: 32 << 10, LineBytes: 64},
+			ICacheMissPenalty: 12, DCacheMissPenalty: 12,
+			BytesPerInstr: 4,
+		},
+		{
+			Name:        "armv8-server",
+			Description: "stands in for 2x Cavium ThunderX2 99xx (Table I)",
+			IntOpCycles: 1, LoadCycles: 4,
+			FPCompareCycles: 7, FPMoveCycles: 4,
+			BranchCycles: 1, TakenPenalty: 3, MispredictPenalty: 11,
+			HasFPU:            true,
+			ICache:            CacheGeometry{SizeBytes: 32 << 10, LineBytes: 64},
+			DCache:            CacheGeometry{SizeBytes: 32 << 10, LineBytes: 64},
+			ICacheMissPenalty: 16, DCacheMissPenalty: 16,
+			BytesPerInstr: 4,
+		},
+		{
+			Name:        "armv8-desktop",
+			Description: "stands in for Apple Mac Mini M1 (Table I)",
+			IntOpCycles: 1, LoadCycles: 3,
+			FPCompareCycles: 6, FPMoveCycles: 5,
+			BranchCycles: 1, TakenPenalty: 1, MispredictPenalty: 13,
+			HasFPU:            true,
+			ICache:            CacheGeometry{SizeBytes: 192 << 10, LineBytes: 64},
+			DCache:            CacheGeometry{SizeBytes: 128 << 10, LineBytes: 64},
+			ICacheMissPenalty: 13, DCacheMissPenalty: 13,
+			BytesPerInstr: 4,
+		},
+		{
+			Name:        "embedded-nofpu",
+			Description: "FPU-less microcontroller-class device (Section I motivation)",
+			IntOpCycles: 1, LoadCycles: 2,
+			FPCompareCycles: 1, FPMoveCycles: 1, // unused without FPU
+			BranchCycles: 1, TakenPenalty: 2, MispredictPenalty: 3,
+			HasFPU: false, SoftFloatCycles: 45,
+			ICache:            CacheGeometry{SizeBytes: 8 << 10, LineBytes: 32},
+			DCache:            CacheGeometry{SizeBytes: 4 << 10, LineBytes: 32},
+			ICacheMissPenalty: 20, DCacheMissPenalty: 20,
+			BytesPerInstr: 4,
+		},
+	}
+}
+
+// MachineByName returns the named profile.
+func MachineByName(name string) (Machine, bool) {
+	for _, m := range Machines() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Machine{}, false
+}
+
+// TableI returns the four profiles corresponding to the paper's Table I
+// (without the embedded profile).
+func TableI() []Machine { return Machines()[:4] }

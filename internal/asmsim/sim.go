@@ -1,0 +1,319 @@
+package asmsim
+
+import (
+	"fmt"
+	"math"
+
+	"flint/internal/isa"
+)
+
+// Stats aggregates execution counters across Run calls.
+type Stats struct {
+	Instructions uint64
+	Cycles       uint64
+	Loads        uint64
+	Branches     uint64
+	Taken        uint64
+	Mispredicts  uint64
+	ICacheMisses uint64
+	DCacheMisses uint64
+	FPCompares   uint64
+	SoftFloatOps uint64
+}
+
+// Simulator executes a parsed program on a Machine's cost model. Cache
+// and branch predictor state persists across Run calls (warm execution,
+// like the paper's repeated-inference measurements) until Reset.
+type Simulator struct {
+	prog *isa.Program
+	m    Machine
+
+	// Direct-mapped cache tag arrays; -1 means invalid.
+	itags []int64
+	dtags []int64
+	// 2-bit branch predictor counters indexed by instruction address.
+	bpred map[int]uint8
+
+	stats Stats
+
+	// literalBase places literal pools in the data address space, above
+	// the feature vector region.
+	literalBase uint64
+	// litAddrs assigns each distinct literal constant an address.
+	litAddrs map[uint64]uint64
+}
+
+// comparison flags, abstracted from NZCV.
+type flags int
+
+const (
+	flagLess flags = iota
+	flagEqual
+	flagGreater
+)
+
+// New creates a simulator for prog on machine m.
+func New(prog *isa.Program, m Machine) (*Simulator, error) {
+	if prog == nil || len(prog.Instrs) == 0 {
+		return nil, fmt.Errorf("asmsim: empty program")
+	}
+	if m.BytesPerInstr == 0 {
+		return nil, fmt.Errorf("asmsim: machine %q has BytesPerInstr = 0", m.Name)
+	}
+	s := &Simulator{
+		prog:        prog,
+		m:           m,
+		bpred:       make(map[int]uint8),
+		litAddrs:    make(map[uint64]uint64),
+		literalBase: 1 << 20, // far above any feature vector
+	}
+	s.Reset()
+	return s, nil
+}
+
+// Reset clears cache and predictor state.
+func (s *Simulator) Reset() {
+	mk := func(g CacheGeometry) []int64 {
+		n := g.Lines()
+		t := make([]int64, n)
+		for i := range t {
+			t[i] = -1
+		}
+		return t
+	}
+	s.itags = mk(s.m.ICache)
+	s.dtags = mk(s.m.DCache)
+	s.bpred = make(map[int]uint8)
+	s.stats = Stats{}
+}
+
+// Stats returns the counters accumulated since the last Reset.
+func (s *Simulator) Stats() Stats { return s.stats }
+
+// access performs a direct-mapped cache lookup, updating tags, and
+// reports whether it missed.
+func access(tags []int64, g CacheGeometry, addr uint64) bool {
+	if len(tags) == 0 {
+		return false // cache disabled: always hit
+	}
+	line := addr / g.LineBytes
+	idx := line % uint64(len(tags))
+	if tags[idx] == int64(line) {
+		return false
+	}
+	tags[idx] = int64(line)
+	return true
+}
+
+// predict consults and updates the 2-bit saturating counter for the
+// branch at address pc, returning the predicted direction before update.
+func (s *Simulator) predict(pc int, taken bool) bool {
+	c := s.bpred[pc] // initialized weakly not-taken (01)
+	if _, ok := s.bpred[pc]; !ok {
+		c = 1
+	}
+	predicted := c >= 2
+	if taken && c < 3 {
+		c++
+	}
+	if !taken && c > 0 {
+		c--
+	}
+	s.bpred[pc] = c
+	return predicted
+}
+
+// Run executes the named function with the given feature words (raw
+// float32 bit patterns, the memory x0 points to) and returns the class in
+// w0 along with the cycles charged for this call.
+func (s *Simulator) Run(fn string, features []uint32) (int32, uint64, error) {
+	entry, ok := s.prog.Funcs[fn]
+	if !ok {
+		return 0, 0, fmt.Errorf("asmsim: unknown function %q", fn)
+	}
+	var x [32]uint64 // general purpose registers
+	var v [32]uint32 // FP registers (binary32 patterns)
+	var fl flags
+	start := s.stats.Cycles
+	pc := entry
+
+	for steps := 0; ; steps++ {
+		if pc < 0 || pc >= len(s.prog.Instrs) {
+			return 0, 0, fmt.Errorf("asmsim: pc %d out of range in %q", pc, fn)
+		}
+		if steps > 10_000_000 {
+			return 0, 0, fmt.Errorf("asmsim: runaway execution in %q", fn)
+		}
+		in := &s.prog.Instrs[pc]
+		s.stats.Instructions++
+		if access(s.itags, s.m.ICache, uint64(pc)*s.m.BytesPerInstr) {
+			s.stats.ICacheMisses++
+			s.stats.Cycles += s.m.ICacheMissPenalty
+		}
+
+		switch in.Op {
+		case isa.OpLdrFeature, isa.OpLdrFeatureF:
+			off := in.Imm
+			if off%4 != 0 || int(off/4) >= len(features) {
+				return 0, 0, fmt.Errorf("asmsim: feature load at offset %d out of range (have %d features)", off, len(features))
+			}
+			word := features[off/4]
+			s.stats.Loads++
+			s.stats.Cycles += s.m.LoadCycles
+			if access(s.dtags, s.m.DCache, off) {
+				s.stats.DCacheMisses++
+				s.stats.Cycles += s.m.DCacheMissPenalty
+			}
+			if in.Op == isa.OpLdrFeature {
+				x[in.Rd] = uint64(int64(int32(word))) // ldrsw sign-extends
+			} else {
+				v[in.Rd] = word
+				if !s.m.HasFPU {
+					s.stats.SoftFloatOps++
+					s.stats.Cycles += s.m.SoftFloatCycles / 8 // unpacking share
+				}
+			}
+			pc++
+
+		case isa.OpLdrLit, isa.OpLdrLitF:
+			addr, ok := s.litAddrs[in.Imm]
+			if !ok {
+				addr = s.literalBase + uint64(len(s.litAddrs))*4
+				s.litAddrs[in.Imm] = addr
+			}
+			s.stats.Loads++
+			s.stats.Cycles += s.m.LoadCycles
+			if access(s.dtags, s.m.DCache, addr) {
+				s.stats.DCacheMisses++
+				s.stats.Cycles += s.m.DCacheMissPenalty
+			}
+			if in.Op == isa.OpLdrLit {
+				x[in.Rd] = in.Imm & 0xFFFF_FFFF
+			} else {
+				v[in.Rd] = uint32(in.Imm)
+			}
+			pc++
+
+		case isa.OpMovz:
+			x[in.Rd] = in.Imm & 0xFFFF
+			s.stats.Cycles += s.m.IntOpCycles
+			pc++
+
+		case isa.OpMovk:
+			x[in.Rd] = (x[in.Rd] & 0xFFFF) | (in.Imm&0xFFFF)<<16
+			s.stats.Cycles += s.m.IntOpCycles
+			pc++
+
+		case isa.OpFmov:
+			v[in.Rd] = uint32(x[in.Rn])
+			if s.m.HasFPU {
+				s.stats.Cycles += s.m.FPMoveCycles
+			} else {
+				s.stats.SoftFloatOps++
+				s.stats.Cycles += s.m.SoftFloatCycles / 8
+			}
+			pc++
+
+		case isa.OpEor:
+			x[in.Rd] = x[in.Rn] ^ in.Imm
+			s.stats.Cycles += s.m.IntOpCycles
+			pc++
+
+		case isa.OpCmp:
+			a, b := int32(uint32(x[in.Rn])), int32(uint32(x[in.Rm]))
+			switch {
+			case a < b:
+				fl = flagLess
+			case a > b:
+				fl = flagGreater
+			default:
+				fl = flagEqual
+			}
+			s.stats.Cycles += s.m.IntOpCycles
+			pc++
+
+		case isa.OpFcmp:
+			a := math.Float32frombits(v[in.Rn])
+			b := math.Float32frombits(v[in.Rm])
+			if a != a || b != b {
+				return 0, 0, fmt.Errorf("asmsim: NaN reached fcmp (outside FLInt domain)")
+			}
+			switch {
+			case a < b:
+				fl = flagLess
+			case a > b:
+				fl = flagGreater
+			default:
+				fl = flagEqual
+			}
+			s.stats.FPCompares++
+			if s.m.HasFPU {
+				s.stats.Cycles += s.m.FPCompareCycles
+			} else {
+				s.stats.SoftFloatOps++
+				s.stats.Cycles += s.m.SoftFloatCycles
+			}
+			pc++
+
+		case isa.OpBgt, isa.OpBle:
+			taken := false
+			if in.Op == isa.OpBgt {
+				taken = fl == flagGreater
+			} else {
+				taken = fl != flagGreater
+			}
+			predicted := s.predict(pc, taken)
+			s.stats.Branches++
+			s.stats.Cycles += s.m.BranchCycles
+			if predicted != taken {
+				s.stats.Mispredicts++
+				s.stats.Cycles += s.m.MispredictPenalty
+			}
+			if taken {
+				s.stats.Taken++
+				s.stats.Cycles += s.m.TakenPenalty
+				pc = in.Target
+			} else {
+				pc++
+			}
+
+		case isa.OpMovImm:
+			x[in.Rd] = in.Imm
+			s.stats.Cycles += s.m.IntOpCycles
+			pc++
+
+		case isa.OpRet:
+			s.stats.Cycles += s.m.BranchCycles
+			return int32(uint32(x[0])), s.stats.Cycles - start, nil
+
+		default:
+			return 0, 0, fmt.Errorf("asmsim: unhandled op %v", in.Op)
+		}
+	}
+}
+
+// RunForest executes every function of the program (one per tree) on the
+// feature vector and majority-votes the results, mirroring the C
+// predict wrapper. Functions are executed in name-sorted entry order.
+func (s *Simulator) RunForest(prefix string, numTrees, numClasses int, features []uint32) (int32, uint64, error) {
+	votes := make([]int32, numClasses)
+	var total uint64
+	for t := 0; t < numTrees; t++ {
+		cls, cycles, err := s.Run(fmt.Sprintf("%s_tree%d", prefix, t), features)
+		if err != nil {
+			return 0, 0, err
+		}
+		if cls < 0 || int(cls) >= numClasses {
+			return 0, 0, fmt.Errorf("asmsim: tree %d returned class %d out of range", t, cls)
+		}
+		votes[cls]++
+		total += cycles
+	}
+	best := int32(0)
+	for c := int32(1); c < int32(numClasses); c++ {
+		if votes[c] > votes[best] {
+			best = c
+		}
+	}
+	return best, total, nil
+}

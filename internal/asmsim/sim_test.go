@@ -1,0 +1,307 @@
+package asmsim
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"flint/internal/cart"
+	"flint/internal/codegen"
+	"flint/internal/dataset"
+	"flint/internal/isa"
+	"flint/internal/rf"
+)
+
+// buildProgram generates and parses ARMv8 assembly for a forest.
+func buildProgram(t *testing.T, f *rf.Forest, variant codegen.Variant, flavor codegen.Flavor, cags bool) *isa.Program {
+	t.Helper()
+	var buf bytes.Buffer
+	err := codegen.Forest(&buf, f, codegen.Options{
+		Language: codegen.LangARMv8, Variant: variant, Flavor: flavor, CAGS: cags,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := isa.Parse(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func bitsOf(x []float32) []uint32 {
+	out := make([]uint32, len(x))
+	for i, v := range x {
+		out[i] = math.Float32bits(v)
+	}
+	return out
+}
+
+func trainSim(t *testing.T, name string, depth, trees int) (*rf.Forest, *dataset.Dataset) {
+	t.Helper()
+	d, err := dataset.Generate(name, 300, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := cart.TrainForest(d, cart.Config{NumTrees: trees, MaxDepth: depth, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, d
+}
+
+// TestSimulatedPredictionsMatchReference is the semantic core: every
+// variant/flavor/CAGS combination of the generated assembly, executed on
+// the simulator, must reproduce the Go reference predictions on every
+// machine profile.
+func TestSimulatedPredictionsMatchReference(t *testing.T) {
+	f, d := trainSim(t, "eye", 8, 3)
+	machines := Machines()
+	for _, variant := range []codegen.Variant{codegen.VariantFloat, codegen.VariantFLInt} {
+		for _, flavor := range []codegen.Flavor{codegen.FlavorHand, codegen.FlavorCC} {
+			for _, cags := range []bool{false, true} {
+				prog := buildProgram(t, f, variant, flavor, cags)
+				sim, err := New(prog, machines[0])
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, x := range d.Features {
+					want := f.Predict(x)
+					got, _, err := sim.RunForest("forest", len(f.Trees), f.NumClasses, bitsOf(x))
+					if err != nil {
+						t.Fatalf("%v/%v/cags=%v row %d: %v", variant, flavor, cags, i, err)
+					}
+					if got != want {
+						t.Fatalf("%v/%v/cags=%v row %d: got %d want %d", variant, flavor, cags, i, got, want)
+					}
+				}
+			}
+		}
+	}
+	// Machine profiles must not change semantics, only cycles.
+	prog := buildProgram(t, f, codegen.VariantFLInt, codegen.FlavorHand, false)
+	for _, m := range machines {
+		sim, err := New(prog, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range d.Features {
+			got, _, err := sim.RunForest("forest", len(f.Trees), f.NumClasses, bitsOf(x))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != f.Predict(x) {
+				t.Fatalf("machine %s changes semantics at row %d", m.Name, i)
+			}
+		}
+	}
+}
+
+// runWorkload executes the whole dataset and returns total cycles.
+func runWorkload(t *testing.T, sim *Simulator, f *rf.Forest, d *dataset.Dataset) uint64 {
+	t.Helper()
+	var total uint64
+	for _, x := range d.Features {
+		_, cycles, err := sim.RunForest("forest", len(f.Trees), f.NumClasses, bitsOf(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += cycles
+	}
+	return total
+}
+
+// TestFLIntFasterThanFloat reproduces the central claim on every FPU
+// machine profile: the FLInt variant needs fewer cycles than the
+// compiled-style float variant.
+func TestFLIntFasterThanFloat(t *testing.T) {
+	f, d := trainSim(t, "magic", 10, 3)
+	floatProg := buildProgram(t, f, codegen.VariantFloat, codegen.FlavorCC, false)
+	flintProg := buildProgram(t, f, codegen.VariantFLInt, codegen.FlavorHand, false)
+	for _, m := range Machines() {
+		fs, err := New(floatProg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		is, err := New(flintProg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		floatCycles := runWorkload(t, fs, f, d)
+		flintCycles := runWorkload(t, is, f, d)
+		if flintCycles >= floatCycles {
+			t.Errorf("%s: FLInt (%d cycles) not faster than float (%d cycles)",
+				m.Name, flintCycles, floatCycles)
+		}
+		ratio := float64(flintCycles) / float64(floatCycles)
+		t.Logf("%s: normalized FLInt time %.3f", m.Name, ratio)
+		if m.Name == "embedded-nofpu" && ratio > 0.5 {
+			t.Errorf("embedded-nofpu: expected dramatic soft-float win, got %.3f", ratio)
+		}
+	}
+}
+
+// TestCAGSReducesTakenBranches checks the swap mechanism: with CAGS the
+// hot path is the fall-through, so fewer taken branches occur.
+func TestCAGSReducesTakenBranches(t *testing.T) {
+	f, d := trainSim(t, "gas", 10, 3)
+	m, _ := MachineByName("x86-server")
+	plain, err := New(buildProgram(t, f, codegen.VariantFLInt, codegen.FlavorHand, false), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped, err := New(buildProgram(t, f, codegen.VariantFLInt, codegen.FlavorHand, true), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, plain, f, d)
+	runWorkload(t, swapped, f, d)
+	p, s := plain.Stats(), swapped.Stats()
+	if p.Branches == 0 || s.Branches == 0 {
+		t.Fatal("no branches executed")
+	}
+	plainRate := float64(p.Taken) / float64(p.Branches)
+	swapRate := float64(s.Taken) / float64(s.Branches)
+	if swapRate >= plainRate {
+		t.Errorf("CAGS did not reduce taken-branch rate: %.3f -> %.3f", plainRate, swapRate)
+	}
+}
+
+// TestCCFlavorTouchesDataCache checks the Figure 4 mechanism: the
+// compiled-C flavor loads split constants from data memory, the hand
+// flavor keeps them in the instruction stream.
+func TestCCFlavorTouchesDataCache(t *testing.T) {
+	f, d := trainSim(t, "magic", 8, 2)
+	m, _ := MachineByName("x86-server")
+	hand, err := New(buildProgram(t, f, codegen.VariantFLInt, codegen.FlavorHand, false), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := New(buildProgram(t, f, codegen.VariantFLInt, codegen.FlavorCC, false), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, hand, f, d)
+	runWorkload(t, cc, f, d)
+	if hand.Stats().Loads >= cc.Stats().Loads {
+		t.Errorf("cc flavor should issue more loads: hand=%d cc=%d",
+			hand.Stats().Loads, cc.Stats().Loads)
+	}
+}
+
+// TestStatsAndReset exercises counter bookkeeping.
+func TestStatsAndReset(t *testing.T) {
+	f, d := trainSim(t, "wine", 4, 1)
+	m, _ := MachineByName("x86-desktop")
+	sim, err := New(buildProgram(t, f, codegen.VariantFLInt, codegen.FlavorHand, false), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cycles, err := sim.RunForest("forest", 1, f.NumClasses, bitsOf(d.Features[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 {
+		t.Error("zero cycles charged")
+	}
+	st := sim.Stats()
+	if st.Instructions == 0 || st.Cycles != cycles {
+		t.Errorf("stats inconsistent: %+v vs cycles %d", st, cycles)
+	}
+	sim.Reset()
+	if sim.Stats() != (Stats{}) {
+		t.Error("Reset did not clear stats")
+	}
+}
+
+// TestColdVsWarmCaches: the first run after Reset pays compulsory cache
+// misses; repeated runs on the same input must be cheaper.
+func TestColdVsWarmCaches(t *testing.T) {
+	f, d := trainSim(t, "gas", 8, 2)
+	m, _ := MachineByName("embedded-nofpu") // small caches, big penalties
+	sim, err := New(buildProgram(t, f, codegen.VariantFLInt, codegen.FlavorHand, false), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := bitsOf(d.Features[0])
+	_, cold, err := sim.RunForest("forest", len(f.Trees), f.NumClasses, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, warm, err := sim.RunForest("forest", len(f.Trees), f.NumClasses, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm >= cold {
+		t.Errorf("warm run (%d cycles) not cheaper than cold run (%d cycles)", warm, cold)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	f, _ := trainSim(t, "wine", 3, 1)
+	m, _ := MachineByName("x86-server")
+	sim, err := New(buildProgram(t, f, codegen.VariantFLInt, codegen.FlavorHand, false), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sim.Run("missing_func", make([]uint32, f.NumFeatures)); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if _, _, err := sim.Run("forest_tree0", nil); err == nil {
+		t.Error("empty feature memory accepted")
+	}
+	if _, err := New(&isa.Program{}, m); err == nil {
+		t.Error("empty program accepted")
+	}
+	bad := m
+	bad.BytesPerInstr = 0
+	prog := buildProgram(t, f, codegen.VariantFLInt, codegen.FlavorHand, false)
+	if _, err := New(prog, bad); err == nil {
+		t.Error("BytesPerInstr=0 accepted")
+	}
+}
+
+func TestNaNFeatureRejectedByFcmp(t *testing.T) {
+	f, _ := trainSim(t, "wine", 3, 1)
+	m, _ := MachineByName("x86-server")
+	sim, err := New(buildProgram(t, f, codegen.VariantFloat, codegen.FlavorCC, false), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]uint32, f.NumFeatures)
+	for i := range x {
+		x[i] = 0x7FC00000 // NaN everywhere: the first fcmp must fail
+	}
+	if _, _, err := sim.Run("forest_tree0", x); err == nil {
+		t.Error("NaN feature must be rejected by fcmp")
+	}
+}
+
+func TestMachineProfiles(t *testing.T) {
+	ms := Machines()
+	if len(ms) != 5 {
+		t.Fatalf("have %d machines, want 5", len(ms))
+	}
+	if len(TableI()) != 4 {
+		t.Fatal("TableI must return 4 machines")
+	}
+	names := map[string]bool{}
+	for _, m := range ms {
+		if names[m.Name] {
+			t.Errorf("duplicate machine name %s", m.Name)
+		}
+		names[m.Name] = true
+		if m.Name != "embedded-nofpu" && !m.HasFPU {
+			t.Errorf("%s should have an FPU", m.Name)
+		}
+	}
+	if _, ok := MachineByName("x86-server"); !ok {
+		t.Error("MachineByName(x86-server) failed")
+	}
+	if _, ok := MachineByName("pdp11"); ok {
+		t.Error("MachineByName invented a machine")
+	}
+	if (CacheGeometry{}).Lines() != 0 {
+		t.Error("zero geometry must have zero lines")
+	}
+}

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"flint/internal/codegen"
+)
+
+// CCBackend reproduces the paper's actual toolchain: it generates the
+// four C implementations of Section V-A (naive, CAGS, FLInt,
+// CAGS+FLInt), compiles them with the system C compiler at -O2 and times
+// the binary on the host. Costs are nanoseconds per inference.
+//
+// The CAGS implementations apply the branch-swapping half of Chen et
+// al.'s optimization at code generation time; see EXPERIMENTS.md for the
+// scope note on grouping.
+type CCBackend struct {
+	// CC is the compiler command. Default "cc".
+	CC string
+	// MaxRows caps the number of test rows embedded in the binary.
+	// Default 128.
+	MaxRows int
+	// TargetVisits controls the repetition count: repetitions are chosen
+	// so that roughly TargetVisits node visits are executed per
+	// implementation. Default 2e7.
+	TargetVisits float64
+	// WorkDir keeps intermediate files when set (for debugging);
+	// otherwise a temporary directory is used and removed.
+	WorkDir string
+}
+
+// Name implements Backend.
+func (b *CCBackend) Name() string { return "cc" }
+
+func (b *CCBackend) cc() string {
+	if b.CC != "" {
+		return b.CC
+	}
+	return "cc"
+}
+
+// Available reports whether the configured C compiler can be found.
+func (b *CCBackend) Available() bool {
+	_, err := exec.LookPath(b.cc())
+	return err == nil
+}
+
+// Measure implements Backend.
+func (b *CCBackend) Measure(w *Workload) (map[Impl]float64, error) {
+	maxRows := b.MaxRows
+	if maxRows <= 0 {
+		maxRows = 128
+	}
+	rows := w.Test.Features
+	if len(rows) > maxRows {
+		rows = rows[:maxRows]
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("bench: empty test set")
+	}
+	target := b.TargetVisits
+	if target <= 0 {
+		target = 2e7
+	}
+	visitsPerInference := float64(w.Trees * (w.MaxDepth + 1))
+	reps := int(target / (visitsPerInference * float64(len(rows))))
+	if reps < 3 {
+		reps = 3
+	}
+	if reps > 100000 {
+		reps = 100000
+	}
+
+	type ccImpl struct {
+		impl    Impl
+		prefix  string
+		variant codegen.Variant
+		cags    bool
+	}
+	impls := []ccImpl{
+		{ImplNaive, "naive", codegen.VariantFloat, false},
+		{ImplCAGS, "cags", codegen.VariantFloat, true},
+		{ImplFLInt, "flint", codegen.VariantFLInt, false},
+		{ImplCAGSFLInt, "cagsflint", codegen.VariantFLInt, true},
+	}
+
+	var src bytes.Buffer
+	src.WriteString("#include <stdio.h>\n#include <time.h>\n\n")
+	for _, im := range impls {
+		err := codegen.Forest(&src, w.Forest, codegen.Options{
+			Language: codegen.LangC, Variant: im.variant, CAGS: im.cags, Prefix: im.prefix,
+		})
+		if err != nil {
+			return nil, err
+		}
+		src.WriteString("\n")
+	}
+	fmt.Fprintf(&src, "static const unsigned int data[%d][%d] = {\n", len(rows), len(rows[0]))
+	for _, row := range rows {
+		src.WriteString("\t{")
+		for j, v := range row {
+			if j > 0 {
+				src.WriteString(", ")
+			}
+			fmt.Fprintf(&src, "0x%08xu", math.Float32bits(v))
+		}
+		src.WriteString("},\n")
+	}
+	src.WriteString("};\n\n")
+	src.WriteString(`static long long now_ns(void) {
+	struct timespec ts;
+	clock_gettime(CLOCK_MONOTONIC, &ts);
+	return ts.tv_sec * 1000000000LL + ts.tv_nsec;
+}
+
+typedef int (*pred_fn)(const float *);
+
+int main(void) {
+`)
+	fmt.Fprintf(&src, "\tstatic const pred_fn fns[%d] = {", len(impls))
+	for i, im := range impls {
+		if i > 0 {
+			src.WriteString(", ")
+		}
+		src.WriteString(im.prefix + "_predict")
+	}
+	src.WriteString("};\n")
+	fmt.Fprintf(&src, "\tstatic const char *names[%d] = {", len(impls))
+	for i, im := range impls {
+		if i > 0 {
+			src.WriteString(", ")
+		}
+		fmt.Fprintf(&src, "%q", string(im.impl))
+	}
+	src.WriteString("};\n")
+	fmt.Fprintf(&src, `	volatile long long sink = 0;
+	const int reps = %d, nrows = %d;
+	for (int f = 0; f < %d; f++) {
+		/* warm-up pass */
+		for (int i = 0; i < nrows; i++) sink += fns[f]((const float *)data[i]);
+		long long t0 = now_ns();
+		for (int r = 0; r < reps; r++)
+			for (int i = 0; i < nrows; i++)
+				sink += fns[f]((const float *)data[i]);
+		long long t1 = now_ns();
+		printf("%%s=%%.4f\n", names[f], (double)(t1 - t0) / ((double)reps * nrows));
+	}
+	return sink == -1;
+}
+`, reps, len(rows), len(impls))
+
+	dir := b.WorkDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "flintbench")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	cPath := filepath.Join(dir, fmt.Sprintf("%s_t%d_d%d.c", w.Dataset, w.Trees, w.MaxDepth))
+	binPath := strings.TrimSuffix(cPath, ".c")
+	if err := os.WriteFile(cPath, src.Bytes(), 0o644); err != nil {
+		return nil, err
+	}
+	if out, err := exec.Command(b.cc(), "-O2", "-o", binPath, cPath).CombinedOutput(); err != nil {
+		return nil, fmt.Errorf("bench: %s failed: %v\n%s", b.cc(), err, out)
+	}
+	out, err := exec.Command(binPath).Output()
+	if err != nil {
+		return nil, fmt.Errorf("bench: compiled benchmark failed: %v", err)
+	}
+
+	costs := make(map[Impl]float64, len(impls))
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		name, val, ok := strings.Cut(strings.TrimSpace(line), "=")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bench: parsing %q: %w", line, err)
+		}
+		costs[Impl(name)] = v
+	}
+	for _, im := range impls {
+		if _, ok := costs[im.impl]; !ok {
+			return nil, fmt.Errorf("bench: compiled benchmark produced no result for %s", im.impl)
+		}
+	}
+	return costs, nil
+}

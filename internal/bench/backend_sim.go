@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"flint/internal/asmsim"
+	"flint/internal/codegen"
+	"flint/internal/isa"
+	"flint/internal/rf"
+)
+
+// SimBackend measures generated ARMv8 assembly on an asmsim machine
+// profile, the stand-in for the paper's four physical systems. Costs are
+// cycles per inference.
+//
+// Implementation mapping (see DESIGN.md):
+//
+//   - naive      — float comparisons, compiled-C constant flavor
+//   - cags       — naive plus branch swapping (hot path falls through)
+//   - flint      — FLInt C realization: integer compares, compiled-C flavor
+//   - cags-flint — flint plus branch swapping
+//   - flint-asm  — the paper's direct assembly: movz/movk immediates
+type SimBackend struct {
+	// Machine is the cost model profile.
+	Machine asmsim.Machine
+	// MaxRows caps the number of test rows executed per implementation
+	// (simulation is O(rows x nodes)). Default 128.
+	MaxRows int
+	// WithASM adds the flint-asm implementation (Figure 4 / Table III).
+	WithASM bool
+}
+
+// Name implements Backend.
+func (b *SimBackend) Name() string { return "sim:" + b.Machine.Name }
+
+type simImpl struct {
+	impl    Impl
+	variant codegen.Variant
+	flavor  codegen.Flavor
+	cags    bool
+}
+
+// Measure implements Backend.
+func (b *SimBackend) Measure(w *Workload) (map[Impl]float64, error) {
+	impls := []simImpl{
+		{ImplNaive, codegen.VariantFloat, codegen.FlavorCC, false},
+		{ImplCAGS, codegen.VariantFloat, codegen.FlavorCC, true},
+		{ImplFLInt, codegen.VariantFLInt, codegen.FlavorCC, false},
+		{ImplCAGSFLInt, codegen.VariantFLInt, codegen.FlavorCC, true},
+	}
+	if b.WithASM {
+		impls = append(impls, simImpl{ImplFLIntASM, codegen.VariantFLInt, codegen.FlavorHand, false})
+	}
+	maxRows := b.MaxRows
+	if maxRows <= 0 {
+		maxRows = 128
+	}
+	rows := w.Test.Features
+	if len(rows) > maxRows {
+		rows = rows[:maxRows]
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("bench: empty test set")
+	}
+	bits := make([][]uint32, len(rows))
+	for i, x := range rows {
+		bits[i] = make([]uint32, len(x))
+		for j, v := range x {
+			bits[i][j] = math.Float32bits(v)
+		}
+	}
+
+	out := make(map[Impl]float64, len(impls))
+	for _, im := range impls {
+		var buf bytes.Buffer
+		err := codegen.Forest(&buf, w.Forest, codegen.Options{
+			Language: codegen.LangARMv8,
+			Variant:  im.variant,
+			Flavor:   im.flavor,
+			CAGS:     im.cags,
+		})
+		if err != nil {
+			return nil, err
+		}
+		prog, err := isa.Parse(buf.String())
+		if err != nil {
+			return nil, err
+		}
+		sim, err := asmsim.New(prog, b.Machine)
+		if err != nil {
+			return nil, err
+		}
+		// Warm pass (caches, predictor), then the measured pass: the
+		// paper measures steady-state repeated inference.
+		for _, x := range bits {
+			if _, _, err := b.runChecked(sim, w, x); err != nil {
+				return nil, err
+			}
+		}
+		var total uint64
+		for i, x := range bits {
+			cls, cycles, err := b.runChecked(sim, w, x)
+			if err != nil {
+				return nil, err
+			}
+			if want := w.Forest.Predict(rows[i]); cls != want {
+				return nil, fmt.Errorf("bench: %s/%s predicts %d, reference %d (row %d)",
+					b.Name(), im.impl, cls, want, i)
+			}
+			total += cycles
+		}
+		out[im.impl] = float64(total) / float64(len(bits))
+	}
+	return out, nil
+}
+
+func (b *SimBackend) runChecked(sim *asmsim.Simulator, w *Workload, x []uint32) (int32, uint64, error) {
+	return sim.RunForest("forest", len(w.Forest.Trees), w.Forest.NumClasses, x)
+}
+
+var _ rf.Predictor = (*rf.Forest)(nil)

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteFigure3 renders the depth series as the paper's Figure 3: one
+// block per backend, one column per implementation, normalized geometric
+// mean (and variance) per maximal depth.
+func WriteFigure3(w io.Writer, series []Series) error {
+	byBackend := map[string][]Series{}
+	var backends []string
+	for _, s := range series {
+		if _, ok := byBackend[s.Backend]; !ok {
+			backends = append(backends, s.Backend)
+		}
+		byBackend[s.Backend] = append(byBackend[s.Backend], s)
+	}
+	sort.Strings(backends)
+	for _, b := range backends {
+		ss := byBackend[b]
+		if _, err := fmt.Fprintf(w, "Normalized execution time vs maximal tree depth — %s\n", b); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-8s", "depth")
+		for _, s := range ss {
+			fmt.Fprintf(w, "%14s", s.Impl)
+		}
+		fmt.Fprintln(w)
+		depths := ss[0].Depths
+		for di, d := range depths {
+			fmt.Fprintf(w, "%-8d", d)
+			for _, s := range ss {
+				val, varc := lookupDepth(s, d)
+				if val == 0 && di >= len(s.Depths) {
+					fmt.Fprintf(w, "%14s", "-")
+					continue
+				}
+				fmt.Fprintf(w, "  %.3f(±%.3f)", val, varc)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func lookupDepth(s Series, d int) (mean, variance float64) {
+	for i, sd := range s.Depths {
+		if sd == d {
+			return s.Mean[i], s.Variance[i]
+		}
+	}
+	return 0, 0
+}
+
+// WriteTable renders Table II / Table III rows: per backend, the overall
+// geometric-mean normalized time and the deep-tree (D>=20) mean.
+func WriteTable(w io.Writer, title string, rows []TableRow) error {
+	if _, err := fmt.Fprintf(w, "%s\n%-16s %-12s %10s %12s\n", title, "backend", "impl", "overall", "depth>=20"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		deep := "-"
+		if r.Deep > 0 {
+			deep = fmt.Sprintf("%.2fx", r.Deep)
+		}
+		if _, err := fmt.Fprintf(w, "%-16s %-12s %9.2fx %12s\n", r.Backend, r.Impl, r.Overall, deep); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV dumps raw cells for external plotting.
+func WriteCSV(w io.Writer, r *Results) error {
+	if _, err := fmt.Fprintln(w, "backend,dataset,trees,max_depth,impl,cost"); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%s,%g\n",
+			c.Backend, c.Dataset, c.Trees, c.MaxDepth, c.Impl, c.Cost); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSeriesCSV dumps Figure 3 series for external plotting.
+func WriteSeriesCSV(w io.Writer, series []Series) error {
+	if _, err := fmt.Fprintln(w, "backend,impl,depth,geomean,variance"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i := range s.Depths {
+			if _, err := fmt.Fprintf(w, "%s,%s,%d,%g,%g\n",
+				s.Backend, s.Impl, s.Depths[i], s.Mean[i], s.Variance[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+// Package cags implements the cache-aware grouping and swapping
+// optimization for decision trees (Chen et al., "Efficient realization of
+// decision trees for real-time inference", TECS 2022 — reference [6] of
+// the FLInt paper, building on Buschjäger et al.'s tree framing [5]).
+//
+// CAGS uses empirical branch probabilities collected during training
+// (rf.Node.LeftFraction) in two ways:
+//
+//   - Swapping: the more probable branch of every node becomes the
+//     fall-through of the generated if-else code, so the hot path runs
+//     straight down. SwapPlan computes the per-node decision for the
+//     code generators.
+//   - Grouping: tree nodes are laid out in memory so the likely
+//     root-to-leaf paths are contiguous and share cache lines.
+//     ReorderTree permutes the node array into hot-path preorder, the
+//     layout the interpreted engines and the simulator traverse.
+//
+// The package also provides ExpectedLinesTouched, the cache-line cost
+// model that quantifies what grouping buys; the ablation benchmarks and
+// the asmsim machine model both consume it.
+package cags
+
+import (
+	"fmt"
+
+	"flint/internal/rf"
+)
+
+// Config describes the memory geometry grouping optimizes for.
+type Config struct {
+	// CacheLineBytes is the line size of the targeted cache. Default 64.
+	CacheLineBytes int
+	// NodeBytes is the size of one flattened tree node. Default 16,
+	// matching treeexec's 32-bit node layout.
+	NodeBytes int
+}
+
+// DefaultConfig matches the treeexec node layout on common hardware.
+var DefaultConfig = Config{CacheLineBytes: 64, NodeBytes: 16}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.CacheLineBytes == 0 {
+		c.CacheLineBytes = DefaultConfig.CacheLineBytes
+	}
+	if c.NodeBytes == 0 {
+		c.NodeBytes = DefaultConfig.NodeBytes
+	}
+	if c.CacheLineBytes < c.NodeBytes || c.CacheLineBytes%c.NodeBytes != 0 {
+		return c, fmt.Errorf("cags: cache line %dB must be a positive multiple of node size %dB",
+			c.CacheLineBytes, c.NodeBytes)
+	}
+	return c, nil
+}
+
+// ReorderTree returns a semantically identical tree whose node array is
+// permuted into hot-path preorder: every node is followed immediately by
+// its more probable child, so the likely root-to-leaf path occupies
+// consecutive nodes and therefore a minimal number of cache lines.
+// Left/right child semantics are unchanged — only indices move.
+func ReorderTree(t *rf.Tree) (*rf.Tree, error) {
+	if err := t.Validate(0, 0); err != nil {
+		return nil, err
+	}
+	order := make([]int32, 0, len(t.Nodes))
+	var visit func(i int32)
+	visit = func(i int32) {
+		order = append(order, i)
+		n := &t.Nodes[i]
+		if n.IsLeaf() {
+			return
+		}
+		first, second := n.Left, n.Right
+		if n.LeftFraction < 0.5 {
+			first, second = second, first
+		}
+		visit(first)
+		visit(second)
+	}
+	visit(0)
+
+	remap := make([]int32, len(t.Nodes)) // old index -> new index
+	for newIdx, oldIdx := range order {
+		remap[oldIdx] = int32(newIdx)
+	}
+	out := &rf.Tree{Nodes: make([]rf.Node, len(t.Nodes))}
+	for newIdx, oldIdx := range order {
+		n := t.Nodes[oldIdx]
+		if !n.IsLeaf() {
+			n.Left = remap[n.Left]
+			n.Right = remap[n.Right]
+		}
+		out.Nodes[newIdx] = n
+	}
+	return out, nil
+}
+
+// ReorderForest applies ReorderTree to every tree of the forest.
+func ReorderForest(f *rf.Forest) (*rf.Forest, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	out := &rf.Forest{
+		NumFeatures: f.NumFeatures,
+		NumClasses:  f.NumClasses,
+		Trees:       make([]rf.Tree, len(f.Trees)),
+	}
+	for i := range f.Trees {
+		t, err := ReorderTree(&f.Trees[i])
+		if err != nil {
+			return nil, fmt.Errorf("cags: tree %d: %w", i, err)
+		}
+		out.Trees[i] = *t
+	}
+	return out, nil
+}
+
+// SwapPlan returns, for every node of the tree, whether generated if-else
+// code should emit the right subtree in the if-body (i.e. swap the
+// branches and invert the condition) so the more probable branch is the
+// fall-through. Leaves are always false.
+func SwapPlan(t *rf.Tree) []bool {
+	plan := make([]bool, len(t.Nodes))
+	for i, n := range t.Nodes {
+		if !n.IsLeaf() {
+			plan[i] = n.LeftFraction < 0.5
+		}
+	}
+	return plan
+}
+
+// ExpectedLinesTouched returns the expected number of distinct cache
+// lines a single inference touches in the tree's node array, weighting
+// every root-to-leaf path by its empirical probability. Nodes without
+// collected statistics contribute a 0.5/0.5 split.
+func ExpectedLinesTouched(t *rf.Tree, cfg Config) (float64, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return 0, err
+	}
+	if err := t.Validate(0, 0); err != nil {
+		return 0, err
+	}
+	perLine := cfg.CacheLineBytes / cfg.NodeBytes
+	var walk func(i int32, visited []int32, p float64) float64
+	walk = func(i int32, visited []int32, p float64) float64 {
+		line := i / int32(perLine)
+		cost := 0.0
+		seen := false
+		for _, l := range visited {
+			if l == line {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			cost = p
+			visited = append(visited, line)
+		}
+		n := &t.Nodes[i]
+		if n.IsLeaf() {
+			return cost
+		}
+		pl := n.LeftFraction
+		if pl == 0 { // unknown statistics
+			pl = 0.5
+		}
+		return cost +
+			walk(n.Left, visited, p*pl) +
+			walk(n.Right, visited, p*(1-pl))
+	}
+	return walk(0, make([]int32, 0, 64), 1), nil
+}
+
+// ForestExpectedLinesTouched sums ExpectedLinesTouched over all trees:
+// the expected per-inference line footprint of the whole ensemble.
+func ForestExpectedLinesTouched(f *rf.Forest, cfg Config) (float64, error) {
+	total := 0.0
+	for i := range f.Trees {
+		v, err := ExpectedLinesTouched(&f.Trees[i], cfg)
+		if err != nil {
+			return 0, fmt.Errorf("cags: tree %d: %w", i, err)
+		}
+		total += v
+	}
+	return total, nil
+}

@@ -1,0 +1,222 @@
+package cags
+
+import (
+	"math"
+	"testing"
+
+	"flint/internal/cart"
+	"flint/internal/dataset"
+	"flint/internal/rf"
+	"flint/internal/treeexec"
+)
+
+func trained(t *testing.T, name string, depth, trees int) (*rf.Forest, *dataset.Dataset) {
+	t.Helper()
+	d, err := dataset.Generate(name, 500, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := cart.TrainForest(d, cart.Config{NumTrees: trees, MaxDepth: depth, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, d
+}
+
+func TestReorderPreservesSemantics(t *testing.T) {
+	for _, name := range dataset.Names() {
+		f, d := trained(t, name, 10, 3)
+		g, err := ReorderForest(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: reordered forest invalid: %v", name, err)
+		}
+		for i, x := range d.Features {
+			if f.Predict(x) != g.Predict(x) {
+				t.Fatalf("%s: reordered forest diverges at row %d", name, i)
+			}
+		}
+	}
+}
+
+func TestReorderPreservesSemanticsUnderAllEngines(t *testing.T) {
+	f, d := trained(t, "magic", 8, 3)
+	g, err := ReorderForest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := treeexec.NewFloat32(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := treeexec.NewFLInt(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range d.Features {
+		want := f.Predict(x)
+		if fe.Predict(x) != want || fl.Predict(x) != want {
+			t.Fatalf("engine on reordered forest diverges at row %d", i)
+		}
+	}
+}
+
+func TestReorderPlacesHotChildAdjacent(t *testing.T) {
+	f, _ := trained(t, "gas", 8, 2)
+	g, err := ReorderForest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := range g.Trees {
+		for i, n := range g.Trees[ti].Nodes {
+			if n.IsLeaf() {
+				continue
+			}
+			hot := n.Left
+			if n.LeftFraction < 0.5 {
+				hot = n.Right
+			}
+			if hot != int32(i+1) {
+				t.Fatalf("tree %d node %d: hot child at %d, want %d", ti, i, hot, i+1)
+			}
+		}
+	}
+}
+
+func TestReorderKeepsNodeMultiset(t *testing.T) {
+	f, _ := trained(t, "wine", 6, 2)
+	g, err := ReorderForest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := range f.Trees {
+		if len(f.Trees[ti].Nodes) != len(g.Trees[ti].Nodes) {
+			t.Fatalf("tree %d changed size", ti)
+		}
+		count := func(tr rf.Tree) (leaves int, splitSum float64) {
+			for _, n := range tr.Nodes {
+				if n.IsLeaf() {
+					leaves++
+				} else {
+					splitSum += float64(n.Split)
+				}
+			}
+			return leaves, splitSum
+		}
+		l1, s1 := count(f.Trees[ti])
+		l2, s2 := count(g.Trees[ti])
+		if l1 != l2 || math.Abs(s1-s2) > 1e-6*math.Abs(s1) {
+			t.Fatalf("tree %d node multiset changed", ti)
+		}
+	}
+}
+
+func TestExpectedLinesTouchedImproves(t *testing.T) {
+	f, _ := trained(t, "gas", 12, 3)
+	before, err := ForestExpectedLinesTouched(f, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReorderForest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := ForestExpectedLinesTouched(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > before+1e-9 {
+		t.Errorf("grouping increased expected lines: %.3f -> %.3f", before, after)
+	}
+	if after >= before {
+		t.Logf("warning: no strict improvement (%.3f -> %.3f)", before, after)
+	}
+}
+
+func TestExpectedLinesTouchedSmallTree(t *testing.T) {
+	// A 3-node tree fits one cache line entirely: expected lines = 1.
+	tree := &rf.Tree{Nodes: []rf.Node{
+		{Feature: 0, Split: 0, Left: 1, Right: 2, LeftFraction: 0.7},
+		{Feature: rf.LeafFeature, Class: 0},
+		{Feature: rf.LeafFeature, Class: 1},
+	}}
+	got, err := ExpectedLinesTouched(tree, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("3-node tree expected lines = %v, want 1", got)
+	}
+	// With 16-byte lines every node is its own line: root + one child = 2.
+	got, err = ExpectedLinesTouched(tree, Config{CacheLineBytes: 16, NodeBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("per-node lines = %v, want 2", got)
+	}
+}
+
+func TestExpectedLinesUsesProbabilities(t *testing.T) {
+	// Right-leaning chain: nodes 0-3 share cache line 0 (4 nodes per
+	// 64-byte line), node 4 sits on line 1 and is only reached by taking
+	// the cold (p=0.1) branch twice.
+	tree := &rf.Tree{Nodes: []rf.Node{
+		{Feature: 0, Split: 0, Left: 1, Right: 2, LeftFraction: 0.9}, // line 0
+		{Feature: rf.LeafFeature, Class: 0},                          // line 0
+		{Feature: 0, Split: 1, Left: 3, Right: 4, LeftFraction: 0.9}, // line 0
+		{Feature: rf.LeafFeature, Class: 0},                          // line 0
+		{Feature: rf.LeafFeature, Class: 1},                          // line 1
+	}}
+	got, err := ExpectedLinesTouched(tree, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 + 0.1*0.1 // line 0 always; line 1 with p = 0.1 * 0.1
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("expected lines = %v, want %v", got, want)
+	}
+}
+
+func TestSwapPlan(t *testing.T) {
+	tree := &rf.Tree{Nodes: []rf.Node{
+		{Feature: 0, Split: 0, Left: 1, Right: 2, LeftFraction: 0.3},
+		{Feature: 1, Split: 0, Left: 3, Right: 4, LeftFraction: 0.8},
+		{Feature: rf.LeafFeature, Class: 0},
+		{Feature: rf.LeafFeature, Class: 1},
+		{Feature: rf.LeafFeature, Class: 0},
+	}}
+	plan := SwapPlan(tree)
+	if !plan[0] {
+		t.Error("node 0 (left 30%) must swap")
+	}
+	if plan[1] {
+		t.Error("node 1 (left 80%) must not swap")
+	}
+	if plan[2] || plan[3] || plan[4] {
+		t.Error("leaves must not swap")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tree := &rf.Tree{Nodes: []rf.Node{{Feature: rf.LeafFeature}}}
+	if _, err := ExpectedLinesTouched(tree, Config{CacheLineBytes: 10, NodeBytes: 16}); err == nil {
+		t.Error("line smaller than node accepted")
+	}
+	if _, err := ExpectedLinesTouched(tree, Config{CacheLineBytes: 40, NodeBytes: 16}); err == nil {
+		t.Error("non-multiple line size accepted")
+	}
+	bad := &rf.Tree{}
+	if _, err := ReorderTree(bad); err == nil {
+		t.Error("empty tree accepted by ReorderTree")
+	}
+	badForest := &rf.Forest{NumFeatures: 1, NumClasses: 2, Trees: []rf.Tree{*bad}}
+	if _, err := ReorderForest(badForest); err == nil {
+		t.Error("invalid forest accepted by ReorderForest")
+	}
+	if _, err := ForestExpectedLinesTouched(badForest, Config{}); err == nil {
+		t.Error("invalid forest accepted by ForestExpectedLinesTouched")
+	}
+}

@@ -1,0 +1,331 @@
+// Package cart trains random forests of CART decision trees, replacing
+// the scikit-learn training step of the paper's evaluation (Section V-A).
+//
+// The trainer mirrors scikit-learn's RandomForestClassifier defaults where
+// they matter for this reproduction: Gini impurity, bootstrap resampling,
+// sqrt(features) candidate features per node, midpoint split thresholds
+// stored as float32, and a maximal tree depth that counts edges (so the
+// paper's "maximal depth 1" is a single split). Hyper-parameter tuning is
+// explicitly out of the paper's scope, and out of this package's too.
+//
+// During construction the trainer records, for every inner node, the
+// empirical fraction of training samples that take the left branch. This
+// is the branch-probability information the CAGS optimization of Chen et
+// al. consumes (package cags).
+package cart
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"flint/internal/dataset"
+	"flint/internal/rf"
+)
+
+// Config controls forest training. The zero value requests the defaults
+// documented on each field.
+type Config struct {
+	// NumTrees is the ensemble size. Default 10.
+	NumTrees int
+	// MaxDepth limits the number of edges on any root-to-leaf path.
+	// 0 means unlimited.
+	MaxDepth int
+	// MinSamplesSplit is the smallest node size that may still be
+	// split. Default 2.
+	MinSamplesSplit int
+	// MinSamplesLeaf is the smallest sample count a child may receive.
+	// Default 1.
+	MinSamplesLeaf int
+	// MaxFeatures is the number of candidate features examined per
+	// node. 0 selects round(sqrt(NumFeatures)), scikit-learn's
+	// classifier default. Negative selects all features.
+	MaxFeatures int
+	// DisableBootstrap trains every tree on the full training set
+	// instead of a bootstrap resample.
+	DisableBootstrap bool
+	// Seed makes training deterministic. Trees t derives its private
+	// stream from Seed and t.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumTrees == 0 {
+		c.NumTrees = 10
+	}
+	if c.MinSamplesSplit == 0 {
+		c.MinSamplesSplit = 2
+	}
+	if c.MinSamplesLeaf == 0 {
+		c.MinSamplesLeaf = 1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.NumTrees < 1 {
+		return fmt.Errorf("cart: NumTrees = %d, want >= 1", c.NumTrees)
+	}
+	if c.MaxDepth < 0 {
+		return fmt.Errorf("cart: MaxDepth = %d, want >= 0", c.MaxDepth)
+	}
+	if c.MinSamplesSplit < 2 {
+		return fmt.Errorf("cart: MinSamplesSplit = %d, want >= 2", c.MinSamplesSplit)
+	}
+	if c.MinSamplesLeaf < 1 {
+		return fmt.Errorf("cart: MinSamplesLeaf = %d, want >= 1", c.MinSamplesLeaf)
+	}
+	return nil
+}
+
+// TrainForest trains a random forest on the dataset.
+func TrainForest(d *dataset.Dataset, cfg Config) (*rf.Forest, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("cart: cannot train on empty dataset %s", d.Name)
+	}
+	nf := d.NumFeatures()
+	maxFeat := cfg.MaxFeatures
+	switch {
+	case maxFeat == 0:
+		maxFeat = int(math.Round(math.Sqrt(float64(nf))))
+		if maxFeat < 1 {
+			maxFeat = 1
+		}
+	case maxFeat < 0 || maxFeat > nf:
+		maxFeat = nf
+	}
+
+	forest := &rf.Forest{
+		NumFeatures: nf,
+		NumClasses:  d.NumClasses,
+		Trees:       make([]rf.Tree, cfg.NumTrees),
+	}
+	for t := 0; t < cfg.NumTrees; t++ {
+		rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(t)))
+		idx := make([]int, d.Len())
+		if cfg.DisableBootstrap {
+			for i := range idx {
+				idx[i] = i
+			}
+		} else {
+			for i := range idx {
+				idx[i] = rng.Intn(d.Len())
+			}
+		}
+		b := &builder{
+			data:     d,
+			cfg:      cfg,
+			maxFeat:  maxFeat,
+			rng:      rng,
+			features: make([]int, nf),
+			classBuf: make([]int64, d.NumClasses),
+		}
+		for i := range b.features {
+			b.features[i] = i
+		}
+		b.grow(idx, 0)
+		forest.Trees[t] = rf.Tree{Nodes: b.nodes}
+	}
+	if err := forest.Validate(); err != nil {
+		return nil, fmt.Errorf("cart: trained forest fails validation: %w", err)
+	}
+	return forest, nil
+}
+
+// TrainTree trains a single deterministic decision tree on the full
+// dataset without bootstrap or feature subsampling — the classic CART
+// setting, useful for tests and the code generation examples.
+func TrainTree(d *dataset.Dataset, maxDepth int, seed int64) (*rf.Tree, error) {
+	f, err := TrainForest(d, Config{
+		NumTrees:         1,
+		MaxDepth:         maxDepth,
+		MaxFeatures:      -1,
+		DisableBootstrap: true,
+		Seed:             seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &f.Trees[0], nil
+}
+
+// builder grows one tree.
+type builder struct {
+	data     *dataset.Dataset
+	cfg      Config
+	maxFeat  int
+	rng      *rand.Rand
+	nodes    []rf.Node
+	features []int   // identity permutation, partially shuffled per node
+	classBuf []int64 // scratch class histogram
+}
+
+// grow appends the subtree for the samples in idx and returns its root's
+// node index.
+func (b *builder) grow(idx []int, depth int) int32 {
+	hist := b.classHist(idx)
+	if len(idx) < b.cfg.MinSamplesSplit ||
+		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) ||
+		isPure(hist) {
+		return b.leaf(hist)
+	}
+	feat, split, ok := b.bestSplit(idx, hist)
+	if !ok {
+		return b.leaf(hist)
+	}
+	left, right := partition(b.data, idx, feat, split)
+	if len(left) < b.cfg.MinSamplesLeaf || len(right) < b.cfg.MinSamplesLeaf {
+		return b.leaf(hist)
+	}
+	me := int32(len(b.nodes))
+	b.nodes = append(b.nodes, rf.Node{
+		Feature:      int32(feat),
+		Split:        split,
+		LeftFraction: float64(len(left)) / float64(len(idx)),
+	})
+	l := b.grow(left, depth+1)
+	r := b.grow(right, depth+1)
+	b.nodes[me].Left = l
+	b.nodes[me].Right = r
+	return me
+}
+
+func (b *builder) leaf(hist []int64) int32 {
+	best := 0
+	for c := 1; c < len(hist); c++ {
+		if hist[c] > hist[best] {
+			best = c
+		}
+	}
+	me := int32(len(b.nodes))
+	b.nodes = append(b.nodes, rf.Node{Feature: rf.LeafFeature, Class: int32(best)})
+	return me
+}
+
+func (b *builder) classHist(idx []int) []int64 {
+	hist := make([]int64, b.data.NumClasses)
+	for _, i := range idx {
+		hist[b.data.Labels[i]]++
+	}
+	return hist
+}
+
+func isPure(hist []int64) bool {
+	nonzero := 0
+	for _, c := range hist {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1
+}
+
+// gini returns n * (1 - sum_c p_c^2) scaled by n, i.e. the impurity mass,
+// so weighted sums across children need no division.
+func giniMass(hist []int64, n int64) float64 {
+	if n == 0 {
+		return 0
+	}
+	sumSq := 0.0
+	for _, c := range hist {
+		sumSq += float64(c) * float64(c)
+	}
+	return float64(n) - sumSq/float64(n)
+}
+
+// splitCandidate is a sortable (value, label) pair.
+type splitCandidate struct {
+	v float32
+	y int32
+}
+
+// bestSplit scans maxFeat randomly chosen features for the Gini-optimal
+// split of the samples in idx. It returns ok=false when no feature admits
+// a separating threshold (all candidate features constant).
+func (b *builder) bestSplit(idx []int, hist []int64) (feat int, split float32, ok bool) {
+	n := int64(len(idx))
+	parent := giniMass(hist, n)
+	bestGain := 1e-12
+	cand := make([]splitCandidate, len(idx))
+
+	// Partial Fisher-Yates over the feature identity permutation gives a
+	// uniform random subset of maxFeat features.
+	nf := len(b.features)
+	for i := 0; i < b.maxFeat && i < nf; i++ {
+		j := i + b.rng.Intn(nf-i)
+		b.features[i], b.features[j] = b.features[j], b.features[i]
+	}
+
+	for fi := 0; fi < b.maxFeat && fi < nf; fi++ {
+		f := b.features[fi]
+		for i, s := range idx {
+			cand[i] = splitCandidate{v: b.data.Features[s][f], y: b.data.Labels[s]}
+		}
+		sort.Slice(cand, func(i, j int) bool { return cand[i].v < cand[j].v })
+		if cand[0].v == cand[len(cand)-1].v {
+			continue // constant feature
+		}
+		left := b.classBuf
+		for c := range left {
+			left[c] = 0
+		}
+		var nl int64
+		for i := 0; i < len(cand)-1; i++ {
+			left[cand[i].y]++
+			nl++
+			if cand[i].v == cand[i+1].v {
+				continue
+			}
+			// right histogram = hist - left, impurity mass via sums.
+			sumSqL, sumSqR := 0.0, 0.0
+			for c := range left {
+				l := float64(left[c])
+				r := float64(hist[c] - left[c])
+				sumSqL += l * l
+				sumSqR += r * r
+			}
+			nr := n - nl
+			child := (float64(nl) - sumSqL/float64(nl)) + (float64(nr) - sumSqR/float64(nr))
+			gain := parent - child
+			if gain > bestGain {
+				bestGain = gain
+				feat = f
+				split = midpoint(cand[i].v, cand[i+1].v)
+				ok = true
+			}
+		}
+	}
+	return feat, split, ok
+}
+
+// midpoint returns a float32 threshold strictly separating a < b:
+// (a+b)/2, falling back to a when rounding lands on b (scikit-learn's
+// rule, which keeps `x <= threshold` a true partition).
+func midpoint(a, b float32) float32 {
+	m := float32((float64(a) + float64(b)) / 2)
+	if m >= b { // float32 rounding collapsed the midpoint onto b
+		m = a
+	}
+	return m
+}
+
+// partition splits idx by the predicate x[feat] <= split, preserving
+// relative order.
+func partition(d *dataset.Dataset, idx []int, feat int, split float32) (left, right []int) {
+	for _, s := range idx {
+		if d.Features[s][feat] <= split {
+			left = append(left, s)
+		} else {
+			right = append(right, s)
+		}
+	}
+	return left, right
+}

@@ -1,0 +1,109 @@
+package codegen
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCNativeOutputShapes(t *testing.T) {
+	out := generate(t, paperForest(), Options{Language: LangC, Variant: VariantFLInt, Native: true})
+	for _, want := range []string{
+		"typedef struct { int feature; int split; int left; int right; } forest_node_t;",
+		"static const forest_node_t forest_nodes0[9]",
+		"{3, (int)0x41213087, 1, 6},",
+		"{125, (int)0xc03bddde, 7, 8},", // raw key, sign resolved in the loop
+		"if (n->feature < 0) return n->left;",
+		"int le = (k >= 0) ? (x <= k) : ((unsigned)x >= (unsigned)k);",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("native FLInt output missing %q\n%s", want, out)
+		}
+	}
+	outF := generate(t, paperForest(), Options{Language: LangC, Variant: VariantFloat, Native: true})
+	for _, want := range []string{
+		"typedef struct { int feature; float split; int left; int right; } forest_node_t;",
+		"i = (pX[n->feature] <= n->split) ? n->left : n->right;",
+	} {
+		if !strings.Contains(outF, want) {
+			t.Errorf("native float output missing %q\n%s", want, outF)
+		}
+	}
+	outD := generate(t, paperForest(), Options{Language: LangC, Variant: VariantFLInt, Native: true, Double: true})
+	if !strings.Contains(outD, "long long split") ||
+		!strings.Contains(outD, "(unsigned long long)x >= (unsigned long long)k") {
+		t.Errorf("native double output wrong\n%s", outD)
+	}
+}
+
+func TestCNativeOptionValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Forest(&buf, paperForest(), Options{Language: LangGo, Native: true}); err == nil {
+		t.Error("native trees accepted for Go")
+	}
+	if err := Forest(&buf, paperForest(), Options{Language: LangC, Native: true, CAGS: true}); err == nil {
+		t.Error("native trees with CAGS swapping accepted")
+	}
+}
+
+// TestGeneratedCNativeMatchesReference compiles the native-tree
+// realizations (float and FLInt) with gcc and checks predictions.
+func TestGeneratedCNativeMatchesReference(t *testing.T) {
+	gcc := gccPath(t)
+	f, d := trainIntegrationForest(t)
+
+	var src bytes.Buffer
+	src.WriteString("#include <stdio.h>\n\n")
+	for _, im := range []struct {
+		prefix  string
+		variant Variant
+	}{{"nfloat", VariantFloat}, {"nflint", VariantFLInt}} {
+		if err := Forest(&src, f, Options{
+			Language: LangC, Variant: im.variant, Native: true, Prefix: im.prefix,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		src.WriteString("\n")
+	}
+	writeRowsAsCBits(&src, d.Features)
+	src.WriteString(`
+int main(void) {
+	for (int i = 0; i < sizeof(data)/sizeof(data[0]); i++) {
+		const float *x = (const float *)data[i];
+		printf("%d %d\n", nfloat_predict(x), nflint_predict(x));
+	}
+	return 0;
+}
+`)
+	dir := t.TempDir()
+	cPath := filepath.Join(dir, "native.c")
+	binPath := filepath.Join(dir, "native")
+	if err := os.WriteFile(cPath, src.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(gcc, "-O2", "-o", binPath, cPath).CombinedOutput(); err != nil {
+		t.Fatalf("gcc failed: %v\n%s", err, out)
+	}
+	out, err := exec.Command(binPath).Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	row := 0
+	for sc.Scan() {
+		want := fmt.Sprint(f.Predict(d.Features[row]))
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 || fields[0] != want || fields[1] != want {
+			t.Fatalf("row %d: got %q, reference %s", row, sc.Text(), want)
+		}
+		row++
+	}
+	if row != d.Len() {
+		t.Fatalf("printed %d rows, want %d", row, d.Len())
+	}
+}

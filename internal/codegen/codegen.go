@@ -1,0 +1,202 @@
+// Package codegen turns trained random forests into source code, the
+// arch-forest role in the FLInt paper's toolchain (Section IV): if-else
+// trees in C (Listings 1-4) and Go, and direct assembly for ARMv8
+// (Listing 5) and x86-64.
+//
+// Every language supports two comparison variants:
+//
+//   - VariantFloat — ordinary float comparisons against float literals
+//     (the naive baseline).
+//   - VariantFLInt — integer comparisons against the offline-encoded
+//     immediates of package core; negative split values emit the
+//     sign-flipped form of Listing 4 (C), the single unsigned comparison
+//     (Go), or an explicit eor/xor of the sign bit (assembly).
+//
+// The CAGS option applies the swapping half of Chen et al.'s
+// optimization: the more probable branch of every node is emitted as the
+// fall-through path (package cags computes the plan). The assembly
+// emitters additionally distinguish two constant-materialization
+// flavors, FlavorHand (movz/movk immediates, the paper's hand-written
+// style) and FlavorCC (literal-pool loads, the style compilers emit for
+// float constants) — the mechanism behind the paper's Figure 4
+// C-vs-assembly comparison.
+package codegen
+
+import (
+	"fmt"
+	"io"
+
+	"flint/internal/cags"
+	"flint/internal/rf"
+)
+
+// Language selects the output language.
+type Language int
+
+// Supported output languages.
+const (
+	LangC Language = iota
+	LangGo
+	LangARMv8
+	LangX86
+)
+
+// String returns the lower-case language name.
+func (l Language) String() string {
+	switch l {
+	case LangC:
+		return "c"
+	case LangGo:
+		return "go"
+	case LangARMv8:
+		return "armv8"
+	case LangX86:
+		return "x86-64"
+	}
+	return fmt.Sprintf("Language(%d)", int(l))
+}
+
+// Variant selects the comparison implementation.
+type Variant int
+
+// Supported comparison variants.
+const (
+	VariantFloat Variant = iota
+	VariantFLInt
+)
+
+// String returns the lower-case variant name.
+func (v Variant) String() string {
+	switch v {
+	case VariantFloat:
+		return "float"
+	case VariantFLInt:
+		return "flint"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Flavor selects how the assembly emitters materialize split constants.
+type Flavor int
+
+// Assembly constant-materialization flavors.
+const (
+	// FlavorHand builds constants in the instruction stream with
+	// movz/movk (ARMv8) or immediate operands (x86-64): the paper's
+	// direct assembly implementation.
+	FlavorHand Flavor = iota
+	// FlavorCC loads constants from a per-function literal pool in data
+	// memory, as compiled C does; the load costs a data-cache access.
+	FlavorCC
+)
+
+// String returns the lower-case flavor name.
+func (f Flavor) String() string {
+	switch f {
+	case FlavorHand:
+		return "hand"
+	case FlavorCC:
+		return "cc"
+	}
+	return fmt.Sprintf("Flavor(%d)", int(f))
+}
+
+// Options configures code generation.
+type Options struct {
+	// Language is the output language. Default LangC.
+	Language Language
+	// Variant is the comparison implementation. Default VariantFloat.
+	Variant Variant
+	// CAGS emits the more probable branch of every node as the
+	// fall-through path (branch swapping).
+	CAGS bool
+	// Flavor selects constant materialization for the assembly
+	// languages; ignored elsewhere.
+	Flavor Flavor
+	// Double emits double precision trees (Section IV-C): the feature
+	// vector is float64/double and split constants widen exactly from
+	// their trained float32 values. Supported by LangC and LangGo.
+	Double bool
+	// Native emits the native-tree realization (node arrays walked by a
+	// loop, Asadi et al. / Section IV-A) instead of nested if-else
+	// blocks. Supported by LangC; CAGS swapping does not apply (the
+	// grouping half is carried by the node order of the input forest).
+	Native bool
+	// Prefix names the emitted functions: <Prefix>_tree<N> and
+	// <Prefix>_predict. Default "forest".
+	Prefix string
+	// GoPackage is the package clause for LangGo output. Default
+	// "generated".
+	GoPackage string
+	// GoRegister, when set for LangGo, additionally emits an init
+	// function that registers the predictor under this name in the
+	// enclosing package's registry (see internal/generated).
+	GoRegister string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Prefix == "" {
+		o.Prefix = "forest"
+	}
+	if o.GoPackage == "" {
+		o.GoPackage = "generated"
+	}
+	return o
+}
+
+// Forest writes the complete translation unit for a forest: one predict
+// function per tree plus a majority-vote entry point (for C and Go; the
+// assembly emitters write per-tree routines and a vote stub is not
+// needed because the simulator tallies votes itself).
+func Forest(w io.Writer, f *rf.Forest, opts Options) error {
+	opts = opts.withDefaults()
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	plans := make([][]bool, len(f.Trees))
+	for i := range f.Trees {
+		if opts.CAGS {
+			plans[i] = cags.SwapPlan(&f.Trees[i])
+		} else {
+			plans[i] = make([]bool, len(f.Trees[i].Nodes))
+		}
+	}
+	if opts.Native && opts.Language != LangC {
+		return fmt.Errorf("codegen: native trees are supported for c only")
+	}
+	if opts.Native && opts.CAGS {
+		return fmt.Errorf("codegen: CAGS swapping does not apply to native trees; reorder the forest instead (package cags)")
+	}
+	switch opts.Language {
+	case LangC:
+		if opts.Native {
+			return emitCNative(w, f, opts)
+		}
+		return emitC(w, f, plans, opts)
+	case LangGo:
+		return emitGo(w, f, plans, opts)
+	case LangARMv8, LangX86:
+		if opts.Double {
+			return fmt.Errorf("codegen: double precision is supported for c and go only")
+		}
+		if opts.Language == LangARMv8 {
+			return emitARM(w, f, plans, opts)
+		}
+		return emitX86(w, f, plans, opts)
+	}
+	return fmt.Errorf("codegen: unknown language %v", opts.Language)
+}
+
+// countersized writer helps emitters track errors without checking every
+// Fprintf call.
+type emitter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *emitter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

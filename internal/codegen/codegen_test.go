@@ -1,0 +1,231 @@
+package codegen
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"flint/internal/rf"
+)
+
+// paperTree reconstructs the tree fragment of Listings 1-4: three nested
+// positive splits (with the listings' exact bit patterns) and one
+// negative split.
+func paperTree() rf.Tree {
+	f32 := math.Float32frombits
+	return rf.Tree{Nodes: []rf.Node{
+		{Feature: 3, Split: f32(0x41213087), Left: 1, Right: 6, LeftFraction: 0.7},  // 10.074347
+		{Feature: 83, Split: f32(0x413f986e), Left: 2, Right: 5, LeftFraction: 0.4}, // 11.974715
+		{Feature: 24, Split: f32(0x4622fa08), Left: 3, Right: 4, LeftFraction: 0.9}, // 10430.507324
+		{Feature: rf.LeafFeature, Class: 0},
+		{Feature: rf.LeafFeature, Class: 1},
+		{Feature: rf.LeafFeature, Class: 2},
+		{Feature: 125, Split: f32(0xC03BDDDE), Left: 7, Right: 8, LeftFraction: 0.2}, // -2.935417
+		{Feature: rf.LeafFeature, Class: 3},
+		{Feature: rf.LeafFeature, Class: 0},
+	}}
+}
+
+func paperForest() *rf.Forest {
+	return &rf.Forest{NumFeatures: 126, NumClasses: 4, Trees: []rf.Tree{paperTree()}}
+}
+
+func generate(t *testing.T, f *rf.Forest, opts Options) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Forest(&buf, f, opts); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestCFLIntMatchesListings(t *testing.T) {
+	out := generate(t, paperForest(), Options{Language: LangC, Variant: VariantFLInt})
+	// Listing 2 immediates, in the listing's nesting order.
+	for _, want := range []string{
+		"(*(((const int*)(pX))+3)) <= ((int)(0x41213087))",
+		"(*(((const int*)(pX))+83)) <= ((int)(0x413f986e))",
+		"(*(((const int*)(pX))+24)) <= ((int)(0x4622fa08))",
+		// Listing 4: flipped constant on the left, feature xor sign bit.
+		"((int)(0x403bddde)) <= ((*(((const int*)(pX))+125)) ^ ((int)0x80000000u))",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("C FLInt output missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "float)1") {
+		t.Error("FLInt variant must not contain float literals")
+	}
+}
+
+func TestCFloatMatchesListing1(t *testing.T) {
+	out := generate(t, paperForest(), Options{Language: LangC, Variant: VariantFloat})
+	// Literals are round-trip exact, hence one digit longer than the
+	// paper's 6-decimal display of the same bit patterns.
+	for _, want := range []string{
+		"if (pX[3] <= (float)10.0743475",
+		"if (pX[83] <= (float)11.974714",
+		"if (pX[24] <= (float)10430.508",
+		"if (pX[125] <= (float)-2.9354167",
+		"return 2;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("C float output missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "0x41213087") {
+		t.Error("float variant must not contain FLInt immediates")
+	}
+}
+
+func TestCCAGSSwapsHotBranch(t *testing.T) {
+	out := generate(t, paperForest(), Options{Language: LangC, Variant: VariantFLInt, CAGS: true})
+	// Node 1 has LeftFraction 0.4 < 0.5, so its condition inverts to `>`.
+	if !strings.Contains(out, "(*(((const int*)(pX))+83)) > ((int)(0x413f986e))") {
+		t.Errorf("CAGS must invert node 1's comparison\n%s", out)
+	}
+	// Node 0 has LeftFraction 0.7, stays `<=`.
+	if !strings.Contains(out, "(*(((const int*)(pX))+3)) <= ((int)(0x41213087))") {
+		t.Errorf("CAGS must keep node 0's comparison\n%s", out)
+	}
+}
+
+func TestGoFLIntOutput(t *testing.T) {
+	out := generate(t, paperForest(), Options{
+		Language: LangGo, Variant: VariantFLInt, Prefix: "paper", GoRegister: "paper",
+	})
+	for _, want := range []string{
+		"package generated",
+		"func paper_tree0(x []int32) int32 {",
+		"if x[3] <= 0x41213087 {",
+		"if uint32(x[125]) >= 0xc03bddde {", // negative split: unsigned form
+		"func paper_predict(x []int32) int32 {",
+		`register("paper", Entry{NumFeatures: 126, NumClasses: 4, FLInt: paper_predict})`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Go FLInt output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestGoFloatOutput(t *testing.T) {
+	out := generate(t, paperForest(), Options{Language: LangGo, Variant: VariantFloat})
+	for _, want := range []string{
+		"func forest_tree0(x []float32) int32 {",
+		"if x[3] <= 10.0743475 {",
+		"if x[125] <= -2.9354167 {",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Go float output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestARMFLIntMatchesListing5(t *testing.T) {
+	out := generate(t, paperForest(), Options{Language: LangARMv8, Variant: VariantFLInt})
+	// Listing 5: ldrsw from feature offset 12 (= 3*4), movz/movk of the
+	// split constant halves, cmp, conditional branch.
+	for _, want := range []string{
+		"ldrsw x1, [x0, #12]",
+		"movz w2, #0x3087",
+		"movk w2, #0x4121, lsl #16",
+		"cmp w1, w2",
+		"b.gt .L",
+		"ldrsw x1, [x0, #332]", // feature 83
+		"movz w2, #0x986e",
+		"movk w2, #0x413f, lsl #16",
+		// Negative split: sign-bit flip and exchanged comparison.
+		"eor x1, x1, #0x80000000",
+		"movz w2, #0xddde",
+		"movk w2, #0x403b, lsl #16",
+		"cmp w2, w1",
+		"mov w0, #3",
+		"ret",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ARM output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestARMFlavorCC(t *testing.T) {
+	out := generate(t, paperForest(), Options{Language: LangARMv8, Variant: VariantFLInt, Flavor: FlavorCC})
+	if !strings.Contains(out, "ldr w2, =0x41213087") {
+		t.Errorf("cc flavor must load constants from the literal pool\n%s", out)
+	}
+	if strings.Contains(out, "movz") {
+		t.Error("cc flavor must not materialize immediates with movz")
+	}
+	outF := generate(t, paperForest(), Options{Language: LangARMv8, Variant: VariantFloat, Flavor: FlavorCC})
+	for _, want := range []string{"ldr s0, [x0, #12]", "ldr s1, =0x41213087", "fcmp s0, s1"} {
+		if !strings.Contains(outF, want) {
+			t.Errorf("ARM float/cc output missing %q\n%s", want, outF)
+		}
+	}
+}
+
+func TestARMFloatHand(t *testing.T) {
+	out := generate(t, paperForest(), Options{Language: LangARMv8, Variant: VariantFloat, Flavor: FlavorHand})
+	for _, want := range []string{"movz w2, #0x3087", "fmov s1, w2", "fcmp s0, s1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ARM float/hand output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestX86FLIntOutput(t *testing.T) {
+	out := generate(t, paperForest(), Options{Language: LangX86, Variant: VariantFLInt})
+	for _, want := range []string{
+		"mov eax, dword ptr [rdi + 12]",
+		"cmp eax, 0x41213087",
+		"jg .L",
+		"xor eax, 0x80000000", // negative split
+		"cmp eax, 0x403bddde",
+		"jl .L",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("x86 output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestX86FloatCCUsesLiteralPool(t *testing.T) {
+	out := generate(t, paperForest(), Options{Language: LangX86, Variant: VariantFloat, Flavor: FlavorCC})
+	for _, want := range []string{
+		"movss xmm0, dword ptr [rdi + 12]",
+		"ucomiss xmm0, dword ptr [rip + .LC",
+		".long 0x41213087",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("x86 float/cc output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestForestRejectsInvalid(t *testing.T) {
+	bad := &rf.Forest{NumFeatures: 1, NumClasses: 2}
+	var buf bytes.Buffer
+	if err := Forest(&buf, bad, Options{}); err == nil {
+		t.Error("invalid forest accepted")
+	}
+	if err := Forest(&buf, paperForest(), Options{Language: Language(99)}); err == nil {
+		t.Error("unknown language accepted")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if LangC.String() != "c" || LangGo.String() != "go" ||
+		LangARMv8.String() != "armv8" || LangX86.String() != "x86-64" {
+		t.Error("Language.String broken")
+	}
+	if VariantFloat.String() != "float" || VariantFLInt.String() != "flint" {
+		t.Error("Variant.String broken")
+	}
+	if FlavorHand.String() != "hand" || FlavorCC.String() != "cc" {
+		t.Error("Flavor.String broken")
+	}
+	if Language(9).String() == "" || Variant(9).String() == "" || Flavor(9).String() == "" {
+		t.Error("out-of-range enum String must not be empty")
+	}
+}

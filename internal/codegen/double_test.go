@@ -1,0 +1,142 @@
+package codegen
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCDoubleFLIntOutput(t *testing.T) {
+	out := generate(t, paperForest(), Options{Language: LangC, Variant: VariantFLInt, Double: true})
+	for _, want := range []string{
+		"static int forest_tree0(const double *pX)",
+		"(*(((const long long*)(pX))+3)) <= ((long long)(",
+		"^ ((long long)0x8000000000000000ull)", // negative split
+		"int forest_predict(const double *pX)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("C double FLInt output missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "const int*") {
+		t.Error("double variant must not cast to int*")
+	}
+}
+
+func TestCDoubleFloatOutput(t *testing.T) {
+	out := generate(t, paperForest(), Options{Language: LangC, Variant: VariantFloat, Double: true})
+	if !strings.Contains(out, "const double *pX") {
+		t.Errorf("missing double signature\n%s", out)
+	}
+	// The widened constant has full float64 round-trip precision.
+	if !strings.Contains(out, "10.074347496032715") {
+		t.Errorf("missing exactly-widened double literal\n%s", out)
+	}
+	if strings.Contains(out, "(float)") {
+		t.Error("double variant must not contain float casts")
+	}
+}
+
+func TestGoDoubleOutput(t *testing.T) {
+	out := generate(t, paperForest(), Options{Language: LangGo, Variant: VariantFLInt, Double: true})
+	for _, want := range []string{
+		"func forest_tree0(x []int64) int32 {",
+		"if uint64(x[125]) >= 0xc", // negative split via unsigned 64-bit form
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Go double FLInt output missing %q\n%s", want, out)
+		}
+	}
+	outF := generate(t, paperForest(), Options{Language: LangGo, Variant: VariantFloat, Double: true})
+	if !strings.Contains(outF, "func forest_tree0(x []float64) int32 {") {
+		t.Errorf("Go double float output wrong\n%s", outF)
+	}
+	if !strings.Contains(outF, "10.074347496032715") {
+		t.Errorf("Go double float literal not widened\n%s", outF)
+	}
+}
+
+func TestDoubleRejectedForAsm(t *testing.T) {
+	var buf bytes.Buffer
+	for _, lang := range []Language{LangARMv8, LangX86} {
+		err := Forest(&buf, paperForest(), Options{Language: lang, Double: true})
+		if err == nil {
+			t.Errorf("%v: double accepted for assembly", lang)
+		}
+	}
+}
+
+// TestGeneratedCDoubleMatchesReference compiles the double realizations
+// with gcc and checks them against the Go reference over widened inputs.
+func TestGeneratedCDoubleMatchesReference(t *testing.T) {
+	gcc := gccPath(t)
+	f, d := trainIntegrationForest(t)
+
+	var src bytes.Buffer
+	src.WriteString("#include <stdio.h>\n\n")
+	for _, im := range []struct {
+		prefix  string
+		variant Variant
+	}{{"dnaive", VariantFloat}, {"dflint", VariantFLInt}} {
+		if err := Forest(&src, f, Options{
+			Language: LangC, Variant: im.variant, Double: true, Prefix: im.prefix,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		src.WriteString("\n")
+	}
+	fmt.Fprintf(&src, "static const unsigned long long data[%d][%d] = {\n",
+		len(d.Features), len(d.Features[0]))
+	for _, row := range d.Features {
+		src.WriteString("\t{")
+		for j, v := range row {
+			if j > 0 {
+				src.WriteString(", ")
+			}
+			fmt.Fprintf(&src, "0x%016xull", math.Float64bits(float64(v)))
+		}
+		src.WriteString("},\n")
+	}
+	src.WriteString(`};
+
+int main(void) {
+	for (int i = 0; i < sizeof(data)/sizeof(data[0]); i++) {
+		const double *x = (const double *)data[i];
+		printf("%d %d\n", dnaive_predict(x), dflint_predict(x));
+	}
+	return 0;
+}
+`)
+	dir := t.TempDir()
+	cPath := filepath.Join(dir, "double.c")
+	binPath := filepath.Join(dir, "double")
+	if err := os.WriteFile(cPath, src.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(gcc, "-O2", "-o", binPath, cPath).CombinedOutput(); err != nil {
+		t.Fatalf("gcc failed: %v\n%s", err, out)
+	}
+	out, err := exec.Command(binPath).Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	row := 0
+	for sc.Scan() {
+		want := fmt.Sprint(f.Predict(d.Features[row]))
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 || fields[0] != want || fields[1] != want {
+			t.Fatalf("row %d: got %q, reference %s", row, sc.Text(), want)
+		}
+		row++
+	}
+	if row != len(d.Features) {
+		t.Fatalf("printed %d rows, want %d", row, len(d.Features))
+	}
+}

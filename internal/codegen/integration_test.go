@@ -1,0 +1,253 @@
+package codegen
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flint/internal/cart"
+	"flint/internal/dataset"
+	"flint/internal/rf"
+)
+
+// gccPath returns the C compiler, skipping the test when none is
+// installed (the generated-code semantics are still covered by the golden
+// tests and the asmsim executor).
+func gccPath(t *testing.T) string {
+	t.Helper()
+	for _, cc := range []string{"gcc", "cc"} {
+		if p, err := exec.LookPath(cc); err == nil {
+			return p
+		}
+	}
+	t.Skip("no C compiler available")
+	return ""
+}
+
+// trainIntegrationForest trains a small forest with both positive and
+// negative splits.
+func trainIntegrationForest(t *testing.T) (*rf.Forest, *dataset.Dataset) {
+	t.Helper()
+	d, err := dataset.Generate("eye", 300, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := cart.TrainForest(d, cart.Config{NumTrees: 3, MaxDepth: 8, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg := false
+	for _, tr := range f.Trees {
+		for _, n := range tr.Nodes {
+			if !n.IsLeaf() && n.Split < 0 {
+				neg = true
+			}
+		}
+	}
+	if !neg {
+		t.Fatal("integration forest has no negative splits; Listing-4 path untested")
+	}
+	return f, d
+}
+
+// writeRowsAsCBits renders the feature matrix as a C array of uint32 bit
+// patterns, so the compiled program sees bit-exact inputs.
+func writeRowsAsCBits(buf *bytes.Buffer, rows [][]float32) {
+	fmt.Fprintf(buf, "static const unsigned int data[%d][%d] = {\n", len(rows), len(rows[0]))
+	for _, row := range rows {
+		buf.WriteString("\t{")
+		for j, v := range row {
+			if j > 0 {
+				buf.WriteString(", ")
+			}
+			fmt.Fprintf(buf, "0x%08xu", math.Float32bits(v))
+		}
+		buf.WriteString("},\n")
+	}
+	buf.WriteString("};\n")
+}
+
+// TestGeneratedCMatchesReference compiles the four C implementations the
+// paper benchmarks (naive, CAGS, FLInt, CAGS+FLInt) with gcc and verifies
+// that every one reproduces the Go reference predictions bit for bit —
+// the paper's "model accuracy unchanged" claim on real compiled code.
+func TestGeneratedCMatchesReference(t *testing.T) {
+	gcc := gccPath(t)
+	f, d := trainIntegrationForest(t)
+
+	type impl struct {
+		prefix  string
+		variant Variant
+		cags    bool
+	}
+	impls := []impl{
+		{"naive", VariantFloat, false},
+		{"cags", VariantFloat, true},
+		{"flint", VariantFLInt, false},
+		{"cagsflint", VariantFLInt, true},
+	}
+
+	var src bytes.Buffer
+	src.WriteString("#include <stdio.h>\n\n")
+	for _, im := range impls {
+		if err := Forest(&src, f, Options{
+			Language: LangC, Variant: im.variant, CAGS: im.cags, Prefix: im.prefix,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		src.WriteString("\n")
+	}
+	writeRowsAsCBits(&src, d.Features)
+	src.WriteString(`
+int main(void) {
+	for (int i = 0; i < sizeof(data)/sizeof(data[0]); i++) {
+		const float *x = (const float *)data[i];
+		printf("%d %d %d %d\n",
+			naive_predict(x), cags_predict(x),
+			flint_predict(x), cagsflint_predict(x));
+	}
+	return 0;
+}
+`)
+	dir := t.TempDir()
+	cPath := filepath.Join(dir, "forest.c")
+	binPath := filepath.Join(dir, "forest")
+	if err := os.WriteFile(cPath, src.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(gcc, "-O2", "-o", binPath, cPath).CombinedOutput(); err != nil {
+		t.Fatalf("gcc failed: %v\n%s", err, out)
+	}
+	out, err := exec.Command(binPath).Output()
+	if err != nil {
+		t.Fatalf("compiled forest failed: %v", err)
+	}
+
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	row := 0
+	for sc.Scan() {
+		want := f.Predict(d.Features[row])
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 4 {
+			t.Fatalf("row %d: unexpected output %q", row, sc.Text())
+		}
+		for i, im := range impls {
+			if fields[i] != fmt.Sprint(want) {
+				t.Fatalf("row %d: %s predicts %s, reference says %d", row, im.prefix, fields[i], want)
+			}
+		}
+		row++
+	}
+	if row != d.Len() {
+		t.Fatalf("compiled forest printed %d rows, want %d", row, d.Len())
+	}
+}
+
+// TestGeneratedX86AsmMatchesReference assembles the generated x86-64
+// routines with gcc (both variants, both constant flavors) and verifies
+// per-tree agreement with the Go reference on the host CPU.
+func TestGeneratedX86AsmMatchesReference(t *testing.T) {
+	gcc := gccPath(t)
+	var probe bytes.Buffer
+	fmt.Fprintln(&probe, "int main(void){return 0;}")
+	dir := t.TempDir()
+	probePath := filepath.Join(dir, "probe.c")
+	if err := os.WriteFile(probePath, probe.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(gcc, "-dumpmachine").CombinedOutput(); err != nil ||
+		!strings.Contains(string(out), "x86_64") {
+		t.Skipf("not an x86_64 toolchain: %s", out)
+	}
+
+	f, d := trainIntegrationForest(t)
+	type impl struct {
+		prefix  string
+		variant Variant
+		flavor  Flavor
+	}
+	impls := []impl{
+		{"ffh", VariantFloat, FlavorHand},
+		{"ffc", VariantFloat, FlavorCC},
+		{"fih", VariantFLInt, FlavorHand},
+		{"fic", VariantFLInt, FlavorCC},
+	}
+
+	var asm bytes.Buffer
+	for _, im := range impls {
+		if err := Forest(&asm, f, Options{
+			Language: LangX86, Variant: im.variant, Flavor: im.flavor, Prefix: im.prefix,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		asm.WriteString("\n")
+	}
+
+	var driver bytes.Buffer
+	driver.WriteString("#include <stdio.h>\n")
+	for _, im := range impls {
+		for ti := range f.Trees {
+			fmt.Fprintf(&driver, "extern int %s_tree%d(const float*);\n", im.prefix, ti)
+		}
+	}
+	writeRowsAsCBits(&driver, d.Features)
+	driver.WriteString("int main(void) {\n")
+	driver.WriteString("\tfor (int i = 0; i < sizeof(data)/sizeof(data[0]); i++) {\n")
+	driver.WriteString("\t\tconst float *x = (const float *)data[i];\n")
+	var formats, args []string
+	for _, im := range impls {
+		for ti := range f.Trees {
+			formats = append(formats, "%d")
+			args = append(args, fmt.Sprintf("%s_tree%d(x)", im.prefix, ti))
+		}
+	}
+	fmt.Fprintf(&driver, "\t\tprintf(\"%s\\n\", %s);\n", strings.Join(formats, " "), strings.Join(args, ", "))
+	driver.WriteString("\t}\n\treturn 0;\n}\n")
+
+	asmPath := filepath.Join(dir, "trees.s")
+	drvPath := filepath.Join(dir, "driver.c")
+	binPath := filepath.Join(dir, "trees")
+	if err := os.WriteFile(asmPath, asm.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(drvPath, driver.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(gcc, "-o", binPath, drvPath, asmPath).CombinedOutput(); err != nil {
+		t.Fatalf("gcc failed: %v\n%s", err, out)
+	}
+	out, err := exec.Command(binPath).Output()
+	if err != nil {
+		t.Fatalf("assembled trees failed: %v", err)
+	}
+
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	row := 0
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != len(impls)*len(f.Trees) {
+			t.Fatalf("row %d: got %d fields", row, len(fields))
+		}
+		k := 0
+		for _, im := range impls {
+			for ti := range f.Trees {
+				want := f.Trees[ti].Predict(d.Features[row])
+				if fields[k] != fmt.Sprint(want) {
+					t.Fatalf("row %d: %s tree %d predicts %s, reference says %d",
+						row, im.prefix, ti, fields[k], want)
+				}
+				k++
+			}
+		}
+		row++
+	}
+	if row != d.Len() {
+		t.Fatalf("printed %d rows, want %d", row, d.Len())
+	}
+}

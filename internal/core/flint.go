@@ -1,0 +1,173 @@
+// Package core implements FLInt, a full-precision floating point
+// comparison computed with only two's-complement integer and logic
+// operations (Hakert, Chen, Chen: "FLInt: Exploiting Floating Point
+// Enabled Integer Arithmetic for Efficient Random Forest Inference",
+// DATE 2024).
+//
+// The package offers three families of operations:
+//
+//   - General comparisons on raw IEEE 754 bit patterns reinterpreted as
+//     signed integers: the Theorem 1 XOR form (GEBits32 and friends), the
+//     Theorem 2 swap form (GEBits32Swap), and a branchless total-order
+//     form (GEBits32TotalOrder). All three are exact for every non-NaN
+//     pattern, including denormals, ±Inf and ±0.
+//   - Float-typed convenience wrappers (GE32, LE64, Compare32, ...).
+//   - Offline split encoding for decision trees (EncodeSplit32/64): the
+//     split constant's sign is resolved at encoding time, as the paper's
+//     Section IV does during code generation, so each inference-time
+//     comparison is a single integer compare.
+//
+// # Semantics and domain
+//
+// FLInt orders -0.0 below +0.0 (Section III-A of the paper), whereas IEEE
+// 754 defines -0.0 == +0.0. The general bit-pattern operations therefore
+// diverge from hardware float comparison exactly when -0.0 is compared
+// against +0.0, and nowhere else. Split encoding rewrites a -0.0 split
+// value to +0.0 (Section IV-B), after which the split predicates agree
+// with IEEE semantics for every non-NaN input, -0.0 features included.
+//
+// NaN is outside the operator's domain: random forest inference never
+// produces or consumes NaN (Section III). When handed NaN bit patterns
+// the operations return values consistent with the total order of the bit
+// patterns, which differs from IEEE's unordered semantics. Callers that
+// cannot rule out NaN must reject it first (see ValidFeature32/64).
+package core
+
+import "flint/internal/ieee754"
+
+// Sign masks for the two supported widths: the weight of the most
+// significant bit in Definition 2 of the paper.
+const (
+	signMask32 = int32(-1) << 31
+	signMask64 = int64(-1) << 63
+)
+
+// GEBits32 reports FP(x) >= FP(y) for binary32 bit patterns x and y,
+// using only signed integer and logic operations. This is Theorem 1 of
+// the paper: (SI(x) >= SI(y)) XOR (SI(x) < 0 AND SI(y) < 0 AND
+// SI(x) != SI(y)).
+func GEBits32(x, y int32) bool {
+	u := x >= y
+	v := x < 0 && y < 0 && x != y
+	return u != v // XOR
+}
+
+// GEBits64 is GEBits32 for binary64 bit patterns.
+func GEBits64(x, y int64) bool {
+	u := x >= y
+	v := x < 0 && y < 0 && x != y
+	return u != v
+}
+
+// GEBits32Swap reports FP(x) >= FP(y) using the Theorem 2 form: when x is
+// negative, both operands are multiplied by -1 (a sign-bit flip) and
+// exchanged, so that the remaining comparison always has at least one
+// non-negative operand and Corollary 1's second case applies.
+func GEBits32Swap(x, y int32) bool {
+	if x < 0 {
+		return y^signMask32 >= x^signMask32
+	}
+	return x >= y
+}
+
+// GEBits64Swap is GEBits32Swap for binary64 bit patterns.
+func GEBits64Swap(x, y int64) bool {
+	if x < 0 {
+		return y^signMask64 >= x^signMask64
+	}
+	return x >= y
+}
+
+// GEBits32TotalOrder reports FP(x) >= FP(y) by mapping both patterns into
+// a branchlessly computed totally-ordered unsigned key space. The paper
+// avoids this per-comparison transformation by resolving signs offline;
+// the form is provided for the engine-form ablation (DESIGN.md, A2).
+func GEBits32TotalOrder(x, y int32) bool {
+	return ieee754.TotalOrderKey32(uint32(x)) >= ieee754.TotalOrderKey32(uint32(y))
+}
+
+// GEBits64TotalOrder is GEBits32TotalOrder for binary64 bit patterns.
+func GEBits64TotalOrder(x, y int64) bool {
+	return ieee754.TotalOrderKey64(uint64(x)) >= ieee754.TotalOrderKey64(uint64(y))
+}
+
+// GTBits32 reports FP(x) > FP(y); the strict relation is the negation of
+// GEBits32 with exchanged operands (Section IV-A).
+func GTBits32(x, y int32) bool { return !GEBits32(y, x) }
+
+// GTBits64 is GTBits32 for binary64 bit patterns.
+func GTBits64(x, y int64) bool { return !GEBits64(y, x) }
+
+// LEBits32 reports FP(x) <= FP(y).
+func LEBits32(x, y int32) bool { return GEBits32(y, x) }
+
+// LEBits64 is LEBits32 for binary64 bit patterns.
+func LEBits64(x, y int64) bool { return GEBits64(y, x) }
+
+// LTBits32 reports FP(x) < FP(y).
+func LTBits32(x, y int32) bool { return !GEBits32(x, y) }
+
+// LTBits64 is LTBits32 for binary64 bit patterns.
+func LTBits64(x, y int64) bool { return !GEBits64(x, y) }
+
+// CompareBits32 returns -1, 0 or +1 ordering FP(x) against FP(y) in the
+// paper's total order (-0 < +0), computed with integer operations only.
+func CompareBits32(x, y int32) int {
+	if x == y {
+		return 0
+	}
+	if GEBits32(x, y) {
+		return 1
+	}
+	return -1
+}
+
+// CompareBits64 is CompareBits32 for binary64 bit patterns.
+func CompareBits64(x, y int64) int {
+	if x == y {
+		return 0
+	}
+	if GEBits64(x, y) {
+		return 1
+	}
+	return -1
+}
+
+// GE32 reports x >= y computed with integer operations on the operands'
+// bit patterns. Results match hardware float comparison for all non-NaN
+// operands except the pair (-0.0, +0.0); see the package comment.
+func GE32(x, y float32) bool { return GEBits32(ieee754.SI32(x), ieee754.SI32(y)) }
+
+// GE64 is GE32 for float64.
+func GE64(x, y float64) bool { return GEBits64(ieee754.SI64(x), ieee754.SI64(y)) }
+
+// GT32 reports x > y via integer operations.
+func GT32(x, y float32) bool { return GTBits32(ieee754.SI32(x), ieee754.SI32(y)) }
+
+// GT64 is GT32 for float64.
+func GT64(x, y float64) bool { return GTBits64(ieee754.SI64(x), ieee754.SI64(y)) }
+
+// LE32 reports x <= y via integer operations.
+func LE32(x, y float32) bool { return LEBits32(ieee754.SI32(x), ieee754.SI32(y)) }
+
+// LE64 is LE32 for float64.
+func LE64(x, y float64) bool { return LEBits64(ieee754.SI64(x), ieee754.SI64(y)) }
+
+// LT32 reports x < y via integer operations.
+func LT32(x, y float32) bool { return LTBits32(ieee754.SI32(x), ieee754.SI32(y)) }
+
+// LT64 is LT32 for float64.
+func LT64(x, y float64) bool { return LTBits64(ieee754.SI64(x), ieee754.SI64(y)) }
+
+// Compare32 orders x against y (-1, 0, +1) in the paper's total order.
+func Compare32(x, y float32) int { return CompareBits32(ieee754.SI32(x), ieee754.SI32(y)) }
+
+// Compare64 is Compare32 for float64.
+func Compare64(x, y float64) int { return CompareBits64(ieee754.SI64(x), ieee754.SI64(y)) }
+
+// ValidFeature32 reports whether x is inside the FLInt domain, i.e. not
+// NaN. Infinities and denormals are in the domain.
+func ValidFeature32(x float32) bool { return x == x }
+
+// ValidFeature64 is ValidFeature32 for float64.
+func ValidFeature64(x float64) bool { return x == x }

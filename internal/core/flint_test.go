@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flint/internal/ieee754"
+)
+
+// specials32 covers every class and boundary of binary32, including the
+// constants from the paper's Listings 2 and 4.
+var specials32 = []float32{
+	0, float32(math.Copysign(0, -1)),
+	1, -1, 0.5, -0.5, 1.5, -1.5, 2, -2,
+	math.SmallestNonzeroFloat32, -math.SmallestNonzeroFloat32,
+	math.MaxFloat32, -math.MaxFloat32,
+	float32(math.Inf(1)), float32(math.Inf(-1)),
+	1.1754942e-38, -1.1754942e-38, // largest denormals
+	1.1754944e-38, -1.1754944e-38, // smallest normals
+	10.074347, 11.974715, 10430.507324, -2.935417, // paper listings
+	3.1415926, -3.1415926, 1e-20, -1e-20, 1e20, -1e20,
+}
+
+var specials64 = []float64{
+	0, math.Copysign(0, -1),
+	1, -1, 0.5, -0.5, math.Pi, -math.Pi,
+	math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+	math.MaxFloat64, -math.MaxFloat64,
+	math.Inf(1), math.Inf(-1),
+	2.2250738585072009e-308, -2.2250738585072009e-308, // largest denormals
+	2.2250738585072014e-308, -2.2250738585072014e-308, // smallest normals
+	10.074347, -2.935417, 1e-300, -1e-300, 1e300, -1e300,
+}
+
+// isNegZeroPosZeroPair reports whether {x,y} = {-0.0,+0.0}, the only
+// non-NaN pair where FLInt's total order diverges from IEEE.
+func isNegZeroPosZeroPair32(x, y float32) bool {
+	return x == 0 && y == 0 && math.Signbit(float64(x)) != math.Signbit(float64(y))
+}
+
+func isNegZeroPosZeroPair64(x, y float64) bool {
+	return x == 0 && y == 0 && math.Signbit(x) != math.Signbit(y)
+}
+
+func TestGE32AgainstHardware(t *testing.T) {
+	for _, x := range specials32 {
+		for _, y := range specials32 {
+			got := GE32(x, y)
+			if isNegZeroPosZeroPair32(x, y) {
+				// Paper semantics: -0 < +0.
+				want := !math.Signbit(float64(x))
+				if got != want {
+					t.Errorf("GE32(%v,%v) = %v under paper zero semantics", x, y, got)
+				}
+				continue
+			}
+			if want := x >= y; got != want {
+				t.Errorf("GE32(%v,%v) = %v, hardware says %v", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestGE64AgainstHardware(t *testing.T) {
+	for _, x := range specials64 {
+		for _, y := range specials64 {
+			got := GE64(x, y)
+			if isNegZeroPosZeroPair64(x, y) {
+				want := !math.Signbit(x)
+				if got != want {
+					t.Errorf("GE64(%v,%v) = %v under paper zero semantics", x, y, got)
+				}
+				continue
+			}
+			if want := x >= y; got != want {
+				t.Errorf("GE64(%v,%v) = %v, hardware says %v", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestGEQuick32(t *testing.T) {
+	err := quick.Check(func(x, y float32) bool {
+		if x != x || y != y || isNegZeroPosZeroPair32(x, y) {
+			return true
+		}
+		return GE32(x, y) == (x >= y)
+	}, &quick.Config{MaxCount: 20000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGEQuick64(t *testing.T) {
+	err := quick.Check(func(x, y float64) bool {
+		if x != x || y != y || isNegZeroPosZeroPair64(x, y) {
+			return true
+		}
+		return GE64(x, y) == (x >= y)
+	}, &quick.Config{MaxCount: 20000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGEAgainstExactInterpretation checks Theorem 1 against the exact
+// big.Float interpretation with the paper's -0 < +0 semantics, over raw
+// bit patterns (not just round-trippable floats).
+func TestGEAgainstExactInterpretation(t *testing.T) {
+	f := ieee754.Binary32
+	patterns := []uint32{
+		0x0000_0000, 0x8000_0000, 0x0000_0001, 0x8000_0001,
+		0x007F_FFFF, 0x807F_FFFF, 0x0080_0000, 0x8080_0000,
+		0x3F80_0000, 0xBF80_0000, 0x7F7F_FFFF, 0xFF7F_FFFF,
+		0x7F80_0000, 0xFF80_0000, 0x4121_3087, 0xC03B_DDDE,
+		0x1234_5678, 0x9234_5678, 0x7000_0001, 0xF000_0001,
+	}
+	for _, x := range patterns {
+		for _, y := range patterns {
+			want := f.CompareFP(uint64(x), uint64(y)) >= 0
+			if got := GEBits32(int32(x), int32(y)); got != want {
+				t.Errorf("GEBits32(%#x,%#x) = %v, exact interpretation says %v", x, y, got, want)
+			}
+		}
+	}
+}
+
+// TestFormsAgree verifies the Theorem 1 XOR form, the Theorem 2 swap form
+// and the total-order form are equivalent on all non-NaN patterns
+// (ablation A1's correctness precondition).
+func TestFormsAgree32(t *testing.T) {
+	check := func(x, y int32) bool {
+		if ieee754.Binary32.IsNaN(uint64(uint32(x))) || ieee754.Binary32.IsNaN(uint64(uint32(y))) {
+			return true
+		}
+		a := GEBits32(x, y)
+		return a == GEBits32Swap(x, y) && a == GEBits32TotalOrder(x, y)
+	}
+	for _, x := range specials32 {
+		for _, y := range specials32 {
+			if !check(ieee754.SI32(x), ieee754.SI32(y)) {
+				t.Errorf("forms disagree at (%v,%v)", x, y)
+			}
+		}
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormsAgree64(t *testing.T) {
+	check := func(x, y int64) bool {
+		if ieee754.Binary64.IsNaN(uint64(x)) || ieee754.Binary64.IsNaN(uint64(y)) {
+			return true
+		}
+		a := GEBits64(x, y)
+		return a == GEBits64Swap(x, y) && a == GEBits64TotalOrder(x, y)
+	}
+	for _, x := range specials64 {
+		for _, y := range specials64 {
+			if !check(ieee754.SI64(x), ieee754.SI64(y)) {
+				t.Errorf("forms disagree at (%v,%v)", x, y)
+			}
+		}
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDerivedRelations32(t *testing.T) {
+	for _, x := range specials32 {
+		for _, y := range specials32 {
+			if x != x || y != y || isNegZeroPosZeroPair32(x, y) {
+				continue
+			}
+			if GT32(x, y) != (x > y) {
+				t.Errorf("GT32(%v,%v) != hardware", x, y)
+			}
+			if LE32(x, y) != (x <= y) {
+				t.Errorf("LE32(%v,%v) != hardware", x, y)
+			}
+			if LT32(x, y) != (x < y) {
+				t.Errorf("LT32(%v,%v) != hardware", x, y)
+			}
+		}
+	}
+}
+
+func TestDerivedRelations64(t *testing.T) {
+	for _, x := range specials64 {
+		for _, y := range specials64 {
+			if x != x || y != y || isNegZeroPosZeroPair64(x, y) {
+				continue
+			}
+			if GT64(x, y) != (x > y) {
+				t.Errorf("GT64(%v,%v) != hardware", x, y)
+			}
+			if LE64(x, y) != (x <= y) {
+				t.Errorf("LE64(%v,%v) != hardware", x, y)
+			}
+			if LT64(x, y) != (x < y) {
+				t.Errorf("LT64(%v,%v) != hardware", x, y)
+			}
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if Compare32(1, 2) != -1 || Compare32(2, 1) != 1 || Compare32(2, 2) != 0 {
+		t.Error("Compare32 ordering broken")
+	}
+	if Compare64(-1, -2) != 1 || Compare64(-2, -1) != -1 || Compare64(-2, -2) != 0 {
+		t.Error("Compare64 ordering broken")
+	}
+	// Paper zero semantics: -0 < +0.
+	negZero := float32(math.Copysign(0, -1))
+	if Compare32(negZero, 0) != -1 || Compare32(0, negZero) != 1 {
+		t.Error("Compare32 zero semantics broken")
+	}
+	if CompareBits32(ieee754.SI32(5), ieee754.SI32(5)) != 0 {
+		t.Error("CompareBits32 equality broken")
+	}
+	if CompareBits64(ieee754.SI64(5), ieee754.SI64(5)) != 0 {
+		t.Error("CompareBits64 equality broken")
+	}
+}
+
+// TestNaNDivergenceDocumented pins down the out-of-domain behaviour the
+// package comment documents: for NaN inputs FLInt follows the bit-pattern
+// order rather than IEEE's all-comparisons-false rule.
+func TestNaNDivergenceDocumented(t *testing.T) {
+	nan := float32(math.NaN())
+	if !ValidFeature32(1.5) || ValidFeature32(nan) {
+		t.Error("ValidFeature32 broken")
+	}
+	if !ValidFeature64(1.5) || ValidFeature64(math.NaN()) {
+		t.Error("ValidFeature64 broken")
+	}
+	// IEEE: any comparison with NaN is false. FLInt: positive-pattern NaN
+	// has a huge SI, so GE32(NaN, x) is true for finite x — a divergence,
+	// confined to NaN.
+	if nan >= 1 {
+		t.Fatal("hardware NaN comparison should be false")
+	}
+	if !GE32(nan, 1) {
+		t.Error("expected documented divergence: GE32(+NaN, 1) under bit order is true")
+	}
+}
+
+func TestValidFeatureInfinity(t *testing.T) {
+	// Infinities are in-domain (Section III-A) and order as extremes.
+	inf := float32(math.Inf(1))
+	if !ValidFeature32(inf) || !ValidFeature32(-inf) {
+		t.Error("infinities must be in the FLInt domain")
+	}
+	if !GE32(inf, math.MaxFloat32) || GE32(-inf, -math.MaxFloat32) {
+		t.Error("infinity ordering broken")
+	}
+}

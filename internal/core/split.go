@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"flint/internal/ieee754"
+)
+
+// Split32 is a decision tree split value encoded for FLInt comparison at
+// inference time. The encoding happens once, offline, exactly like the
+// paper's code-generation step (Section IV-B): the split's sign is known
+// at encoding time, a -0.0 split is rewritten to +0.0, and the stored key
+// is the signed integer interpretation of the split's bit pattern.
+//
+// With the sign resolved offline, the predicate x <= s needs one integer
+// comparison per evaluation:
+//
+//   - s >= +0.0: every negative x has SI(x) < 0 <= SI(s), and for
+//     non-negative x Lemma 3 applies, so x <= s  <=>  SI(x) <= Key as
+//     signed integers.
+//   - s < 0: x <= s requires the sign bit of x to be set and |x| >= |s|,
+//     which is exactly UI(x) >= UI(s) as unsigned integers — the sign bit
+//     of the key makes UI(s) >= 2^31, so the unsigned comparison can only
+//     succeed for x with the sign bit set.
+//
+// The two cases are distinguished by the sign of Key itself, so a Split32
+// is a single int32 word.
+type Split32 struct {
+	// Key is SI(bits(s)) after the -0.0 rewrite. Key >= 0 iff s >= +0.0.
+	Key int32
+}
+
+// Split64 is Split32 for binary64 split values.
+type Split64 struct {
+	// Key is SI(bits(s)) after the -0.0 rewrite.
+	Key int64
+}
+
+// EncodeSplit32 encodes a float32 split value for FLInt evaluation. It
+// returns an error for NaN, which cannot occur as a trained split value
+// and is outside the operator's domain.
+func EncodeSplit32(s float32) (Split32, error) {
+	if s != s {
+		return Split32{}, fmt.Errorf("core: cannot encode NaN split value")
+	}
+	if s == 0 {
+		s = 0 // rewrite -0.0 to +0.0 (Section IV-B)
+	}
+	return Split32{Key: ieee754.SI32(s)}, nil
+}
+
+// MustEncodeSplit32 is EncodeSplit32 for split values already known to be
+// valid; it panics on NaN.
+func MustEncodeSplit32(s float32) Split32 {
+	p, err := EncodeSplit32(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// EncodeSplit64 encodes a float64 split value for FLInt evaluation.
+func EncodeSplit64(s float64) (Split64, error) {
+	if s != s {
+		return Split64{}, fmt.Errorf("core: cannot encode NaN split value")
+	}
+	if s == 0 {
+		s = 0
+	}
+	return Split64{Key: ieee754.SI64(s)}, nil
+}
+
+// MustEncodeSplit64 is EncodeSplit64 panicking on NaN.
+func MustEncodeSplit64(s float64) Split64 {
+	p, err := EncodeSplit64(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Value returns the float32 split value the predicate was encoded from
+// (with -0.0 already rewritten to +0.0).
+func (p Split32) Value() float32 { return ieee754.FromSI32(p.Key) }
+
+// Value returns the float64 split value the predicate was encoded from.
+func (p Split64) Value() float64 { return ieee754.FromSI64(p.Key) }
+
+// LE reports x <= s for the feature bit pattern x (the reinterpreted
+// float32, Listing 2 of the paper), using a single integer comparison.
+// Results agree with IEEE hardware comparison for every non-NaN x.
+func (p Split32) LE(x int32) bool {
+	if p.Key >= 0 {
+		return x <= p.Key
+	}
+	return uint32(x) >= uint32(p.Key)
+}
+
+// LE reports x <= s for a binary64 feature bit pattern.
+func (p Split64) LE(x int64) bool {
+	if p.Key >= 0 {
+		return x <= p.Key
+	}
+	return uint64(x) >= uint64(p.Key)
+}
+
+// GT reports x > s, the else-branch of an if-else tree node.
+func (p Split32) GT(x int32) bool { return !p.LE(x) }
+
+// GT reports x > s for a binary64 feature bit pattern.
+func (p Split64) GT(x int64) bool { return !p.LE(x) }
+
+// LEPaper evaluates x <= s in the literal shape of the paper's generated
+// C code: Listing 2 for non-negative splits and Listing 4 (sign-bit flip
+// via XOR, exchanged operands) for negative splits. It is semantically
+// identical to LE and exists so tests and ablation benchmarks can compare
+// the two instruction sequences.
+func (p Split32) LEPaper(x int32) bool {
+	if p.Key >= 0 {
+		return x <= p.Key // Listing 2
+	}
+	return p.Key^signMask32 <= x^signMask32 // Listing 4
+}
+
+// LEPaper is Split32.LEPaper for binary64 patterns.
+func (p Split64) LEPaper(x int64) bool {
+	if p.Key >= 0 {
+		return x <= p.Key
+	}
+	return p.Key^signMask64 <= x^signMask64
+}
+
+// LEXor evaluates x <= s with the general Theorem 1 operator, ignoring
+// the offline sign knowledge. Provided for the compare-form ablation
+// (DESIGN.md, A1).
+func (p Split32) LEXor(x int32) bool { return GEBits32(p.Key, x) }
+
+// LEXor is Split32.LEXor for binary64 patterns.
+func (p Split64) LEXor(x int64) bool { return GEBits64(p.Key, x) }
+
+// Negative reports whether the encoded split value is negative, i.e.
+// whether code generation must emit the sign-flipped comparison
+// (Listing 4 / the eor instruction in Listing 5).
+func (p Split32) Negative() bool { return p.Key < 0 }
+
+// Negative reports whether the encoded split value is negative.
+func (p Split64) Negative() bool { return p.Key < 0 }
+
+// CHex returns the split constant as the C hexadecimal immediate the
+// paper's listings embed, e.g. "0x41213087" for 10.074347. For negative
+// splits it returns the sign-flipped (positive) constant used by
+// Listing 4.
+func (p Split32) CHex() string {
+	k := p.Key
+	if k < 0 {
+		k ^= signMask32
+	}
+	return fmt.Sprintf("0x%08x", uint32(k))
+}
+
+// CHex returns the 64-bit immediate in C hexadecimal form.
+func (p Split64) CHex() string {
+	k := p.Key
+	if k < 0 {
+		k ^= signMask64
+	}
+	return fmt.Sprintf("0x%016x", uint64(k))
+}
+
+// EncodeFeatures32 reinterprets a float32 feature vector as the int32
+// slice the FLInt engines consume: the `(int*)(pX)` cast of Listing 2.
+// The result is written into dst if it has sufficient capacity.
+func EncodeFeatures32(dst []int32, src []float32) []int32 {
+	if cap(dst) < len(src) {
+		dst = make([]int32, len(src))
+	}
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = ieee754.SI32(v)
+	}
+	return dst
+}
+
+// EncodeFeatures64 is EncodeFeatures32 for float64 feature vectors.
+func EncodeFeatures64(dst []int64, src []float64) []int64 {
+	if cap(dst) < len(src) {
+		dst = make([]int64, len(src))
+	}
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = ieee754.SI64(v)
+	}
+	return dst
+}
+
+// PrecodeFeatures32 maps a float32 feature vector into total-order key
+// space once per inference, so that every subsequent node comparison is a
+// single unsigned compare regardless of the split sign. This amortized
+// transformation is the key-space precoding extension described in
+// DESIGN.md (ablation A2); pair it with PrecodeSplit32 keys.
+func PrecodeFeatures32(dst []uint32, src []float32) []uint32 {
+	if cap(dst) < len(src) {
+		dst = make([]uint32, len(src))
+	}
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = ieee754.TotalOrderKey32(math.Float32bits(v))
+	}
+	return dst
+}
+
+// PrecodeSplit32 returns the total-order key of a split value for use
+// against PrecodeFeatures32 output: x <= s  <=>  key(x) <= PrecodeSplit32(s).
+// A -0.0 split is rewritten to +0.0 first.
+func PrecodeSplit32(s float32) uint32 {
+	if s == 0 {
+		s = 0
+	}
+	return ieee754.TotalOrderKey32(math.Float32bits(s))
+}

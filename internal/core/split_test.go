@@ -1,0 +1,280 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"flint/internal/ieee754"
+)
+
+func TestEncodeSplit32RejectsNaN(t *testing.T) {
+	if _, err := EncodeSplit32(float32(math.NaN())); err == nil {
+		t.Error("EncodeSplit32(NaN) must fail")
+	}
+	if _, err := EncodeSplit64(math.NaN()); err == nil {
+		t.Error("EncodeSplit64(NaN) must fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncodeSplit32(NaN) must panic")
+		}
+	}()
+	MustEncodeSplit32(float32(math.NaN()))
+}
+
+func TestMustEncodeSplit64PanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncodeSplit64(NaN) must panic")
+		}
+	}()
+	MustEncodeSplit64(math.NaN())
+}
+
+func TestEncodeSplitNegZeroRewrite(t *testing.T) {
+	negZero := float32(math.Copysign(0, -1))
+	p := MustEncodeSplit32(negZero)
+	if p.Key != 0 {
+		t.Errorf("-0.0 split must be rewritten to +0.0, got key %#x", uint32(p.Key))
+	}
+	if math.Signbit(float64(p.Value())) {
+		t.Error("Split32.Value() after rewrite must be +0.0")
+	}
+	p64 := MustEncodeSplit64(math.Copysign(0, -1))
+	if p64.Key != 0 {
+		t.Errorf("-0.0 split must be rewritten to +0.0, got key %#x", uint64(p64.Key))
+	}
+}
+
+func TestSplitValueRoundTrip(t *testing.T) {
+	for _, s := range specials32 {
+		p := MustEncodeSplit32(s)
+		got := p.Value()
+		if s == 0 {
+			if got != 0 || math.Signbit(float64(got)) {
+				t.Errorf("Value() after encoding %v = %v", s, got)
+			}
+			continue
+		}
+		if got != s {
+			t.Errorf("Value() round trip: %v -> %v", s, got)
+		}
+	}
+}
+
+// TestSplitLEMatchesIEEE is the central theorem for tree inference: after
+// the -0.0 rewrite, the single-comparison predicate agrees with IEEE
+// hardware `<=` for EVERY non-NaN feature value, -0.0 included.
+func TestSplitLEMatchesIEEE32(t *testing.T) {
+	for _, s := range specials32 {
+		p := MustEncodeSplit32(s)
+		for _, x := range specials32 {
+			want := x <= s
+			xb := ieee754.SI32(x)
+			if got := p.LE(xb); got != want {
+				t.Errorf("Split(%v).LE(%v) = %v, hardware says %v", s, x, got, want)
+			}
+			if got := p.GT(xb); got != !want {
+				t.Errorf("Split(%v).GT(%v) = %v, hardware says %v", s, x, got, !want)
+			}
+			if got := p.LEPaper(xb); got != want {
+				t.Errorf("Split(%v).LEPaper(%v) = %v, hardware says %v", s, x, got, want)
+			}
+			if got := p.LEXor(xb); got != want {
+				t.Errorf("Split(%v).LEXor(%v) = %v, hardware says %v", s, x, got, want)
+			}
+		}
+	}
+}
+
+func TestSplitLEMatchesIEEE64(t *testing.T) {
+	for _, s := range specials64 {
+		p := MustEncodeSplit64(s)
+		for _, x := range specials64 {
+			want := x <= s
+			xb := ieee754.SI64(x)
+			if got := p.LE(xb); got != want {
+				t.Errorf("Split(%v).LE(%v) = %v, hardware says %v", s, x, got, want)
+			}
+			if got := p.GT(xb); got != !want {
+				t.Errorf("Split(%v).GT(%v) = %v", s, x, got)
+			}
+			if got := p.LEPaper(xb); got != want {
+				t.Errorf("Split(%v).LEPaper(%v) = %v", s, x, got)
+			}
+			if got := p.LEXor(xb); got != want {
+				t.Errorf("Split(%v).LEXor(%v) = %v", s, x, got)
+			}
+		}
+	}
+}
+
+func TestSplitLEQuick32(t *testing.T) {
+	err := quick.Check(func(s, x float32) bool {
+		if s != s || x != x {
+			return true
+		}
+		p := MustEncodeSplit32(s)
+		want := x <= s
+		xb := ieee754.SI32(x)
+		return p.LE(xb) == want && p.LEPaper(xb) == want && p.LEXor(xb) == want
+	}, &quick.Config{MaxCount: 50000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitLEQuick64(t *testing.T) {
+	err := quick.Check(func(s, x float64) bool {
+		if s != s || x != x {
+			return true
+		}
+		p := MustEncodeSplit64(s)
+		want := x <= s
+		xb := ieee754.SI64(x)
+		return p.LE(xb) == want && p.LEPaper(xb) == want && p.LEXor(xb) == want
+	}, &quick.Config{MaxCount: 50000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSplitLEAdjacentValues exercises the boundaries around each split:
+// the predecessor, the split itself and the successor in float order must
+// evaluate to true, true, false.
+func TestSplitLEAdjacentValues(t *testing.T) {
+	for _, s := range specials32 {
+		if s != s || math.IsInf(float64(s), 0) {
+			continue
+		}
+		p := MustEncodeSplit32(s)
+		prev := math.Nextafter32(s, float32(math.Inf(-1)))
+		next := math.Nextafter32(s, float32(math.Inf(1)))
+		if !p.LE(ieee754.SI32(prev)) {
+			t.Errorf("LE(pred(%v)) = false", s)
+		}
+		if !p.LE(ieee754.SI32(s)) {
+			t.Errorf("LE(%v) = false", s)
+		}
+		if p.LE(ieee754.SI32(next)) {
+			t.Errorf("LE(succ(%v)) = true", s)
+		}
+	}
+}
+
+func TestSplitNegative(t *testing.T) {
+	if MustEncodeSplit32(1.5).Negative() || !MustEncodeSplit32(-1.5).Negative() {
+		t.Error("Split32.Negative broken")
+	}
+	if MustEncodeSplit32(0).Negative() {
+		t.Error("+0 split must not be negative")
+	}
+	if MustEncodeSplit32(float32(math.Copysign(0, -1))).Negative() {
+		t.Error("-0 split must be rewritten and not negative")
+	}
+	if MustEncodeSplit64(1.5).Negative() || !MustEncodeSplit64(-1.5).Negative() {
+		t.Error("Split64.Negative broken")
+	}
+}
+
+// TestCHexPaperConstants checks the exact immediates printed in the
+// paper's Listings 2 and 4.
+func TestCHexPaperConstants(t *testing.T) {
+	// The decimal literals in the listings are rounded displays; the hex
+	// immediates are the ground truth, so build the splits from those.
+	cases := []struct {
+		bits   uint32 // split value as stored by training
+		approx float32
+		want   string
+	}{
+		{0x41213087, 10.074347, "0x41213087"},    // Listing 2, line 1
+		{0x413f986e, 11.974715, "0x413f986e"},    // Listing 2, line 2
+		{0x4622fa08, 10430.507324, "0x4622fa08"}, // Listing 2, line 3
+		{0xC03BDDDE, -2.935417, "0x403bddde"},    // Listing 4: sign-flipped immediate
+	}
+	for _, c := range cases {
+		v := math.Float32frombits(c.bits)
+		if got := MustEncodeSplit32(v).CHex(); got != c.want {
+			t.Errorf("CHex(%v) = %s, want %s", v, got, c.want)
+		}
+		if math.Abs(float64(v-c.approx)) > 1e-3 {
+			t.Errorf("listing constant %#x decodes to %v, far from printed %v", c.bits, v, c.approx)
+		}
+	}
+	got := MustEncodeSplit64(-2.5).CHex()
+	if !strings.HasPrefix(got, "0x") || len(got) != 18 {
+		t.Errorf("Split64.CHex() = %q, want 16 hex digits", got)
+	}
+	if MustEncodeSplit64(-2.5).CHex() != MustEncodeSplit64(2.5).CHex() {
+		t.Error("Split64.CHex must strip the sign bit for negative splits")
+	}
+}
+
+func TestEncodeFeatures32(t *testing.T) {
+	src := []float32{1.5, -2.5, 0, float32(math.Inf(1))}
+	got := EncodeFeatures32(nil, src)
+	if len(got) != len(src) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, v := range src {
+		if got[i] != ieee754.SI32(v) {
+			t.Errorf("EncodeFeatures32[%d] = %#x", i, uint32(got[i]))
+		}
+	}
+	// Reuse path must not allocate a new slice.
+	buf := make([]int32, 0, 16)
+	out := EncodeFeatures32(buf, src)
+	if cap(out) != 16 {
+		t.Error("EncodeFeatures32 must reuse provided capacity")
+	}
+}
+
+func TestEncodeFeatures64(t *testing.T) {
+	src := []float64{1.5, -2.5, 0}
+	got := EncodeFeatures64(nil, src)
+	for i, v := range src {
+		if got[i] != ieee754.SI64(v) {
+			t.Errorf("EncodeFeatures64[%d] = %#x", i, uint64(got[i]))
+		}
+	}
+	buf := make([]int64, 1)
+	out := EncodeFeatures64(buf, src)
+	if len(out) != 3 {
+		t.Error("EncodeFeatures64 must grow undersized buffers")
+	}
+}
+
+// TestPrecodeAgainstLE verifies the key-space precoding extension against
+// the canonical split predicate on random values.
+func TestPrecodeAgainstLE(t *testing.T) {
+	err := quick.Check(func(s, x float32) bool {
+		if s != s || x != x {
+			return true
+		}
+		key := PrecodeSplit32(s)
+		feat := PrecodeFeatures32(nil, []float32{x})[0]
+		return (feat <= key) == (x <= s)
+	}, &quick.Config{MaxCount: 50000})
+	if err != nil {
+		t.Error(err)
+	}
+	for _, s := range specials32 {
+		for _, x := range specials32 {
+			key := PrecodeSplit32(s)
+			feat := PrecodeFeatures32(nil, []float32{x})[0]
+			if (feat <= key) != (x <= s) {
+				t.Errorf("precode disagrees at s=%v x=%v", s, x)
+			}
+		}
+	}
+}
+
+func TestPrecodeFeatures32Reuse(t *testing.T) {
+	buf := make([]uint32, 0, 8)
+	out := PrecodeFeatures32(buf, []float32{1, 2, 3})
+	if cap(out) != 8 || len(out) != 3 {
+		t.Error("PrecodeFeatures32 must reuse provided capacity")
+	}
+}

@@ -1,0 +1,86 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the dataset with a header row (f0..fN-1,label), one
+// sample per row, features in shortest round-trippable float32 notation.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	nf := d.NumFeatures()
+	header := make([]string, nf+1)
+	for i := 0; i < nf; i++ {
+		header[i] = "f" + strconv.Itoa(i)
+	}
+	header[nf] = "label"
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	rec := make([]string, nf+1)
+	for i, row := range d.Features {
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(float64(v), 'g', -1, 32)
+		}
+		rec[nf] = strconv.Itoa(int(d.Labels[i]))
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a dataset written by WriteCSV. The class count is taken
+// as max(label)+1 unless numClasses > 0 forces a larger space.
+func ReadCSV(r io.Reader, name string, numClasses int) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(header) < 2 || header[len(header)-1] != "label" {
+		return nil, fmt.Errorf("dataset: CSV header must end with %q, got %v", "label", header)
+	}
+	nf := len(header) - 1
+	d := &Dataset{Name: name, NumClasses: numClasses}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != nf+1 {
+			return nil, fmt.Errorf("dataset: CSV line %d has %d fields, want %d", line, len(rec), nf+1)
+		}
+		row := make([]float32, nf)
+		for j := 0; j < nf; j++ {
+			v, err := strconv.ParseFloat(rec[j], 32)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d field %d: %w", line, j, err)
+			}
+			row[j] = float32(v)
+		}
+		label, err := strconv.Atoi(rec[nf])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d label: %w", line, err)
+		}
+		if label >= d.NumClasses {
+			d.NumClasses = label + 1
+		}
+		d.Features = append(d.Features, row)
+		d.Labels = append(d.Labels, int32(label))
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

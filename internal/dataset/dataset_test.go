@@ -1,0 +1,342 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSpecsMatchPaper(t *testing.T) {
+	// Feature/class counts of the UCI originals cited in Section V-A.
+	want := map[string][3]int{
+		"eye":        {14, 2, 14980},
+		"gas":        {128, 6, 13910},
+		"magic":      {10, 2, 19020},
+		"sensorless": {48, 11, 58509},
+		"wine":       {11, 7, 6497},
+	}
+	if len(Specs) != len(want) {
+		t.Fatalf("have %d specs, want %d", len(Specs), len(want))
+	}
+	for _, s := range Specs {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected spec %q", s.Name)
+			continue
+		}
+		if s.NumFeatures != w[0] || s.NumClasses != w[1] || s.FullRows != w[2] {
+			t.Errorf("%s: got (%d,%d,%d), want %v", s.Name, s.NumFeatures, s.NumClasses, s.FullRows, w)
+		}
+	}
+}
+
+func TestGenerateAllWorkloads(t *testing.T) {
+	for _, name := range Names() {
+		d, err := Generate(name, 500, 42)
+		if err != nil {
+			t.Fatalf("Generate(%s): %v", name, err)
+		}
+		spec, _ := LookupSpec(name)
+		if d.Len() != 500 {
+			t.Errorf("%s: %d rows", name, d.Len())
+		}
+		if d.NumFeatures() != spec.NumFeatures {
+			t.Errorf("%s: %d features, want %d", name, d.NumFeatures(), spec.NumFeatures)
+		}
+		if d.NumClasses != spec.NumClasses {
+			t.Errorf("%s: %d classes, want %d", name, d.NumClasses, spec.NumClasses)
+		}
+		// Every class should actually occur in a 500-row sample.
+		seen := make(map[int32]bool)
+		for _, y := range d.Labels {
+			seen[y] = true
+		}
+		if len(seen) != spec.NumClasses {
+			t.Errorf("%s: only %d/%d classes present", name, len(seen), spec.NumClasses)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate("magic", 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("magic", 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Features {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatalf("labels diverge at row %d", i)
+		}
+		for j := range a.Features[i] {
+			if a.Features[i][j] != b.Features[i][j] {
+				t.Fatalf("features diverge at row %d col %d", i, j)
+			}
+		}
+	}
+	c, err := Generate("magic", 200, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Features {
+		for j := range a.Features[i] {
+			if a.Features[i][j] != c.Features[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestGenerateFullSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size generation in -short mode")
+	}
+	d, err := Generate("wine", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 6497 {
+		t.Errorf("full wine has %d rows, want 6497", d.Len())
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("iris", 10, 0); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := LookupSpec("iris"); err == nil {
+		t.Error("LookupSpec(iris) should fail")
+	}
+}
+
+// TestNegativeSplitsPossible ensures the workloads exercise the paper's
+// negative-split code path (Listing 4): datasets must contain negative
+// feature values.
+func TestNegativeSplitsPossible(t *testing.T) {
+	for _, name := range []string{"eye", "gas", "magic", "sensorless"} {
+		d, err := Generate(name, 300, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		neg := false
+		for _, row := range d.Features {
+			for _, v := range row {
+				if v < 0 {
+					neg = true
+				}
+			}
+		}
+		if !neg {
+			t.Errorf("%s: no negative feature values; Listing-4 path untested", name)
+		}
+	}
+}
+
+func TestClassesAreSeparable(t *testing.T) {
+	// A trivial nearest-centroid rule must beat chance clearly on each
+	// workload, otherwise trees would degenerate to single leaves and the
+	// depth sweep of Figure 3 would be meaningless.
+	for _, name := range Names() {
+		d, err := Generate(name, 600, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		train, test := d.Split(0.75, 1)
+		nf := d.NumFeatures()
+		// Standardize features so large-scale columns do not dominate the
+		// Euclidean distance (the centroid rule is scale-sensitive; trees
+		// are not).
+		mean := make([]float64, nf)
+		std := make([]float64, nf)
+		for _, row := range train.Features {
+			for j, v := range row {
+				mean[j] += float64(v)
+			}
+		}
+		for j := range mean {
+			mean[j] /= float64(train.Len())
+		}
+		for _, row := range train.Features {
+			for j, v := range row {
+				diff := float64(v) - mean[j]
+				std[j] += diff * diff
+			}
+		}
+		for j := range std {
+			std[j] = math.Sqrt(std[j]/float64(train.Len())) + 1e-12
+		}
+		norm := func(row []float32, j int) float64 {
+			return (float64(row[j]) - mean[j]) / std[j]
+		}
+		cent := make([][]float64, d.NumClasses)
+		count := make([]int, d.NumClasses)
+		for i := range cent {
+			cent[i] = make([]float64, nf)
+		}
+		for i, row := range train.Features {
+			c := train.Labels[i]
+			count[c]++
+			for j := range row {
+				cent[c][j] += norm(row, j)
+			}
+		}
+		for c := range cent {
+			if count[c] == 0 {
+				continue
+			}
+			for j := range cent[c] {
+				cent[c][j] /= float64(count[c])
+			}
+		}
+		correct := 0
+		for i, row := range test.Features {
+			best, bestD := int32(0), math.Inf(1)
+			for c := range cent {
+				dist := 0.0
+				for j := range row {
+					diff := norm(row, j) - cent[c][j]
+					dist += diff * diff
+				}
+				if dist < bestD {
+					best, bestD = int32(c), dist
+				}
+			}
+			if best == test.Labels[i] {
+				correct++
+			}
+		}
+		acc := float64(correct) / float64(test.Len())
+		chance := 1.0 / float64(d.NumClasses)
+		if acc < chance+0.10 {
+			t.Errorf("%s: nearest-centroid accuracy %.3f barely above chance %.3f", name, acc, chance)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d, err := Generate("wine", 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := d.Split(0.75, 99)
+	if train.Len() != 300 || test.Len() != 100 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	if train.NumClasses != d.NumClasses || test.NumClasses != d.NumClasses {
+		t.Error("split lost NumClasses")
+	}
+	// Deterministic for equal seeds, different for different seeds.
+	train2, _ := d.Split(0.75, 99)
+	if &train.Features[0][0] != &train2.Features[0][0] {
+		// Rows are shared slices; same seed must pick the same rows.
+		for i := range train.Features {
+			if train.Labels[i] != train2.Labels[i] {
+				t.Fatal("same-seed split differs")
+			}
+		}
+	}
+	// Degenerate fractions clamp instead of panicking.
+	all, none := d.Split(2.0, 1)
+	if all.Len() != 400 || none.Len() != 0 {
+		t.Error("fraction > 1 must clamp")
+	}
+	none2, all2 := d.Split(-1, 1)
+	if none2.Len() != 0 || all2.Len() != 400 {
+		t.Error("fraction < 0 must clamp")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	d, _ := Generate("magic", 50, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("fresh dataset invalid: %v", err)
+	}
+	d.Features[3][2] = float32(math.NaN())
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "NaN") {
+		t.Errorf("NaN not caught: %v", err)
+	}
+	d, _ = Generate("magic", 50, 1)
+	d.Labels[0] = 99
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("label range not caught: %v", err)
+	}
+	d, _ = Generate("magic", 50, 1)
+	d.Features[1] = d.Features[1][:3]
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "width") {
+		t.Errorf("ragged rows not caught: %v", err)
+	}
+	d, _ = Generate("magic", 50, 1)
+	d.Labels = d.Labels[:10]
+	if err := d.Validate(); err == nil {
+		t.Error("label count mismatch not caught")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d, err := Generate("eye", 120, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "eye", d.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() || got.NumFeatures() != d.NumFeatures() || got.NumClasses != d.NumClasses {
+		t.Fatalf("shape mismatch after round trip: %d x %d (%d classes)",
+			got.Len(), got.NumFeatures(), got.NumClasses)
+	}
+	for i := range d.Features {
+		if d.Labels[i] != got.Labels[i] {
+			t.Fatalf("label %d changed", i)
+		}
+		for j := range d.Features[i] {
+			if d.Features[i][j] != got.Features[i][j] {
+				t.Fatalf("feature (%d,%d) changed: %v -> %v", i, j, d.Features[i][j], got.Features[i][j])
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                      // no header
+		"f0,f1\n1,2\n",          // header does not end in label
+		"f0,label\n1\n",         // short row
+		"f0,label\nxyz,0\n",     // bad float
+		"f0,label\n1.5,three\n", // bad label
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c), "bad", 0); err == nil {
+			t.Errorf("case %d: malformed CSV accepted", i)
+		}
+	}
+	// Class count inferred from labels when not forced.
+	d, err := ReadCSV(strings.NewReader("f0,label\n1.5,0\n2.5,4\n"), "ok", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumClasses != 5 {
+		t.Errorf("inferred NumClasses = %d, want 5", d.NumClasses)
+	}
+}
+
+func TestEmptyDatasetAccessors(t *testing.T) {
+	d := &Dataset{Name: "empty", NumClasses: 1}
+	if d.Len() != 0 || d.NumFeatures() != 0 {
+		t.Error("empty dataset accessors broken")
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("empty dataset should validate: %v", err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package flintsort applies the FLInt idea beyond tree inference — the
+// paper's future-work direction of integrating the operator "into other
+// applications, which heavily rely on floating point comparisons".
+//
+// Sorting is the canonical such application. The package sorts float
+// slices by reinterpreting each value once into the totally-ordered
+// unsigned key space of ieee754.TotalOrderKey32/64 and then running a
+// byte-wise LSD radix sort: no floating point comparison (in fact, no
+// comparison at all) is executed. The resulting order is exactly the
+// IEEE 754-2008 totalOrder predicate:
+//
+//	-NaN < -Inf < finite negatives < -0.0 < +0.0 < finite positives < +Inf < +NaN
+//
+// which coincides with ordinary `<` on non-NaN data and gives NaN a
+// deterministic position instead of the undefined behaviour float NaNs
+// cause in comparison sorts.
+package flintsort
+
+import (
+	"math"
+
+	"flint/internal/ieee754"
+)
+
+// Sort32 sorts x in ascending IEEE totalOrder using integer operations
+// only. It allocates one scratch slice of len(x).
+func Sort32(x []float32) {
+	if len(x) < 2 {
+		return
+	}
+	keys := make([]uint32, len(x))
+	for i, v := range x {
+		keys[i] = ieee754.TotalOrderKey32(math.Float32bits(v))
+	}
+	radix32(keys)
+	for i, k := range keys {
+		x[i] = math.Float32frombits(fromKey32(k))
+	}
+}
+
+// Sort64 sorts x in ascending IEEE totalOrder using integer operations
+// only. It allocates one scratch slice of len(x).
+func Sort64(x []float64) {
+	if len(x) < 2 {
+		return
+	}
+	keys := make([]uint64, len(x))
+	for i, v := range x {
+		keys[i] = ieee754.TotalOrderKey64(math.Float64bits(v))
+	}
+	radix64(keys)
+	for i, k := range keys {
+		x[i] = math.Float64frombits(fromKey64(k))
+	}
+}
+
+// fromKey32 inverts ieee754.TotalOrderKey32.
+func fromKey32(k uint32) uint32 {
+	if k&0x8000_0000 != 0 {
+		return k &^ 0x8000_0000 // was non-negative: clear the flipped sign
+	}
+	return ^k // was negative: undo full inversion
+}
+
+// fromKey64 inverts ieee754.TotalOrderKey64.
+func fromKey64(k uint64) uint64 {
+	if k&0x8000_0000_0000_0000 != 0 {
+		return k &^ 0x8000_0000_0000_0000
+	}
+	return ^k
+}
+
+// radix32 sorts keys ascending with a 4-pass byte-wise LSD radix sort.
+func radix32(keys []uint32) {
+	buf := make([]uint32, len(keys))
+	src, dst := keys, buf
+	for shift := uint(0); shift < 32; shift += 8 {
+		var count [256]int
+		for _, k := range src {
+			count[(k>>shift)&0xFF]++
+		}
+		pos := 0
+		for b := 0; b < 256; b++ {
+			c := count[b]
+			count[b] = pos
+			pos += c
+		}
+		for _, k := range src {
+			b := (k >> shift) & 0xFF
+			dst[count[b]] = k
+			count[b]++
+		}
+		src, dst = dst, src
+	}
+	// 4 passes: src ends up pointing at the original slice again.
+	_ = dst
+}
+
+// radix64 sorts keys ascending with an 8-pass byte-wise LSD radix sort.
+func radix64(keys []uint64) {
+	buf := make([]uint64, len(keys))
+	src, dst := keys, buf
+	for shift := uint(0); shift < 64; shift += 8 {
+		var count [256]int
+		for _, k := range src {
+			count[(k>>shift)&0xFF]++
+		}
+		pos := 0
+		for b := 0; b < 256; b++ {
+			c := count[b]
+			count[b] = pos
+			pos += c
+		}
+		for _, k := range src {
+			b := (k >> shift) & 0xFF
+			dst[count[b]] = k
+			count[b]++
+		}
+		src, dst = dst, src
+	}
+	_ = dst
+}
+
+// IsSorted32 reports whether x is ascending in IEEE totalOrder, checked
+// with integer comparisons only.
+func IsSorted32(x []float32) bool {
+	for i := 1; i < len(x); i++ {
+		a := ieee754.TotalOrderKey32(math.Float32bits(x[i-1]))
+		b := ieee754.TotalOrderKey32(math.Float32bits(x[i]))
+		if a > b {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSorted64 is IsSorted32 for float64 slices.
+func IsSorted64(x []float64) bool {
+	for i := 1; i < len(x); i++ {
+		a := ieee754.TotalOrderKey64(math.Float64bits(x[i-1]))
+		b := ieee754.TotalOrderKey64(math.Float64bits(x[i]))
+		if a > b {
+			return false
+		}
+	}
+	return true
+}
+
+// Search32 returns the smallest index i in the totalOrder-sorted slice x
+// with x[i] >= v (in totalOrder), using integer comparisons only; it
+// returns len(x) if no such element exists.
+func Search32(x []float32, v float32) int {
+	key := ieee754.TotalOrderKey32(math.Float32bits(v))
+	lo, hi := 0, len(x)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ieee754.TotalOrderKey32(math.Float32bits(x[mid])) < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,220 @@
+package flintsort
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSort32MatchesComparisonSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		a := make([]float32, n)
+		for i := range a {
+			a[i] = float32(rng.NormFloat64()) * float32(math.Pow(10, float64(rng.Intn(10)-5)))
+		}
+		b := append([]float32(nil), a...)
+		Sort32(a)
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: position %d: %v != %v", trial, i, a[i], b[i])
+			}
+		}
+		if !IsSorted32(a) {
+			t.Fatal("IsSorted32 disagrees")
+		}
+	}
+}
+
+func TestSort64MatchesComparisonSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		a := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(20)-10))
+		}
+		b := append([]float64(nil), a...)
+		Sort64(a)
+		sort.Float64s(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: position %d: %v != %v", trial, i, a[i], b[i])
+			}
+		}
+		if !IsSorted64(a) {
+			t.Fatal("IsSorted64 disagrees")
+		}
+	}
+}
+
+func TestSortTotalOrderSpecials(t *testing.T) {
+	negNaN := math.Float32frombits(0xFFC0_0000)
+	posNaN := float32(math.NaN())
+	x := []float32{
+		posNaN, float32(math.Inf(1)), 1, 0,
+		float32(math.Copysign(0, -1)), -1, float32(math.Inf(-1)), negNaN,
+		math.SmallestNonzeroFloat32, -math.SmallestNonzeroFloat32,
+	}
+	Sort32(x)
+	// Expected IEEE totalOrder: -NaN, -Inf, -1, -tiny, -0, +0, +tiny, 1, +Inf, +NaN.
+	if math.Float32bits(x[0])>>31 != 1 || x[0] == x[0] {
+		// x[0] must be the negative NaN: sign bit set and NaN.
+		if !(x[0] != x[0] && math.Signbit(float64(x[0]))) {
+			t.Fatalf("x[0] = %v (bits %#x), want -NaN", x[0], math.Float32bits(x[0]))
+		}
+	}
+	if !math.IsInf(float64(x[1]), -1) {
+		t.Fatalf("x[1] = %v, want -Inf", x[1])
+	}
+	if x[2] != -1 || x[3] != -math.SmallestNonzeroFloat32 {
+		t.Fatalf("negative finites misordered: %v %v", x[2], x[3])
+	}
+	if !(x[4] == 0 && math.Signbit(float64(x[4]))) {
+		t.Fatalf("x[4] = %v, want -0", x[4])
+	}
+	if !(x[5] == 0 && !math.Signbit(float64(x[5]))) {
+		t.Fatalf("x[5] = %v, want +0", x[5])
+	}
+	if x[6] != math.SmallestNonzeroFloat32 || x[7] != 1 {
+		t.Fatalf("positive finites misordered: %v %v", x[6], x[7])
+	}
+	if !math.IsInf(float64(x[8]), 1) {
+		t.Fatalf("x[8] = %v, want +Inf", x[8])
+	}
+	if !(x[9] != x[9] && !math.Signbit(float64(x[9]))) {
+		t.Fatalf("x[9] = %v, want +NaN", x[9])
+	}
+}
+
+func TestSortQuick(t *testing.T) {
+	err := quick.Check(func(x []float32) bool {
+		Sort32(x)
+		return IsSorted32(x)
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+	err = quick.Check(func(x []float64) bool {
+		Sort64(x)
+		return IsSorted64(x)
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortPreservesMultiset(t *testing.T) {
+	err := quick.Check(func(x []float32) bool {
+		before := map[uint32]int{}
+		for _, v := range x {
+			before[math.Float32bits(v)]++
+		}
+		Sort32(x)
+		after := map[uint32]int{}
+		for _, v := range x {
+			after[math.Float32bits(v)]++
+		}
+		if len(before) != len(after) {
+			return false
+		}
+		for k, c := range before {
+			if after[k] != c {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortEdgeSizes(t *testing.T) {
+	Sort32(nil)
+	Sort32([]float32{})
+	one := []float32{3}
+	Sort32(one)
+	if one[0] != 3 {
+		t.Error("single element changed")
+	}
+	two := []float32{2, 1}
+	Sort32(two)
+	if two[0] != 1 || two[1] != 2 {
+		t.Errorf("two elements: %v", two)
+	}
+	Sort64(nil)
+	d := []float64{5, -5}
+	Sort64(d)
+	if d[0] != -5 {
+		t.Errorf("Sort64 two elements: %v", d)
+	}
+}
+
+func TestIsSortedDetectsDisorder(t *testing.T) {
+	if IsSorted32([]float32{2, 1}) {
+		t.Error("IsSorted32 missed disorder")
+	}
+	if IsSorted64([]float64{2, 1}) {
+		t.Error("IsSorted64 missed disorder")
+	}
+	if !IsSorted32(nil) || !IsSorted64(nil) {
+		t.Error("empty slices are sorted")
+	}
+	// -0 before +0 is sorted in totalOrder; the reverse is not.
+	if !IsSorted32([]float32{float32(math.Copysign(0, -1)), 0}) {
+		t.Error("-0,+0 should be sorted")
+	}
+	if IsSorted32([]float32{0, float32(math.Copysign(0, -1))}) {
+		t.Error("+0,-0 should not be sorted in totalOrder")
+	}
+}
+
+func TestSearch32(t *testing.T) {
+	x := []float32{-3, -1, -0.5, 0, 0.5, 1, 3}
+	Sort32(x)
+	for i, v := range x {
+		if got := Search32(x, v); got != i {
+			t.Errorf("Search32(%v) = %d, want %d", v, got, i)
+		}
+	}
+	if got := Search32(x, -10); got != 0 {
+		t.Errorf("Search32(-10) = %d", got)
+	}
+	if got := Search32(x, 10); got != len(x) {
+		t.Errorf("Search32(10) = %d", got)
+	}
+	if got := Search32(x, 0.25); got != 4 {
+		t.Errorf("Search32(0.25) = %d, want 4 (index of 0.5)", got)
+	}
+	// Property: Search32 equals sort.Search with float comparison.
+	err := quick.Check(func(raw []float32, v float32) bool {
+		if v != v {
+			return true
+		}
+		var clean []float32
+		for _, r := range raw {
+			if r == r {
+				clean = append(clean, r)
+			}
+		}
+		Sort32(clean)
+		want := sort.Search(len(clean), func(i int) bool {
+			// totalOrder >= for non-NaN data with -0/+0 tie handling.
+			if clean[i] == v {
+				ki := math.Float32bits(clean[i])
+				kv := math.Float32bits(v)
+				return ki == kv || (ki>>31 <= kv>>31)
+			}
+			return clean[i] > v
+		})
+		return Search32(clean, v) == want
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}

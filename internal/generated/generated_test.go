@@ -1,0 +1,105 @@
+package generated
+
+import (
+	"testing"
+
+	"flint/internal/cart"
+	"flint/internal/core"
+	"flint/internal/dataset"
+)
+
+// TestManifestComplete checks every manifest entry produced both
+// realizations and registered consistent metadata.
+func TestManifestComplete(t *testing.T) {
+	if len(PregenSpecs) == 0 {
+		t.Fatal("empty manifest")
+	}
+	for _, spec := range PregenSpecs {
+		e, ok := Lookup(spec.Name)
+		if !ok {
+			t.Errorf("%s: not registered (run `go run ./cmd/flintgen -pregen`)", spec.Name)
+			continue
+		}
+		if e.Float == nil || e.FLInt == nil {
+			t.Errorf("%s: missing realization (float=%v flint=%v)", spec.Name, e.Float != nil, e.FLInt != nil)
+		}
+		ds, err := dataset.LookupSpec(spec.Dataset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.NumFeatures != ds.NumFeatures || e.NumClasses != ds.NumClasses {
+			t.Errorf("%s: registered shape %dx%d, dataset says %dx%d",
+				spec.Name, e.NumFeatures, e.NumClasses, ds.NumFeatures, ds.NumClasses)
+		}
+	}
+	if len(Names()) != len(PregenSpecs) {
+		t.Errorf("registry has %d names, manifest %d", len(Names()), len(PregenSpecs))
+	}
+	if _, ok := Lookup("no-such-forest"); ok {
+		t.Error("Lookup invented an entry")
+	}
+	if _, ok := LookupSpec("no-such-forest"); ok {
+		t.Error("LookupSpec invented an entry")
+	}
+}
+
+// TestGeneratedCodeMatchesRetrainedModel retrains the exact model behind
+// every shipped forest (generation is deterministic in the manifest
+// parameters) and verifies both generated realizations prediction for
+// prediction — the compiled-Go version of the paper's accuracy-unchanged
+// claim.
+func TestGeneratedCodeMatchesRetrainedModel(t *testing.T) {
+	for _, spec := range PregenSpecs {
+		e, ok := Lookup(spec.Name)
+		if !ok || e.Float == nil || e.FLInt == nil {
+			t.Fatalf("%s: registry incomplete", spec.Name)
+		}
+		d, err := dataset.Generate(spec.Dataset, spec.Rows, spec.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forest, err := cart.TrainForest(d, cart.Config{
+			NumTrees: spec.Trees, MaxDepth: spec.Depth, Seed: spec.Seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var xi []int32
+		for i, x := range d.Features {
+			want := forest.Predict(x)
+			if got := e.Float(x); got != want {
+				t.Fatalf("%s: float realization predicts %d at row %d, reference %d",
+					spec.Name, got, i, want)
+			}
+			xi = core.EncodeFeatures32(xi, x)
+			if got := e.FLInt(xi); got != want {
+				t.Fatalf("%s: FLInt realization predicts %d at row %d, reference %d",
+					spec.Name, got, i, want)
+			}
+		}
+	}
+}
+
+// TestCAGSVariantSemanticsPreserved: the swapped emission of the CAGS
+// entry must agree with its unswapped sibling.
+func TestCAGSVariantSemanticsPreserved(t *testing.T) {
+	plain, ok1 := Lookup("magic_d10")
+	swapped, ok2 := Lookup("magic_d10_cags")
+	if !ok1 || !ok2 {
+		t.Skip("magic entries not generated")
+	}
+	d, err := dataset.Generate("magic", 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xi []int32
+	for i, x := range d.Features {
+		if plain.Float(x) != swapped.Float(x) {
+			t.Fatalf("row %d: float CAGS emission diverges", i)
+		}
+		xi = core.EncodeFeatures32(xi, x)
+		if plain.FLInt(xi) != swapped.FLInt(xi) {
+			t.Fatalf("row %d: FLInt CAGS emission diverges", i)
+		}
+	}
+}

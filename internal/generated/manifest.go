@@ -1,0 +1,48 @@
+package generated
+
+// Spec describes one pre-generated forest: enough information for
+// `flintgen -pregen` to emit it and for the package tests to retrain the
+// identical model and verify the generated code prediction for
+// prediction.
+type Spec struct {
+	// Name is the registry key and source file stem.
+	Name string
+	// Dataset is the synthetic workload (see internal/dataset).
+	Dataset string
+	// Rows, Seed, Trees and Depth parameterize dataset synthesis and
+	// training; generation is fully deterministic in them.
+	Rows  int
+	Seed  int64
+	Trees int
+	Depth int
+	// CAGS applies branch swapping at emission time.
+	CAGS bool
+}
+
+// PregenSpecs lists the shipped forests: shallow and deep trees for
+// three workloads, plus CAGS-swapped deep variants used by the ablation
+// benchmarks. Sizes are chosen so the generated sources stay reviewable.
+var PregenSpecs = []Spec{
+	{Name: "eye_d5", Dataset: "eye", Rows: 500, Seed: 41, Trees: 3, Depth: 5},
+	{Name: "eye_d10", Dataset: "eye", Rows: 500, Seed: 41, Trees: 3, Depth: 10},
+	{Name: "eye_d10_cags", Dataset: "eye", Rows: 500, Seed: 41, Trees: 3, Depth: 10, CAGS: true},
+	{Name: "gas_d8", Dataset: "gas", Rows: 500, Seed: 44, Trees: 3, Depth: 8},
+	{Name: "magic_d5", Dataset: "magic", Rows: 500, Seed: 42, Trees: 3, Depth: 5},
+	{Name: "magic_d10", Dataset: "magic", Rows: 500, Seed: 42, Trees: 3, Depth: 10},
+	{Name: "magic_d10_cags", Dataset: "magic", Rows: 500, Seed: 42, Trees: 3, Depth: 10, CAGS: true},
+	{Name: "magic_d15", Dataset: "magic", Rows: 800, Seed: 42, Trees: 5, Depth: 15},
+	{Name: "sensorless_d8", Dataset: "sensorless", Rows: 600, Seed: 45, Trees: 3, Depth: 8},
+	{Name: "wine_d5", Dataset: "wine", Rows: 500, Seed: 43, Trees: 3, Depth: 5},
+	{Name: "wine_d10", Dataset: "wine", Rows: 500, Seed: 43, Trees: 3, Depth: 10},
+	{Name: "wine_d10_cags", Dataset: "wine", Rows: 500, Seed: 43, Trees: 3, Depth: 10, CAGS: true},
+}
+
+// LookupSpec returns the manifest entry for name.
+func LookupSpec(name string) (Spec, bool) {
+	for _, s := range PregenSpecs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,63 @@
+// Package generated holds if-else tree forests emitted ahead of time by
+// `flintgen -pregen` — the Go analog of the paper's compiled C trees.
+// Checking the generated sources into the repository lets `go test
+// -bench` exercise genuinely compiled trees (split constants as
+// immediates in the instruction stream) without a build-time generation
+// step, exactly as the arch-forest toolchain ships generated sources.
+//
+// The handwritten files of this package are this registry and the
+// manifest; everything else is generated output of internal/codegen and
+// is regenerated verbatim by `go run ./cmd/flintgen -pregen`.
+package generated
+
+import "sort"
+
+// Entry is one pre-generated forest: the float realization (Listing 1)
+// and the FLInt realization (Listing 2/4) of the same trained model.
+type Entry struct {
+	// NumFeatures and NumClasses describe the model's feature space.
+	NumFeatures int
+	NumClasses  int
+	// Float is the hardware-float predictor; nil until its file is
+	// generated.
+	Float func(x []float32) int32
+	// FLInt is the integer-compare predictor over reinterpreted
+	// features; nil until its file is generated.
+	FLInt func(x []int32) int32
+}
+
+var registry = map[string]Entry{}
+
+// register merges an entry under name; the float and FLInt variants of
+// the same forest live in separate generated files and register
+// themselves independently.
+func register(name string, e Entry) {
+	cur := registry[name]
+	if cur.NumFeatures == 0 {
+		cur.NumFeatures = e.NumFeatures
+		cur.NumClasses = e.NumClasses
+	}
+	if e.Float != nil {
+		cur.Float = e.Float
+	}
+	if e.FLInt != nil {
+		cur.FLInt = e.FLInt
+	}
+	registry[name] = cur
+}
+
+// Lookup returns the entry registered under name.
+func Lookup(name string) (Entry, bool) {
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Names returns all registered forest names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

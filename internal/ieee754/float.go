@@ -1,0 +1,48 @@
+package ieee754
+
+import "math"
+
+// Bits32 returns the IEEE 754 binary32 bit pattern of v, widened to uint64
+// so it can be used with the Binary32 Format.
+func Bits32(v float32) uint64 { return uint64(math.Float32bits(v)) }
+
+// Float32 returns the float32 whose binary32 bit pattern is the low 32
+// bits of b.
+func Float32(b uint64) float32 { return math.Float32frombits(uint32(b)) }
+
+// Bits64 returns the IEEE 754 binary64 bit pattern of v.
+func Bits64(v float64) uint64 { return math.Float64bits(v) }
+
+// Float64 returns the float64 whose binary64 bit pattern is b.
+func Float64(b uint64) float64 { return math.Float64frombits(b) }
+
+// SI32 returns the two's-complement signed integer interpretation of the
+// bit pattern of v, i.e. SI(B) for B = bits32(v). This is the
+// reinterpretation `*(int32*)&v` from Listing 2 of the paper.
+func SI32(v float32) int32 { return int32(math.Float32bits(v)) }
+
+// SI64 returns the signed integer interpretation of the bit pattern of v.
+func SI64(v float64) int64 { return int64(math.Float64bits(v)) }
+
+// FromSI32 returns the float32 whose bit pattern has signed interpretation s.
+func FromSI32(s int32) float32 { return math.Float32frombits(uint32(s)) }
+
+// FromSI64 returns the float64 whose bit pattern has signed interpretation s.
+func FromSI64(s int64) float64 { return math.Float64frombits(uint64(s)) }
+
+// TotalOrderKey32 maps a binary32 bit pattern to a uint32 whose unsigned
+// order equals the paper's floating point order (with -0 < +0): positive
+// patterns have their sign bit set, negative patterns are bitwise
+// inverted. This is the classic radix-sort float key; the FLInt paper
+// avoids it at runtime by resolving signs offline, and the treeexec
+// package benchmarks both choices (ablation A2).
+func TotalOrderKey32(b uint32) uint32 {
+	mask := uint32(int32(b)>>31) | 0x8000_0000
+	return b ^ mask
+}
+
+// TotalOrderKey64 is TotalOrderKey32 for binary64 patterns.
+func TotalOrderKey64(b uint64) uint64 {
+	mask := uint64(int64(b)>>63) | 0x8000_0000_0000_0000
+	return b ^ mask
+}

@@ -1,0 +1,317 @@
+// Package ieee754 models binary floating point formats at the bit level.
+//
+// It implements Definitions 1-4 of the FLInt paper (Hakert, Chen, Chen;
+// DATE 2024): the interpretation of a k-bit vector as an unsigned integer
+// UI(B), as a two's-complement signed integer SI(B), and as a binary
+// floating point number FP(B) with a sign bit, a biased exponent and a
+// mantissa with an implicit leading one (denormalized numbers and the two
+// zeros included).
+//
+// The package supports arbitrary formats with 1 <= exponent bits <= 15 and
+// 1 <= mantissa bits <= 62 (total width <= 64), which covers IEEE 754
+// binary16/binary32/binary64 as instances, as well as tiny formats such as
+// an 8-bit minifloat on which the paper's lemmata can be verified
+// exhaustively. Interpretations are exact: FP(B) is returned as a
+// *big.Float with sufficient precision, never as a rounded float64.
+package ieee754
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Format describes a binary floating point format: one sign bit, Exp biased
+// exponent bits and Mant mantissa bits, packed into k = 1+Exp+Mant bits
+// (Definition 3 of the paper). The zero value is not a valid format; use
+// NewFormat or one of the predefined formats.
+type Format struct {
+	exp  uint // exponent bits (j in the paper)
+	mant uint // mantissa bits (x in the paper)
+}
+
+// Predefined instances of Format. Binary32 and Binary64 are the IEEE
+// 754-1985 single and double precision formats the paper targets;
+// Binary16 is half precision; Mini8 is a 1-4-3 minifloat small enough to
+// enumerate exhaustively in tests; BFloat16 is the truncated-mantissa
+// variant common in ML accelerators.
+var (
+	Mini8    = Format{exp: 4, mant: 3}
+	Binary16 = Format{exp: 5, mant: 10}
+	BFloat16 = Format{exp: 8, mant: 7}
+	Binary32 = Format{exp: 8, mant: 23}
+	Binary64 = Format{exp: 11, mant: 52}
+)
+
+// NewFormat returns a Format with the given exponent and mantissa widths.
+// It returns an error unless 1 <= exp <= 15, 1 <= mant <= 62 and the total
+// width 1+exp+mant is at most 64.
+func NewFormat(exp, mant uint) (Format, error) {
+	if exp < 1 || exp > 15 {
+		return Format{}, fmt.Errorf("ieee754: exponent width %d out of range [1,15]", exp)
+	}
+	if mant < 1 || mant > 62 {
+		return Format{}, fmt.Errorf("ieee754: mantissa width %d out of range [1,62]", mant)
+	}
+	if 1+exp+mant > 64 {
+		return Format{}, fmt.Errorf("ieee754: total width %d exceeds 64 bits", 1+exp+mant)
+	}
+	return Format{exp: exp, mant: mant}, nil
+}
+
+// Bits returns the total width k of the format in bits.
+func (f Format) Bits() uint { return 1 + f.exp + f.mant }
+
+// ExpBits returns the number of exponent bits (j in the paper).
+func (f Format) ExpBits() uint { return f.exp }
+
+// MantBits returns the number of mantissa bits (x in the paper).
+func (f Format) MantBits() uint { return f.mant }
+
+// Bias returns the exponent bias 2^(j-1)-1 (Definition 3).
+func (f Format) Bias() int { return int(uint64(1)<<(f.exp-1)) - 1 }
+
+// Mask returns the k-bit mask covering all valid bit positions.
+func (f Format) Mask() uint64 {
+	k := f.Bits()
+	if k == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << k) - 1
+}
+
+// SignMask returns the mask selecting the sign bit b_{k-1}.
+func (f Format) SignMask() uint64 { return uint64(1) << (f.Bits() - 1) }
+
+// ExpMask returns the mask selecting the exponent field within the bit
+// vector (bits k-2 down to mant).
+func (f Format) ExpMask() uint64 {
+	return ((uint64(1) << f.exp) - 1) << f.mant
+}
+
+// MantMask returns the mask selecting the mantissa field (bits mant-1..0).
+func (f Format) MantMask() uint64 { return (uint64(1) << f.mant) - 1 }
+
+// Valid reports whether b fits in the format, i.e. has no bits set above
+// position k-1.
+func (f Format) Valid(b uint64) bool { return b&^f.Mask() == 0 }
+
+// String returns a short description such as "binary32(e8,m23)".
+func (f Format) String() string {
+	switch f {
+	case Binary32:
+		return "binary32(e8,m23)"
+	case Binary64:
+		return "binary64(e11,m52)"
+	case Binary16:
+		return "binary16(e5,m10)"
+	case BFloat16:
+		return "bfloat16(e8,m7)"
+	case Mini8:
+		return "mini8(e4,m3)"
+	}
+	return fmt.Sprintf("float%d(e%d,m%d)", f.Bits(), f.exp, f.mant)
+}
+
+// Fields splits a bit vector into its sign, biased exponent and mantissa
+// fields (Definition 3, Figure 1).
+func (f Format) Fields(b uint64) (sign uint64, exp uint64, mant uint64) {
+	b &= f.Mask()
+	sign = b >> (f.Bits() - 1)
+	exp = (b & f.ExpMask()) >> f.mant
+	mant = b & f.MantMask()
+	return sign, exp, mant
+}
+
+// Pack assembles a bit vector from its fields; the inverse of Fields.
+// Field values are masked to their widths.
+func (f Format) Pack(sign, exp, mant uint64) uint64 {
+	return (sign&1)<<(f.Bits()-1) |
+		(exp&((uint64(1)<<f.exp)-1))<<f.mant |
+		mant&f.MantMask()
+}
+
+// UI returns the unsigned integer interpretation UI(B) (Definition 2).
+func (f Format) UI(b uint64) uint64 { return b & f.Mask() }
+
+// SI returns the two's-complement signed integer interpretation SI(B)
+// (Definition 2): the value of the k-bit vector with the most significant
+// bit weighted -2^(k-1).
+func (f Format) SI(b uint64) int64 {
+	b &= f.Mask()
+	k := f.Bits()
+	if k == 64 {
+		return int64(b)
+	}
+	if b&f.SignMask() != 0 {
+		return int64(b) - int64(uint64(1)<<k)
+	}
+	return int64(b)
+}
+
+// FromSI returns the k-bit vector whose signed interpretation is v. It is
+// the inverse of SI for values representable in k bits; out-of-range
+// values are truncated modulo 2^k.
+func (f Format) FromSI(v int64) uint64 { return uint64(v) & f.Mask() }
+
+// Class is the IEEE 754 class of a bit pattern.
+type Class int
+
+// Classes of floating point bit patterns. Zero covers both +0.0 and -0.0.
+const (
+	ClassZero Class = iota
+	ClassDenormal
+	ClassNormal
+	ClassInf
+	ClassNaN
+)
+
+// String returns the lower-case class name.
+func (c Class) String() string {
+	switch c {
+	case ClassZero:
+		return "zero"
+	case ClassDenormal:
+		return "denormal"
+	case ClassNormal:
+		return "normal"
+	case ClassInf:
+		return "inf"
+	case ClassNaN:
+		return "nan"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Classify returns the class of b within the format.
+func (f Format) Classify(b uint64) Class {
+	_, exp, mant := f.Fields(b)
+	maxExp := (uint64(1) << f.exp) - 1
+	switch {
+	case exp == 0 && mant == 0:
+		return ClassZero
+	case exp == 0:
+		return ClassDenormal
+	case exp == maxExp && mant == 0:
+		return ClassInf
+	case exp == maxExp:
+		return ClassNaN
+	default:
+		return ClassNormal
+	}
+}
+
+// IsNaN reports whether b encodes a not-a-number value.
+func (f Format) IsNaN(b uint64) bool { return f.Classify(b) == ClassNaN }
+
+// IsFinite reports whether b encodes a finite value (zero, denormal or
+// normal).
+func (f Format) IsFinite(b uint64) bool {
+	c := f.Classify(b)
+	return c == ClassZero || c == ClassDenormal || c == ClassNormal
+}
+
+// SignBit reports whether the sign bit of b is set.
+func (f Format) SignBit(b uint64) bool { return b&f.SignMask() != 0 }
+
+// Neg returns b with its sign bit flipped: the encoding of -FP(B). This is
+// the "multiply with -1" of Theorem 2, realized as a single XOR.
+func (f Format) Neg(b uint64) uint64 { return (b ^ f.SignMask()) & f.Mask() }
+
+// Abs returns b with its sign bit cleared: the encoding of |FP(B)|
+// (Definition 4).
+func (f Format) Abs(b uint64) uint64 { return b &^ f.SignMask() & f.Mask() }
+
+// fpPrec is the big.Float precision used for exact interpretations. The
+// largest exactly-representable magnitude needs mant+1 significand bits;
+// 256 covers every format this package accepts with a wide margin.
+const fpPrec = 256
+
+// FP returns the floating point interpretation FP(B) as an exact
+// *big.Float (Definition 3 for normal numbers, the denormalized
+// interpretation for exp == 0). Infinities are returned as big.Float
+// infinities. FP must not be called on NaN patterns; use IsNaN first.
+// Following the paper, FP(-0) is returned as a negative zero, which
+// big.Float distinguishes from +0 via Signbit.
+func (f Format) FP(b uint64) *big.Float {
+	sign, exp, mant := f.Fields(b)
+	if f.IsNaN(b) {
+		panic(fmt.Sprintf("ieee754: FP called on NaN pattern %#x in %v", b, f))
+	}
+	v := new(big.Float).SetPrec(fpPrec)
+	if f.Classify(b) == ClassInf {
+		v.SetInf(sign == 1)
+		return v
+	}
+	// significand = mant (plus implicit 1 << mantBits for normal numbers),
+	// scaled by 2^(E - bias - mantBits), with E = 1 for denormals.
+	sig := new(big.Int).SetUint64(mant)
+	e := int(exp)
+	if exp == 0 {
+		e = 1 // denormalized: exponent reads as 1-bias, no implicit one
+	} else {
+		sig.SetBit(sig, int(f.mant), 1)
+	}
+	v.SetInt(sig)
+	v.SetMantExp(v, e-f.Bias()-int(f.mant))
+	if sign == 1 {
+		v.Neg(v)
+	}
+	return v
+}
+
+// CompareFP compares the floating point interpretations of x and y using
+// the paper's semantics: total order on the extended reals with
+// -0.0 < +0.0 (footnote 1 / Definition 4 discussion). It returns -1, 0 or
+// +1. It must not be called on NaN patterns.
+func (f Format) CompareFP(x, y uint64) int {
+	fx, fy := f.FP(x), f.FP(y)
+	if c := fx.Cmp(fy); c != 0 {
+		return c
+	}
+	// big.Float.Cmp treats -0 == +0; the paper orders -0 < +0.
+	sx, sy := fx.Signbit(), fy.Signbit()
+	switch {
+	case sx == sy:
+		return 0
+	case sx: // x is -0, y is +0
+		return -1
+	default:
+		return 1
+	}
+}
+
+// CompareIEEE compares the floating point interpretations of x and y with
+// strict IEEE 754 semantics, i.e. -0.0 == +0.0. It returns -1, 0 or +1 and
+// must not be called on NaN patterns.
+func (f Format) CompareIEEE(x, y uint64) int {
+	return f.FP(x).Cmp(f.FP(y))
+}
+
+// CompareSI compares the signed integer interpretations of x and y,
+// returning -1, 0 or +1.
+func (f Format) CompareSI(x, y uint64) int {
+	sx, sy := f.SI(x), f.SI(y)
+	switch {
+	case sx < sy:
+		return -1
+	case sx > sy:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// AllBits returns every valid bit pattern of the format in ascending
+// unsigned order. It panics for formats wider than 24 bits, where the
+// enumeration would be impractically large.
+func (f Format) AllBits() []uint64 {
+	if f.Bits() > 24 {
+		panic(fmt.Sprintf("ieee754: AllBits on %v would enumerate 2^%d patterns", f, f.Bits()))
+	}
+	n := uint64(1) << f.Bits()
+	out := make([]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,457 @@
+package ieee754
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFormat(t *testing.T) {
+	cases := []struct {
+		exp, mant uint
+		ok        bool
+	}{
+		{8, 23, true},
+		{11, 52, true},
+		{5, 10, true},
+		{4, 3, true},
+		{1, 1, true},
+		{15, 48, true},
+		{0, 3, false},  // no exponent bits
+		{16, 3, false}, // exponent too wide
+		{8, 0, false},  // no mantissa bits
+		{8, 63, false}, // mantissa too wide
+		{15, 62, false},
+		{12, 52, false}, // 65 bits total
+	}
+	for _, c := range cases {
+		f, err := NewFormat(c.exp, c.mant)
+		if c.ok && err != nil {
+			t.Errorf("NewFormat(%d,%d): unexpected error %v", c.exp, c.mant, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("NewFormat(%d,%d): expected error, got %v", c.exp, c.mant, f)
+		}
+		if c.ok && f.Bits() != 1+c.exp+c.mant {
+			t.Errorf("NewFormat(%d,%d).Bits() = %d", c.exp, c.mant, f.Bits())
+		}
+	}
+}
+
+func TestPredefinedFormats(t *testing.T) {
+	if Binary32.Bits() != 32 || Binary32.Bias() != 127 {
+		t.Errorf("Binary32: bits=%d bias=%d", Binary32.Bits(), Binary32.Bias())
+	}
+	if Binary64.Bits() != 64 || Binary64.Bias() != 1023 {
+		t.Errorf("Binary64: bits=%d bias=%d", Binary64.Bits(), Binary64.Bias())
+	}
+	if Binary16.Bits() != 16 || Binary16.Bias() != 15 {
+		t.Errorf("Binary16: bits=%d bias=%d", Binary16.Bits(), Binary16.Bias())
+	}
+	if Mini8.Bits() != 8 || Mini8.Bias() != 7 {
+		t.Errorf("Mini8: bits=%d bias=%d", Mini8.Bits(), Mini8.Bias())
+	}
+	if BFloat16.Bits() != 16 || BFloat16.Bias() != 127 {
+		t.Errorf("BFloat16: bits=%d bias=%d", BFloat16.Bits(), BFloat16.Bias())
+	}
+}
+
+func TestMasks(t *testing.T) {
+	if Binary32.Mask() != 0xFFFF_FFFF {
+		t.Errorf("Binary32.Mask() = %#x", Binary32.Mask())
+	}
+	if Binary64.Mask() != ^uint64(0) {
+		t.Errorf("Binary64.Mask() = %#x", Binary64.Mask())
+	}
+	if Binary32.SignMask() != 0x8000_0000 {
+		t.Errorf("Binary32.SignMask() = %#x", Binary32.SignMask())
+	}
+	if Binary32.ExpMask() != 0x7F80_0000 {
+		t.Errorf("Binary32.ExpMask() = %#x", Binary32.ExpMask())
+	}
+	if Binary32.MantMask() != 0x007F_FFFF {
+		t.Errorf("Binary32.MantMask() = %#x", Binary32.MantMask())
+	}
+	if Mini8.Mask() != 0xFF || Mini8.SignMask() != 0x80 || Mini8.ExpMask() != 0x78 || Mini8.MantMask() != 0x07 {
+		t.Errorf("Mini8 masks: %#x %#x %#x %#x", Mini8.Mask(), Mini8.SignMask(), Mini8.ExpMask(), Mini8.MantMask())
+	}
+}
+
+func TestFieldsPackRoundTrip(t *testing.T) {
+	for _, f := range []Format{Mini8, Binary16, Binary32, BFloat16} {
+		mask := f.Mask()
+		step := uint64(1)
+		if f.Bits() > 16 {
+			step = 65537 // sparse sweep for wide formats
+		}
+		for b := uint64(0); b <= mask; b += step {
+			s, e, m := f.Fields(b)
+			if got := f.Pack(s, e, m); got != b {
+				t.Fatalf("%v: Pack(Fields(%#x)) = %#x", f, b, got)
+			}
+			if b == mask {
+				break
+			}
+		}
+	}
+}
+
+func TestSIMatchesDefinition2(t *testing.T) {
+	// SI over Mini8 must equal the textbook two's complement value.
+	for b := uint64(0); b < 256; b++ {
+		want := int64(b)
+		if b >= 128 {
+			want = int64(b) - 256
+		}
+		if got := Mini8.SI(b); got != want {
+			t.Fatalf("Mini8.SI(%#x) = %d, want %d", b, got, want)
+		}
+		if back := Mini8.FromSI(want); back != b {
+			t.Fatalf("Mini8.FromSI(%d) = %#x, want %#x", want, back, b)
+		}
+	}
+}
+
+func TestSI32MatchesFormat(t *testing.T) {
+	err := quick.Check(func(v float32) bool {
+		if math.IsNaN(float64(v)) {
+			return true
+		}
+		return int64(SI32(v)) == Binary32.SI(Bits32(v))
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSI64MatchesFormat(t *testing.T) {
+	err := quick.Check(func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		return SI64(v) == Binary64.SI(Bits64(v))
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		f    Format
+		b    uint64
+		want Class
+	}{
+		{Binary32, Bits32(0), ClassZero},
+		{Binary32, Bits32(float32(math.Copysign(0, -1))), ClassZero},
+		{Binary32, Bits32(1.5), ClassNormal},
+		{Binary32, Bits32(-1.5), ClassNormal},
+		{Binary32, Bits32(math.SmallestNonzeroFloat32), ClassDenormal},
+		{Binary32, Bits32(float32(math.Inf(1))), ClassInf},
+		{Binary32, Bits32(float32(math.Inf(-1))), ClassInf},
+		{Binary32, Bits32(float32(math.NaN())), ClassNaN},
+		{Binary64, Bits64(0), ClassZero},
+		{Binary64, Bits64(math.SmallestNonzeroFloat64), ClassDenormal},
+		{Binary64, Bits64(math.MaxFloat64), ClassNormal},
+		{Binary64, Bits64(math.Inf(-1)), ClassInf},
+		{Binary64, Bits64(math.NaN()), ClassNaN},
+		{Mini8, 0x00, ClassZero},
+		{Mini8, 0x80, ClassZero},     // -0
+		{Mini8, 0x01, ClassDenormal}, // smallest denormal
+		{Mini8, 0x07, ClassDenormal}, // largest denormal
+		{Mini8, 0x08, ClassNormal},   // smallest normal
+		{Mini8, 0x77, ClassNormal},   // largest normal
+		{Mini8, 0x78, ClassInf},
+		{Mini8, 0xF8, ClassInf},
+		{Mini8, 0x79, ClassNaN},
+		{Mini8, 0xFF, ClassNaN},
+	}
+	for _, c := range cases {
+		if got := c.f.Classify(c.b); got != c.want {
+			t.Errorf("%v.Classify(%#x) = %v, want %v", c.f, c.b, got, c.want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	names := map[Class]string{
+		ClassZero: "zero", ClassDenormal: "denormal", ClassNormal: "normal",
+		ClassInf: "inf", ClassNaN: "nan", Class(42): "Class(42)",
+	}
+	for c, want := range names {
+		if got := c.String(); got != want {
+			t.Errorf("Class.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// fpViaHardware interprets a binary32 pattern with the Go runtime's float
+// hardware and returns it as a big.Float, for cross-checking Format.FP.
+func fpViaHardware(b uint64) *big.Float {
+	// SetFloat64 preserves the sign of zero, so -0 round-trips.
+	return new(big.Float).SetPrec(fpPrec).SetFloat64(float64(Float32(b)))
+}
+
+func TestFPMatchesHardwareBinary32(t *testing.T) {
+	// Structured sweep: every exponent with several mantissas, both signs.
+	for exp := uint64(0); exp < 256; exp++ {
+		for _, mant := range []uint64{0, 1, 0x2AAAAA, 0x555555, 0x7FFFFF} {
+			for _, sign := range []uint64{0, 1} {
+				b := Binary32.Pack(sign, exp, mant)
+				if Binary32.IsNaN(b) {
+					continue
+				}
+				got := Binary32.FP(b)
+				want := fpViaHardware(b)
+				if got.Cmp(want) != 0 || got.Signbit() != want.Signbit() {
+					t.Fatalf("FP(%#x) = %v, hardware says %v", b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFPMatchesHardwareBinary64(t *testing.T) {
+	values := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, -0.5, math.Pi, -math.Pi,
+		math.MaxFloat64, -math.MaxFloat64,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		math.Inf(1), math.Inf(-1), 1e300, -1e-300, 2.2250738585072014e-308,
+	}
+	for _, v := range values {
+		b := Bits64(v)
+		got := Binary64.FP(b)
+		if math.IsInf(v, 0) {
+			if !got.IsInf() || got.Signbit() != math.Signbit(v) {
+				t.Errorf("FP(bits(%v)) = %v", v, got)
+			}
+			continue
+		}
+		want := new(big.Float).SetPrec(fpPrec).SetFloat64(v)
+		if got.Cmp(want) != 0 {
+			t.Errorf("FP(bits(%v)) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestFPPanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FP(NaN) did not panic")
+		}
+	}()
+	Binary32.FP(Bits32(float32(math.NaN())))
+}
+
+func TestFPDenormalMini8(t *testing.T) {
+	// Mini8 denormals: value = mant * 2^(1-bias-mantBits) = mant * 2^-9.
+	for mant := uint64(1); mant < 8; mant++ {
+		b := Mini8.Pack(0, 0, mant)
+		want := new(big.Float).SetPrec(fpPrec).SetInt64(int64(mant))
+		want.SetMantExp(want, -9) // mant * 2^(1-bias-mantBits) = mant * 2^-9
+		if got := Mini8.FP(b); got.Cmp(want) != 0 {
+			t.Errorf("Mini8.FP(%#x) = %v, want %v", b, got, want)
+		}
+	}
+	// Smallest normal is 2^(1-bias) = 2^-6 = 0.015625.
+	small := Mini8.FP(0x08)
+	if v, _ := small.Float64(); v != 0.015625 {
+		t.Errorf("Mini8 smallest normal = %v, want 0.015625", v)
+	}
+	// Largest normal: exp=0b1110, mant=0b111 => 2^7 * 1.875 = 240.
+	large := Mini8.FP(0x77)
+	if v, _ := large.Float64(); v != 240 {
+		t.Errorf("Mini8 largest normal = %v, want 240", v)
+	}
+}
+
+func TestNegAbs(t *testing.T) {
+	for _, f := range []Format{Mini8, Binary16, Binary32, Binary64} {
+		one := f.Pack(0, uint64(f.Bias()), 0)
+		if f.Neg(f.Neg(one)) != one {
+			t.Errorf("%v: Neg not involutive", f)
+		}
+		if !f.SignBit(f.Neg(one)) || f.SignBit(one) {
+			t.Errorf("%v: sign handling broken", f)
+		}
+		if f.Abs(f.Neg(one)) != one {
+			t.Errorf("%v: Abs(Neg(x)) != x", f)
+		}
+	}
+}
+
+func TestCompareFPZeroSemantics(t *testing.T) {
+	negZero := Bits32(float32(math.Copysign(0, -1)))
+	posZero := Bits32(0)
+	if got := Binary32.CompareFP(negZero, posZero); got != -1 {
+		t.Errorf("paper semantics: CompareFP(-0,+0) = %d, want -1", got)
+	}
+	if got := Binary32.CompareIEEE(negZero, posZero); got != 0 {
+		t.Errorf("IEEE semantics: CompareIEEE(-0,+0) = %d, want 0", got)
+	}
+	if got := Binary32.CompareFP(posZero, negZero); got != 1 {
+		t.Errorf("paper semantics: CompareFP(+0,-0) = %d, want 1", got)
+	}
+	if got := Binary32.CompareFP(posZero, posZero); got != 0 {
+		t.Errorf("CompareFP(+0,+0) = %d", got)
+	}
+	if got := Binary32.CompareFP(negZero, negZero); got != 0 {
+		t.Errorf("CompareFP(-0,-0) = %d", got)
+	}
+}
+
+func TestCompareFPMatchesHardware(t *testing.T) {
+	err := quick.Check(func(a, b float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+			return true
+		}
+		got := Binary32.CompareIEEE(Bits32(a), Bits32(b))
+		switch {
+		case a < b:
+			return got == -1
+		case a > b:
+			return got == 1
+		default:
+			return got == 0
+		}
+	}, &quick.Config{MaxCount: 5000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareSI(t *testing.T) {
+	if Binary32.CompareSI(Bits32(1), Bits32(2)) != -1 {
+		t.Error("CompareSI(1,2) != -1")
+	}
+	if Binary32.CompareSI(Bits32(2), Bits32(1)) != 1 {
+		t.Error("CompareSI(2,1) != 1")
+	}
+	if Binary32.CompareSI(Bits32(2), Bits32(2)) != 0 {
+		t.Error("CompareSI(2,2) != 0")
+	}
+	// Negative floats have negative SI.
+	if Binary32.SI(Bits32(-1)) >= 0 {
+		t.Error("SI(bits(-1)) should be negative")
+	}
+}
+
+func TestAllBits(t *testing.T) {
+	bits := Mini8.AllBits()
+	if len(bits) != 256 {
+		t.Fatalf("Mini8.AllBits() has %d entries", len(bits))
+	}
+	for i, b := range bits {
+		if b != uint64(i) {
+			t.Fatalf("AllBits[%d] = %#x", i, b)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AllBits on binary32 did not panic")
+		}
+	}()
+	Binary32.AllBits()
+}
+
+func TestTotalOrderKey32(t *testing.T) {
+	// Key order must equal the paper's float order (-0 < +0) on a sweep of
+	// interesting values plus random patterns.
+	patterns := []uint32{
+		0x0000_0000, 0x8000_0000, // +0, -0
+		0x0000_0001, 0x8000_0001, // smallest denormals
+		0x3F80_0000, 0xBF80_0000, // ±1
+		0x7F7F_FFFF, 0xFF7F_FFFF, // ±MaxFloat32
+		0x7F80_0000, 0xFF80_0000, // ±Inf
+		0x4121_3087, // 10.074347 from Listing 2
+		0xC03B_DDDE, // -2.935417 from Listing 3
+	}
+	for _, x := range patterns {
+		for _, y := range patterns {
+			want := Binary32.CompareFP(uint64(x), uint64(y))
+			kx, ky := TotalOrderKey32(x), TotalOrderKey32(y)
+			got := 0
+			if kx < ky {
+				got = -1
+			} else if kx > ky {
+				got = 1
+			}
+			if got != want {
+				t.Errorf("TotalOrderKey32 order(%#x,%#x) = %d, want %d", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestTotalOrderKey64(t *testing.T) {
+	err := quick.Check(func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ka, kb := TotalOrderKey64(Bits64(a)), TotalOrderKey64(Bits64(b))
+		if a < b {
+			return ka < kb
+		}
+		if a > b {
+			return ka > kb
+		}
+		// a == b: either identical bits or the ±0 pair.
+		if Bits64(a) == Bits64(b) {
+			return ka == kb
+		}
+		return (ka < kb) == math.Signbit(a)
+	}, &quick.Config{MaxCount: 5000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatBitsRoundTrip(t *testing.T) {
+	err := quick.Check(func(v float32) bool {
+		if math.IsNaN(float64(v)) {
+			return true
+		}
+		return Float32(Bits32(v)) == v && FromSI32(SI32(v)) == v
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+	err = quick.Check(func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		return Float64(Bits64(v)) == v && FromSI64(SI64(v)) == v
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	cases := map[Format]string{
+		Binary32: "binary32(e8,m23)",
+		Binary64: "binary64(e11,m52)",
+		Binary16: "binary16(e5,m10)",
+		BFloat16: "bfloat16(e8,m7)",
+		Mini8:    "mini8(e4,m3)",
+	}
+	for f, want := range cases {
+		if got := f.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	odd, _ := NewFormat(6, 9)
+	if got := odd.String(); got != "float16(e6,m9)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !Mini8.Valid(0xFF) || Mini8.Valid(0x100) {
+		t.Error("Mini8.Valid broken")
+	}
+	if !Binary64.Valid(^uint64(0)) {
+		t.Error("Binary64.Valid(^0) should hold")
+	}
+}

@@ -1,0 +1,224 @@
+package ieee754
+
+// This file verifies the formal claims of Section III of the FLInt paper
+// against the exact interpretations in this package. Every lemma is
+// checked exhaustively on Mini8 (all 256x256 bit-vector pairs), over all
+// single values of Binary16, and on structured plus pseudo-random pairs of
+// Binary32/Binary64. NaN patterns are excluded exactly as the paper's
+// Section III-A excludes them.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// pairSource yields non-NaN bit-pattern pairs for a format: exhaustive for
+// Mini8, structured+random otherwise.
+func pairSource(t *testing.T, f Format, fn func(x, y uint64)) {
+	t.Helper()
+	if f.Bits() <= 8 {
+		for _, x := range f.AllBits() {
+			if f.IsNaN(x) {
+				continue
+			}
+			for _, y := range f.AllBits() {
+				if f.IsNaN(y) {
+					continue
+				}
+				fn(x, y)
+			}
+		}
+		return
+	}
+	interesting := []uint64{
+		0,
+		f.SignMask(),        // -0
+		1, f.SignMask() | 1, // smallest denormals
+		f.MantMask(), f.SignMask() | f.MantMask(), // largest denormals
+		f.Pack(0, 1, 0), f.Pack(1, 1, 0), // smallest normals
+		f.Pack(0, uint64(f.Bias()), 0), f.Pack(1, uint64(f.Bias()), 0), // ±1
+		f.Pack(0, (1<<f.ExpBits())-2, f.MantMask()), // +max
+		f.Pack(1, (1<<f.ExpBits())-2, f.MantMask()), // -max
+		f.Pack(0, (1<<f.ExpBits())-1, 0),            // +inf
+		f.Pack(1, (1<<f.ExpBits())-1, 0),            // -inf
+	}
+	rng := rand.New(rand.NewSource(0x7157))
+	var pool []uint64
+	pool = append(pool, interesting...)
+	for len(pool) < 160 {
+		b := rng.Uint64() & f.Mask()
+		if !f.IsNaN(b) {
+			pool = append(pool, b)
+		}
+	}
+	for _, x := range pool {
+		for _, y := range pool {
+			fn(x, y)
+		}
+	}
+}
+
+var lemmaFormats = []Format{Mini8, Binary16, BFloat16, Binary32, Binary64}
+
+// Lemma 1: FP(X) = FP(Y) <=> X = Y <=> SI(X) = SI(Y), under the paper's
+// bijective semantics (-0 != +0).
+func TestLemma1Equality(t *testing.T) {
+	for _, f := range lemmaFormats {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			pairSource(t, f, func(x, y uint64) {
+				fpEq := f.CompareFP(x, y) == 0
+				bitEq := x == y
+				siEq := f.SI(x) == f.SI(y)
+				if fpEq != bitEq || bitEq != siEq {
+					t.Fatalf("Lemma 1 violated at x=%#x y=%#x: fpEq=%v bitEq=%v siEq=%v",
+						x, y, fpEq, bitEq, siEq)
+				}
+			})
+		})
+	}
+}
+
+// Lemma 2: with equal sign bits, |FP(X)| > |FP(Y)| <=> SI(X) > SI(Y).
+func TestLemma2AbsoluteOrder(t *testing.T) {
+	for _, f := range lemmaFormats {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			pairSource(t, f, func(x, y uint64) {
+				if f.SignBit(x) != f.SignBit(y) {
+					return
+				}
+				absGreater := f.CompareFP(f.Abs(x), f.Abs(y)) > 0
+				siGreater := f.SI(x) > f.SI(y)
+				// For negative sign bits, larger SI means larger |FP|
+				// as well (the mantissa/exponent fields grow together);
+				// the lemma is stated for both signs jointly.
+				if absGreater != siGreater {
+					t.Fatalf("Lemma 2 violated at x=%#x y=%#x: |FP| greater=%v, SI greater=%v",
+						x, y, absGreater, siGreater)
+				}
+			})
+		})
+	}
+}
+
+// Lemma 3: both sign bits 0: FP(X) > FP(Y) <=> SI(X) > SI(Y).
+func TestLemma3PositiveOrder(t *testing.T) {
+	for _, f := range lemmaFormats {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			pairSource(t, f, func(x, y uint64) {
+				if f.SignBit(x) || f.SignBit(y) {
+					return
+				}
+				if (f.CompareFP(x, y) > 0) != (f.SI(x) > f.SI(y)) {
+					t.Fatalf("Lemma 3 violated at x=%#x y=%#x", x, y)
+				}
+			})
+		})
+	}
+}
+
+// Lemma 4: both sign bits 1: FP(X) >= FP(Y) <=> SI(X) <= SI(Y).
+func TestLemma4NegativeOrder(t *testing.T) {
+	for _, f := range lemmaFormats {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			pairSource(t, f, func(x, y uint64) {
+				if !f.SignBit(x) || !f.SignBit(y) {
+					return
+				}
+				if (f.CompareFP(x, y) >= 0) != (f.SI(x) <= f.SI(y)) {
+					t.Fatalf("Lemma 4 violated at x=%#x y=%#x", x, y)
+				}
+			})
+		})
+	}
+}
+
+// Lemma 5: different sign bits: FP(X) > FP(Y) <=> SI(X) > SI(Y).
+func TestLemma5MixedSigns(t *testing.T) {
+	for _, f := range lemmaFormats {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			pairSource(t, f, func(x, y uint64) {
+				if f.SignBit(x) == f.SignBit(y) {
+					return
+				}
+				if (f.CompareFP(x, y) > 0) != (f.SI(x) > f.SI(y)) {
+					t.Fatalf("Lemma 5 violated at x=%#x y=%#x", x, y)
+				}
+			})
+		})
+	}
+}
+
+// Lemma 6: both sign bits 1: FP(X) > FP(Y) <=> SI(X) < SI(Y)
+// (the strict version obtained from Lemma 4 via Lemma 1).
+func TestLemma6NegativeStrictOrder(t *testing.T) {
+	for _, f := range lemmaFormats {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			pairSource(t, f, func(x, y uint64) {
+				if !f.SignBit(x) || !f.SignBit(y) {
+					return
+				}
+				if (f.CompareFP(x, y) > 0) != (f.SI(x) < f.SI(y)) {
+					t.Fatalf("Lemma 6 violated at x=%#x y=%#x", x, y)
+				}
+			})
+		})
+	}
+}
+
+// Corollary 1: FP(X) >= FP(Y) is SI(X) < SI(Y) when both are negative and
+// unequal, otherwise SI(X) >= SI(Y).
+func TestCorollary1(t *testing.T) {
+	for _, f := range lemmaFormats {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			pairSource(t, f, func(x, y uint64) {
+				want := f.CompareFP(x, y) >= 0
+				var got bool
+				bothNeg := f.SI(x) < 0 && f.SI(y) < 0
+				if bothNeg && f.SI(x) != f.SI(y) {
+					got = f.SI(x) < f.SI(y)
+				} else {
+					got = f.SI(x) >= f.SI(y)
+				}
+				if got != want {
+					t.Fatalf("Corollary 1 violated at x=%#x y=%#x: got %v want %v",
+						x, y, got, want)
+				}
+			})
+		})
+	}
+}
+
+// Figure 2 of the paper plots FP(B) against SI(B) for all 32-bit vectors:
+// the curve is strictly increasing on the non-negative half and strictly
+// decreasing on the negative half. Verify the shape on a dense sweep.
+func TestFigure2Shape(t *testing.T) {
+	f := Binary32
+	// Ascending SI through the positive patterns (0 .. 0x7F7FFFFF).
+	prev := uint64(0)
+	for b := uint64(0x10_0000); b <= 0x7F7F_FFFF; b += 0x10_0000 {
+		if f.CompareFP(prev, b) >= 0 {
+			t.Fatalf("positive half not increasing at %#x", b)
+		}
+		prev = b
+	}
+	// Ascending SI through the negative patterns means descending FP:
+	// SI(0xFFFFFFFF)=-1 is the largest negative SI and encodes the
+	// negative value closest to... -NaN actually; stay below -inf range.
+	prev = 0xFF7F_FFFF // -MaxFloat32, SI = small
+	for b := uint64(0xFF6F_FFFF); b >= 0x8010_0000; b -= 0x10_0000 {
+		// b decreasing => SI decreasing => FP must increase... careful:
+		// for negative patterns, larger UI = more negative FP. We walk
+		// UI downward, so FP must increase.
+		if f.CompareFP(b, prev) <= 0 {
+			t.Fatalf("negative half shape broken at %#x", b)
+		}
+		prev = b
+	}
+}

@@ -1,0 +1,329 @@
+// Package isa models the ARMv8 instruction subset emitted by the
+// flint code generator for if-else trees (codegen.LangARMv8, the paper's
+// Listing 5) and parses that assembly text into an executable program
+// representation for the asmsim simulator.
+//
+// The subset is exactly what tree inference needs:
+//
+//	ldrsw x<d>, [x0, #<off>]      load feature word, sign-extended
+//	ldr   s<d>, [x0, #<off>]      load feature word into an FP register
+//	ldr   w<d>, =<imm32>          literal-pool load (compiled-C flavor)
+//	ldr   s<d>, =<imm32>          literal-pool load into an FP register
+//	movz  w<d>, #<imm16>          materialize low half
+//	movk  w<d>, #<imm16>, lsl #16 materialize high half
+//	fmov  s<d>, w<n>              move GP to FP register
+//	eor   x<d>, x<n>, #<imm>      sign-bit flip (Listing 4/5)
+//	cmp   w<n>, w<m>              integer compare
+//	fcmp  s<n>, s<m>              float compare
+//	b.gt / b.le <label>           conditional branches
+//	mov   w0, #<imm>              leaf class
+//	ret                           return
+//
+// Programs consist of global functions (one per tree) and local labels.
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Op enumerates the modeled operations.
+type Op int
+
+// Operations of the modeled ARMv8 subset.
+const (
+	OpLdrFeature  Op = iota // ldrsw xD, [x0, #off]  (GP feature load)
+	OpLdrFeatureF           // ldr sD, [x0, #off]    (FP feature load)
+	OpLdrLit                // ldr wD, =imm          (literal-pool load)
+	OpLdrLitF               // ldr sD, =imm          (literal-pool FP load)
+	OpMovz                  // movz wD, #imm
+	OpMovk                  // movk wD, #imm, lsl #16
+	OpFmov                  // fmov sD, wN
+	OpEor                   // eor xD, xN, #imm
+	OpCmp                   // cmp wN, wM
+	OpFcmp                  // fcmp sN, sM
+	OpBgt                   // b.gt label
+	OpBle                   // b.le label
+	OpMovImm                // mov w0, #imm
+	OpRet                   // ret
+)
+
+// String returns the assembly mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpLdrFeature:
+		return "ldrsw"
+	case OpLdrFeatureF, OpLdrLit, OpLdrLitF:
+		return "ldr"
+	case OpMovz:
+		return "movz"
+	case OpMovk:
+		return "movk"
+	case OpFmov:
+		return "fmov"
+	case OpEor:
+		return "eor"
+	case OpCmp:
+		return "cmp"
+	case OpFcmp:
+		return "fcmp"
+	case OpBgt:
+		return "b.gt"
+	case OpBle:
+		return "b.le"
+	case OpMovImm:
+		return "mov"
+	case OpRet:
+		return "ret"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op     Op
+	Rd     int    // destination register number
+	Rn     int    // first source register number
+	Rm     int    // second source register number
+	Imm    uint64 // immediate operand
+	Target int    // resolved branch target (instruction index)
+	Label  string // unresolved branch label (kept for diagnostics)
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	// Instrs is the flat instruction stream; addresses are indices.
+	Instrs []Instr
+	// Funcs maps global function names to entry indices.
+	Funcs map[string]int
+}
+
+// NumFuncs returns the number of global functions.
+func (p *Program) NumFuncs() int { return len(p.Funcs) }
+
+// Parse decodes assembly text produced by the flint ARMv8 emitter.
+func Parse(src string) (*Program, error) {
+	p := &Program{Funcs: make(map[string]int)}
+	labels := make(map[string]int)
+	type patch struct {
+		instr int
+		label string
+		line  int
+	}
+	var patches []patch
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, ".text") ||
+			strings.HasPrefix(line, ".global") {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSuffix(line, ":")
+			if strings.HasPrefix(name, ".L") {
+				labels[name] = len(p.Instrs)
+			} else {
+				p.Funcs[name] = len(p.Instrs)
+			}
+			continue
+		}
+		instr, targetLabel, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", lineNo+1, err)
+		}
+		if targetLabel != "" {
+			patches = append(patches, patch{len(p.Instrs), targetLabel, lineNo + 1})
+		}
+		p.Instrs = append(p.Instrs, instr)
+	}
+	for _, pt := range patches {
+		tgt, ok := labels[pt.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: undefined label %q", pt.line, pt.label)
+		}
+		p.Instrs[pt.instr].Target = tgt
+	}
+	if len(p.Funcs) == 0 {
+		return nil, fmt.Errorf("isa: no global functions found")
+	}
+	return p, nil
+}
+
+// reg parses a register operand like "x1", "w2" or "s0", returning its
+// number.
+func reg(tok string) (int, error) {
+	tok = strings.TrimSuffix(strings.TrimSpace(tok), ",")
+	if len(tok) < 2 {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	switch tok[0] {
+	case 'x', 'w', 's':
+		n, err := strconv.Atoi(tok[1:])
+		if err != nil || n < 0 || n > 31 {
+			return 0, fmt.Errorf("bad register %q", tok)
+		}
+		return n, nil
+	}
+	return 0, fmt.Errorf("bad register %q", tok)
+}
+
+// imm parses an immediate operand like "#0x3087", "#12" or "=0x41213087".
+func imm(tok string) (uint64, error) {
+	tok = strings.TrimSuffix(strings.TrimSpace(tok), ",")
+	tok = strings.TrimPrefix(tok, "#")
+	tok = strings.TrimPrefix(tok, "=")
+	v, err := strconv.ParseUint(tok, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", tok)
+	}
+	return v, nil
+}
+
+// parseInstr decodes one instruction line. For branches it returns the
+// unresolved target label.
+func parseInstr(line string) (Instr, string, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return Instr{}, "", fmt.Errorf("empty instruction")
+	}
+	mnemonic, ops := fields[0], fields[1:]
+	join := strings.Join(ops, " ")
+	switch mnemonic {
+	case "ret":
+		return Instr{Op: OpRet}, "", nil
+
+	case "ldrsw", "ldr":
+		if len(ops) < 2 {
+			return Instr{}, "", fmt.Errorf("ldr needs 2 operands: %q", line)
+		}
+		rd, err := reg(ops[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		isFP := strings.HasPrefix(strings.TrimSpace(ops[0]), "s")
+		if strings.HasPrefix(ops[1], "=") {
+			v, err := imm(ops[1])
+			if err != nil {
+				return Instr{}, "", err
+			}
+			op := OpLdrLit
+			if isFP {
+				op = OpLdrLitF
+			}
+			return Instr{Op: op, Rd: rd, Imm: v}, "", nil
+		}
+		// [x0, #off]
+		inner := strings.TrimSuffix(strings.TrimPrefix(join[strings.Index(join, "["):], "["), "]")
+		parts := strings.Split(inner, ",")
+		if len(parts) != 2 {
+			return Instr{}, "", fmt.Errorf("bad address %q", line)
+		}
+		base, err := reg(parts[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		if base != 0 {
+			return Instr{}, "", fmt.Errorf("only [x0, #off] addressing is modeled: %q", line)
+		}
+		off, err := imm(parts[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		op := OpLdrFeature
+		if mnemonic == "ldr" && isFP {
+			op = OpLdrFeatureF
+		} else if mnemonic == "ldr" {
+			return Instr{}, "", fmt.Errorf("integer ldr from memory not in subset (use ldrsw): %q", line)
+		}
+		return Instr{Op: op, Rd: rd, Imm: off}, "", nil
+
+	case "movz", "movk":
+		if len(ops) < 2 {
+			return Instr{}, "", fmt.Errorf("%s needs operands: %q", mnemonic, line)
+		}
+		rd, err := reg(ops[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		v, err := imm(ops[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		op := OpMovz
+		if mnemonic == "movk" {
+			op = OpMovk
+			if !strings.Contains(join, "lsl #16") {
+				return Instr{}, "", fmt.Errorf("movk requires lsl #16 in this subset: %q", line)
+			}
+		}
+		return Instr{Op: op, Rd: rd, Imm: v}, "", nil
+
+	case "fmov":
+		rd, err := reg(ops[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rn, err := reg(ops[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: OpFmov, Rd: rd, Rn: rn}, "", nil
+
+	case "eor":
+		if len(ops) != 3 {
+			return Instr{}, "", fmt.Errorf("eor needs 3 operands: %q", line)
+		}
+		rd, err := reg(ops[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rn, err := reg(ops[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		v, err := imm(ops[2])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: OpEor, Rd: rd, Rn: rn, Imm: v}, "", nil
+
+	case "cmp", "fcmp":
+		rn, err := reg(ops[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rm, err := reg(ops[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		op := OpCmp
+		if mnemonic == "fcmp" {
+			op = OpFcmp
+		}
+		return Instr{Op: op, Rn: rn, Rm: rm}, "", nil
+
+	case "b.gt", "b.le":
+		op := OpBgt
+		if mnemonic == "b.le" {
+			op = OpBle
+		}
+		return Instr{Op: op, Label: ops[0]}, ops[0], nil
+
+	case "mov":
+		rd, err := reg(ops[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		v, err := imm(ops[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: OpMovImm, Rd: rd, Imm: v}, "", nil
+	}
+	return Instr{}, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+}

@@ -1,0 +1,274 @@
+// Package rf defines the random forest model used throughout this
+// repository: axis-aligned binary decision trees over float32 feature
+// vectors, aggregated by majority vote (Section IV-A of the FLInt paper).
+//
+// A tree is a flat slice of nodes with explicit child indices, the neutral
+// storage form from which every execution strategy is derived: the
+// interpreted engines in package treeexec, the cache-aware layouts in
+// package cags and the code generators in package codegen. The reference
+// Predict implementations in this package use ordinary hardware float
+// comparisons and serve as the semantic baseline every other engine is
+// tested against.
+package rf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// LeafFeature marks a node as a leaf: inner nodes carry the index of the
+// feature their split examines, leaves carry LeafFeature.
+const LeafFeature int32 = -1
+
+// Node is one decision tree node. For inner nodes, inference compares
+// feature Feature of the input against Split with <=: true descends to
+// Left, false to Right (Section IV-A). For leaves only Class is
+// meaningful.
+type Node struct {
+	// Feature is the feature index FI(n), or LeafFeature for leaves.
+	Feature int32 `json:"feature"`
+	// Split is the split value SP(n) learned by training. Always a
+	// finite float32 for valid models.
+	Split float32 `json:"split"`
+	// Left and Right are the child indices LC(n) and RC(n) within the
+	// tree's node slice.
+	Left  int32 `json:"left"`
+	Right int32 `json:"right"`
+	// Class is the prediction value PR(n) of a leaf.
+	Class int32 `json:"class"`
+	// LeftFraction is the empirical probability, measured on the
+	// training set, that inference takes the left branch. It drives the
+	// cache-aware swapping and grouping of package cags. Zero for
+	// leaves and for models without collected statistics.
+	LeftFraction float64 `json:"left_fraction,omitempty"`
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n Node) IsLeaf() bool { return n.Feature == LeafFeature }
+
+// Tree is a single decision tree. Nodes[0] is the root n0.
+type Tree struct {
+	Nodes []Node `json:"nodes"`
+}
+
+// Predict runs reference inference with hardware float comparisons and
+// returns the class of the reached leaf.
+func (t *Tree) Predict(x []float32) int32 {
+	i := int32(0)
+	for {
+		n := &t.Nodes[i]
+		if n.IsLeaf() {
+			return n.Class
+		}
+		if x[n.Feature] <= n.Split {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// Depth returns the number of edges on the longest root-to-leaf path.
+// A single-leaf tree has depth 0.
+func (t *Tree) Depth() int {
+	if len(t.Nodes) == 0 {
+		return 0
+	}
+	var walk func(i int32) int
+	walk = func(i int32) int {
+		n := &t.Nodes[i]
+		if n.IsLeaf() {
+			return 0
+		}
+		l, r := walk(n.Left), walk(n.Right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(0)
+}
+
+// NumLeaves returns the number of leaf nodes.
+func (t *Tree) NumLeaves() int {
+	c := 0
+	for _, n := range t.Nodes {
+		if n.IsLeaf() {
+			c++
+		}
+	}
+	return c
+}
+
+// Validate checks structural invariants: the tree is non-empty, every
+// child index is in range, every non-root node is referenced exactly once
+// (so the graph is a tree rooted at node 0), feature indices are within
+// [0, numFeatures), split values are not NaN, and leaf classes lie within
+// [0, numClasses). Pass numFeatures or numClasses <= 0 to skip the
+// corresponding range check.
+func (t *Tree) Validate(numFeatures, numClasses int) error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("rf: empty tree")
+	}
+	refs := make([]int, len(t.Nodes))
+	for i, n := range t.Nodes {
+		if n.IsLeaf() {
+			if numClasses > 0 && (n.Class < 0 || int(n.Class) >= numClasses) {
+				return fmt.Errorf("rf: node %d: leaf class %d out of range [0,%d)", i, n.Class, numClasses)
+			}
+			continue
+		}
+		if n.Feature < 0 || (numFeatures > 0 && int(n.Feature) >= numFeatures) {
+			return fmt.Errorf("rf: node %d: feature %d out of range [0,%d)", i, n.Feature, numFeatures)
+		}
+		if math.IsNaN(float64(n.Split)) {
+			return fmt.Errorf("rf: node %d: NaN split value", i)
+		}
+		if n.LeftFraction < 0 || n.LeftFraction > 1 {
+			return fmt.Errorf("rf: node %d: left fraction %v out of [0,1]", i, n.LeftFraction)
+		}
+		for _, c := range [2]int32{n.Left, n.Right} {
+			if c <= 0 || int(c) >= len(t.Nodes) {
+				return fmt.Errorf("rf: node %d: child index %d out of range (0,%d)", i, c, len(t.Nodes))
+			}
+			refs[c]++
+		}
+	}
+	if refs[0] != 0 {
+		return fmt.Errorf("rf: root node is referenced as a child")
+	}
+	for i := 1; i < len(refs); i++ {
+		if refs[i] != 1 {
+			return fmt.Errorf("rf: node %d referenced %d times, want exactly 1", i, refs[i])
+		}
+	}
+	return nil
+}
+
+// Forest is an ensemble of decision trees over a fixed feature space.
+type Forest struct {
+	// NumFeatures is the dimensionality of input feature vectors.
+	NumFeatures int `json:"num_features"`
+	// NumClasses is the number of distinct prediction classes.
+	NumClasses int `json:"num_classes"`
+	// Trees are the ensemble members.
+	Trees []Tree `json:"trees"`
+}
+
+// Predictor is anything that classifies a float32 feature vector; the
+// reference Forest, every treeexec engine and the asmsim-backed runners
+// implement it.
+type Predictor interface {
+	Predict(x []float32) int32
+}
+
+// Predict returns the majority-vote class over all trees; ties break
+// toward the lowest class index, making the result deterministic.
+func (f *Forest) Predict(x []float32) int32 {
+	votes := make([]int32, f.NumClasses)
+	for i := range f.Trees {
+		votes[f.Trees[i].Predict(x)]++
+	}
+	return Argmax(votes)
+}
+
+// PredictVotes fills dst (length NumClasses) with per-class vote counts.
+func (f *Forest) PredictVotes(x []float32, dst []int32) []int32 {
+	if cap(dst) < f.NumClasses {
+		dst = make([]int32, f.NumClasses)
+	}
+	dst = dst[:f.NumClasses]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := range f.Trees {
+		dst[f.Trees[i].Predict(x)]++
+	}
+	return dst
+}
+
+// Argmax returns the index of the largest element, breaking ties toward
+// the lowest index. It panics on an empty slice.
+func Argmax(v []int32) int32 {
+	best := int32(0)
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = int32(i)
+		}
+	}
+	return best
+}
+
+// NumNodes returns the total node count across all trees.
+func (f *Forest) NumNodes() int {
+	n := 0
+	for i := range f.Trees {
+		n += len(f.Trees[i].Nodes)
+	}
+	return n
+}
+
+// MaxDepth returns the largest tree depth in the ensemble.
+func (f *Forest) MaxDepth() int {
+	d := 0
+	for i := range f.Trees {
+		if td := f.Trees[i].Depth(); td > d {
+			d = td
+		}
+	}
+	return d
+}
+
+// Validate checks the forest's structural invariants and every tree's.
+func (f *Forest) Validate() error {
+	if f.NumFeatures <= 0 {
+		return fmt.Errorf("rf: NumFeatures = %d, want > 0", f.NumFeatures)
+	}
+	if f.NumClasses <= 0 {
+		return fmt.Errorf("rf: NumClasses = %d, want > 0", f.NumClasses)
+	}
+	if len(f.Trees) == 0 {
+		return fmt.Errorf("rf: forest has no trees")
+	}
+	for i := range f.Trees {
+		if err := f.Trees[i].Validate(f.NumFeatures, f.NumClasses); err != nil {
+			return fmt.Errorf("rf: tree %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WriteJSON serializes the forest as indented JSON.
+func (f *Forest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadJSON deserializes a forest written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*Forest, error) {
+	var f Forest
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("rf: decoding forest: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Accuracy returns the fraction of rows in X whose prediction matches y.
+func Accuracy(p Predictor, x [][]float32, y []int32) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range x {
+		if p.Predict(x[i]) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}

@@ -1,0 +1,273 @@
+package rf
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// stump returns a single-split tree: x[feat] <= split ? classL : classR.
+func stump(feat int32, split float32, classL, classR int32) Tree {
+	return Tree{Nodes: []Node{
+		{Feature: feat, Split: split, Left: 1, Right: 2, LeftFraction: 0.5},
+		{Feature: LeafFeature, Class: classL},
+		{Feature: LeafFeature, Class: classR},
+	}}
+}
+
+// deepTree builds a right-leaning chain of the given depth for depth and
+// validation tests.
+func deepTree(depth int) Tree {
+	var nodes []Node
+	for d := 0; d < depth; d++ {
+		nodes = append(nodes, Node{
+			Feature: 0, Split: float32(d),
+			Left:  int32(len(nodes) + 1),
+			Right: int32(len(nodes) + 2),
+		})
+		nodes = append(nodes, Node{Feature: LeafFeature, Class: int32(d % 2)})
+	}
+	nodes = append(nodes, Node{Feature: LeafFeature, Class: 1})
+	// Fix child indices: each inner node i sits at 2d, leaf at 2d+1, and
+	// the right child is the next inner node (or the final leaf).
+	for d := 0; d < depth; d++ {
+		nodes[2*d].Left = int32(2*d + 1)
+		nodes[2*d].Right = int32(2*d + 2)
+	}
+	return Tree{Nodes: nodes}
+}
+
+func TestStumpPredict(t *testing.T) {
+	tr := stump(0, 1.5, 7, 9)
+	if got := tr.Predict([]float32{1.0}); got != 7 {
+		t.Errorf("Predict(1.0) = %d, want 7", got)
+	}
+	if got := tr.Predict([]float32{1.5}); got != 7 {
+		t.Errorf("Predict(1.5) = %d, want 7 (<= is inclusive)", got)
+	}
+	if got := tr.Predict([]float32{2.0}); got != 9 {
+		t.Errorf("Predict(2.0) = %d, want 9", got)
+	}
+}
+
+func TestTreeDepthAndLeaves(t *testing.T) {
+	leaf := Tree{Nodes: []Node{{Feature: LeafFeature, Class: 3}}}
+	if leaf.Depth() != 0 || leaf.NumLeaves() != 1 {
+		t.Errorf("leaf tree: depth=%d leaves=%d", leaf.Depth(), leaf.NumLeaves())
+	}
+	if (&Tree{}).Depth() != 0 {
+		t.Error("empty tree depth should be 0")
+	}
+	s := stump(0, 0, 0, 1)
+	if s.Depth() != 1 || s.NumLeaves() != 2 {
+		t.Errorf("stump: depth=%d leaves=%d", s.Depth(), s.NumLeaves())
+	}
+	d := deepTree(5)
+	if d.Depth() != 5 {
+		t.Errorf("deepTree(5).Depth() = %d", d.Depth())
+	}
+	if d.NumLeaves() != 6 {
+		t.Errorf("deepTree(5).NumLeaves() = %d", d.NumLeaves())
+	}
+}
+
+func TestTreeValidate(t *testing.T) {
+	good := stump(0, 1.0, 0, 1)
+	if err := good.Validate(1, 2); err != nil {
+		t.Errorf("valid stump rejected: %v", err)
+	}
+	deep := deepTree(10)
+	if err := deep.Validate(1, 2); err != nil {
+		t.Errorf("valid deep tree rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		tree Tree
+		want string
+	}{
+		{"empty", Tree{}, "empty tree"},
+		{"nan split", Tree{Nodes: []Node{
+			{Feature: 0, Split: float32(math.NaN()), Left: 1, Right: 2},
+			{Feature: LeafFeature}, {Feature: LeafFeature},
+		}}, "NaN split"},
+		{"feature range", Tree{Nodes: []Node{
+			{Feature: 5, Split: 0, Left: 1, Right: 2},
+			{Feature: LeafFeature}, {Feature: LeafFeature},
+		}}, "feature 5 out of range"},
+		{"class range", Tree{Nodes: []Node{{Feature: LeafFeature, Class: 9}}}, "class 9 out of range"},
+		{"child range", Tree{Nodes: []Node{
+			{Feature: 0, Split: 0, Left: 1, Right: 5},
+			{Feature: LeafFeature}, {Feature: LeafFeature},
+		}}, "child index 5 out of range"},
+		{"root as child", Tree{Nodes: []Node{
+			{Feature: 0, Split: 0, Left: 1, Right: 0},
+			{Feature: LeafFeature}, {Feature: LeafFeature},
+		}}, "out of range"},
+		{"double ref", Tree{Nodes: []Node{
+			{Feature: 0, Split: 0, Left: 1, Right: 1},
+			{Feature: LeafFeature}, {Feature: LeafFeature},
+		}}, "referenced"},
+		{"bad fraction", Tree{Nodes: []Node{
+			{Feature: 0, Split: 0, Left: 1, Right: 2, LeftFraction: 1.5},
+			{Feature: LeafFeature}, {Feature: LeafFeature},
+		}}, "left fraction"},
+	}
+	for _, c := range cases {
+		err := c.tree.Validate(1, 2)
+		if err == nil {
+			t.Errorf("%s: invalid tree accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestForestMajorityVote(t *testing.T) {
+	f := &Forest{
+		NumFeatures: 1,
+		NumClasses:  3,
+		Trees: []Tree{
+			stump(0, 0.5, 0, 1),
+			stump(0, 0.5, 0, 2),
+			stump(0, 1.5, 1, 2),
+		},
+	}
+	// x=0: votes 0,0,1 -> class 0 wins 2:1.
+	if got := f.Predict([]float32{0}); got != 0 {
+		t.Errorf("Predict(0) = %d, want 0", got)
+	}
+	// x=1: votes 1,2,1 -> class 1 wins 2:1.
+	if got := f.Predict([]float32{1}); got != 1 {
+		t.Errorf("Predict(1) = %d, want 1", got)
+	}
+	// x=2: votes 1,2,2 -> class 2 wins 2:1.
+	if got := f.Predict([]float32{2}); got != 2 {
+		t.Errorf("Predict(2) = %d, want 2", got)
+	}
+}
+
+func TestForestTieBreaksLow(t *testing.T) {
+	f := &Forest{
+		NumFeatures: 1,
+		NumClasses:  2,
+		Trees:       []Tree{stump(0, 0.5, 0, 1), stump(0, 0.5, 1, 0)},
+	}
+	// Both inputs produce a 1:1 tie; the lower class index must win.
+	if got := f.Predict([]float32{0}); got != 0 {
+		t.Errorf("tie broke to %d, want 0", got)
+	}
+	if got := f.Predict([]float32{1}); got != 0 {
+		t.Errorf("tie broke to %d, want 0", got)
+	}
+}
+
+func TestPredictVotes(t *testing.T) {
+	f := &Forest{
+		NumFeatures: 1,
+		NumClasses:  3,
+		Trees:       []Tree{stump(0, 0.5, 0, 1), stump(0, 0.5, 0, 2)},
+	}
+	votes := f.PredictVotes([]float32{0}, nil)
+	if len(votes) != 3 || votes[0] != 2 || votes[1] != 0 || votes[2] != 0 {
+		t.Errorf("votes = %v", votes)
+	}
+	// Buffer reuse must reset previous counts.
+	votes = f.PredictVotes([]float32{1}, votes)
+	if votes[0] != 0 || votes[1] != 1 || votes[2] != 1 {
+		t.Errorf("votes after reuse = %v", votes)
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if Argmax([]int32{1, 3, 2}) != 1 {
+		t.Error("Argmax broken")
+	}
+	if Argmax([]int32{3, 3, 3}) != 0 {
+		t.Error("Argmax must tie-break low")
+	}
+	if Argmax([]int32{5}) != 0 {
+		t.Error("Argmax single element")
+	}
+}
+
+func TestForestValidate(t *testing.T) {
+	good := &Forest{NumFeatures: 1, NumClasses: 2, Trees: []Tree{stump(0, 0, 0, 1)}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid forest rejected: %v", err)
+	}
+	bad := []*Forest{
+		{NumFeatures: 0, NumClasses: 2, Trees: []Tree{stump(0, 0, 0, 1)}},
+		{NumFeatures: 1, NumClasses: 0, Trees: []Tree{stump(0, 0, 0, 1)}},
+		{NumFeatures: 1, NumClasses: 2},
+		{NumFeatures: 1, NumClasses: 2, Trees: []Tree{stump(3, 0, 0, 1)}},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("invalid forest %d accepted", i)
+		}
+	}
+}
+
+func TestForestCounts(t *testing.T) {
+	f := &Forest{
+		NumFeatures: 1, NumClasses: 2,
+		Trees: []Tree{stump(0, 0, 0, 1), deepTree(4)},
+	}
+	if got := f.NumNodes(); got != 3+len(deepTree(4).Nodes) {
+		t.Errorf("NumNodes = %d", got)
+	}
+	if got := f.MaxDepth(); got != 4 {
+		t.Errorf("MaxDepth = %d", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	f := &Forest{
+		NumFeatures: 2, NumClasses: 2,
+		Trees: []Tree{stump(1, -2.935417, 0, 1), deepTree(3)},
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumFeatures != 2 || got.NumClasses != 2 || len(got.Trees) != 2 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Trees[0].Nodes[0].Split != -2.935417 {
+		t.Errorf("split value lost: %v", got.Trees[0].Nodes[0].Split)
+	}
+	for _, x := range [][]float32{{-5, -5}, {0, 0}, {5, 5}} {
+		if f.Predict(x) != got.Predict(x) {
+			t.Errorf("round-tripped forest predicts differently at %v", x)
+		}
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"num_features":0,"num_classes":2,"trees":[]}`)); err == nil {
+		t.Error("structurally invalid forest accepted")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	f := &Forest{NumFeatures: 1, NumClasses: 2, Trees: []Tree{stump(0, 0.5, 0, 1)}}
+	x := [][]float32{{0}, {1}, {0}, {1}}
+	y := []int32{0, 1, 1, 1} // third row mislabeled
+	if got := Accuracy(f, x, y); got != 0.75 {
+		t.Errorf("Accuracy = %v, want 0.75", got)
+	}
+	if got := Accuracy(f, nil, nil); got != 0 {
+		t.Errorf("Accuracy on empty set = %v", got)
+	}
+}

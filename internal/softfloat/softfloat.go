@@ -1,0 +1,153 @@
+// Package softfloat implements IEEE 754 floating point comparison in
+// software, the way compiler support libraries (libgcc's __lesf2 /
+// compiler-rt's comparison intrinsics) realize it on devices without a
+// hardware floating point unit.
+//
+// This is the substrate the FLInt paper's embedded motivation refers to:
+// when no FPU is present (or it is powered down to save energy), every
+// float comparison in a naive random forest lowers to a call into
+// routines like these. The package is the cost baseline experiment E9
+// measures FLInt against, and the asmsim FPU-disabled machine model
+// charges soft-float latencies taken from this code's operation count.
+//
+// Unlike package core, these routines implement strict IEEE semantics:
+// -0.0 equals +0.0 and every comparison involving NaN is unordered.
+package softfloat
+
+import "math"
+
+// Result is the outcome of a three-way soft-float comparison.
+type Result int
+
+// Comparison outcomes. Unordered is returned when at least one operand
+// is NaN.
+const (
+	Less Result = iota - 1
+	Equal
+	Greater
+	Unordered
+)
+
+// String returns the lower-case name of the result.
+func (r Result) String() string {
+	switch r {
+	case Less:
+		return "less"
+	case Equal:
+		return "equal"
+	case Greater:
+		return "greater"
+	case Unordered:
+		return "unordered"
+	}
+	return "invalid"
+}
+
+const (
+	sign32 = uint32(1) << 31
+	mag32  = sign32 - 1
+	expM32 = uint32(0xFF) << 23
+
+	sign64 = uint64(1) << 63
+	mag64  = sign64 - 1
+	expM64 = uint64(0x7FF) << 52
+)
+
+// isNaN32 reports whether the binary32 pattern encodes NaN: maximal
+// exponent with a non-zero mantissa.
+func isNaN32(a uint32) bool { return a&mag32 > expM32 }
+
+// isNaN64 is isNaN32 for binary64 patterns.
+func isNaN64(a uint64) bool { return a&mag64 > expM64 }
+
+// Cmp32 compares two binary32 bit patterns with IEEE semantics,
+// mirroring the structure of libgcc's __cmpsf2: NaN screening, the
+// equal-zeros case, sign discrimination, then magnitude comparison with
+// the order inverted for negative operands.
+func Cmp32(a, b uint32) Result {
+	if isNaN32(a) || isNaN32(b) {
+		return Unordered
+	}
+	ma, mb := a&mag32, b&mag32
+	if ma == 0 && mb == 0 {
+		return Equal // +0 == -0
+	}
+	sa, sb := a&sign32 != 0, b&sign32 != 0
+	switch {
+	case sa != sb:
+		if sa {
+			return Less
+		}
+		return Greater
+	case ma == mb:
+		return Equal
+	case (ma < mb) != sa:
+		return Less
+	default:
+		return Greater
+	}
+}
+
+// Cmp64 is Cmp32 for binary64 patterns.
+func Cmp64(a, b uint64) Result {
+	if isNaN64(a) || isNaN64(b) {
+		return Unordered
+	}
+	ma, mb := a&mag64, b&mag64
+	if ma == 0 && mb == 0 {
+		return Equal
+	}
+	sa, sb := a&sign64 != 0, b&sign64 != 0
+	switch {
+	case sa != sb:
+		if sa {
+			return Less
+		}
+		return Greater
+	case ma == mb:
+		return Equal
+	case (ma < mb) != sa:
+		return Less
+	default:
+		return Greater
+	}
+}
+
+// LE32 reports a <= b with IEEE semantics (false when unordered). This is
+// the predicate a naive if-else tree calls once per visited node on an
+// FPU-less target.
+func LE32(a, b uint32) bool { r := Cmp32(a, b); return r == Less || r == Equal }
+
+// LT32 reports a < b with IEEE semantics.
+func LT32(a, b uint32) bool { return Cmp32(a, b) == Less }
+
+// GE32 reports a >= b with IEEE semantics.
+func GE32(a, b uint32) bool { r := Cmp32(a, b); return r == Greater || r == Equal }
+
+// GT32 reports a > b with IEEE semantics.
+func GT32(a, b uint32) bool { return Cmp32(a, b) == Greater }
+
+// EQ32 reports a == b with IEEE semantics.
+func EQ32(a, b uint32) bool { return Cmp32(a, b) == Equal }
+
+// LE64 reports a <= b with IEEE semantics.
+func LE64(a, b uint64) bool { r := Cmp64(a, b); return r == Less || r == Equal }
+
+// LT64 reports a < b with IEEE semantics.
+func LT64(a, b uint64) bool { return Cmp64(a, b) == Less }
+
+// GE64 reports a >= b with IEEE semantics.
+func GE64(a, b uint64) bool { r := Cmp64(a, b); return r == Greater || r == Equal }
+
+// GT64 reports a > b with IEEE semantics.
+func GT64(a, b uint64) bool { return Cmp64(a, b) == Greater }
+
+// EQ64 reports a == b with IEEE semantics.
+func EQ64(a, b uint64) bool { return Cmp64(a, b) == Equal }
+
+// LEFloat32 is LE32 on float32 values, for callers that have not already
+// reinterpreted their operands.
+func LEFloat32(a, b float32) bool { return LE32(math.Float32bits(a), math.Float32bits(b)) }
+
+// LEFloat64 is LE64 on float64 values.
+func LEFloat64(a, b float64) bool { return LE64(math.Float64bits(a), math.Float64bits(b)) }

@@ -1,0 +1,196 @@
+package softfloat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var values32 = []float32{
+	0, float32(math.Copysign(0, -1)), 1, -1, 0.5, -0.5,
+	math.SmallestNonzeroFloat32, -math.SmallestNonzeroFloat32,
+	math.MaxFloat32, -math.MaxFloat32,
+	float32(math.Inf(1)), float32(math.Inf(-1)),
+	float32(math.NaN()), 3.5, -3.5, 1e-40, -1e-40,
+}
+
+var values64 = []float64{
+	0, math.Copysign(0, -1), 1, -1, math.Pi, -math.Pi,
+	math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+	math.MaxFloat64, -math.MaxFloat64,
+	math.Inf(1), math.Inf(-1), math.NaN(), 1e-310, -1e-310,
+}
+
+func hw3way32(a, b float32) Result {
+	switch {
+	case a != a || b != b:
+		return Unordered
+	case a < b:
+		return Less
+	case a > b:
+		return Greater
+	default:
+		return Equal
+	}
+}
+
+func hw3way64(a, b float64) Result {
+	switch {
+	case a != a || b != b:
+		return Unordered
+	case a < b:
+		return Less
+	case a > b:
+		return Greater
+	default:
+		return Equal
+	}
+}
+
+func TestCmp32AgainstHardware(t *testing.T) {
+	for _, a := range values32 {
+		for _, b := range values32 {
+			want := hw3way32(a, b)
+			got := Cmp32(math.Float32bits(a), math.Float32bits(b))
+			if got != want {
+				t.Errorf("Cmp32(%v,%v) = %v, hardware says %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestCmp64AgainstHardware(t *testing.T) {
+	for _, a := range values64 {
+		for _, b := range values64 {
+			want := hw3way64(a, b)
+			got := Cmp64(math.Float64bits(a), math.Float64bits(b))
+			if got != want {
+				t.Errorf("Cmp64(%v,%v) = %v, hardware says %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestCmp32Quick(t *testing.T) {
+	err := quick.Check(func(a, b float32) bool {
+		return Cmp32(math.Float32bits(a), math.Float32bits(b)) == hw3way32(a, b)
+	}, &quick.Config{MaxCount: 50000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmp64Quick(t *testing.T) {
+	err := quick.Check(func(a, b float64) bool {
+		return Cmp64(math.Float64bits(a), math.Float64bits(b)) == hw3way64(a, b)
+	}, &quick.Config{MaxCount: 50000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredicates32(t *testing.T) {
+	for _, a := range values32 {
+		for _, b := range values32 {
+			ab, bb := math.Float32bits(a), math.Float32bits(b)
+			if LE32(ab, bb) != (a <= b) {
+				t.Errorf("LE32(%v,%v) != hardware", a, b)
+			}
+			if LT32(ab, bb) != (a < b) {
+				t.Errorf("LT32(%v,%v) != hardware", a, b)
+			}
+			if GE32(ab, bb) != (a >= b) {
+				t.Errorf("GE32(%v,%v) != hardware", a, b)
+			}
+			if GT32(ab, bb) != (a > b) {
+				t.Errorf("GT32(%v,%v) != hardware", a, b)
+			}
+			if EQ32(ab, bb) != (a == b) {
+				t.Errorf("EQ32(%v,%v) != hardware", a, b)
+			}
+		}
+	}
+}
+
+func TestPredicates64(t *testing.T) {
+	for _, a := range values64 {
+		for _, b := range values64 {
+			ab, bb := math.Float64bits(a), math.Float64bits(b)
+			if LE64(ab, bb) != (a <= b) {
+				t.Errorf("LE64(%v,%v) != hardware", a, b)
+			}
+			if LT64(ab, bb) != (a < b) {
+				t.Errorf("LT64(%v,%v) != hardware", a, b)
+			}
+			if GE64(ab, bb) != (a >= b) {
+				t.Errorf("GE64(%v,%v) != hardware", a, b)
+			}
+			if GT64(ab, bb) != (a > b) {
+				t.Errorf("GT64(%v,%v) != hardware", a, b)
+			}
+			if EQ64(ab, bb) != (a == b) {
+				t.Errorf("EQ64(%v,%v) != hardware", a, b)
+			}
+		}
+	}
+}
+
+func TestFloatConvenience(t *testing.T) {
+	if !LEFloat32(1, 2) || LEFloat32(2, 1) || !LEFloat32(2, 2) {
+		t.Error("LEFloat32 broken")
+	}
+	if !LEFloat64(-2, -1) || LEFloat64(-1, -2) {
+		t.Error("LEFloat64 broken")
+	}
+	if LEFloat32(float32(math.NaN()), 1) || LEFloat64(1, math.NaN()) {
+		t.Error("NaN must be unordered")
+	}
+}
+
+func TestZeroEquality(t *testing.T) {
+	nz32 := math.Float32bits(float32(math.Copysign(0, -1)))
+	pz32 := math.Float32bits(0)
+	if Cmp32(nz32, pz32) != Equal || Cmp32(pz32, nz32) != Equal {
+		t.Error("IEEE requires -0 == +0 (this is where softfloat and FLInt semantics differ)")
+	}
+	nz64 := math.Float64bits(math.Copysign(0, -1))
+	pz64 := math.Float64bits(0)
+	if Cmp64(nz64, pz64) != Equal {
+		t.Error("IEEE requires -0 == +0 for binary64")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	cases := map[Result]string{
+		Less: "less", Equal: "equal", Greater: "greater",
+		Unordered: "unordered", Result(42): "invalid",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Result(%d).String() = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+func TestNaNPatterns(t *testing.T) {
+	// All NaN encodings (quiet/signaling, any payload, either sign) must
+	// be detected.
+	nans := []uint32{0x7F800001, 0x7FC00000, 0x7FFFFFFF, 0xFF800001, 0xFFC00000, 0xFFFFFFFF}
+	for _, n := range nans {
+		if !isNaN32(n) {
+			t.Errorf("%#x not detected as NaN", n)
+		}
+		if Cmp32(n, math.Float32bits(1)) != Unordered {
+			t.Errorf("Cmp32(%#x, 1) ordered", n)
+		}
+	}
+	infs := []uint32{0x7F800000, 0xFF800000}
+	for _, i := range infs {
+		if isNaN32(i) {
+			t.Errorf("%#x (infinity) misdetected as NaN", i)
+		}
+	}
+	if !isNaN64(0x7FF0000000000001) || isNaN64(0x7FF0000000000000) {
+		t.Error("isNaN64 boundary broken")
+	}
+}

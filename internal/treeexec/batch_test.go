@@ -1,0 +1,69 @@
+package treeexec
+
+import (
+	"testing"
+)
+
+func TestBatchMatchesSequential(t *testing.T) {
+	f, d := trainedForest(t, "magic", 8, 5)
+	fl, err := NewFLInt(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got, err := Batch(fl, d.Features, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != d.Len() {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, x := range d.Features {
+			if got[i] != f.Predict(x) {
+				t.Fatalf("workers=%d: row %d diverges", workers, i)
+			}
+		}
+	}
+}
+
+func TestBatchFloatMatchesSequential(t *testing.T) {
+	f, d := trainedForest(t, "wine", 6, 4)
+	fe, err := NewFloat32(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BatchFloat(fe, d.Features, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range d.Features {
+		if got[i] != f.Predict(x) {
+			t.Fatalf("row %d diverges", i)
+		}
+	}
+}
+
+func TestBatchEdgeCases(t *testing.T) {
+	f, _ := trainedForest(t, "wine", 4, 2)
+	fl, err := NewFLInt(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Batch(fl, nil, 4)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty batch: %v %v", out, err)
+	}
+	if _, err := Batch(nil, nil, 1); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := BatchFloat(nil, nil, 1); err == nil {
+		t.Error("nil float engine accepted")
+	}
+	// Soft-float engine satisfies BatchPredictor too.
+	soft, err := NewSoftFloat(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ BatchPredictor = soft
+	var _ BatchPredictor = fl
+}

@@ -1,0 +1,174 @@
+package treeexec
+
+import (
+	"fmt"
+
+	"flint/internal/core"
+	"flint/internal/ieee754"
+	"flint/internal/rf"
+)
+
+// node64 is the flattened node for the double precision engines
+// (ablation A4): 24 bytes per node.
+type node64 struct {
+	key     int64
+	feature int32
+	left    int32
+	right   int32
+	_       int32 // padding for predictable layout
+}
+
+// tree64 is a flattened double precision tree.
+type tree64 struct {
+	nodes []node64
+}
+
+func compileForest64(f *rf.Forest, enc func(split float64) int64) ([]tree64, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	trees := make([]tree64, len(f.Trees))
+	for ti := range f.Trees {
+		src := f.Trees[ti].Nodes
+		dst := make([]node64, len(src))
+		for i, n := range src {
+			if n.IsLeaf() {
+				dst[i] = node64{feature: rf.LeafFeature, left: n.Class}
+				continue
+			}
+			if !core.ValidFeature32(n.Split) {
+				return nil, fmt.Errorf("treeexec: tree %d node %d has NaN split", ti, i)
+			}
+			dst[i] = node64{
+				feature: n.Feature,
+				key:     enc(float64(n.Split)),
+				left:    n.Left,
+				right:   n.Right,
+			}
+		}
+		trees[ti] = tree64{nodes: dst}
+	}
+	return trees, nil
+}
+
+// Float64Engine executes the forest over float64 feature vectors with
+// hardware double comparisons.
+type Float64Engine struct {
+	trees      []tree64
+	numClasses int
+}
+
+// NewFloat64 compiles a forest into a Float64Engine. Split values widen
+// exactly from float32 to float64, so predictions agree with the float32
+// engines for widened inputs.
+func NewFloat64(f *rf.Forest) (*Float64Engine, error) {
+	trees, err := compileForest64(f, ieee754.SI64)
+	if err != nil {
+		return nil, err
+	}
+	return &Float64Engine{trees: trees, numClasses: f.NumClasses}, nil
+}
+
+// PredictTree64 returns tree t's class for a float64 feature vector.
+func (e *Float64Engine) PredictTree64(t int, x []float64) int32 {
+	nodes := e.trees[t].nodes
+	i := int32(0)
+	for {
+		n := &nodes[i]
+		if n.feature < 0 {
+			return n.left
+		}
+		if x[n.feature] <= ieee754.FromSI64(n.key) {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// Predict64 returns the majority-vote class for a float64 vector.
+func (e *Float64Engine) Predict64(x []float64) int32 {
+	counts := make([]int32, e.numClasses)
+	for t := range e.trees {
+		counts[e.PredictTree64(t, x)]++
+	}
+	return rf.Argmax(counts)
+}
+
+// Predict widens x to float64 and classifies it, satisfying rf.Predictor.
+func (e *Float64Engine) Predict(x []float32) int32 {
+	wide := make([]float64, len(x))
+	for i, v := range x {
+		wide[i] = float64(v)
+	}
+	return e.Predict64(wide)
+}
+
+// Name identifies the engine in benchmark output.
+func (e *Float64Engine) Name() string { return "float64" }
+
+// FLInt64Engine is the offline-resolved FLInt engine for float64 vectors.
+type FLInt64Engine struct {
+	trees      []tree64
+	numClasses int
+}
+
+// NewFLInt64 compiles a forest into a FLInt64Engine.
+func NewFLInt64(f *rf.Forest) (*FLInt64Engine, error) {
+	trees, err := compileForest64(f, func(s float64) int64 { return core.MustEncodeSplit64(s).Key })
+	if err != nil {
+		return nil, err
+	}
+	return &FLInt64Engine{trees: trees, numClasses: f.NumClasses}, nil
+}
+
+// PredictTreeEncoded returns tree t's class for a pre-encoded vector
+// (core.EncodeFeatures64).
+func (e *FLInt64Engine) PredictTreeEncoded(t int, xi []int64) int32 {
+	nodes := e.trees[t].nodes
+	i := int32(0)
+	for {
+		n := &nodes[i]
+		if n.feature < 0 {
+			return n.left
+		}
+		v := xi[n.feature]
+		var le bool
+		if n.key >= 0 {
+			le = v <= n.key
+		} else {
+			le = uint64(v) >= uint64(n.key)
+		}
+		if le {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// PredictEncoded returns the majority-vote class for a pre-encoded vector.
+func (e *FLInt64Engine) PredictEncoded(xi []int64) int32 {
+	counts := make([]int32, e.numClasses)
+	for t := range e.trees {
+		counts[e.PredictTreeEncoded(t, xi)]++
+	}
+	return rf.Argmax(counts)
+}
+
+// Predict64 encodes x and classifies it.
+func (e *FLInt64Engine) Predict64(x []float64) int32 {
+	return e.PredictEncoded(core.EncodeFeatures64(make([]int64, 0, 64), x))
+}
+
+// Predict widens x to float64, encodes and classifies it.
+func (e *FLInt64Engine) Predict(x []float32) int32 {
+	wide := make([]float64, len(x))
+	for i, v := range x {
+		wide[i] = float64(v)
+	}
+	return e.Predict64(wide)
+}
+
+// Name identifies the engine in benchmark output.
+func (e *FLInt64Engine) Name() string { return "flint64" }

@@ -1,0 +1,69 @@
+package treeexec
+
+import (
+	"flint/internal/core"
+	"flint/internal/rf"
+	"flint/internal/softfloat"
+)
+
+// SoftFloatEngine executes the forest with software IEEE comparisons,
+// modeling a naive float-based tree on a device without a floating point
+// unit — the paper's embedded motivation (experiment E9). Feature vectors
+// and splits are carried as raw bit patterns, as an FPU-less target would
+// hold them in integer registers, and every node comparison calls the
+// soft-float LE routine.
+type SoftFloatEngine struct {
+	trees      []tree
+	numClasses int
+}
+
+// NewSoftFloat compiles a forest into a SoftFloatEngine.
+func NewSoftFloat(f *rf.Forest) (*SoftFloatEngine, error) {
+	trees, err := compileForest(f, func(s float32) int32 {
+		return int32(mustBits(s))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SoftFloatEngine{trees: trees, numClasses: f.NumClasses}, nil
+}
+
+func mustBits(s float32) uint32 {
+	// compileForest already rejected NaN splits.
+	return uint32(core.MustEncodeSplit32(s).Key)
+}
+
+// PredictTreeEncoded returns tree t's class for raw float bit patterns
+// (core.EncodeFeatures32 output).
+func (e *SoftFloatEngine) PredictTreeEncoded(t int, xi []int32) int32 {
+	nodes := e.trees[t].nodes
+	i := int32(0)
+	for {
+		n := &nodes[i]
+		if n.feature < 0 {
+			return n.left
+		}
+		if softfloat.LE32(uint32(xi[n.feature]), uint32(n.key)) {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// PredictEncoded returns the majority-vote class for raw bit patterns.
+func (e *SoftFloatEngine) PredictEncoded(xi []int32) int32 {
+	counts := make([]int32, e.numClasses)
+	for t := range e.trees {
+		counts[e.PredictTreeEncoded(t, xi)]++
+	}
+	return rf.Argmax(counts)
+}
+
+// Predict reinterprets x and classifies it.
+func (e *SoftFloatEngine) Predict(x []float32) int32 {
+	return e.PredictEncoded(core.EncodeFeatures32(make([]int32, 0, 64), x))
+}
+
+// Name identifies the engine in benchmark output.
+func (e *SoftFloatEngine) Name() string { return "softfloat" }

@@ -1,0 +1,312 @@
+package treeexec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flint/internal/cart"
+	"flint/internal/core"
+	"flint/internal/dataset"
+	"flint/internal/rf"
+)
+
+// trainedForest trains a small forest on the named workload.
+func trainedForest(t *testing.T, name string, depth, trees int) (*rf.Forest, *dataset.Dataset) {
+	t.Helper()
+	d, err := dataset.Generate(name, 400, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := cart.TrainForest(d, cart.Config{NumTrees: trees, MaxDepth: depth, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, d
+}
+
+// allEngines builds every engine for a forest.
+func allEngines(t *testing.T, f *rf.Forest) map[string]rf.Predictor {
+	t.Helper()
+	out := make(map[string]rf.Predictor)
+	add := func(p rf.Predictor, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[p.(interface{ Name() string }).Name()] = p
+	}
+	e1, err := NewFloat32(f)
+	add(e1, err)
+	e2, err := NewFLInt(f)
+	add(e2, err)
+	e3, err := NewFLIntXor(f)
+	add(e3, err)
+	e4, err := NewTotalOrder(f)
+	add(e4, err)
+	e5, err := NewPrecoded(f)
+	add(e5, err)
+	e6, err := NewFloat64(f)
+	add(e6, err)
+	e7, err := NewFLInt64(f)
+	add(e7, err)
+	e8, err := NewSoftFloat(f)
+	add(e8, err)
+	return out
+}
+
+// TestEnginesAgreeOnDatasets is experiment E8: the paper's
+// accuracy-unchanged claim. Every engine must reproduce the reference
+// prediction on every sample of every workload.
+func TestEnginesAgreeOnDatasets(t *testing.T) {
+	for _, name := range dataset.Names() {
+		f, d := trainedForest(t, name, 10, 5)
+		engines := allEngines(t, f)
+		for i, x := range d.Features {
+			want := f.Predict(x)
+			for ename, e := range engines {
+				if got := e.Predict(x); got != want {
+					t.Fatalf("%s: engine %s predicts %d for row %d, reference says %d",
+						name, ename, got, i, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEnginesAgreeOnAdversarialInputs drives all engines with inputs that
+// sit exactly on split boundaries, at infinities, negative zeros and
+// denormals.
+func TestEnginesAgreeOnAdversarialInputs(t *testing.T) {
+	f, d := trainedForest(t, "eye", 8, 3)
+	engines := allEngines(t, f)
+
+	// Gather every split value and probe x = split (boundary), its
+	// neighbors, negations, plus specials.
+	var probes []float32
+	for _, tr := range f.Trees {
+		for _, n := range tr.Nodes {
+			if n.IsLeaf() {
+				continue
+			}
+			s := n.Split
+			probes = append(probes, s,
+				math.Nextafter32(s, float32(math.Inf(-1))),
+				math.Nextafter32(s, float32(math.Inf(1))),
+				-s)
+		}
+	}
+	probes = append(probes,
+		0, float32(math.Copysign(0, -1)),
+		float32(math.Inf(1)), float32(math.Inf(-1)),
+		math.SmallestNonzeroFloat32, -math.SmallestNonzeroFloat32,
+		math.MaxFloat32, -math.MaxFloat32)
+
+	nf := d.NumFeatures()
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float32, nf)
+	for trial := 0; trial < 300; trial++ {
+		for j := range x {
+			x[j] = probes[rng.Intn(len(probes))]
+		}
+		want := f.Predict(x)
+		for ename, e := range engines {
+			if got := e.Predict(x); got != want {
+				t.Fatalf("engine %s diverges on adversarial input %v: got %d want %d",
+					ename, x, got, want)
+			}
+		}
+	}
+}
+
+// TestPerTreeAgreement checks individual trees, not just the vote.
+func TestPerTreeAgreement(t *testing.T) {
+	f, d := trainedForest(t, "magic", 8, 4)
+	fe, err := NewFloat32(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := NewFLInt(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := NewPrecoded(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xi []int32
+	var keys []uint32
+	for _, x := range d.Features {
+		xi = core.EncodeFeatures32(xi, x)
+		keys = core.PrecodeFeatures32(keys, x)
+		for ti := range f.Trees {
+			want := f.Trees[ti].Predict(x)
+			if got := fe.PredictTree(ti, x); got != want {
+				t.Fatalf("float engine tree %d: got %d want %d", ti, got, want)
+			}
+			if got := fl.PredictTreeEncoded(ti, xi); got != want {
+				t.Fatalf("flint engine tree %d: got %d want %d", ti, got, want)
+			}
+			if got := pe.PredictTreePrecoded(ti, keys); got != want {
+				t.Fatalf("precoded engine tree %d: got %d want %d", ti, got, want)
+			}
+		}
+	}
+}
+
+// TestRandomForestsProperty cross-checks the engines on randomly
+// constructed (not trained) trees with extreme split values.
+func TestRandomForestsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	splitPool := []float32{
+		0, float32(math.Copysign(0, -1)), 1.5, -1.5,
+		math.SmallestNonzeroFloat32, -math.SmallestNonzeroFloat32,
+		math.MaxFloat32, -math.MaxFloat32, 3.25e-20, -7.5e12,
+	}
+	randTree := func(depth int) rf.Tree {
+		var nodes []rf.Node
+		var grow func(d int) int32
+		grow = func(d int) int32 {
+			me := int32(len(nodes))
+			if d == 0 || rng.Float64() < 0.25 {
+				nodes = append(nodes, rf.Node{Feature: rf.LeafFeature, Class: int32(rng.Intn(3))})
+				return me
+			}
+			nodes = append(nodes, rf.Node{
+				Feature: int32(rng.Intn(4)),
+				Split:   splitPool[rng.Intn(len(splitPool))],
+			})
+			l := grow(d - 1)
+			r := grow(d - 1)
+			nodes[me].Left = l
+			nodes[me].Right = r
+			return me
+		}
+		grow(depth)
+		return rf.Tree{Nodes: nodes}
+	}
+	for trial := 0; trial < 50; trial++ {
+		f := &rf.Forest{NumFeatures: 4, NumClasses: 3,
+			Trees: []rf.Tree{randTree(5), randTree(5), randTree(5)}}
+		engines := allEngines(t, f)
+		x := make([]float32, 4)
+		for probe := 0; probe < 100; probe++ {
+			for j := range x {
+				x[j] = splitPool[rng.Intn(len(splitPool))] * float32(rng.NormFloat64())
+			}
+			want := f.Predict(x)
+			for ename, e := range engines {
+				if got := e.Predict(x); got != want {
+					t.Fatalf("trial %d: engine %s got %d want %d for %v", trial, ename, got, want, x)
+				}
+			}
+		}
+	}
+}
+
+func TestEngineRejectsInvalidForest(t *testing.T) {
+	bad := &rf.Forest{NumFeatures: 1, NumClasses: 2, Trees: []rf.Tree{{Nodes: []rf.Node{
+		{Feature: 0, Split: float32(math.NaN()), Left: 1, Right: 2},
+		{Feature: rf.LeafFeature}, {Feature: rf.LeafFeature},
+	}}}}
+	if _, err := NewFloat32(bad); err == nil {
+		t.Error("NaN split accepted by NewFloat32")
+	}
+	if _, err := NewFLInt(bad); err == nil {
+		t.Error("NaN split accepted by NewFLInt")
+	}
+	if _, err := NewFloat64(bad); err == nil {
+		t.Error("NaN split accepted by NewFloat64")
+	}
+	empty := &rf.Forest{NumFeatures: 1, NumClasses: 2}
+	if _, err := NewPrecoded(empty); err == nil {
+		t.Error("empty forest accepted")
+	}
+}
+
+func TestBufferedPredictNoAlloc(t *testing.T) {
+	f, d := trainedForest(t, "gas", 6, 2)
+	fl, err := NewFLInt(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := NewPrecoded(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int32, 0, d.NumFeatures())
+	kbuf := make([]uint32, 0, d.NumFeatures())
+	x := d.Features[0]
+	allocs := testing.AllocsPerRun(100, func() {
+		fl.PredictBuffered(x, buf)
+	})
+	// One small allocation remains for the vote counter; the encoding
+	// buffer must be reused.
+	if allocs > 1 {
+		t.Errorf("FLInt PredictBuffered allocates %.1f times per run", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		pe.PredictBuffered(x, kbuf)
+	})
+	if allocs > 1 {
+		t.Errorf("Precoded PredictBuffered allocates %.1f times per run", allocs)
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	f, _ := trainedForest(t, "wine", 4, 2)
+	engines := allEngines(t, f)
+	want := []string{"float32", "flint", "flint-xor", "total-order", "precoded", "float64", "flint64", "softfloat"}
+	for _, n := range want {
+		if _, ok := engines[n]; !ok {
+			t.Errorf("missing engine %q", n)
+		}
+	}
+	if len(engines) != len(want) {
+		t.Errorf("have %d engines, want %d", len(engines), len(want))
+	}
+}
+
+func TestFloat64EngineOnWideInputs(t *testing.T) {
+	// Double precision engines accept float64 vectors directly; values
+	// that are not representable in float32 must still traverse
+	// correctly relative to widened float32 splits.
+	f, _ := trainedForest(t, "wine", 6, 2)
+	fe, err := NewFloat64(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := NewFLInt64(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	x := make([]float64, f.NumFeatures)
+	for trial := 0; trial < 500; trial++ {
+		for j := range x {
+			x[j] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(8)-4))
+		}
+		// Reference: walk the rf tree with float64 comparisons.
+		want := func() int32 {
+			counts := make([]int32, f.NumClasses)
+			for ti := range f.Trees {
+				i := int32(0)
+				for !f.Trees[ti].Nodes[i].IsLeaf() {
+					n := f.Trees[ti].Nodes[i]
+					if x[n.Feature] <= float64(n.Split) {
+						i = n.Left
+					} else {
+						i = n.Right
+					}
+				}
+				counts[f.Trees[ti].Nodes[i].Class]++
+			}
+			return rf.Argmax(counts)
+		}()
+		if got := fe.Predict64(x); got != want {
+			t.Fatalf("Float64Engine got %d want %d", got, want)
+		}
+		if got := fl.Predict64(x); got != want {
+			t.Fatalf("FLInt64Engine got %d want %d", got, want)
+		}
+	}
+}
