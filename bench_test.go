@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -115,6 +116,7 @@ func BenchmarkFig3(b *testing.B) {
 		}
 
 		b.Run(fmt.Sprintf("naive/d%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
 			var sink int32
 			for i := 0; i < b.N; i++ {
 				sink += naive.Predict(d.Features[i%d.Len()])
@@ -122,6 +124,7 @@ func BenchmarkFig3(b *testing.B) {
 			_ = sink
 		})
 		b.Run(fmt.Sprintf("cags/d%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
 			var sink int32
 			for i := 0; i < b.N; i++ {
 				sink += cagsEng.Predict(d.Features[i%d.Len()])
@@ -129,6 +132,7 @@ func BenchmarkFig3(b *testing.B) {
 			_ = sink
 		})
 		b.Run(fmt.Sprintf("flint/d%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
 			var sink int32
 			for i := 0; i < b.N; i++ {
 				sink += fl.PredictEncoded(encoded[i%len(encoded)])
@@ -136,6 +140,7 @@ func BenchmarkFig3(b *testing.B) {
 			_ = sink
 		})
 		b.Run(fmt.Sprintf("cags-flint/d%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
 			var sink int32
 			for i := 0; i < b.N; i++ {
 				sink += cagsFl.PredictEncoded(encoded[i%len(encoded)])
@@ -164,6 +169,7 @@ func BenchmarkTable2(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(ds+"/naive", func(b *testing.B) {
+			b.ReportAllocs()
 			var sink int32
 			for i := 0; i < b.N; i++ {
 				sink += naive.Predict(d.Features[i%d.Len()])
@@ -171,6 +177,7 @@ func BenchmarkTable2(b *testing.B) {
 			_ = sink
 		})
 		b.Run(ds+"/cags-flint", func(b *testing.B) {
+			b.ReportAllocs()
 			var sink int32
 			for i := 0; i < b.N; i++ {
 				sink += cagsFl.PredictEncoded(encoded[i%len(encoded)])
@@ -305,6 +312,7 @@ func BenchmarkNoFPU(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("softfloat", func(b *testing.B) {
+		b.ReportAllocs()
 		var sink int32
 		for i := 0; i < b.N; i++ {
 			sink += soft.PredictEncoded(encoded[i%len(encoded)])
@@ -312,6 +320,7 @@ func BenchmarkNoFPU(b *testing.B) {
 		_ = sink
 	})
 	b.Run("flint", func(b *testing.B) {
+		b.ReportAllocs()
 		var sink int32
 		for i := 0; i < b.N; i++ {
 			sink += fl.PredictEncoded(encoded[i%len(encoded)])
@@ -340,6 +349,7 @@ func BenchmarkGeneratedTrees(b *testing.B) {
 			b.Fatalf("missing generated forest %s", name)
 		}
 		b.Run(name+"/float", func(b *testing.B) {
+			b.ReportAllocs()
 			var sink int32
 			for i := 0; i < b.N; i++ {
 				sink += e.Float(d.Features[i%d.Len()])
@@ -347,6 +357,7 @@ func BenchmarkGeneratedTrees(b *testing.B) {
 			_ = sink
 		})
 		b.Run(name+"/flint", func(b *testing.B) {
+			b.ReportAllocs()
 			var sink int32
 			for i := 0; i < b.N; i++ {
 				sink += e.FLInt(encoded[i%len(encoded)])
@@ -450,6 +461,7 @@ func BenchmarkAblationEngineForms(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("flint", func(b *testing.B) {
+		b.ReportAllocs()
 		var sink int32
 		for i := 0; i < b.N; i++ {
 			sink += fl.PredictEncoded(encoded[i%len(encoded)])
@@ -457,6 +469,7 @@ func BenchmarkAblationEngineForms(b *testing.B) {
 		_ = sink
 	})
 	b.Run("flint-xor", func(b *testing.B) {
+		b.ReportAllocs()
 		var sink int32
 		for i := 0; i < b.N; i++ {
 			sink += xor.PredictEncoded(encoded[i%len(encoded)])
@@ -464,6 +477,7 @@ func BenchmarkAblationEngineForms(b *testing.B) {
 		_ = sink
 	})
 	b.Run("total-order", func(b *testing.B) {
+		b.ReportAllocs()
 		var sink int32
 		for i := 0; i < b.N; i++ {
 			sink += to.PredictEncoded(encoded[i%len(encoded)])
@@ -471,6 +485,7 @@ func BenchmarkAblationEngineForms(b *testing.B) {
 		_ = sink
 	})
 	b.Run("precoded", func(b *testing.B) {
+		b.ReportAllocs()
 		var sink int32
 		for i := 0; i < b.N; i++ {
 			sink += pre.PredictPrecoded(keys[i%len(keys)])
@@ -498,6 +513,7 @@ func BenchmarkAblationCAGS(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("flint/original-layout", func(b *testing.B) {
+		b.ReportAllocs()
 		var sink int32
 		for i := 0; i < b.N; i++ {
 			sink += plainF.PredictEncoded(encoded[i%len(encoded)])
@@ -505,6 +521,7 @@ func BenchmarkAblationCAGS(b *testing.B) {
 		_ = sink
 	})
 	b.Run("flint/grouped-layout", func(b *testing.B) {
+		b.ReportAllocs()
 		var sink int32
 		for i := 0; i < b.N; i++ {
 			sink += groupF.PredictEncoded(encoded[i%len(encoded)])
@@ -534,6 +551,7 @@ func BenchmarkAblationWidth(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("flint32", func(b *testing.B) {
+		b.ReportAllocs()
 		var sink int32
 		for i := 0; i < b.N; i++ {
 			sink += fl32.PredictEncoded(encoded[i%len(encoded)])
@@ -541,6 +559,7 @@ func BenchmarkAblationWidth(b *testing.B) {
 		_ = sink
 	})
 	b.Run("flint64", func(b *testing.B) {
+		b.ReportAllocs()
 		var sink int32
 		for i := 0; i < b.N; i++ {
 			sink += fl64.PredictEncoded(wide[i%len(wide)])
@@ -567,6 +586,71 @@ func BenchmarkFig2Interpretation(b *testing.B) {
 }
 
 func iee754SI(b uint64) int64 { return int64(int32(uint32(b))) }
+
+// ---- Batch serving: per-row vs row-blocked arena kernel ----
+
+// BenchmarkBatchThroughput measures whole-batch classification as
+// rows/sec on the two highest-volume workloads, contrasting the per-row
+// Batch over the per-tree FLInt engine with the row-blocked arena
+// kernel (ephemeral workers, and the persistent zero-alloc Batcher) at
+// matched worker counts. -benchmem makes the steady-state allocation
+// claim measurable: the Batcher rows must report 0 allocs/op.
+func BenchmarkBatchThroughput(b *testing.B) {
+	workerCounts := []int{1, 2}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, ds := range []string{"magic", "sensorless"} {
+		// Serving-scale ensembles: deep trees, arena past the L2 sweet
+		// spot, where memory layout decides throughput.
+		forest, d := getForest(b, ds, 30, 20)
+		rows := d.Features
+		perTree, err := treeexec.NewFLInt(forest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flat, err := treeexec.NewFlat(forest, treeexec.FlatFLInt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows := func(b *testing.B) {
+			b.ReportMetric(float64(len(rows))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		}
+		for _, w := range workerCounts {
+			w := w
+			b.Run(fmt.Sprintf("%s/per-row/w%d", ds, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := treeexec.Batch(perTree, rows, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportRows(b)
+			})
+			b.Run(fmt.Sprintf("%s/blocked/w%d", ds, w), func(b *testing.B) {
+				b.ReportAllocs()
+				out := make([]int32, len(rows))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out = flat.PredictBatch(rows, out, w, 0)
+				}
+				reportRows(b)
+			})
+			b.Run(fmt.Sprintf("%s/batcher/w%d", ds, w), func(b *testing.B) {
+				pool := treeexec.NewBatcher(flat, w, 0)
+				defer pool.Close()
+				out := make([]int32, len(rows))
+				pool.Predict(rows, out) // warm up the pool
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out = pool.Predict(rows, out)
+				}
+				reportRows(b)
+			})
+		}
+	}
+}
 
 // TestBenchInfraSanity keeps the sweep entry points compiling and honest:
 // a tiny sweep through the public harness must succeed.

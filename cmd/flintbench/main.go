@@ -84,6 +84,17 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Extension rows (interp backend only): the forest-arena engine,
+	// single-row and through the row-blocked batch kernel, normalized
+	// against the same naive baseline.
+	if rowsArena := bench.Table(res, bench.ImplNaive,
+		[]bench.Impl{bench.ImplFlat, bench.ImplFlatBatch}); len(rowsArena) > 0 {
+		fmt.Println("=== Extension: forest-arena engine ===")
+		if err := bench.WriteTable(os.Stdout, "Arena", rowsArena); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	if withASM {
 		fmt.Println("=== Figure 4: FLInt C vs FLInt ASM (simulated machines) ===")
 		fig4 := filterSeries(series, bench.ImplNaive, bench.ImplFLInt, bench.ImplFLIntASM)

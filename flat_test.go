@@ -1,0 +1,88 @@
+// Differential coverage for the forest-arena execution engine at the
+// facade level: on every paper workload, every FlatEngine variant —
+// compiled from the original and the CAGS-reordered layout — must
+// predict identically to the per-tree FLInt and float engines, through
+// both the single-row and the blocked batch entry points.
+package flint_test
+
+import (
+	"testing"
+
+	"flint"
+)
+
+func TestFlatEngineMatchesPerTreeEnginesOnAllWorkloads(t *testing.T) {
+	for _, name := range flint.DatasetNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			data, err := flint.GenerateDataset(name, 300, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			forest, err := flint.Train(data, flint.TrainConfig{NumTrees: 5, MaxDepth: 7, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			grouped, err := flint.Reorder(forest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refInt, err := flint.NewFLIntEngine(forest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refFloat, err := flint.NewFloatEngine(forest)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, layout := range []struct {
+				tag string
+				f   *flint.Forest
+			}{{"original", forest}, {"cags", grouped}} {
+				for _, v := range []flint.FlatVariant{flint.FlatFLInt, flint.FlatFloat32, flint.FlatPrecoded} {
+					e, err := flint.NewFlatEngineVariant(layout.f, v)
+					if err != nil {
+						t.Fatal(err)
+					}
+					batch := flint.PredictBatch(e, data.Features, 2)
+					for i, x := range data.Features {
+						want := refInt.Predict(x)
+						if alt := refFloat.Predict(x); alt != want {
+							t.Fatalf("reference engines disagree on row %d: %d vs %d", i, want, alt)
+						}
+						if got := e.Predict(x); got != want {
+							t.Fatalf("%s/%s row %d: single-row got %d want %d", layout.tag, e.Name(), i, got, want)
+						}
+						if batch[i] != want {
+							t.Fatalf("%s/%s row %d: batch got %d want %d", layout.tag, e.Name(), i, batch[i], want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFacadeBatcher(t *testing.T) {
+	data, err := flint.GenerateDataset("wine", 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := flint.Train(data, flint.TrainConfig{NumTrees: 4, MaxDepth: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := flint.NewFlatEngine(forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := flint.NewBatcher(e, 2)
+	defer b.Close()
+	out := b.Predict(data.Features, nil)
+	for i, x := range data.Features {
+		if want := forest.Predict(x); out[i] != want {
+			t.Fatalf("row %d: got %d want %d", i, out[i], want)
+		}
+	}
+}

@@ -175,6 +175,58 @@ func NewPrecodedEngine(f *Forest) (*PrecodedEngine, error) { return treeexec.New
 // NewSoftFloatEngine compiles a forest for soft-float traversal.
 func NewSoftFloatEngine(f *Forest) (*SoftFloatEngine, error) { return treeexec.NewSoftFloat(f) }
 
+// ---- Forest-arena execution (batch serving) ----
+
+// FlatEngine executes a forest out of one contiguous node arena with
+// per-tree root offsets and branch-free leaf decoding (leaves are
+// negative child indices carrying the complemented class). It is the
+// engine of choice for batch and serving workloads: PredictBatch and
+// Batcher walk blocks of rows in lock-step through each tree so arena
+// node fetches amortize across the block.
+type FlatEngine = treeexec.FlatForestEngine
+
+// FlatVariant selects the comparison kernel a FlatEngine is compiled
+// for (FLInt, hardware float, or total-order precoded).
+type FlatVariant = treeexec.FlatVariant
+
+// The arena comparison variants.
+const (
+	FlatFLInt    = treeexec.FlatFLInt
+	FlatFloat32  = treeexec.FlatFloat32
+	FlatPrecoded = treeexec.FlatPrecoded
+)
+
+// Batcher is a persistent worker pool over a FlatEngine: goroutines and
+// per-worker scratch are allocated once, so steady-state batch
+// prediction with a reused output slice allocates nothing.
+type Batcher = treeexec.Batcher
+
+// NewFlatEngine compiles a forest into a single-arena FLInt engine. To
+// keep the CAGS cache benefit inside the arena, pass a Reorder-ed
+// forest. Other comparison kernels: NewFlatEngineVariant.
+func NewFlatEngine(f *Forest) (*FlatEngine, error) {
+	return treeexec.NewFlat(f, treeexec.FlatFLInt)
+}
+
+// NewFlatEngineVariant compiles a forest into a single-arena engine for
+// the given comparison variant.
+func NewFlatEngineVariant(f *Forest, v FlatVariant) (*FlatEngine, error) {
+	return treeexec.NewFlat(f, v)
+}
+
+// PredictBatch classifies all rows with the engine's row-blocked kernel
+// on up to workers goroutines (0 selects GOMAXPROCS). For steady-state
+// serving without per-call goroutine spawning, use NewBatcher.
+func PredictBatch(e *FlatEngine, rows [][]float32, workers int) []int32 {
+	return e.PredictBatch(rows, nil, workers, 0)
+}
+
+// NewBatcher starts a persistent worker pool of the given size over the
+// engine (0 selects GOMAXPROCS). Close it when done.
+func NewBatcher(e *FlatEngine, workers int) *Batcher {
+	return treeexec.NewBatcher(e, workers, 0)
+}
+
 // ---- CAGS (Chen et al. [6]) ----
 
 // Reorder applies the grouping half of CAGS: it permutes every tree's

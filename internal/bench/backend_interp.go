@@ -17,8 +17,9 @@ type InterpBackend struct {
 	// MinDuration is the minimum measured wall time per implementation;
 	// passes over the test set repeat until it is reached. Default 10ms.
 	MinDuration time.Duration
-	// WithExtensions adds the softfloat baseline and the precoded
-	// extension to the measured set.
+	// WithExtensions adds the softfloat baseline, the precoded
+	// extension and the forest-arena (flat-flint / flat-batch)
+	// measurements to the paper's four core implementations.
 	WithExtensions bool
 }
 
@@ -135,6 +136,31 @@ func (b *InterpBackend) Measure(w *Workload) (map[Impl]float64, error) {
 			return len(rows)
 		})
 	}
+	if b.WithExtensions {
+		// The forest-arena engine: single-row traversal over the
+		// contiguous arena (the layout effect alone), and the blocked
+		// batch kernel. One worker and the serial block path: this
+		// isolates the kernel (arena layout + blocked row loop, encode
+		// included) from worker-pool dispatch, which belongs to
+		// throughput benchmarks, not to a per-inference cost sweep.
+		flat, err := treeexec.NewFlat(w.CAGSForest, treeexec.FlatFLInt)
+		if err != nil {
+			return nil, err
+		}
+		out[ImplFlat] = b.timeInference(func() int {
+			for _, xi := range encoded {
+				sink += flat.PredictEncoded(xi)
+			}
+			return len(rows)
+		})
+		batchOut := make([]int32, len(rows))
+		out[ImplFlatBatch] = b.timeInference(func() int {
+			batchOut = flat.PredictBatch(rows, batchOut, 1, 0)
+			sink += batchOut[0]
+			return len(rows)
+		})
+	}
+
 	if sink == -1 {
 		return nil, fmt.Errorf("bench: impossible sink value") // keep sink alive
 	}

@@ -39,6 +39,8 @@ const (
 	ImplFLIntASM  Impl = "flint-asm"  // direct assembly FLInt (Fig. 4, Table III)
 	ImplSoftFloat Impl = "softfloat"  // software float baseline (E9)
 	ImplPrecoded  Impl = "precoded"   // key-space precoding extension
+	ImplFlat      Impl = "flat-flint" // single-arena forest, FLInt compares
+	ImplFlatBatch Impl = "flat-batch" // arena + row-blocked batch kernel
 )
 
 // SweepConfig selects the grid of Section V-A.

@@ -52,12 +52,12 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
-// ReorderTree returns a semantically identical tree whose node array is
-// permuted into hot-path preorder: every node is followed immediately by
-// its more probable child, so the likely root-to-leaf path occupies
-// consecutive nodes and therefore a minimal number of cache lines.
-// Left/right child semantics are unchanged — only indices move.
-func ReorderTree(t *rf.Tree) (*rf.Tree, error) {
+// HotPathOrder returns the hot-path preorder permutation of the tree's
+// node indices: position k of the result is the old index of the node
+// that grouping places k-th, so every node is followed immediately by
+// its more probable child. ReorderTree applies this permutation; the
+// flat-arena compiler in treeexec honors any layout produced from it.
+func HotPathOrder(t *rf.Tree) ([]int32, error) {
 	if err := t.Validate(0, 0); err != nil {
 		return nil, err
 	}
@@ -77,6 +77,19 @@ func ReorderTree(t *rf.Tree) (*rf.Tree, error) {
 		visit(second)
 	}
 	visit(0)
+	return order, nil
+}
+
+// ReorderTree returns a semantically identical tree whose node array is
+// permuted into hot-path preorder: every node is followed immediately by
+// its more probable child, so the likely root-to-leaf path occupies
+// consecutive nodes and therefore a minimal number of cache lines.
+// Left/right child semantics are unchanged — only indices move.
+func ReorderTree(t *rf.Tree) (*rf.Tree, error) {
+	order, err := HotPathOrder(t)
+	if err != nil {
+		return nil, err
+	}
 
 	remap := make([]int32, len(t.Nodes)) // old index -> new index
 	for newIdx, oldIdx := range order {

@@ -220,3 +220,38 @@ func TestConfigValidation(t *testing.T) {
 		t.Error("invalid forest accepted by ForestExpectedLinesTouched")
 	}
 }
+
+func TestHotPathOrderIsPermutation(t *testing.T) {
+	tree := &rf.Tree{Nodes: []rf.Node{
+		{Feature: 0, Split: 1, Left: 1, Right: 2, LeftFraction: 0.2},
+		{Feature: rf.LeafFeature, Class: 0},
+		{Feature: 1, Split: 2, Left: 3, Right: 4, LeftFraction: 0.9},
+		{Feature: rf.LeafFeature, Class: 1},
+		{Feature: rf.LeafFeature, Class: 0},
+	}}
+	order, err := HotPathOrder(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(tree.Nodes) {
+		t.Fatalf("order has %d entries, want %d", len(order), len(tree.Nodes))
+	}
+	seen := make([]bool, len(tree.Nodes))
+	for _, idx := range order {
+		if idx < 0 || int(idx) >= len(tree.Nodes) || seen[idx] {
+			t.Fatalf("order %v is not a permutation", order)
+		}
+		seen[idx] = true
+	}
+	// Root first, then its more probable child (right, LeftFraction 0.2),
+	// whose own more probable child is its left leaf.
+	want := []int32{0, 2, 3, 4, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if _, err := HotPathOrder(&rf.Tree{}); err == nil {
+		t.Error("empty tree accepted by HotPathOrder")
+	}
+}

@@ -164,10 +164,27 @@ type Predictor interface {
 	Predict(x []float32) int32
 }
 
+// MaxStackVoteClasses is the widest class count served by the stack-
+// array vote-count fast path shared by Forest.Predict and the treeexec
+// engines: tallies for up to 8 classes — which covers all five paper
+// workloads — avoid a per-prediction heap slice.
+const MaxStackVoteClasses = 8
+
+// VoteSlice returns a zeroed tally of numClasses counts backed by stack
+// when it fits; stack must be freshly zeroed (a var declaration). The
+// function is small enough to inline, so the fast path does not escape.
+func VoteSlice(stack *[MaxStackVoteClasses]int32, numClasses int) []int32 {
+	if numClasses <= MaxStackVoteClasses {
+		return stack[:numClasses]
+	}
+	return make([]int32, numClasses)
+}
+
 // Predict returns the majority-vote class over all trees; ties break
 // toward the lowest class index, making the result deterministic.
 func (f *Forest) Predict(x []float32) int32 {
-	votes := make([]int32, f.NumClasses)
+	var stack [MaxStackVoteClasses]int32
+	votes := VoteSlice(&stack, f.NumClasses)
 	for i := range f.Trees {
 		votes[f.Trees[i].Predict(x)]++
 	}

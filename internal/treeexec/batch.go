@@ -2,11 +2,25 @@ package treeexec
 
 import (
 	"fmt"
+	"reflect"
 	"runtime"
 	"sync"
 
 	"flint/internal/core"
+	"flint/internal/rf"
 )
+
+// isNilEngine reports whether an engine interface is nil or wraps a
+// typed nil pointer. Every engine is a pointer type, so a typed nil
+// would otherwise pass the plain interface nil check and panic inside a
+// worker goroutine, where the caller cannot recover it.
+func isNilEngine(e any) bool {
+	if e == nil {
+		return true
+	}
+	v := reflect.ValueOf(e)
+	return v.Kind() == reflect.Ptr && v.IsNil()
+}
 
 // BatchPredictor is the subset of engine behaviour batch execution
 // needs: a classification of one pre-encoded feature vector. The FLInt,
@@ -27,8 +41,13 @@ type BatchPredictor interface {
 // Hummingbird) motivates offering a batched entry point alongside
 // single-row Predict.
 func Batch(e BatchPredictor, rows [][]float32, workers int) ([]int32, error) {
-	if e == nil {
+	if isNilEngine(e) {
 		return nil, fmt.Errorf("treeexec: nil engine")
+	}
+	// The arena engine has a blocked kernel that amortizes node fetches
+	// across rows; route it there instead of the row-at-a-time loop.
+	if fe, ok := e.(*FlatForestEngine); ok {
+		return fe.PredictBatch(rows, nil, workers, 0), nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -66,10 +85,14 @@ func Batch(e BatchPredictor, rows [][]float32, workers int) ([]int32, error) {
 }
 
 // BatchFloat is Batch for engines that consume float vectors directly
-// (the naive baseline).
-func BatchFloat(e *Float32Engine, rows [][]float32, workers int) ([]int32, error) {
-	if e == nil {
+// (the naive baseline, or any rf.Predictor). Flat arena engines are
+// routed onto the blocked kernel.
+func BatchFloat(e rf.Predictor, rows [][]float32, workers int) ([]int32, error) {
+	if isNilEngine(e) {
 		return nil, fmt.Errorf("treeexec: nil engine")
+	}
+	if fe, ok := e.(*FlatForestEngine); ok {
+		return fe.PredictBatch(rows, nil, workers, 0), nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

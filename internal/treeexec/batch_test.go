@@ -2,6 +2,8 @@ package treeexec
 
 import (
 	"testing"
+
+	"flint/internal/rf"
 )
 
 func TestBatchMatchesSequential(t *testing.T) {
@@ -59,6 +61,16 @@ func TestBatchEdgeCases(t *testing.T) {
 	if _, err := BatchFloat(nil, nil, 1); err == nil {
 		t.Error("nil float engine accepted")
 	}
+	// Typed nils hide from the plain interface nil check.
+	if _, err := BatchFloat((*Float32Engine)(nil), nil, 1); err == nil {
+		t.Error("typed-nil float engine accepted")
+	}
+	if _, err := BatchFloat((*FlatForestEngine)(nil), nil, 1); err == nil {
+		t.Error("typed-nil flat engine accepted by BatchFloat")
+	}
+	if _, err := Batch((*FlatForestEngine)(nil), nil, 1); err == nil {
+		t.Error("typed-nil flat engine accepted by Batch")
+	}
 	// Soft-float engine satisfies BatchPredictor too.
 	soft, err := NewSoftFloat(f)
 	if err != nil {
@@ -66,4 +78,13 @@ func TestBatchEdgeCases(t *testing.T) {
 	}
 	var _ BatchPredictor = soft
 	var _ BatchPredictor = fl
+}
+
+func TestBatchRejectsTypedNilPredictor(t *testing.T) {
+	// Any pointer-typed rf.Predictor, not just the engine types the
+	// reroute switch names, must be rejected instead of panicking in a
+	// worker goroutine.
+	if _, err := BatchFloat((*rf.Forest)(nil), [][]float32{{0}}, 2); err == nil {
+		t.Error("typed-nil rf.Forest accepted by BatchFloat")
+	}
 }

@@ -20,6 +20,30 @@
 //   - Float64Engine / FLInt64Engine — double precision variants
 //     (ablation A4).
 //
+// # Forest arena layout
+//
+// The per-tree engines above keep one heap slice per tree. The
+// FlatForestEngine compiles the whole forest into a single contiguous
+// node arena instead: all inner nodes of all trees live in one backing
+// array of the same 16-byte nodes, and trees are addressed by per-tree
+// root offsets. Leaves are not materialized — a child index c < 0
+// encodes the leaf class as ^c (one's complement), so the traversal
+// loop has no per-node leaf test and degenerates to load → compare →
+// select until the index goes negative:
+//
+//	i := root
+//	for i >= 0 { n := &arena[i]; i = choose(n.left, n.right) }
+//	class := ^i
+//
+// Within each tree the arena preserves the source node order, so a
+// cags.ReorderForest-grouped forest keeps its hot-path-preorder cache
+// locality. Batch work should go through the row-blocked kernel
+// (FlatForestEngine.PredictBatch or a persistent Batcher): blocks of B
+// rows run back-to-back over the arena with per-worker scratch, keeping
+// the forest's leaf-free hot set cache-resident across the block, and
+// large arenas are walked two rows at a time so the out-of-order core
+// overlaps the independent node fetches.
+//
 // Engines are immutable after construction and safe for concurrent use;
 // the Predict entry points allocate nothing on the hot path except when
 // the per-call feature encoding requires a scratch buffer, which callers
@@ -87,12 +111,14 @@ func compileForest(f *rf.Forest, enc func(split float32) int32) ([]tree, error) 
 	return trees, nil
 }
 
-// vote tallies per-tree predictions into a majority decision.
-type vote struct {
-	numClasses int
-}
+// maxStackClasses and voteSlice alias the shared stack-array vote-count
+// fast path (rf.MaxStackVoteClasses / rf.VoteSlice) so the engines and
+// the reference forest stay tuned together.
+const maxStackClasses = rf.MaxStackVoteClasses
 
-func (v vote) winner(counts []int32) int32 { return rf.Argmax(counts) }
+func voteSlice(stack *[maxStackClasses]int32, numClasses int) []int32 {
+	return rf.VoteSlice(stack, numClasses)
+}
 
 // Float32Engine executes the forest with hardware float comparisons; it
 // is the reproduction's "standard if-else tree" cost model in interpreted
@@ -130,7 +156,8 @@ func (e *Float32Engine) PredictTree(t int, x []float32) int32 {
 
 // Predict returns the majority-vote class for x.
 func (e *Float32Engine) Predict(x []float32) int32 {
-	counts := make([]int32, e.numClasses)
+	var stack [maxStackClasses]int32
+	counts := voteSlice(&stack, e.numClasses)
 	for t := range e.trees {
 		counts[e.PredictTree(t, x)]++
 	}
@@ -186,7 +213,8 @@ func (e *FLIntEngine) PredictTreeEncoded(t int, xi []int32) int32 {
 // PredictEncoded returns the majority-vote class for a pre-encoded
 // feature vector.
 func (e *FLIntEngine) PredictEncoded(xi []int32) int32 {
-	counts := make([]int32, e.numClasses)
+	var stack [maxStackClasses]int32
+	counts := voteSlice(&stack, e.numClasses)
 	for t := range e.trees {
 		counts[e.PredictTreeEncoded(t, xi)]++
 	}
@@ -242,7 +270,8 @@ func (e *FLIntXorEngine) PredictTreeEncoded(t int, xi []int32) int32 {
 
 // PredictEncoded returns the majority-vote class for a pre-encoded vector.
 func (e *FLIntXorEngine) PredictEncoded(xi []int32) int32 {
-	counts := make([]int32, e.inner.numClasses)
+	var stack [maxStackClasses]int32
+	counts := voteSlice(&stack, e.inner.numClasses)
 	for t := range e.inner.trees {
 		counts[e.PredictTreeEncoded(t, xi)]++
 	}
@@ -295,7 +324,8 @@ func (e *TotalOrderEngine) PredictTreeEncoded(t int, xi []int32) int32 {
 
 // PredictEncoded returns the majority-vote class for raw bit patterns.
 func (e *TotalOrderEngine) PredictEncoded(xi []int32) int32 {
-	counts := make([]int32, e.numClasses)
+	var stack [maxStackClasses]int32
+	counts := voteSlice(&stack, e.numClasses)
 	for t := range e.trees {
 		counts[e.PredictTreeEncoded(t, xi)]++
 	}
@@ -349,7 +379,8 @@ func (e *PrecodedEngine) PredictTreePrecoded(t int, keys []uint32) int32 {
 
 // PredictPrecoded returns the majority-vote class for a precoded vector.
 func (e *PrecodedEngine) PredictPrecoded(keys []uint32) int32 {
-	counts := make([]int32, e.numClasses)
+	var stack [maxStackClasses]int32
+	counts := voteSlice(&stack, e.numClasses)
 	for t := range e.trees {
 		counts[e.PredictTreePrecoded(t, keys)]++
 	}

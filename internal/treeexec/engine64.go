@@ -88,7 +88,8 @@ func (e *Float64Engine) PredictTree64(t int, x []float64) int32 {
 
 // Predict64 returns the majority-vote class for a float64 vector.
 func (e *Float64Engine) Predict64(x []float64) int32 {
-	counts := make([]int32, e.numClasses)
+	var stack [maxStackClasses]int32
+	counts := voteSlice(&stack, e.numClasses)
 	for t := range e.trees {
 		counts[e.PredictTree64(t, x)]++
 	}
@@ -149,7 +150,8 @@ func (e *FLInt64Engine) PredictTreeEncoded(t int, xi []int64) int32 {
 
 // PredictEncoded returns the majority-vote class for a pre-encoded vector.
 func (e *FLInt64Engine) PredictEncoded(xi []int64) int32 {
-	counts := make([]int32, e.numClasses)
+	var stack [maxStackClasses]int32
+	counts := voteSlice(&stack, e.numClasses)
 	for t := range e.trees {
 		counts[e.PredictTreeEncoded(t, xi)]++
 	}

@@ -53,7 +53,8 @@ func (e *SoftFloatEngine) PredictTreeEncoded(t int, xi []int32) int32 {
 
 // PredictEncoded returns the majority-vote class for raw bit patterns.
 func (e *SoftFloatEngine) PredictEncoded(xi []int32) int32 {
-	counts := make([]int32, e.numClasses)
+	var stack [maxStackClasses]int32
+	counts := voteSlice(&stack, e.numClasses)
 	for t := range e.trees {
 		counts[e.PredictTreeEncoded(t, xi)]++
 	}

@@ -1,0 +1,573 @@
+package treeexec
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"flint/internal/core"
+	"flint/internal/ieee754"
+	"flint/internal/rf"
+)
+
+// FlatVariant selects the comparison kernel an arena is compiled for.
+// The variant is fixed at compile time because it determines how split
+// keys are encoded into the arena nodes.
+type FlatVariant int
+
+const (
+	// FlatFLInt stores offline sign-resolved FLInt keys: one signed or
+	// unsigned integer compare per node (the paper's Section IV-B).
+	FlatFLInt FlatVariant = iota
+	// FlatFloat32 stores raw float bit patterns and compares with the
+	// hardware float unit — the naive baseline over the arena layout.
+	FlatFloat32
+	// FlatPrecoded stores total-order keys: one unsigned compare per
+	// node against a per-vector precoded input (the key-space precoding
+	// extension).
+	FlatPrecoded
+)
+
+// String names the variant in benchmark output.
+func (v FlatVariant) String() string {
+	switch v {
+	case FlatFLInt:
+		return "flat-flint"
+	case FlatFloat32:
+		return "flat-float32"
+	case FlatPrecoded:
+		return "flat-precoded"
+	}
+	return fmt.Sprintf("flat-variant(%d)", int(v))
+}
+
+// FlatForestEngine executes a forest out of one contiguous node arena:
+// every inner node of every tree lives in a single backing array, trees
+// are addressed by per-tree root offsets, and leaves are not stored at
+// all — a child index c < 0 encodes the leaf class as ^c. The hot loop
+// is therefore load → compare → select with no per-node leaf branch:
+//
+//	for i >= 0 { n := &arena[i]; i = pick(n.left, n.right) }
+//	class = ^i
+//
+// Within each tree the compiler preserves the relative order of the
+// source tree's inner nodes, so a forest permuted by cags.ReorderForest
+// keeps its hot-path-preorder locality inside the arena.
+//
+// The engine is immutable after construction and safe for concurrent
+// use. Single rows go through Predict/PredictEncoded/PredictPrecoded;
+// many rows should go through PredictBatch or a persistent Batcher: the
+// rows of a block run back-to-back over the arena with per-worker
+// scratch, and on arenas past the L2 comfort zone the FLInt kernel
+// walks rows in interleaved pairs so the core overlaps their node
+// fetches.
+type FlatForestEngine struct {
+	arena   []node  // inner nodes of all trees, contiguous
+	roots   []int32 // per-tree entry: arena index, or ^class for leaf-only trees
+	variant FlatVariant
+
+	numClasses  int
+	numFeatures int
+	// pairMin is the arena size (nodes) from which the batch kernel
+	// switches to the paired walk; pairMinArenaNodes by default,
+	// overridden in white-box tests to force either path.
+	pairMin int
+}
+
+// NewFlat compiles a validated forest into a single-arena engine for the
+// given comparison variant. The forest's node ordering (original or
+// CAGS-reordered) is preserved tree by tree.
+func NewFlat(f *rf.Forest, v FlatVariant) (*FlatForestEngine, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	var enc func(split float32) int32
+	switch v {
+	case FlatFLInt:
+		enc = func(s float32) int32 { return core.MustEncodeSplit32(s).Key }
+	case FlatFloat32:
+		enc = ieee754.SI32
+	case FlatPrecoded:
+		enc = func(s float32) int32 { return int32(core.PrecodeSplit32(s)) }
+	default:
+		return nil, fmt.Errorf("treeexec: unknown flat variant %d", int(v))
+	}
+
+	inner := 0
+	for i := range f.Trees {
+		inner += len(f.Trees[i].Nodes) - f.Trees[i].NumLeaves()
+	}
+	if inner > math.MaxInt32 {
+		return nil, fmt.Errorf("treeexec: forest has %d inner nodes, arena indices overflow int32", inner)
+	}
+	e := &FlatForestEngine{
+		arena:       make([]node, 0, inner),
+		roots:       make([]int32, len(f.Trees)),
+		variant:     v,
+		numClasses:  f.NumClasses,
+		numFeatures: f.NumFeatures,
+		pairMin:     pairMinArenaNodes,
+	}
+	// remap is reused per tree: old node index -> arena index for inner
+	// nodes, ^class for leaves.
+	var remap []int32
+	for ti := range f.Trees {
+		src := f.Trees[ti].Nodes
+		if cap(remap) < len(src) {
+			remap = make([]int32, len(src))
+		}
+		remap = remap[:len(src)]
+		base := int32(len(e.arena))
+		next := base
+		for i, n := range src {
+			if n.IsLeaf() {
+				remap[i] = ^n.Class
+				continue
+			}
+			if !core.ValidFeature32(n.Split) {
+				return nil, fmt.Errorf("treeexec: tree %d node %d has NaN split", ti, i)
+			}
+			remap[i] = next
+			next++
+		}
+		e.roots[ti] = remap[0]
+		for _, n := range src {
+			if n.IsLeaf() {
+				continue
+			}
+			e.arena = append(e.arena, node{
+				feature: n.Feature,
+				key:     enc(n.Split),
+				left:    remap[n.Left],
+				right:   remap[n.Right],
+			})
+		}
+	}
+	return e, nil
+}
+
+// Name identifies the engine in benchmark output.
+func (e *FlatForestEngine) Name() string { return e.variant.String() }
+
+// NumClasses returns the number of prediction classes.
+func (e *FlatForestEngine) NumClasses() int { return e.numClasses }
+
+// NumFeatures returns the input dimensionality.
+func (e *FlatForestEngine) NumFeatures() int { return e.numFeatures }
+
+// classifyFLInt walks one tree from root over sign-resolved FLInt keys.
+func (e *FlatForestEngine) classifyFLInt(xi []int32, i int32) int32 {
+	arena := e.arena
+	for i >= 0 {
+		n := &arena[i]
+		v := xi[n.feature]
+		var le bool
+		if n.key >= 0 {
+			le = v <= n.key
+		} else {
+			le = uint32(v) >= uint32(n.key)
+		}
+		if le {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+	return ^i
+}
+
+// classifyFloat walks one tree comparing reinterpreted hardware floats.
+func (e *FlatForestEngine) classifyFloat(xi []int32, i int32) int32 {
+	arena := e.arena
+	for i >= 0 {
+		n := &arena[i]
+		if ieee754.FromSI32(xi[n.feature]) <= ieee754.FromSI32(n.key) {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+	return ^i
+}
+
+// classifyTotalOrder walks one tree over total-order keys, transforming
+// each raw bit pattern at load time (the unamortized precoded form).
+func (e *FlatForestEngine) classifyTotalOrder(xi []int32, i int32) int32 {
+	arena := e.arena
+	for i >= 0 {
+		n := &arena[i]
+		if ieee754.TotalOrderKey32(uint32(xi[n.feature])) <= uint32(n.key) {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+	return ^i
+}
+
+// classifyPrecoded walks one tree over a precoded key vector.
+func (e *FlatForestEngine) classifyPrecoded(keys []uint32, i int32) int32 {
+	arena := e.arena
+	for i >= 0 {
+		n := &arena[i]
+		if keys[n.feature] <= uint32(n.key) {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+	return ^i
+}
+
+// classify2FLInt walks one tree for two rows at once. The two traversal
+// chains are independent, so the out-of-order core overlaps their node
+// fetches (2-way memory-level parallelism) — the lock-step payoff of the
+// blocked kernel, with all per-lane state in registers. When the chains
+// diverge in depth the leftover row finishes in a single-chain loop.
+func (e *FlatForestEngine) classify2FLInt(x0, x1 []int32, root int32) (int32, int32) {
+	arena := e.arena
+	i0, i1 := root, root
+	for i0 >= 0 && i1 >= 0 {
+		n0 := &arena[i0]
+		n1 := &arena[i1]
+		v0 := x0[n0.feature]
+		v1 := x1[n1.feature]
+		var le0, le1 bool
+		if n0.key >= 0 {
+			le0 = v0 <= n0.key
+		} else {
+			le0 = uint32(v0) >= uint32(n0.key)
+		}
+		if n1.key >= 0 {
+			le1 = v1 <= n1.key
+		} else {
+			le1 = uint32(v1) >= uint32(n1.key)
+		}
+		if le0 {
+			i0 = n0.left
+		} else {
+			i0 = n0.right
+		}
+		if le1 {
+			i1 = n1.left
+		} else {
+			i1 = n1.right
+		}
+	}
+	if i0 >= 0 {
+		return e.classifyFLInt(x0, i0), ^i1
+	}
+	if i1 >= 0 {
+		return ^i0, e.classifyFLInt(x1, i1)
+	}
+	return ^i0, ^i1
+}
+
+// voteEncoded tallies every tree's class for a raw bit-pattern vector
+// into counts (length numClasses, zeroed by the caller). The variant
+// switch is hoisted out of the per-tree loop.
+func (e *FlatForestEngine) voteEncoded(xi []int32, counts []int32) {
+	switch e.variant {
+	case FlatFLInt:
+		for _, root := range e.roots {
+			counts[e.classifyFLInt(xi, root)]++
+		}
+	case FlatFloat32:
+		for _, root := range e.roots {
+			counts[e.classifyFloat(xi, root)]++
+		}
+	default:
+		for _, root := range e.roots {
+			counts[e.classifyTotalOrder(xi, root)]++
+		}
+	}
+}
+
+// PredictEncoded returns the majority-vote class for a raw bit-pattern
+// vector (core.EncodeFeatures32 output). It is valid for every variant:
+// the precoded arena transforms each load into key space, matching the
+// total-order engine's semantics.
+func (e *FlatForestEngine) PredictEncoded(xi []int32) int32 {
+	var stack [maxStackClasses]int32
+	counts := voteSlice(&stack, e.numClasses)
+	e.voteEncoded(xi, counts)
+	return rf.Argmax(counts)
+}
+
+// PredictPrecoded returns the majority-vote class for a precoded key
+// vector (core.PrecodeFeatures32 output). Only meaningful for the
+// FlatPrecoded variant, whose arena stores total-order keys.
+func (e *FlatForestEngine) PredictPrecoded(keys []uint32) int32 {
+	var stack [maxStackClasses]int32
+	counts := voteSlice(&stack, e.numClasses)
+	for _, root := range e.roots {
+		counts[e.classifyPrecoded(keys, root)]++
+	}
+	return rf.Argmax(counts)
+}
+
+// Predict encodes x for the engine's variant and classifies it,
+// satisfying rf.Predictor.
+func (e *FlatForestEngine) Predict(x []float32) int32 {
+	if e.variant == FlatPrecoded {
+		return e.PredictPrecoded(core.PrecodeFeatures32(make([]uint32, 0, 64), x))
+	}
+	return e.PredictEncoded(core.EncodeFeatures32(make([]int32, 0, 64), x))
+}
+
+// pairMinArenaNodes gates the paired FLInt walk: past ~1MB of nodes the
+// arena stops fitting in a per-core L2 and traversal becomes fetch-
+// latency-bound, which the 2-way interleaved walk hides (measured 1.8x
+// over the per-row engines at 16MB arenas, 20% at 2MB); below it the
+// walks are IPC-bound and the simple per-row loop is cheaper.
+const pairMinArenaNodes = 1 << 16
+
+// DefaultBlockRows is the default row-block size B of the batch kernel:
+// blocks of B rows advance in lock-step through each tree, so every node
+// fetched from the arena is reused up to B times while it is cache-hot.
+const DefaultBlockRows = 16
+
+// flatScratch is the per-worker working set of the batch kernel: one
+// row's encode buffer and one vote-count tally, allocated once at pool
+// construction so the steady state allocates nothing.
+type flatScratch struct {
+	enc   []int32  // numFeatures raw bit patterns
+	keys  []uint32 // numFeatures precoded keys (FlatPrecoded only)
+	votes []int32  // numClasses vote counts
+}
+
+func (e *FlatForestEngine) newScratch() *flatScratch {
+	// Two of each: the FLInt kernel walks rows in pairs.
+	s := &flatScratch{votes: make([]int32, 2*e.numClasses)}
+	if e.variant == FlatPrecoded {
+		s.keys = make([]uint32, e.numFeatures)
+	} else {
+		s.enc = make([]int32, 2*e.numFeatures)
+	}
+	return s
+}
+
+// predictBlock classifies one block of rows into out, reusing s. The
+// rows of a block run back-to-back through the whole arena, so the
+// forest's hot set — halved by the leaf-free encoding relative to the
+// per-tree engines — is reused across the block while cache-resident.
+//
+// The kernel is deliberately row-major: a tree-major "lock-step" order
+// (all rows through one tree before the next) and a level-synchronous
+// lane variant were both measured slower on commodity x86, because the
+// per-walk bookkeeping they add outweighs the node-fetch reuse the
+// leaf-free arena already provides. See ROADMAP for the SIMD/lock-step
+// follow-on.
+func (e *FlatForestEngine) predictBlock(rows [][]float32, out []int32, s *flatScratch) {
+	nf := e.numFeatures
+	nc := e.numClasses
+	if e.variant == FlatPrecoded {
+		for b, x := range rows {
+			keys := core.PrecodeFeatures32(s.keys[:0], x)
+			votes := s.votes[:nc]
+			for i := range votes {
+				votes[i] = 0
+			}
+			for _, root := range e.roots {
+				votes[e.classifyPrecoded(keys, root)]++
+			}
+			out[b] = rf.Argmax(votes)
+		}
+		return
+	}
+	if e.variant == FlatFLInt && len(e.arena) >= e.pairMin {
+		b := 0
+		for ; b+1 < len(rows); b += 2 {
+			enc0 := core.EncodeFeatures32(s.enc[0:0:nf], rows[b])
+			enc1 := core.EncodeFeatures32(s.enc[nf:nf:2*nf], rows[b+1])
+			var st0, st1 [maxStackClasses]int32
+			var v0, v1 []int32
+			if nc <= maxStackClasses {
+				v0, v1 = st0[:nc], st1[:nc]
+			} else {
+				v0, v1 = s.votes[:nc], s.votes[nc:2*nc]
+				for i := range v0 {
+					v0[i], v1[i] = 0, 0
+				}
+			}
+			for _, root := range e.roots {
+				c0, c1 := e.classify2FLInt(enc0, enc1, root)
+				v0[c0]++
+				v1[c1]++
+			}
+			out[b] = rf.Argmax(v0)
+			out[b+1] = rf.Argmax(v1)
+		}
+		if b < len(rows) {
+			out[b] = e.predictOneInto(core.EncodeFeatures32(s.enc[0:0:nf], rows[b]), s)
+		}
+		return
+	}
+	for b, x := range rows {
+		out[b] = e.predictOneInto(core.EncodeFeatures32(s.enc[0:0:nf], x), s)
+	}
+}
+
+// predictOneInto classifies one encoded row using stack vote counts when
+// they fit and the scratch tally otherwise, so the block kernel stays
+// allocation-free for any class count.
+func (e *FlatForestEngine) predictOneInto(xi []int32, s *flatScratch) int32 {
+	if e.numClasses <= maxStackClasses {
+		return e.PredictEncoded(xi)
+	}
+	votes := s.votes[:e.numClasses]
+	for i := range votes {
+		votes[i] = 0
+	}
+	e.voteEncoded(xi, votes)
+	return rf.Argmax(votes)
+}
+
+// PredictBatch classifies all rows with the blocked kernel, spawning up
+// to workers goroutines for this call (0 selects GOMAXPROCS) that claim
+// blocks of block rows (0 selects DefaultBlockRows) from a shared
+// cursor. The result is written into out when it has sufficient
+// capacity; otherwise a new slice is allocated. For steady-state serving
+// without per-call worker spawning, use a Batcher.
+func (e *FlatForestEngine) PredictBatch(rows [][]float32, out []int32, workers, block int) []int32 {
+	if cap(out) < len(rows) {
+		out = make([]int32, len(rows))
+	}
+	out = out[:len(rows)]
+	if len(rows) == 0 {
+		return out
+	}
+	if block <= 0 {
+		block = DefaultBlockRows
+	}
+	blocks := (len(rows) + block - 1) / block
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > blocks {
+		workers = blocks
+	}
+	if workers == 1 {
+		s := e.newScratch()
+		for lo := 0; lo < len(rows); lo += block {
+			hi := lo + block
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			e.predictBlock(rows[lo:hi], out[lo:hi], s)
+		}
+		return out
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := e.newScratch()
+			for {
+				bi := int(cursor.Add(1)) - 1
+				if bi >= blocks {
+					return
+				}
+				lo := bi * block
+				hi := lo + block
+				if hi > len(rows) {
+					hi = len(rows)
+				}
+				e.predictBlock(rows[lo:hi], out[lo:hi], s)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// batchJob is one block of work handed to a Batcher worker: the rows to
+// classify and the output sub-slice to fill.
+type batchJob struct {
+	rows [][]float32
+	out  []int32
+}
+
+// Batcher drives a FlatForestEngine with a persistent worker pool: the
+// goroutines and their scratch buffers (encode buffer + vote counts) are
+// allocated once at construction, so repeated Predict calls with a
+// caller-reused output slice allocate nothing. This is the serving
+// configuration: keep one Batcher per engine for the process lifetime
+// and feed it request batches.
+type Batcher struct {
+	e       *FlatForestEngine
+	block   int
+	workers int
+	jobs    chan batchJob
+
+	mu sync.Mutex // serializes Predict: one in-flight batch at a time
+	wg sync.WaitGroup
+}
+
+// NewBatcher starts a pool of workers goroutines (0 selects GOMAXPROCS)
+// processing blocks of block rows (0 selects DefaultBlockRows). Close
+// releases the pool.
+func NewBatcher(e *FlatForestEngine, workers, block int) *Batcher {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if block <= 0 {
+		block = DefaultBlockRows
+	}
+	b := &Batcher{
+		e:       e,
+		block:   block,
+		workers: workers,
+		jobs:    make(chan batchJob, workers*4),
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			s := e.newScratch()
+			for job := range b.jobs {
+				e.predictBlock(job.rows, job.out, s)
+				b.wg.Done()
+			}
+		}()
+	}
+	return b
+}
+
+// Workers returns the pool size.
+func (b *Batcher) Workers() int { return b.workers }
+
+// Predict classifies all rows, writing into out when it has sufficient
+// capacity (otherwise allocating a result slice). Concurrent calls are
+// serialized; calling after Close panics.
+func (b *Batcher) Predict(rows [][]float32, out []int32) []int32 {
+	if cap(out) < len(rows) {
+		out = make([]int32, len(rows))
+	}
+	out = out[:len(rows)]
+	if len(rows) == 0 {
+		return out
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	blocks := (len(rows) + b.block - 1) / b.block
+	b.wg.Add(blocks)
+	for lo := 0; lo < len(rows); lo += b.block {
+		hi := lo + b.block
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		b.jobs <- batchJob{rows: rows[lo:hi], out: out[lo:hi]}
+	}
+	b.wg.Wait()
+	return out
+}
+
+// Close shuts the worker pool down. The Batcher must be idle.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	close(b.jobs)
+}

@@ -1,0 +1,314 @@
+package treeexec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flint/internal/cags"
+	"flint/internal/core"
+	"flint/internal/rf"
+)
+
+var flatVariants = []FlatVariant{FlatFLInt, FlatFloat32, FlatPrecoded}
+
+// TestFlatArenaStructure checks the compiled arena invariants: inner
+// nodes only, contiguous per-tree segments, negative indices decoding to
+// classes, leaf-only trees folded into the root slot.
+func TestFlatArenaStructure(t *testing.T) {
+	f := &rf.Forest{NumFeatures: 2, NumClasses: 3, Trees: []rf.Tree{
+		{Nodes: []rf.Node{
+			{Feature: 0, Split: 1.5, Left: 1, Right: 2},
+			{Feature: rf.LeafFeature, Class: 1},
+			{Feature: 1, Split: -2, Left: 3, Right: 4},
+			{Feature: rf.LeafFeature, Class: 0},
+			{Feature: rf.LeafFeature, Class: 2},
+		}},
+		{Nodes: []rf.Node{{Feature: rf.LeafFeature, Class: 2}}}, // leaf-only tree
+	}}
+	e, err := NewFlat(f, FlatFLInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(e.arena), 2; got != want {
+		t.Fatalf("arena holds %d nodes, want %d inner nodes", got, want)
+	}
+	if e.roots[0] != 0 {
+		t.Errorf("tree 0 root = %d, want 0", e.roots[0])
+	}
+	if e.roots[1] != ^int32(2) {
+		t.Errorf("leaf-only tree root = %d, want %d", e.roots[1], ^int32(2))
+	}
+	// Root's left child is the class-1 leaf, right child is arena node 1.
+	if e.arena[0].left != ^int32(1) || e.arena[0].right != 1 {
+		t.Errorf("root children = (%d,%d), want (%d,1)", e.arena[0].left, e.arena[0].right, ^int32(1))
+	}
+	// Both trees must predict like the reference forest.
+	for _, x := range [][]float32{{0, 0}, {2, -3}, {2, 5}, {-1, -2}} {
+		if got, want := e.Predict(x), f.Predict(x); got != want {
+			t.Errorf("Predict(%v) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+// TestFlatMatchesPerTreeEngines is the differential test on trained
+// workloads: every variant of the flat engine, compiled from the
+// original and the CAGS-reordered layout, must agree with the per-tree
+// FLInt and float engines row by row.
+func TestFlatMatchesPerTreeEngines(t *testing.T) {
+	for _, ds := range []string{"magic", "wine", "eye"} {
+		f, d := trainedForest(t, ds, 7, 5)
+		grouped, err := cags.ReorderForest(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewFLInt(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, forest := range []*rf.Forest{f, grouped} {
+			for _, v := range flatVariants {
+				e, err := NewFlat(forest, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, x := range d.Features {
+					want := ref.Predict(x)
+					if got := e.Predict(x); got != want {
+						t.Fatalf("%s/%s row %d: got %d want %d", ds, e.Name(), i, got, want)
+					}
+					xi := core.EncodeFeatures32(nil, x)
+					if got := e.PredictEncoded(xi); got != want {
+						t.Fatalf("%s/%s row %d (encoded): got %d want %d", ds, e.Name(), i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFlatRandomForests cross-checks the arena engine on randomly
+// constructed trees with extreme split values (the same adversarial pool
+// the per-tree engines are tested with).
+func TestFlatRandomForests(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	splitPool := []float32{
+		0, float32(math.Copysign(0, -1)), 1.5, -1.5,
+		math.SmallestNonzeroFloat32, -math.SmallestNonzeroFloat32,
+		math.MaxFloat32, -math.MaxFloat32, 3.25e-20, -7.5e12,
+	}
+	randTree := func(depth int) rf.Tree {
+		var nodes []rf.Node
+		var grow func(d int) int32
+		grow = func(d int) int32 {
+			me := int32(len(nodes))
+			if d == 0 || rng.Float64() < 0.3 {
+				nodes = append(nodes, rf.Node{Feature: rf.LeafFeature, Class: int32(rng.Intn(3))})
+				return me
+			}
+			nodes = append(nodes, rf.Node{
+				Feature:      int32(rng.Intn(4)),
+				Split:        splitPool[rng.Intn(len(splitPool))],
+				LeftFraction: rng.Float64(),
+			})
+			l := grow(d - 1)
+			r := grow(d - 1)
+			nodes[me].Left = l
+			nodes[me].Right = r
+			return me
+		}
+		grow(depth)
+		return rf.Tree{Nodes: nodes}
+	}
+	for trial := 0; trial < 30; trial++ {
+		f := &rf.Forest{NumFeatures: 4, NumClasses: 3,
+			Trees: []rf.Tree{randTree(5), randTree(5), randTree(5)}}
+		grouped, err := cags.ReorderForest(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var engines []*FlatForestEngine
+		for _, forest := range []*rf.Forest{f, grouped} {
+			for _, v := range flatVariants {
+				e, err := NewFlat(forest, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				engines = append(engines, e)
+			}
+		}
+		x := make([]float32, 4)
+		for probe := 0; probe < 60; probe++ {
+			for j := range x {
+				x[j] = splitPool[rng.Intn(len(splitPool))] * float32(rng.NormFloat64())
+			}
+			want := f.Predict(x)
+			for _, e := range engines {
+				if got := e.Predict(x); got != want {
+					t.Fatalf("trial %d: %s got %d want %d for %v", trial, e.Name(), got, want, x)
+				}
+			}
+		}
+	}
+}
+
+// TestFlatBatchPaths checks that every batch entry point — the blocked
+// PredictBatch at several worker counts and block sizes, the persistent
+// Batcher, and the rerouted Batch/BatchFloat — matches row-by-row
+// prediction.
+func TestFlatBatchPaths(t *testing.T) {
+	f, d := trainedForest(t, "sensorless", 6, 6)
+	e, err := NewFlat(f, FlatFLInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int32, d.Len())
+	for i, x := range d.Features {
+		want[i] = f.Predict(x)
+	}
+	check := func(name string, got []int32) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d results, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: row %d got %d want %d", name, i, got[i], want[i])
+			}
+		}
+	}
+	// Exercise both block-kernel paths: the paired walk (pairMin = 0
+	// forces it even on this small arena) and the simple per-row walk.
+	for _, pairMin := range []int{0, 1 << 30} {
+		e.pairMin = pairMin
+		for _, workers := range []int{0, 1, 2, 5} {
+			for _, block := range []int{0, 1, 3, 64, 1 << 20} {
+				check("PredictBatch", e.PredictBatch(d.Features, nil, workers, block))
+			}
+		}
+	}
+	e.pairMin = 0 // keep the paired walk under test below
+	// Output slice reuse.
+	out := make([]int32, 0, d.Len())
+	check("PredictBatch/reuse", e.PredictBatch(d.Features, out, 2, 8))
+
+	b := NewBatcher(e, 3, 8)
+	defer b.Close()
+	out = b.Predict(d.Features, out)
+	check("Batcher", out)
+	check("Batcher/again", b.Predict(d.Features, out))
+	if got := b.Predict(nil, nil); len(got) != 0 {
+		t.Errorf("empty batch returned %d rows", len(got))
+	}
+
+	rerouted, err := Batch(e, d.Features, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("Batch/reroute", rerouted)
+	reroutedF, err := BatchFloat(e, d.Features, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("BatchFloat/reroute", reroutedF)
+}
+
+// TestFlatPrecodedBatch exercises the precoded variant through the
+// blocked kernel, whose scratch path differs from the bit-pattern one.
+func TestFlatPrecodedBatch(t *testing.T) {
+	f, d := trainedForest(t, "gas", 6, 4)
+	e, err := NewFlat(f, FlatPrecoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.PredictBatch(d.Features, nil, 2, 8)
+	for i, x := range d.Features {
+		if want := f.Predict(x); got[i] != want {
+			t.Fatalf("row %d: got %d want %d", i, got[i], want)
+		}
+		keys := core.PrecodeFeatures32(nil, x)
+		if single := e.PredictPrecoded(keys); single != got[i] {
+			t.Fatalf("row %d: PredictPrecoded %d != batch %d", i, single, got[i])
+		}
+	}
+}
+
+// TestFlatZeroAllocSteadyState asserts the acceptance criterion
+// directly: steady-state batch prediction through a persistent Batcher
+// with a reused output slice performs zero allocations, as do the
+// single-row encoded paths with <= 8 classes.
+func TestFlatZeroAllocSteadyState(t *testing.T) {
+	t.Run("magic", func(t *testing.T) { testFlatZeroAlloc(t, "magic") })
+	// Sensorless has 11 classes, forcing the scratch-votes fallback of
+	// the block kernel past the 8-class stack fast path.
+	t.Run("sensorless", func(t *testing.T) { testFlatZeroAlloc(t, "sensorless") })
+}
+
+func testFlatZeroAlloc(t *testing.T, ds string) {
+	f, d := trainedForest(t, ds, 6, 8)
+	e, err := NewFlat(f, FlatFLInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pairMin := range []int{0, 1 << 30} {
+		e.pairMin = pairMin
+		// Odd block size: every paired-walk block has a leftover row,
+		// which must not fall back to an allocating path.
+		b := NewBatcher(e, 2, 7)
+		out := make([]int32, d.Len())
+		b.Predict(d.Features, out) // warm up
+		if avg := testing.AllocsPerRun(20, func() {
+			b.Predict(d.Features, out)
+		}); avg != 0 {
+			t.Errorf("pairMin=%d: Batcher.Predict allocates %.1f objects per batch, want 0", pairMin, avg)
+		}
+		b.Close()
+	}
+
+	// The single-row stack-array fast path only covers <= 8 classes.
+	if f.NumClasses > maxStackClasses {
+		return
+	}
+	xi := core.EncodeFeatures32(nil, d.Features[0])
+	if avg := testing.AllocsPerRun(100, func() {
+		e.PredictEncoded(xi)
+	}); avg != 0 {
+		t.Errorf("flat PredictEncoded allocates %.1f objects, want 0", avg)
+	}
+	fl, err := NewFLInt(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		fl.PredictEncoded(xi)
+	}); avg != 0 {
+		t.Errorf("per-tree PredictEncoded allocates %.1f objects, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		f.Predict(d.Features[0])
+	}); avg != 0 {
+		t.Errorf("rf.Forest.Predict allocates %.1f objects, want 0", avg)
+	}
+}
+
+// TestFlatRejectsInvalid mirrors the per-tree engines' constructor
+// checks.
+func TestFlatRejectsInvalid(t *testing.T) {
+	bad := &rf.Forest{NumFeatures: 1, NumClasses: 2, Trees: []rf.Tree{{Nodes: []rf.Node{
+		{Feature: 0, Split: float32(math.NaN()), Left: 1, Right: 2},
+		{Feature: rf.LeafFeature}, {Feature: rf.LeafFeature},
+	}}}}
+	if _, err := NewFlat(bad, FlatFLInt); err == nil {
+		t.Error("NaN split accepted")
+	}
+	empty := &rf.Forest{NumFeatures: 1, NumClasses: 2}
+	if _, err := NewFlat(empty, FlatFLInt); err == nil {
+		t.Error("empty forest accepted")
+	}
+	ok := &rf.Forest{NumFeatures: 1, NumClasses: 2, Trees: []rf.Tree{
+		{Nodes: []rf.Node{{Feature: rf.LeafFeature, Class: 1}}},
+	}}
+	if _, err := NewFlat(ok, FlatVariant(99)); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
