@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"flint"
 	"flint/internal/asmsim"
@@ -593,8 +594,10 @@ func iee754SI(b uint64) int64 { return int64(int32(uint32(b))) }
 // rows/sec on the two highest-volume workloads, contrasting the per-row
 // Batch over the per-tree FLInt engine with the row-blocked arena
 // kernel (ephemeral workers, and the persistent zero-alloc Batcher) at
-// matched worker counts. -benchmem makes the steady-state allocation
-// claim measurable: the Batcher rows must report 0 allocs/op.
+// matched worker counts, for both the 16-byte FLInt arena and the
+// 8-byte compact SoA arena at every interleave width (x1/x2/x4/x8
+// cursor walks). -benchmem makes the steady-state allocation claim
+// measurable: the Batcher rows must report 0 allocs/op.
 func BenchmarkBatchThroughput(b *testing.B) {
 	workerCounts := []int{1, 2}
 	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 {
@@ -613,6 +616,13 @@ func BenchmarkBatchThroughput(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		compact, err := treeexec.NewFlat(forest, treeexec.FlatCompact)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if compact.Variant() != treeexec.FlatCompact {
+			b.Fatalf("compact fell back to %v", compact.Variant())
+		}
 		reportRows := func(b *testing.B) {
 			b.ReportMetric(float64(len(rows))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 		}
@@ -627,27 +637,48 @@ func BenchmarkBatchThroughput(b *testing.B) {
 				}
 				reportRows(b)
 			})
-			b.Run(fmt.Sprintf("%s/blocked/w%d", ds, w), func(b *testing.B) {
-				b.ReportAllocs()
-				out := make([]int32, len(rows))
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					out = flat.PredictBatch(rows, out, w, 0)
+			for _, arena := range []struct {
+				tag string
+				e   *treeexec.FlatForestEngine
+			}{{"blocked", flat}, {"compact", compact}} {
+				arena := arena
+				// Forced interleave widths expose the 2/4/8-way walks
+				// individually; serving code normally leaves the
+				// calibrated gate in charge.
+				for _, width := range []int{1, 2, 4, 8} {
+					width := width
+					arena.e.SetInterleave(width)
+					b.Run(fmt.Sprintf("%s/%s/x%d/w%d", ds, arena.tag, width, w), func(b *testing.B) {
+						arena.e.SetInterleave(width)
+						b.ReportAllocs()
+						out := make([]int32, len(rows))
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							out = arena.e.PredictBatch(rows, out, w, 0)
+						}
+						reportRows(b)
+					})
 				}
-				reportRows(b)
-			})
-			b.Run(fmt.Sprintf("%s/batcher/w%d", ds, w), func(b *testing.B) {
-				pool := treeexec.NewBatcher(flat, w, 0)
-				defer pool.Close()
-				out := make([]int32, len(rows))
-				pool.Predict(rows, out) // warm up the pool
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					out = pool.Predict(rows, out)
-				}
-				reportRows(b)
-			})
+			}
+			for _, arena := range []struct {
+				tag string
+				e   *treeexec.FlatForestEngine
+			}{{"batcher", flat}, {"batcher-compact", compact}} {
+				arena := arena
+				b.Run(fmt.Sprintf("%s/%s/w%d", ds, arena.tag, w), func(b *testing.B) {
+					arena.e.CalibrateInterleave(20 * time.Millisecond)
+					pool := treeexec.NewBatcher(arena.e, w, 0)
+					defer pool.Close()
+					out := make([]int32, len(rows))
+					pool.Predict(rows, out) // warm up the pool
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						out = pool.Predict(rows, out)
+					}
+					reportRows(b)
+				})
+			}
 		}
 	}
 }

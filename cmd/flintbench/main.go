@@ -28,6 +28,9 @@ import (
 
 	"flint/internal/asmsim"
 	"flint/internal/bench"
+	"flint/internal/cart"
+	"flint/internal/dataset"
+	"flint/internal/treeexec"
 )
 
 func main() {
@@ -35,17 +38,26 @@ func main() {
 	log.SetPrefix("flintbench: ")
 
 	var (
-		grid     = flag.String("grid", "quick", "sweep grid: tiny|quick|paper")
-		backends = flag.String("backends", "interp", "comma-separated: interp|cc|sim|sim:<machine>")
-		rows     = flag.Int("rows", 0, "override dataset rows (0 = grid default)")
-		csvDir   = flag.String("csv", "", "write raw and series CSVs into this directory")
-		machines = flag.Bool("machines", false, "print the Table I machine profiles and exit")
-		verbose  = flag.Bool("v", false, "log every measured grid point")
+		grid      = flag.String("grid", "quick", "sweep grid: tiny|quick|paper")
+		backends  = flag.String("backends", "interp", "comma-separated: interp|cc|sim|sim:<machine>")
+		rows      = flag.Int("rows", 0, "override dataset rows (0 = grid default)")
+		csvDir    = flag.String("csv", "", "write raw and series CSVs into this directory")
+		machines  = flag.Bool("machines", false, "print the Table I machine profiles and exit")
+		verbose   = flag.Bool("v", false, "log every measured grid point")
+		batchJSON = flag.String("batchjson", "", "run the short batch-throughput bench (rows/s per arena variant per workload), write JSON to this path and exit")
+		batchRows = flag.Int("batchrows", 0, "dataset rows for -batchjson (0 = 1200)")
 	)
 	flag.Parse()
 
 	if *machines {
 		printMachines()
+		return
+	}
+
+	if *batchJSON != "" {
+		if err := runBatchBench(*batchJSON, *batchRows); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -85,14 +97,16 @@ func main() {
 	}
 
 	// Extension rows (interp backend only): the forest-arena engine,
-	// single-row and through the row-blocked batch kernel, normalized
-	// against the same naive baseline.
+	// single-row, through the row-blocked batch kernel, and over the
+	// quantized 8-byte compact arena, normalized against the same naive
+	// baseline.
 	if rowsArena := bench.Table(res, bench.ImplNaive,
-		[]bench.Impl{bench.ImplFlat, bench.ImplFlatBatch}); len(rowsArena) > 0 {
+		[]bench.Impl{bench.ImplFlat, bench.ImplFlatBatch, bench.ImplFlatCompact}); len(rowsArena) > 0 {
 		fmt.Println("=== Extension: forest-arena engine ===")
 		if err := bench.WriteTable(os.Stdout, "Arena", rowsArena); err != nil {
 			log.Fatal(err)
 		}
+		printArenaFootprint(cfg)
 	}
 
 	if withASM {
@@ -200,6 +214,85 @@ func filterSeries(series []bench.Series, impls ...bench.Impl) []bench.Series {
 		}
 	}
 	return out
+}
+
+// runBatchBench runs the short batch-throughput measurement and writes
+// the BENCH_batch.json document: rows/s per arena variant per workload,
+// with the arena footprints (bytes/node) that motivate the compact
+// layout. Intended for CI trend tracking; numbers are wall-clock and
+// noisy, so nothing here fails on a slow run.
+func runBatchBench(path string, rows int) error {
+	rep, err := bench.BatchBench{Rows: rows}.Run()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := bench.WriteBatchBenchJSON(f, rep); err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		if r.ArenaNodes > 0 {
+			fmt.Printf("%-12s %-13s %12.0f rows/s  %8d nodes  %4.1f B/node  x%d interleave\n",
+				r.Dataset, r.Variant, r.RowsPerSec, r.ArenaNodes, r.BytesPerNode, r.Interleave)
+		} else {
+			fmt.Printf("%-12s %-13s %12.0f rows/s\n", r.Dataset, r.Variant, r.RowsPerSec)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// printArenaFootprint trains one representative ensemble and prints the
+// per-node storage cost of each arena layout, making the footprint
+// claim behind the compact variant's timings visible next to them.
+func printArenaFootprint(cfg bench.SweepConfig) {
+	rows, trees, depth := cfg.Rows, 0, 0
+	if rows <= 0 {
+		rows = 1200
+	}
+	for _, t := range cfg.TreeCounts {
+		if t > trees && t <= 20 {
+			trees = t
+		}
+	}
+	if trees == 0 {
+		trees = 10
+	}
+	for _, d := range cfg.Depths {
+		if d > depth && d <= 15 {
+			depth = d
+		}
+	}
+	if depth == 0 {
+		depth = 10
+	}
+	ds := cfg.Datasets[0]
+	full, err := dataset.Generate(ds, rows, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, _ := full.Split(0.75, 1)
+	forest, err := cart.TrainForest(train, cart.Config{NumTrees: trees, MaxDepth: depth, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("--- Arena footprint (%s, %d trees, depth %d) ---\n", ds, trees, depth)
+	for _, v := range []treeexec.FlatVariant{treeexec.FlatFLInt, treeexec.FlatCompact} {
+		e, err := treeexec.NewFlat(forest, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes, bytes := e.ArenaNodes(), e.ArenaBytes()
+		fmt.Printf("%-13s %8d nodes %10d bytes  %4.1f B/node\n",
+			e.Name(), nodes, bytes, float64(bytes)/float64(nodes))
+	}
+	if ok, reason := treeexec.Compactable(forest); !ok {
+		fmt.Printf("(compact fallback: %s)\n", reason)
+	}
 }
 
 // printMachines renders the Table I stand-ins.

@@ -40,10 +40,18 @@ func TestFlatEngineMatchesPerTreeEnginesOnAllWorkloads(t *testing.T) {
 				tag string
 				f   *flint.Forest
 			}{{"original", forest}, {"cags", grouped}} {
-				for _, v := range []flint.FlatVariant{flint.FlatFLInt, flint.FlatFloat32, flint.FlatPrecoded} {
+				for _, v := range []flint.FlatVariant{flint.FlatFLInt, flint.FlatFloat32, flint.FlatPrecoded, flint.FlatCompact} {
 					e, err := flint.NewFlatEngineVariant(layout.f, v)
 					if err != nil {
 						t.Fatal(err)
+					}
+					if v == flint.FlatCompact {
+						if ok, reason := flint.Compactable(layout.f); !ok {
+							t.Fatalf("workload forest not compactable: %s", reason)
+						}
+						if e.Variant() != flint.FlatCompact {
+							t.Fatalf("compact request fell back to %v", e.Variant())
+						}
 					}
 					batch := flint.PredictBatch(e, data.Features, 2)
 					for i, x := range data.Features {

@@ -22,10 +22,47 @@
 //	flint.GE32(a, b)                 // a >= b via integer operations
 //	sp := flint.MustEncodeSplit32(s) // offline split encoding
 //	sp.LE(flint.FeatureBits32(x))    // x <= s, one integer comparison
+//
+// # Choosing an execution engine: the three arena layouts
+//
+// Three memory layouts execute a trained forest, each the right tool at
+// a different scale:
+//
+//   - Per-tree engines (NewFLIntEngine, NewFloatEngine, ...): one node
+//     slice per tree, 16-byte nodes with explicit leaves. The layout the
+//     paper's figures measure. Best for single-row latency on small
+//     ensembles and for the ablation variants (XOR, total-order,
+//     precoded, soft-float, float64).
+//
+//   - Flat AoS arena (NewFlatEngine, FlatFLInt/FlatFloat32/
+//     FlatPrecoded): every inner node of every tree in one contiguous
+//     array of 16-byte nodes, leaves folded into negative child indices
+//     (^class), per-tree root offsets. Halves the traversed footprint
+//     versus per-tree engines and feeds the row-blocked batch kernel,
+//     which walks groups of 2/4/8 rows with interleaved register-
+//     resident cursors once the arena outgrows the cache (runtime-
+//     calibrated gates; see Calibrate). Best general-purpose serving
+//     engine.
+//
+//   - Compact SoA arena (FlatCompact): 8 bytes per node split across
+//     parallel uint16 key / uint16 feature / packed int32 child slices.
+//     Split values are reduced — exactly, via per-feature total-order
+//     ranking — to 16-bit keys, and each row is quantized once by
+//     binary search before the walk. Predictions are bit-identical to
+//     FlatFLInt. Halves the arena footprint again, so roughly twice the
+//     forest fits in the same cache; it wins on big ensembles at batch
+//     scale. Forests exceeding the narrow encoding (per-feature
+//     distinct splits, per-tree size, classes, features — probe with
+//     Compactable) gracefully fall back to the FLInt arena.
+//
+// Batch work should go through PredictBatch (ephemeral workers) or a
+// persistent Batcher (zero-alloc steady state; concurrent Predict calls
+// interleave block-by-block over the shared pool).
 package flint
 
 import (
 	"io"
+	"time"
 
 	"flint/internal/cags"
 	"flint/internal/cart"
@@ -186,7 +223,8 @@ func NewSoftFloatEngine(f *Forest) (*SoftFloatEngine, error) { return treeexec.N
 type FlatEngine = treeexec.FlatForestEngine
 
 // FlatVariant selects the comparison kernel a FlatEngine is compiled
-// for (FLInt, hardware float, or total-order precoded).
+// for (FLInt, hardware float, total-order precoded, or the quantized
+// compact SoA arena).
 type FlatVariant = treeexec.FlatVariant
 
 // The arena comparison variants.
@@ -194,7 +232,25 @@ const (
 	FlatFLInt    = treeexec.FlatFLInt
 	FlatFloat32  = treeexec.FlatFloat32
 	FlatPrecoded = treeexec.FlatPrecoded
+	FlatCompact  = treeexec.FlatCompact
 )
+
+// InterleaveGates are the arena-size thresholds (bytes) from which the
+// batch kernel walks 2, 4 and 8 rows at once; see Calibrate.
+type InterleaveGates = treeexec.InterleaveGates
+
+// Compactable reports whether a forest fits the compact SoA arena's
+// 8-byte node encoding; when it does not, reason names the limit
+// exceeded and NewFlatEngineVariant(f, FlatCompact) will fall back to
+// the 32-bit FLInt arena.
+func Compactable(f *Forest) (ok bool, reason string) { return treeexec.Compactable(f) }
+
+// Calibrate measures, on this host, the arena sizes past which the
+// batch kernel's 2/4/8-way interleaved walks win, and installs the
+// thresholds for engines constructed afterwards. Call it once at
+// process start (budget <= 0 selects ~200ms). Individual engines can
+// self-tune instead via FlatEngine.CalibrateInterleave.
+func Calibrate(budget time.Duration) InterleaveGates { return treeexec.Calibrate(budget) }
 
 // Batcher is a persistent worker pool over a FlatEngine: goroutines and
 // per-worker scratch are allocated once, so steady-state batch

@@ -159,6 +159,21 @@ func (b *InterpBackend) Measure(w *Workload) (map[Impl]float64, error) {
 			sink += batchOut[0]
 			return len(rows)
 		})
+		// The quantized SoA arena through the same serial blocked
+		// kernel: the layout/footprint effect against ImplFlatBatch.
+		// Forests beyond the compact limits fall back inside NewFlat
+		// and are skipped here, not failed.
+		compact, err := treeexec.NewFlat(w.CAGSForest, treeexec.FlatCompact)
+		if err != nil {
+			return nil, err
+		}
+		if compact.Variant() == treeexec.FlatCompact {
+			out[ImplFlatCompact] = b.timeInference(func() int {
+				batchOut = compact.PredictBatch(rows, batchOut, 1, 0)
+				sink += batchOut[0]
+				return len(rows)
+			})
+		}
 	}
 
 	if sink == -1 {

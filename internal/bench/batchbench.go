@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"flint/internal/cart"
+	"flint/internal/dataset"
+	"flint/internal/treeexec"
+)
+
+// BatchBench measures whole-batch serving throughput (rows/s) for the
+// arena engines on every workload — the per-PR perf trajectory the CI
+// workflow records as BENCH_batch.json. It is deliberately small: one
+// trained configuration per dataset, a fixed serial-vs-pool worker
+// split, and wall-clock timings subject to host noise, so consumers
+// must treat run-over-run deltas as indicative, not as a gate.
+type BatchBench struct {
+	// Rows is the synthetic dataset size (train + test); <= 0 selects
+	// 1200 (the quick-grid size).
+	Rows int
+	// Trees and Depth shape the trained ensemble; <= 0 selects 20 / 12.
+	Trees, Depth int
+	// Workers is the Batcher pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// MinDuration is the minimum measured wall time per variant;
+	// <= 0 selects 50ms.
+	MinDuration time.Duration
+	// Seed drives dataset synthesis and training; 0 selects 1.
+	Seed int64
+}
+
+// BatchBenchRow is one measured (workload, variant) cell.
+type BatchBenchRow struct {
+	Dataset    string  `json:"dataset"`
+	Variant    string  `json:"variant"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	// ArenaNodes/ArenaBytes/BytesPerNode describe the engine footprint
+	// (0 for the per-tree baseline, which has no single arena).
+	ArenaNodes   int     `json:"arena_nodes,omitempty"`
+	ArenaBytes   int     `json:"arena_bytes,omitempty"`
+	BytesPerNode float64 `json:"bytes_per_node,omitempty"`
+	// Interleave is the batch kernel's cursor count (arena variants).
+	Interleave int `json:"interleave,omitempty"`
+}
+
+// BatchBenchReport is the BENCH_batch.json document.
+type BatchBenchReport struct {
+	Config struct {
+		Rows, Trees, Depth, Workers int
+		GOMAXPROCS                  int
+	} `json:"config"`
+	Results []BatchBenchRow `json:"results"`
+}
+
+func (c BatchBench) withDefaults() BatchBench {
+	if c.Rows <= 0 {
+		c.Rows = 1200
+	}
+	if c.Trees <= 0 {
+		c.Trees = 20
+	}
+	if c.Depth <= 0 {
+		c.Depth = 12
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MinDuration <= 0 {
+		c.MinDuration = 50 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// timeRows measures rows/s for fn, which classifies the whole test set
+// once per call and returns the row count.
+func (c BatchBench) timeRows(fn func() int) float64 {
+	n := fn() // warm up
+	if n == 0 {
+		return 0
+	}
+	total := 0
+	start := time.Now()
+	elapsed := time.Duration(0)
+	for elapsed < c.MinDuration {
+		total += fn()
+		elapsed = time.Since(start)
+	}
+	return float64(total) / elapsed.Seconds()
+}
+
+// Run trains one forest per workload and measures batch throughput for
+// the per-tree FLInt baseline (per-row goroutine batch) and the flat
+// and compact arenas (persistent Batcher). Each arena engine self-
+// calibrates its interleave width on its own arena before timing, so
+// the recorded Interleave field reflects this host, not the static
+// default gates.
+func (c BatchBench) Run() (*BatchBenchReport, error) {
+	c = c.withDefaults()
+	rep := &BatchBenchReport{}
+	rep.Config.Rows = c.Rows
+	rep.Config.Trees = c.Trees
+	rep.Config.Depth = c.Depth
+	rep.Config.Workers = c.Workers
+	rep.Config.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	for _, ds := range dataset.Names() {
+		full, err := dataset.Generate(ds, c.Rows, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		train, test := full.Split(0.75, c.Seed)
+		forest, err := cart.TrainForest(train, cart.Config{
+			NumTrees: c.Trees, MaxDepth: c.Depth, Seed: c.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: training %s: %w", ds, err)
+		}
+		rows := test.Features
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("bench: empty test set for %s", ds)
+		}
+
+		perTree, err := treeexec.NewFLInt(forest)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, BatchBenchRow{
+			Dataset: ds, Variant: "flint",
+			RowsPerSec: c.timeRows(func() int {
+				if _, err := treeexec.Batch(perTree, rows, c.Workers); err != nil {
+					panic(err) // nil engine / impossible here
+				}
+				return len(rows)
+			}),
+		})
+
+		for _, v := range []treeexec.FlatVariant{treeexec.FlatFLInt, treeexec.FlatCompact} {
+			e, err := treeexec.NewFlat(forest, v)
+			if err != nil {
+				return nil, err
+			}
+			e.CalibrateInterleave(2 * c.MinDuration)
+			pool := treeexec.NewBatcher(e, c.Workers, 0)
+			out := make([]int32, len(rows))
+			rps := c.timeRows(func() int {
+				out = pool.Predict(rows, out)
+				return len(rows)
+			})
+			pool.Close()
+			nodes := e.ArenaNodes()
+			bytes := e.ArenaBytes()
+			row := BatchBenchRow{
+				Dataset: ds, Variant: e.Name(), RowsPerSec: rps,
+				ArenaNodes: nodes, ArenaBytes: bytes,
+				Interleave: e.Interleave(),
+			}
+			if nodes > 0 {
+				row.BytesPerNode = float64(bytes) / float64(nodes)
+			}
+			rep.Results = append(rep.Results, row)
+		}
+	}
+	return rep, nil
+}
+
+// WriteBatchBenchJSON writes the report as indented JSON.
+func WriteBatchBenchJSON(w io.Writer, rep *BatchBenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

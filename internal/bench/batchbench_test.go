@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"flint/internal/dataset"
+)
+
+// TestBatchBenchRun runs the CI throughput harness at a tiny
+// configuration and checks the report's shape: every workload measured
+// for every variant, positive rates, and the compact arena's footprint
+// advantage visible in bytes/node.
+func TestBatchBenchRun(t *testing.T) {
+	// Big enough that node storage dominates the per-feature cut tables
+	// in the compact footprint (tiny forests amortize the tables over
+	// too few nodes for the bytes/node assertion below).
+	rep, err := BatchBench{
+		Rows: 500, Trees: 10, Depth: 9, Workers: 2,
+		MinDuration: 2 * time.Millisecond,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVariants := []string{"flint", "flat-flint", "flat-compact"}
+	if got, want := len(rep.Results), len(dataset.Names())*len(wantVariants); got != want {
+		t.Fatalf("%d result rows, want %d", got, want)
+	}
+	perDS := map[string]map[string]BatchBenchRow{}
+	for _, r := range rep.Results {
+		if r.RowsPerSec <= 0 {
+			t.Errorf("%s/%s: rows/s = %v", r.Dataset, r.Variant, r.RowsPerSec)
+		}
+		if perDS[r.Dataset] == nil {
+			perDS[r.Dataset] = map[string]BatchBenchRow{}
+		}
+		perDS[r.Dataset][r.Variant] = r
+	}
+	for _, ds := range dataset.Names() {
+		for _, v := range wantVariants {
+			if _, ok := perDS[ds][v]; !ok {
+				t.Errorf("missing %s/%s", ds, v)
+			}
+		}
+		flat, compact := perDS[ds]["flat-flint"], perDS[ds]["flat-compact"]
+		if flat.BytesPerNode != 16 {
+			t.Errorf("%s: flat bytes/node = %v, want 16", ds, flat.BytesPerNode)
+		}
+		// 8 B/node plus the amortized cut tables: strictly below the
+		// AoS arena on any non-degenerate forest.
+		if compact.BytesPerNode <= 0 || compact.BytesPerNode >= 16 {
+			t.Errorf("%s: compact bytes/node = %v, want in (0,16)", ds, compact.BytesPerNode)
+		}
+		if compact.Interleave == 0 {
+			t.Errorf("%s: compact interleave unset", ds)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBatchBenchJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back BatchBenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(back.Results) != len(rep.Results) {
+		t.Errorf("round trip lost rows: %d vs %d", len(back.Results), len(rep.Results))
+	}
+}

@@ -32,15 +32,16 @@ type Impl string
 // The implementations of the paper's evaluation. Naive is the baseline
 // every other implementation is normalized against.
 const (
-	ImplNaive     Impl = "naive"      // standard if-else tree, float compares
-	ImplCAGS      Impl = "cags"       // cache-aware grouping and swapping [6]
-	ImplFLInt     Impl = "flint"      // FLInt C realization
-	ImplCAGSFLInt Impl = "cags-flint" // CAGS with FLInt integrated
-	ImplFLIntASM  Impl = "flint-asm"  // direct assembly FLInt (Fig. 4, Table III)
-	ImplSoftFloat Impl = "softfloat"  // software float baseline (E9)
-	ImplPrecoded  Impl = "precoded"   // key-space precoding extension
-	ImplFlat      Impl = "flat-flint" // single-arena forest, FLInt compares
-	ImplFlatBatch Impl = "flat-batch" // arena + row-blocked batch kernel
+	ImplNaive       Impl = "naive"        // standard if-else tree, float compares
+	ImplCAGS        Impl = "cags"         // cache-aware grouping and swapping [6]
+	ImplFLInt       Impl = "flint"        // FLInt C realization
+	ImplCAGSFLInt   Impl = "cags-flint"   // CAGS with FLInt integrated
+	ImplFLIntASM    Impl = "flint-asm"    // direct assembly FLInt (Fig. 4, Table III)
+	ImplSoftFloat   Impl = "softfloat"    // software float baseline (E9)
+	ImplPrecoded    Impl = "precoded"     // key-space precoding extension
+	ImplFlat        Impl = "flat-flint"   // single-arena forest, FLInt compares
+	ImplFlatBatch   Impl = "flat-batch"   // arena + row-blocked batch kernel
+	ImplFlatCompact Impl = "flat-compact" // quantized 8-byte SoA arena, blocked kernel
 )
 
 // SweepConfig selects the grid of Section V-A.

@@ -3,7 +3,6 @@ package treeexec
 import (
 	"fmt"
 	"reflect"
-	"runtime"
 	"sync"
 
 	"flint/internal/core"
@@ -30,11 +29,13 @@ type BatchPredictor interface {
 	PredictEncoded(xi []int32) int32
 }
 
-// Batch classifies many rows concurrently with up to workers goroutines
-// (0 selects GOMAXPROCS). Feature vectors are reinterpreted once per row
-// inside the worker, reusing a per-worker buffer, so the amortized cost
-// matches the paper's pointer-cast semantics. The result slice is
-// indexed like rows.
+// Batch classifies many rows concurrently with up to workers goroutines;
+// zero or negative workers selects GOMAXPROCS, and the count is capped
+// at the number of rows (the same clamping as FlatForestEngine.
+// PredictBatch and NewBatcher). Feature vectors are reinterpreted once
+// per row inside the worker, reusing a per-worker buffer, so the
+// amortized cost matches the paper's pointer-cast semantics. The result
+// slice is indexed like rows.
 //
 // Engines are immutable after construction, which is what makes this
 // safe; the batch-oriented related work the paper cites (QuickScorer,
@@ -49,16 +50,11 @@ func Batch(e BatchPredictor, rows [][]float32, workers int) ([]int32, error) {
 	if fe, ok := e.(*FlatForestEngine); ok {
 		return fe.PredictBatch(rows, nil, workers, 0), nil
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(rows) {
-		workers = len(rows)
-	}
 	out := make([]int32, len(rows))
 	if len(rows) == 0 {
 		return out, nil
 	}
+	workers = normWorkers(workers, len(rows))
 	var wg sync.WaitGroup
 	chunk := (len(rows) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -85,8 +81,8 @@ func Batch(e BatchPredictor, rows [][]float32, workers int) ([]int32, error) {
 }
 
 // BatchFloat is Batch for engines that consume float vectors directly
-// (the naive baseline, or any rf.Predictor). Flat arena engines are
-// routed onto the blocked kernel.
+// (the naive baseline, or any rf.Predictor); workers is clamped exactly
+// like Batch. Flat arena engines are routed onto the blocked kernel.
 func BatchFloat(e rf.Predictor, rows [][]float32, workers int) ([]int32, error) {
 	if isNilEngine(e) {
 		return nil, fmt.Errorf("treeexec: nil engine")
@@ -94,16 +90,11 @@ func BatchFloat(e rf.Predictor, rows [][]float32, workers int) ([]int32, error) 
 	if fe, ok := e.(*FlatForestEngine); ok {
 		return fe.PredictBatch(rows, nil, workers, 0), nil
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(rows) {
-		workers = len(rows)
-	}
 	out := make([]int32, len(rows))
 	if len(rows) == 0 {
 		return out, nil
 	}
+	workers = normWorkers(workers, len(rows))
 	var wg sync.WaitGroup
 	chunk := (len(rows) + workers - 1) / workers
 	for w := 0; w < workers; w++ {

@@ -1,0 +1,125 @@
+package treeexec
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBatcherConcurrentPredict runs many Predict calls from independent
+// goroutines against one pool: with per-call completion tokens the calls
+// interleave block-by-block instead of serializing, and each must still
+// fill exactly its own output slice.
+func TestBatcherConcurrentPredict(t *testing.T) {
+	f, d := trainedForest(t, "magic", 7, 6)
+	e, err := NewFlat(f, FlatFLInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int32, d.Len())
+	for i, x := range d.Features {
+		want[i] = f.Predict(x)
+	}
+	b := NewBatcher(e, 3, 4)
+	defer b.Close()
+
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, callers)
+	for c := 0; c < callers; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each caller uses a distinct sub-batch and its own reused
+			// output slice across iterations.
+			lo := c * 7 % d.Len()
+			rows := d.Features[lo:]
+			var out []int32
+			for iter := 0; iter < 25; iter++ {
+				out = b.Predict(rows, out)
+				for i := range rows {
+					if out[i] != want[lo+i] {
+						errs <- "diverged"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestBatcherScratchReuseAcrossBatchSizes grows and shrinks both the
+// batch and the output slice between calls to one Batcher: per-worker
+// scratch is sized by the engine, not the batch, so any sequence of
+// shapes must predict correctly, and once the caller's output slice has
+// capacity the steady state must stay allocation-free.
+func TestBatcherScratchReuseAcrossBatchSizes(t *testing.T) {
+	f, d := trainedForest(t, "sensorless", 6, 6)
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Variant() != FlatCompact {
+		t.Fatalf("fell back to %v", e.Variant())
+	}
+	e.SetInterleave(4)
+	want := make([]int32, d.Len())
+	for i, x := range d.Features {
+		want[i] = f.Predict(x)
+	}
+	b := NewBatcher(e, 2, 8)
+	defer b.Close()
+
+	check := func(rows [][]float32, got []int32) {
+		t.Helper()
+		if len(got) != len(rows) {
+			t.Fatalf("%d results for %d rows", len(got), len(rows))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("row %d: got %d want %d", i, got[i], want[i])
+			}
+		}
+	}
+	sizes := []int{d.Len(), 3, 177, 1, 64, d.Len(), 2, 91}
+	// First pass with a nil slice each call (allocation allowed), then a
+	// reuse pass over the same shapes with one slice at full capacity.
+	for _, n := range sizes {
+		check(d.Features[:n], b.Predict(d.Features[:n], nil))
+	}
+	out := make([]int32, 0, d.Len())
+	for _, n := range sizes {
+		out = b.Predict(d.Features[:n], out[:0])
+		check(d.Features[:n], out)
+	}
+	if avg := testing.AllocsPerRun(10, func() {
+		for _, n := range sizes {
+			out = b.Predict(d.Features[:n], out[:0])
+		}
+	}); avg != 0 {
+		t.Errorf("shape-changing steady state allocates %.1f objects per cycle, want 0", avg)
+	}
+}
+
+// TestBatcherPredictAfterClosePanics pins the documented contract.
+func TestBatcherPredictAfterClosePanics(t *testing.T) {
+	f, d := trainedForest(t, "wine", 4, 2)
+	e, err := NewFlat(f, FlatFLInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(e, 1, 0)
+	b.Close()
+	b.Close() // double Close is tolerated
+	defer func() {
+		if recover() == nil {
+			t.Error("Predict after Close did not panic")
+		}
+	}()
+	b.Predict(d.Features[:1], nil)
+}

@@ -41,8 +41,21 @@
 // (FlatForestEngine.PredictBatch or a persistent Batcher): blocks of B
 // rows run back-to-back over the arena with per-worker scratch, keeping
 // the forest's leaf-free hot set cache-resident across the block, and
-// large arenas are walked two rows at a time so the out-of-order core
-// overlaps the independent node fetches.
+// large arenas are walked 2, 4 or 8 rows at a time with register-
+// resident cursors so the out-of-order core overlaps the independent
+// node fetches. The crossover arena sizes are runtime-calibrated gates
+// (Calibrate / CalibrateInterleave), not constants.
+//
+// # Compact SoA arena
+//
+// The FlatCompact variant re-encodes the same forest at 8 bytes per
+// node: parallel uint16 key / uint16 feature / packed int32 child
+// slices, with split values reduced exactly to per-feature total-order
+// ranks and each row quantized once by binary search before the walk
+// (flat_compact.go). Predictions are bit-identical to FlatFLInt while
+// the arena footprint halves, so roughly twice the forest fits in the
+// same cache level; forests exceeding the narrow encoding fall back to
+// the FLInt arena (probe with Compactable).
 //
 // Engines are immutable after construction and safe for concurrent use;
 // the Predict entry points allocate nothing on the hot path except when

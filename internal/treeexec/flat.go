@@ -28,6 +28,13 @@ const (
 	// node against a per-vector precoded input (the key-space precoding
 	// extension).
 	FlatPrecoded
+	// FlatCompact stores the forest as the quantized structure-of-arrays
+	// arena: 8 bytes per node split across parallel uint16 key, uint16
+	// feature and packed int32 child slices, with split values reduced
+	// to exact per-feature total-order ranks (see flat_compact.go).
+	// Forests exceeding the narrow encoding's limits fall back to the
+	// FlatFLInt arena; probe with Compactable.
+	FlatCompact
 )
 
 // String names the variant in benchmark output.
@@ -39,6 +46,8 @@ func (v FlatVariant) String() string {
 		return "flat-float32"
 	case FlatPrecoded:
 		return "flat-precoded"
+	case FlatCompact:
+		return "flat-compact"
 	}
 	return fmt.Sprintf("flat-variant(%d)", int(v))
 }
@@ -56,32 +65,62 @@ func (v FlatVariant) String() string {
 // source tree's inner nodes, so a forest permuted by cags.ReorderForest
 // keeps its hot-path-preorder locality inside the arena.
 //
-// The engine is immutable after construction and safe for concurrent
-// use. Single rows go through Predict/PredictEncoded/PredictPrecoded;
-// many rows should go through PredictBatch or a persistent Batcher: the
-// rows of a block run back-to-back over the arena with per-worker
-// scratch, and on arenas past the L2 comfort zone the FLInt kernel
-// walks rows in interleaved pairs so the core overlaps their node
-// fetches.
+// The engine is immutable after construction apart from the interleave
+// width knob (SetInterleave/CalibrateInterleave, to be set before
+// serving starts) and safe for concurrent use. Single rows go through
+// Predict/PredictEncoded/PredictPrecoded; many rows should go through
+// PredictBatch or a persistent Batcher: the rows of a block run
+// back-to-back over the arena with per-worker scratch, and on arenas
+// past the cache comfort zone the FLInt and compact kernels walk rows
+// in interleaved groups of 2, 4 or 8 register-resident cursors so the
+// core overlaps their node fetches (see flat_interleave.go for the
+// runtime-calibrated gates).
 type FlatForestEngine struct {
-	arena   []node  // inner nodes of all trees, contiguous
-	roots   []int32 // per-tree entry: arena index, or ^class for leaf-only trees
+	arena   []node  // inner nodes of all trees, contiguous (AoS variants)
+	roots   []int32 // per-tree entry: arena index (tree base for compact), or ^class for leaf-only trees
 	variant FlatVariant
+
+	// Compact SoA arena (FlatCompact only): parallel 8-byte nodes plus
+	// the per-feature quantization tables. See flat_compact.go.
+	keys16  []uint16 // per-node split rank in the feature's cut table
+	feats16 []uint16 // per-node feature index
+	kids    []int32  // packed child/leaf word: low int16 left, high int16 right
+	cuts    []uint32 // flattened per-feature sorted distinct split keys (total order)
+	cutLo   []int32  // numFeatures+1 offsets into cuts
 
 	numClasses  int
 	numFeatures int
-	// pairMin is the arena size (nodes) from which the batch kernel
-	// switches to the paired walk; pairMinArenaNodes by default,
-	// overridden in white-box tests to force either path.
-	pairMin int
+	// interleave is the batch kernel's cursor count (1, 2, 4 or 8),
+	// selected at construction from the calibrated gates and the arena
+	// footprint; SetInterleave and CalibrateInterleave override it.
+	interleave int
 }
 
 // NewFlat compiles a validated forest into a single-arena engine for the
 // given comparison variant. The forest's node ordering (original or
-// CAGS-reordered) is preserved tree by tree.
+// CAGS-reordered) is preserved tree by tree. A FlatCompact request for a
+// forest exceeding the compact encoding's limits (see Compactable)
+// gracefully falls back to the 32-bit FlatFLInt arena; check Variant()
+// or probe Compactable to learn which representation was built.
 func NewFlat(f *rf.Forest, v FlatVariant) (*FlatForestEngine, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
+	}
+	if v == FlatCompact {
+		if cuts, _ := compactProbe(f); cuts == nil {
+			v = FlatFLInt
+		} else {
+			e := &FlatForestEngine{
+				variant:     FlatCompact,
+				numClasses:  f.NumClasses,
+				numFeatures: f.NumFeatures,
+			}
+			if err := e.buildCompact(f, cuts); err != nil {
+				return nil, err
+			}
+			e.interleave = CurrentInterleaveGates().widthFor(e.ArenaBytes())
+			return e, nil
+		}
 	}
 	var enc func(split float32) int32
 	switch v {
@@ -108,7 +147,6 @@ func NewFlat(f *rf.Forest, v FlatVariant) (*FlatForestEngine, error) {
 		variant:     v,
 		numClasses:  f.NumClasses,
 		numFeatures: f.NumFeatures,
-		pairMin:     pairMinArenaNodes,
 	}
 	// remap is reused per tree: old node index -> arena index for inner
 	// nodes, ^class for leaves.
@@ -145,11 +183,16 @@ func NewFlat(f *rf.Forest, v FlatVariant) (*FlatForestEngine, error) {
 			})
 		}
 	}
+	e.interleave = CurrentInterleaveGates().widthFor(e.ArenaBytes())
 	return e, nil
 }
 
 // Name identifies the engine in benchmark output.
 func (e *FlatForestEngine) Name() string { return e.variant.String() }
+
+// Variant returns the comparison kernel the arena was actually compiled
+// for — after a FlatCompact fallback this is FlatFLInt.
+func (e *FlatForestEngine) Variant() FlatVariant { return e.variant }
 
 // NumClasses returns the number of prediction classes.
 func (e *FlatForestEngine) NumClasses() int { return e.numClasses }
@@ -278,12 +321,29 @@ func (e *FlatForestEngine) voteEncoded(xi []int32, counts []int32) {
 		for _, root := range e.roots {
 			counts[e.classifyFloat(xi, root)]++
 		}
+	case FlatCompact:
+		var stack [maxStackQuantizedFeatures]uint16
+		var q []uint16
+		if e.numFeatures <= maxStackQuantizedFeatures {
+			q = stack[:e.numFeatures]
+		} else {
+			q = make([]uint16, e.numFeatures)
+		}
+		e.quantizeBits(q, xi)
+		for _, root := range e.roots {
+			counts[e.classifyCompact(q, root)]++
+		}
 	default:
 		for _, root := range e.roots {
 			counts[e.classifyTotalOrder(xi, root)]++
 		}
 	}
 }
+
+// maxStackQuantizedFeatures bounds the stack buffer the single-row
+// compact path quantizes into; wider feature spaces allocate. Batch
+// paths always use engine scratch and stay allocation-free.
+const maxStackQuantizedFeatures = 64
 
 // PredictEncoded returns the majority-vote class for a raw bit-pattern
 // vector (core.EncodeFeatures32 output). It is valid for every variant:
@@ -297,11 +357,28 @@ func (e *FlatForestEngine) PredictEncoded(xi []int32) int32 {
 }
 
 // PredictPrecoded returns the majority-vote class for a precoded key
-// vector (core.PrecodeFeatures32 output). Only meaningful for the
-// FlatPrecoded variant, whose arena stores total-order keys.
+// vector (core.PrecodeFeatures32 output). Exact for the FlatPrecoded
+// variant (whose arena stores total-order keys) and for FlatCompact
+// (which quantizes the keys into its rank space); other variants store
+// keys the precoded input cannot be compared against and would walk
+// garbage.
 func (e *FlatForestEngine) PredictPrecoded(keys []uint32) int32 {
 	var stack [maxStackClasses]int32
 	counts := voteSlice(&stack, e.numClasses)
+	if e.variant == FlatCompact {
+		var qstack [maxStackQuantizedFeatures]uint16
+		var q []uint16
+		if e.numFeatures <= maxStackQuantizedFeatures {
+			q = qstack[:e.numFeatures]
+		} else {
+			q = make([]uint16, e.numFeatures)
+		}
+		e.quantizeKeys(q, keys)
+		for _, root := range e.roots {
+			counts[e.classifyCompact(q, root)]++
+		}
+		return rf.Argmax(counts)
+	}
 	for _, root := range e.roots {
 		counts[e.classifyPrecoded(keys, root)]++
 	}
@@ -317,11 +394,14 @@ func (e *FlatForestEngine) Predict(x []float32) int32 {
 	return e.PredictEncoded(core.EncodeFeatures32(make([]int32, 0, 64), x))
 }
 
-// pairMinArenaNodes gates the paired FLInt walk: past ~1MB of nodes the
-// arena stops fitting in a per-core L2 and traversal becomes fetch-
-// latency-bound, which the 2-way interleaved walk hides (measured 1.8x
-// over the per-row engines at 16MB arenas, 20% at 2MB); below it the
-// walks are IPC-bound and the simple per-row loop is cheaper.
+// pairMinArenaNodes is the PR 1 static gate for the paired FLInt walk:
+// past ~1MB of nodes the arena stops fitting in a per-core L2 and
+// traversal becomes fetch-latency-bound, which the 2-way interleaved
+// walk hides (measured 1.8x over the per-row engines at 16MB arenas,
+// 20% at 2MB); below it the walks are IPC-bound and the simple per-row
+// loop is cheaper. It survives only as the uncalibrated default for
+// InterleaveGates.Min2 — run Calibrate to replace all the gates with
+// crossovers measured on the actual host.
 const pairMinArenaNodes = 1 << 16
 
 // DefaultBlockRows is the default row-block size B of the batch kernel:
@@ -329,22 +409,28 @@ const pairMinArenaNodes = 1 << 16
 // fetched from the arena is reused up to B times while it is cache-hot.
 const DefaultBlockRows = 16
 
-// flatScratch is the per-worker working set of the batch kernel: one
-// row's encode buffer and one vote-count tally, allocated once at pool
-// construction so the steady state allocates nothing.
+// flatScratch is the per-worker working set of the batch kernel: encode
+// or quantize buffers for one interleaved group of rows and the group's
+// vote-count tallies, allocated once at pool construction so the steady
+// state allocates nothing. Buffers are sized for the widest (8-way)
+// interleave so a later SetInterleave/CalibrateInterleave never forces
+// a reallocation.
 type flatScratch struct {
-	enc   []int32  // numFeatures raw bit patterns
+	enc   []int32  // 8*numFeatures raw bit patterns (FLInt/Float32)
 	keys  []uint32 // numFeatures precoded keys (FlatPrecoded only)
-	votes []int32  // numClasses vote counts
+	q     []uint16 // 8*numFeatures quantized ranks (FlatCompact only)
+	votes []int32  // 8*numClasses vote counts (spilled when classes > 8)
 }
 
 func (e *FlatForestEngine) newScratch() *flatScratch {
-	// Two of each: the FLInt kernel walks rows in pairs.
-	s := &flatScratch{votes: make([]int32, 2*e.numClasses)}
-	if e.variant == FlatPrecoded {
+	s := &flatScratch{votes: make([]int32, 8*e.numClasses)}
+	switch e.variant {
+	case FlatPrecoded:
 		s.keys = make([]uint32, e.numFeatures)
-	} else {
-		s.enc = make([]int32, 2*e.numFeatures)
+	case FlatCompact:
+		s.q = make([]uint16, 8*e.numFeatures)
+	default:
+		s.enc = make([]int32, 8*e.numFeatures)
 	}
 	return s
 }
@@ -363,7 +449,8 @@ func (e *FlatForestEngine) newScratch() *flatScratch {
 func (e *FlatForestEngine) predictBlock(rows [][]float32, out []int32, s *flatScratch) {
 	nf := e.numFeatures
 	nc := e.numClasses
-	if e.variant == FlatPrecoded {
+	switch {
+	case e.variant == FlatPrecoded:
 		for b, x := range rows {
 			keys := core.PrecodeFeatures32(s.keys[:0], x)
 			votes := s.votes[:nc]
@@ -375,38 +462,14 @@ func (e *FlatForestEngine) predictBlock(rows [][]float32, out []int32, s *flatSc
 			}
 			out[b] = rf.Argmax(votes)
 		}
-		return
-	}
-	if e.variant == FlatFLInt && len(e.arena) >= e.pairMin {
-		b := 0
-		for ; b+1 < len(rows); b += 2 {
-			enc0 := core.EncodeFeatures32(s.enc[0:0:nf], rows[b])
-			enc1 := core.EncodeFeatures32(s.enc[nf:nf:2*nf], rows[b+1])
-			var st0, st1 [maxStackClasses]int32
-			var v0, v1 []int32
-			if nc <= maxStackClasses {
-				v0, v1 = st0[:nc], st1[:nc]
-			} else {
-				v0, v1 = s.votes[:nc], s.votes[nc:2*nc]
-				for i := range v0 {
-					v0[i], v1[i] = 0, 0
-				}
-			}
-			for _, root := range e.roots {
-				c0, c1 := e.classify2FLInt(enc0, enc1, root)
-				v0[c0]++
-				v1[c1]++
-			}
-			out[b] = rf.Argmax(v0)
-			out[b+1] = rf.Argmax(v1)
+	case e.variant == FlatCompact:
+		e.predictBlockCompact(rows, out, s)
+	case e.variant == FlatFLInt && e.interleave >= 2:
+		e.predictBlockFLIntWide(rows, out, s)
+	default:
+		for b, x := range rows {
+			out[b] = e.predictOneInto(core.EncodeFeatures32(s.enc[0:0:nf], x), s)
 		}
-		if b < len(rows) {
-			out[b] = e.predictOneInto(core.EncodeFeatures32(s.enc[0:0:nf], rows[b]), s)
-		}
-		return
-	}
-	for b, x := range rows {
-		out[b] = e.predictOneInto(core.EncodeFeatures32(s.enc[0:0:nf], x), s)
 	}
 }
 
@@ -425,12 +488,42 @@ func (e *FlatForestEngine) predictOneInto(xi []int32, s *flatScratch) int32 {
 	return rf.Argmax(votes)
 }
 
+// normBlock returns the effective row-block size for a requested value:
+// zero or negative selects DefaultBlockRows. It is the single clamping
+// point every batch entry (PredictBatch, NewBatcher, Batch, BatchFloat)
+// funnels through.
+func normBlock(block int) int {
+	if block <= 0 {
+		return DefaultBlockRows
+	}
+	return block
+}
+
+// normWorkers returns the effective worker count for a requested value:
+// zero or negative selects runtime.GOMAXPROCS(0), and the result never
+// exceeds jobs (the available parallel units), with a floor of 1. Like
+// normBlock it is the single clamping point for all batch entries.
+func normWorkers(workers, jobs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // PredictBatch classifies all rows with the blocked kernel, spawning up
-// to workers goroutines for this call (0 selects GOMAXPROCS) that claim
-// blocks of block rows (0 selects DefaultBlockRows) from a shared
-// cursor. The result is written into out when it has sufficient
-// capacity; otherwise a new slice is allocated. For steady-state serving
-// without per-call worker spawning, use a Batcher.
+// to workers goroutines for this call that claim blocks of block rows
+// from a shared cursor. Zero or negative workers selects GOMAXPROCS,
+// zero or negative block selects DefaultBlockRows, and the worker count
+// is capped at the number of blocks. The result is written into out
+// when it has sufficient capacity; otherwise a new slice is allocated.
+// For steady-state serving without per-call worker spawning, use a
+// Batcher.
 func (e *FlatForestEngine) PredictBatch(rows [][]float32, out []int32, workers, block int) []int32 {
 	if cap(out) < len(rows) {
 		out = make([]int32, len(rows))
@@ -439,16 +532,9 @@ func (e *FlatForestEngine) PredictBatch(rows [][]float32, out []int32, workers, 
 	if len(rows) == 0 {
 		return out
 	}
-	if block <= 0 {
-		block = DefaultBlockRows
-	}
+	block = normBlock(block)
 	blocks := (len(rows) + block - 1) / block
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > blocks {
-		workers = blocks
-	}
+	workers = normWorkers(workers, blocks)
 	if workers == 1 {
 		s := e.newScratch()
 		for lo := 0; lo < len(rows); lo += block {
@@ -486,10 +572,12 @@ func (e *FlatForestEngine) PredictBatch(rows [][]float32, out []int32, workers, 
 }
 
 // batchJob is one block of work handed to a Batcher worker: the rows to
-// classify and the output sub-slice to fill.
+// classify, the output sub-slice to fill, and the issuing call's
+// completion token to signal.
 type batchJob struct {
 	rows [][]float32
 	out  []int32
+	done *sync.WaitGroup
 }
 
 // Batcher drives a FlatForestEngine with a persistent worker pool: the
@@ -498,38 +586,49 @@ type batchJob struct {
 // caller-reused output slice allocate nothing. This is the serving
 // configuration: keep one Batcher per engine for the process lifetime
 // and feed it request batches.
+//
+// Predict is safe for concurrent use and independent calls interleave:
+// each call carries its own completion token (drawn from a pool, so the
+// steady state stays allocation-free), and the shared workers drain
+// blocks from every in-flight call as they arrive instead of serializing
+// whole batches behind a lock.
 type Batcher struct {
 	e       *FlatForestEngine
 	block   int
 	workers int
 	jobs    chan batchJob
 
-	mu sync.Mutex // serializes Predict: one in-flight batch at a time
-	wg sync.WaitGroup
+	// tokens recycles per-call completion WaitGroups so concurrent
+	// Predict calls track their own blocks without allocating. A
+	// buffered channel rather than a sync.Pool: the pool is emptied on
+	// every GC cycle, which would cost one allocation per post-GC call
+	// and break the deterministic zero-alloc steady state.
+	tokens chan *sync.WaitGroup
+	// closeMu lets Predict calls proceed concurrently (read side) while
+	// Close (write side) waits out in-flight calls before closing jobs.
+	closeMu sync.RWMutex
+	closed  bool
 }
 
-// NewBatcher starts a pool of workers goroutines (0 selects GOMAXPROCS)
-// processing blocks of block rows (0 selects DefaultBlockRows). Close
-// releases the pool.
+// NewBatcher starts a pool of workers goroutines processing blocks of
+// block rows. Zero or negative workers selects GOMAXPROCS, zero or
+// negative block selects DefaultBlockRows (the same clamping as
+// PredictBatch). Close releases the pool.
 func NewBatcher(e *FlatForestEngine, workers, block int) *Batcher {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if block <= 0 {
-		block = DefaultBlockRows
-	}
+	workers = normWorkers(workers, int(^uint(0)>>1))
 	b := &Batcher{
 		e:       e,
-		block:   block,
+		block:   normBlock(block),
 		workers: workers,
 		jobs:    make(chan batchJob, workers*4),
+		tokens:  make(chan *sync.WaitGroup, 4*workers),
 	}
 	for w := 0; w < workers; w++ {
 		go func() {
 			s := e.newScratch()
 			for job := range b.jobs {
 				e.predictBlock(job.rows, job.out, s)
-				b.wg.Done()
+				job.done.Done()
 			}
 		}()
 	}
@@ -541,7 +640,8 @@ func (b *Batcher) Workers() int { return b.workers }
 
 // Predict classifies all rows, writing into out when it has sufficient
 // capacity (otherwise allocating a result slice). Concurrent calls are
-// serialized; calling after Close panics.
+// safe and interleave block-by-block over the shared worker pool;
+// calling after Close panics.
 func (b *Batcher) Predict(rows [][]float32, out []int32) []int32 {
 	if cap(out) < len(rows) {
 		out = make([]int32, len(rows))
@@ -550,24 +650,40 @@ func (b *Batcher) Predict(rows [][]float32, out []int32) []int32 {
 	if len(rows) == 0 {
 		return out
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.closeMu.RLock()
+	defer b.closeMu.RUnlock()
+	if b.closed {
+		panic("treeexec: Batcher.Predict called after Close")
+	}
+	var done *sync.WaitGroup
+	select {
+	case done = <-b.tokens:
+	default:
+		done = new(sync.WaitGroup)
+	}
 	blocks := (len(rows) + b.block - 1) / b.block
-	b.wg.Add(blocks)
+	done.Add(blocks)
 	for lo := 0; lo < len(rows); lo += b.block {
 		hi := lo + b.block
 		if hi > len(rows) {
 			hi = len(rows)
 		}
-		b.jobs <- batchJob{rows: rows[lo:hi], out: out[lo:hi]}
+		b.jobs <- batchJob{rows: rows[lo:hi], out: out[lo:hi], done: done}
 	}
-	b.wg.Wait()
+	done.Wait()
+	select {
+	case b.tokens <- done:
+	default: // more than 4*workers callers in flight; let it be collected
+	}
 	return out
 }
 
-// Close shuts the worker pool down. The Batcher must be idle.
+// Close shuts the worker pool down after in-flight Predict calls drain.
 func (b *Batcher) Close() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	close(b.jobs)
+	b.closeMu.Lock()
+	defer b.closeMu.Unlock()
+	if !b.closed {
+		b.closed = true
+		close(b.jobs)
+	}
 }

@@ -1,0 +1,557 @@
+package treeexec
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"flint/internal/core"
+	"flint/internal/rf"
+)
+
+// The batch kernel walks W independent rows through each tree with W
+// register-resident cursors, so the out-of-order core overlaps their
+// node fetches (W-way memory-level parallelism). The payoff depends on
+// the arena's cache footprint: small arenas are IPC-bound and prefer the
+// plain per-row loop, large arenas are fetch-latency-bound and prefer
+// wider interleave. The crossover points are host properties (load-queue
+// depth, cache sizes), so they are gates measured at runtime rather
+// than constants: see Calibrate and CalibrateInterleave.
+
+// interleaveWidths are the supported cursor counts, in ascending order.
+var interleaveWidths = [4]int{1, 2, 4, 8}
+
+// InterleaveGates holds the arena byte-size thresholds from which each
+// wider interleaved walk wins on this host. A threshold of math.MaxInt
+// disables that width. The zero value is not meaningful; use
+// DefaultInterleaveGates or Calibrate.
+type InterleaveGates struct {
+	// Min2/Min4/Min8 are the smallest arena footprints (bytes) at which
+	// the 2-, 4- and 8-way walks outperform the next narrower one.
+	Min2, Min4, Min8 int
+}
+
+// DefaultInterleaveGates are the static thresholds used until Calibrate
+// measures the host: 2-way past the ~1MB L2 comfort zone (the PR 1
+// pairMinArenaNodes point), 4-way past ~4MB, 8-way past ~16MB. They are
+// conservative transcriptions of one x86 VM's measurements.
+func DefaultInterleaveGates() InterleaveGates {
+	return InterleaveGates{
+		Min2: pairMinArenaNodes * 16, // the old node gate, in bytes
+		Min4: 4 << 20,
+		Min8: 16 << 20,
+	}
+}
+
+// calibratedGates is the host-wide gate table installed by Calibrate;
+// nil selects DefaultInterleaveGates. Engines read it once at
+// construction.
+var calibratedGates atomic.Pointer[InterleaveGates]
+
+// CurrentInterleaveGates returns the gate table new engines will use:
+// the last Calibrate result, or the static defaults.
+func CurrentInterleaveGates() InterleaveGates {
+	if g := calibratedGates.Load(); g != nil {
+		return *g
+	}
+	return DefaultInterleaveGates()
+}
+
+// SetInterleaveGates installs a gate table for subsequently constructed
+// engines (Calibrate calls this with measured values; tests and
+// deployments with known-good numbers may call it directly).
+func SetInterleaveGates(g InterleaveGates) {
+	calibratedGates.Store(&g)
+}
+
+// widthFor selects the interleave width for an arena footprint.
+func (g InterleaveGates) widthFor(arenaBytes int) int {
+	switch {
+	case g.Min8 > 0 && arenaBytes >= g.Min8:
+		return 8
+	case g.Min4 > 0 && arenaBytes >= g.Min4:
+		return 4
+	case g.Min2 > 0 && arenaBytes >= g.Min2:
+		return 2
+	}
+	return 1
+}
+
+// ArenaBytes returns the engine's node storage footprint: 16 bytes per
+// node for the AoS arenas, 8 bytes per node plus the per-feature cut
+// tables for the compact SoA arena. This is the quantity the interleave
+// gates are measured against.
+func (e *FlatForestEngine) ArenaBytes() int {
+	if e.variant == FlatCompact {
+		return 2*len(e.keys16) + 2*len(e.feats16) + 4*len(e.kids) + 4*len(e.cuts) + 4*len(e.cutLo)
+	}
+	return 16 * len(e.arena)
+}
+
+// ArenaNodes returns the number of inner nodes stored in the arena.
+func (e *FlatForestEngine) ArenaNodes() int {
+	if e.variant == FlatCompact {
+		return len(e.kids)
+	}
+	return len(e.arena)
+}
+
+// Interleave returns the batch kernel's current cursor count (1, 2, 4
+// or 8).
+func (e *FlatForestEngine) Interleave() int { return e.interleave }
+
+// SetInterleave forces the batch kernel's cursor count, bypassing the
+// calibrated gates; the requested width is rounded down to the nearest
+// supported one (1, 2, 4, 8) and returned. Only the FLInt and compact
+// kernels interleave; other variants ignore the setting.
+func (e *FlatForestEngine) SetInterleave(width int) int {
+	w := 1
+	for _, c := range interleaveWidths {
+		if width >= c {
+			w = c
+		}
+	}
+	e.interleave = w
+	return w
+}
+
+// CalibrateInterleave times this engine's own batch kernel at every
+// supported interleave width on synthetic rows and adopts the fastest,
+// returning it. The whole pass costs roughly budget wall time (budget
+// <= 0 selects 40ms). This is the on-demand, per-engine half of the
+// calibration story; Calibrate measures host-wide gates for engines not
+// yet built.
+func (e *FlatForestEngine) CalibrateInterleave(budget time.Duration) int {
+	if e.variant != FlatFLInt && e.variant != FlatCompact {
+		return e.interleave
+	}
+	if budget <= 0 {
+		budget = 40 * time.Millisecond
+	}
+	rows := syntheticRows(e.numFeatures, 64, 0x9E3779B9)
+	out := make([]int32, len(rows))
+	s := e.newScratch()
+	prev := e.interleave
+	per := budget / time.Duration(len(interleaveWidths))
+	best, bestNs := prev, math.MaxFloat64
+	for _, w := range interleaveWidths {
+		e.interleave = w
+		e.predictBlock(rows, out, s) // warm up
+		var runs int
+		start := time.Now()
+		for time.Since(start) < per {
+			e.predictBlock(rows, out, s)
+			runs++
+		}
+		if runs == 0 {
+			continue
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(runs)
+		if ns < bestNs {
+			best, bestNs = w, ns
+		}
+	}
+	e.interleave = best
+	return best
+}
+
+// Calibrate measures the interleave crossover points on this host: for
+// a ladder of synthetic arena sizes it times the FLInt batch kernel at
+// widths 1/2/4/8, picks the fastest width per size, derives monotone
+// byte thresholds, installs them for subsequently constructed engines
+// (SetInterleaveGates) and returns them. The whole pass costs roughly
+// budget wall time (budget <= 0 selects 200ms); call it once at process
+// start, or whenever the deployment moves to different hardware.
+func Calibrate(budget time.Duration) InterleaveGates {
+	if budget <= 0 {
+		budget = 200 * time.Millisecond
+	}
+	// Depth-9 synthetic trees (511 inner nodes, 8KB each in the AoS
+	// arena) stacked to the ladder's target footprints, bracketing the
+	// L2/L3/DRAM regimes where the crossovers live.
+	sizes := []int{256 << 10, 1 << 20, 4 << 20, 16 << 20}
+	per := budget / time.Duration(len(sizes)*len(interleaveWidths))
+	bestAt := make([]int, len(sizes))
+	for si, bytes := range sizes {
+		e := syntheticFLIntEngine(bytes)
+		rows := syntheticRows(e.numFeatures, 64, uint32(0xB5297A4D+si))
+		out := make([]int32, len(rows))
+		s := e.newScratch()
+		best, bestNs := 1, math.MaxFloat64
+		for _, w := range interleaveWidths {
+			e.interleave = w
+			e.predictBlock(rows, out, s)
+			var runs int
+			start := time.Now()
+			for time.Since(start) < per {
+				e.predictBlock(rows, out, s)
+				runs++
+			}
+			if runs == 0 {
+				continue
+			}
+			ns := float64(time.Since(start).Nanoseconds()) / float64(runs)
+			if ns < bestNs {
+				best, bestNs = w, ns
+			}
+		}
+		bestAt[si] = best
+	}
+	// Enforce monotone non-decreasing widths over the size ladder (a
+	// narrow win at a larger size is measurement noise), then read off
+	// the smallest size preferring each width.
+	for i := 1; i < len(bestAt); i++ {
+		if bestAt[i] < bestAt[i-1] {
+			bestAt[i] = bestAt[i-1]
+		}
+	}
+	g := InterleaveGates{Min2: math.MaxInt, Min4: math.MaxInt, Min8: math.MaxInt}
+	for i := len(sizes) - 1; i >= 0; i-- {
+		if bestAt[i] >= 2 {
+			g.Min2 = sizes[i]
+		}
+		if bestAt[i] >= 4 {
+			g.Min4 = sizes[i]
+		}
+		if bestAt[i] >= 8 {
+			g.Min8 = sizes[i]
+		}
+	}
+	SetInterleaveGates(g)
+	return g
+}
+
+// syntheticFLIntEngine builds a calibration-only FLInt arena of roughly
+// the requested byte footprint out of random perfect trees, without
+// training: topology and split values only need to be plausible for the
+// walk's memory behavior, not meaningful.
+func syntheticFLIntEngine(arenaBytes int) *FlatForestEngine {
+	const depth = 9
+	const perTree = 1<<depth - 1 // inner nodes per perfect tree
+	const numFeatures = 16
+	trees := arenaBytes / (16 * perTree)
+	if trees < 1 {
+		trees = 1
+	}
+	e := &FlatForestEngine{
+		arena:       make([]node, 0, trees*perTree),
+		roots:       make([]int32, trees),
+		variant:     FlatFLInt,
+		numClasses:  4,
+		numFeatures: numFeatures,
+		interleave:  1,
+	}
+	rng := uint32(0x2545F491)
+	next := func() uint32 {
+		rng ^= rng << 13
+		rng ^= rng >> 17
+		rng ^= rng << 5
+		return rng
+	}
+	for t := 0; t < trees; t++ {
+		base := int32(len(e.arena))
+		e.roots[t] = base
+		for i := 0; i < perTree; i++ {
+			// Heap order: node i's children are 2i+1 and 2i+2; the last
+			// level's children are leaves.
+			var left, right int32
+			if 2*i+1 < perTree {
+				left, right = base+int32(2*i+1), base+int32(2*i+2)
+			} else {
+				left, right = ^int32(next()%4), ^int32(next()%4)
+			}
+			key := int32(next() &^ 0x7F80_0000) // finite: clear the NaN/Inf exponent
+			e.arena = append(e.arena, node{
+				feature: int32(next() % numFeatures),
+				key:     key,
+				left:    left,
+				right:   right,
+			})
+		}
+	}
+	return e
+}
+
+// syntheticRows generates deterministic pseudo-random finite float rows
+// for calibration runs.
+func syntheticRows(numFeatures, n int, seed uint32) [][]float32 {
+	rng := seed | 1
+	next := func() uint32 {
+		rng ^= rng << 13
+		rng ^= rng >> 17
+		rng ^= rng << 5
+		return rng
+	}
+	rows := make([][]float32, n)
+	for i := range rows {
+		r := make([]float32, numFeatures)
+		for j := range r {
+			b := next() &^ 0x7F80_0000 // finite
+			r[j] = math.Float32frombits(b)
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// voteLanes returns k zeroed vote-count views (k <= 8) for one
+// interleaved group: stack-array backed when the class count fits the
+// fast path, scratch-backed (and re-zeroed, only the k lanes actually
+// used) otherwise. The returned array of slice headers lives in the
+// caller's frame, so the block kernel stays allocation-free either way.
+func voteLanes(stack *[8][maxStackClasses]int32, scratch []int32, nc, k int) [8][]int32 {
+	var lanes [8][]int32
+	if nc <= maxStackClasses {
+		for i := 0; i < k; i++ {
+			lanes[i] = stack[i][:nc]
+		}
+		return lanes
+	}
+	for i := 0; i < k; i++ {
+		v := scratch[i*nc : (i+1)*nc]
+		for j := range v {
+			v[j] = 0
+		}
+		lanes[i] = v
+	}
+	return lanes
+}
+
+// classify4FLInt walks one tree for four rows with register-resident
+// cursors (4-way memory-level parallelism); rows whose chains outlive
+// the others finish in the single-cursor loop.
+func (e *FlatForestEngine) classify4FLInt(x0, x1, x2, x3 []int32, root int32) (int32, int32, int32, int32) {
+	arena := e.arena
+	i0, i1, i2, i3 := root, root, root, root
+	for i0 >= 0 && i1 >= 0 && i2 >= 0 && i3 >= 0 {
+		n0, n1, n2, n3 := &arena[i0], &arena[i1], &arena[i2], &arena[i3]
+		v0, v1, v2, v3 := x0[n0.feature], x1[n1.feature], x2[n2.feature], x3[n3.feature]
+		var le0, le1, le2, le3 bool
+		if n0.key >= 0 {
+			le0 = v0 <= n0.key
+		} else {
+			le0 = uint32(v0) >= uint32(n0.key)
+		}
+		if n1.key >= 0 {
+			le1 = v1 <= n1.key
+		} else {
+			le1 = uint32(v1) >= uint32(n1.key)
+		}
+		if n2.key >= 0 {
+			le2 = v2 <= n2.key
+		} else {
+			le2 = uint32(v2) >= uint32(n2.key)
+		}
+		if n3.key >= 0 {
+			le3 = v3 <= n3.key
+		} else {
+			le3 = uint32(v3) >= uint32(n3.key)
+		}
+		if le0 {
+			i0 = n0.left
+		} else {
+			i0 = n0.right
+		}
+		if le1 {
+			i1 = n1.left
+		} else {
+			i1 = n1.right
+		}
+		if le2 {
+			i2 = n2.left
+		} else {
+			i2 = n2.right
+		}
+		if le3 {
+			i3 = n3.left
+		} else {
+			i3 = n3.right
+		}
+	}
+	return e.finishFLInt(x0, i0), e.finishFLInt(x1, i1), e.finishFLInt(x2, i2), e.finishFLInt(x3, i3)
+}
+
+// classify8FLInt walks one tree for eight rows at once; classes are
+// written into out to keep the signature manageable.
+func (e *FlatForestEngine) classify8FLInt(x *[8][]int32, root int32, out *[8]int32) {
+	arena := e.arena
+	x0, x1, x2, x3 := x[0], x[1], x[2], x[3]
+	x4, x5, x6, x7 := x[4], x[5], x[6], x[7]
+	i0, i1, i2, i3 := root, root, root, root
+	i4, i5, i6, i7 := root, root, root, root
+	for i0 >= 0 && i1 >= 0 && i2 >= 0 && i3 >= 0 && i4 >= 0 && i5 >= 0 && i6 >= 0 && i7 >= 0 {
+		n0, n1, n2, n3 := &arena[i0], &arena[i1], &arena[i2], &arena[i3]
+		n4, n5, n6, n7 := &arena[i4], &arena[i5], &arena[i6], &arena[i7]
+		v0, v1, v2, v3 := x0[n0.feature], x1[n1.feature], x2[n2.feature], x3[n3.feature]
+		v4, v5, v6, v7 := x4[n4.feature], x5[n5.feature], x6[n6.feature], x7[n7.feature]
+		var le0, le1, le2, le3, le4, le5, le6, le7 bool
+		if n0.key >= 0 {
+			le0 = v0 <= n0.key
+		} else {
+			le0 = uint32(v0) >= uint32(n0.key)
+		}
+		if n1.key >= 0 {
+			le1 = v1 <= n1.key
+		} else {
+			le1 = uint32(v1) >= uint32(n1.key)
+		}
+		if n2.key >= 0 {
+			le2 = v2 <= n2.key
+		} else {
+			le2 = uint32(v2) >= uint32(n2.key)
+		}
+		if n3.key >= 0 {
+			le3 = v3 <= n3.key
+		} else {
+			le3 = uint32(v3) >= uint32(n3.key)
+		}
+		if n4.key >= 0 {
+			le4 = v4 <= n4.key
+		} else {
+			le4 = uint32(v4) >= uint32(n4.key)
+		}
+		if n5.key >= 0 {
+			le5 = v5 <= n5.key
+		} else {
+			le5 = uint32(v5) >= uint32(n5.key)
+		}
+		if n6.key >= 0 {
+			le6 = v6 <= n6.key
+		} else {
+			le6 = uint32(v6) >= uint32(n6.key)
+		}
+		if n7.key >= 0 {
+			le7 = v7 <= n7.key
+		} else {
+			le7 = uint32(v7) >= uint32(n7.key)
+		}
+		if le0 {
+			i0 = n0.left
+		} else {
+			i0 = n0.right
+		}
+		if le1 {
+			i1 = n1.left
+		} else {
+			i1 = n1.right
+		}
+		if le2 {
+			i2 = n2.left
+		} else {
+			i2 = n2.right
+		}
+		if le3 {
+			i3 = n3.left
+		} else {
+			i3 = n3.right
+		}
+		if le4 {
+			i4 = n4.left
+		} else {
+			i4 = n4.right
+		}
+		if le5 {
+			i5 = n5.left
+		} else {
+			i5 = n5.right
+		}
+		if le6 {
+			i6 = n6.left
+		} else {
+			i6 = n6.right
+		}
+		if le7 {
+			i7 = n7.left
+		} else {
+			i7 = n7.right
+		}
+	}
+	out[0] = e.finishFLInt(x0, i0)
+	out[1] = e.finishFLInt(x1, i1)
+	out[2] = e.finishFLInt(x2, i2)
+	out[3] = e.finishFLInt(x3, i3)
+	out[4] = e.finishFLInt(x4, i4)
+	out[5] = e.finishFLInt(x5, i5)
+	out[6] = e.finishFLInt(x6, i6)
+	out[7] = e.finishFLInt(x7, i7)
+}
+
+// finishFLInt completes one FLInt chain after an interleaved loop exits.
+func (e *FlatForestEngine) finishFLInt(xi []int32, i int32) int32 {
+	if i < 0 {
+		return ^i
+	}
+	return e.classifyFLInt(xi, i)
+}
+
+// predictBlockFLIntWide classifies one block with the interleaved FLInt
+// kernel at the engine's calibrated width, cascading 8 -> 4 -> 2 over
+// the remainder so every row but at most one runs interleaved.
+func (e *FlatForestEngine) predictBlockFLIntWide(rows [][]float32, out []int32, s *flatScratch) {
+	nf := e.numFeatures
+	nc := e.numClasses
+	width := e.interleave
+	b := 0
+	if width >= 8 {
+		var x8 [8][]int32
+		var cls [8]int32
+		for ; b+8 <= len(rows); b += 8 {
+			for i := 0; i < 8; i++ {
+				x8[i] = core.EncodeFeatures32(s.enc[i*nf:i*nf:(i+1)*nf], rows[b+i])
+			}
+			var stack [8][maxStackClasses]int32
+			lanes := voteLanes(&stack, s.votes, nc, 8)
+			for _, root := range e.roots {
+				e.classify8FLInt(&x8, root, &cls)
+				lanes[0][cls[0]]++
+				lanes[1][cls[1]]++
+				lanes[2][cls[2]]++
+				lanes[3][cls[3]]++
+				lanes[4][cls[4]]++
+				lanes[5][cls[5]]++
+				lanes[6][cls[6]]++
+				lanes[7][cls[7]]++
+			}
+			for i := 0; i < 8; i++ {
+				out[b+i] = rf.Argmax(lanes[i])
+			}
+		}
+	}
+	if width >= 4 {
+		for ; b+4 <= len(rows); b += 4 {
+			e0 := core.EncodeFeatures32(s.enc[0:0:nf], rows[b])
+			e1 := core.EncodeFeatures32(s.enc[nf:nf:2*nf], rows[b+1])
+			e2 := core.EncodeFeatures32(s.enc[2*nf:2*nf:3*nf], rows[b+2])
+			e3 := core.EncodeFeatures32(s.enc[3*nf:3*nf:4*nf], rows[b+3])
+			var stack [8][maxStackClasses]int32
+			lanes := voteLanes(&stack, s.votes, nc, 4)
+			for _, root := range e.roots {
+				c0, c1, c2, c3 := e.classify4FLInt(e0, e1, e2, e3, root)
+				lanes[0][c0]++
+				lanes[1][c1]++
+				lanes[2][c2]++
+				lanes[3][c3]++
+			}
+			out[b] = rf.Argmax(lanes[0])
+			out[b+1] = rf.Argmax(lanes[1])
+			out[b+2] = rf.Argmax(lanes[2])
+			out[b+3] = rf.Argmax(lanes[3])
+		}
+	}
+	for ; b+2 <= len(rows); b += 2 {
+		e0 := core.EncodeFeatures32(s.enc[0:0:nf], rows[b])
+		e1 := core.EncodeFeatures32(s.enc[nf:nf:2*nf], rows[b+1])
+		var stack [8][maxStackClasses]int32
+		lanes := voteLanes(&stack, s.votes, nc, 2)
+		for _, root := range e.roots {
+			c0, c1 := e.classify2FLInt(e0, e1, root)
+			lanes[0][c0]++
+			lanes[1][c1]++
+		}
+		out[b] = rf.Argmax(lanes[0])
+		out[b+1] = rf.Argmax(lanes[1])
+	}
+	if b < len(rows) {
+		out[b] = e.predictOneInto(core.EncodeFeatures32(s.enc[0:0:nf], rows[b]), s)
+	}
+}

@@ -10,7 +10,7 @@ import (
 	"flint/internal/rf"
 )
 
-var flatVariants = []FlatVariant{FlatFLInt, FlatFloat32, FlatPrecoded}
+var flatVariants = []FlatVariant{FlatFLInt, FlatFloat32, FlatPrecoded, FlatCompact}
 
 // TestFlatArenaStructure checks the compiled arena invariants: inner
 // nodes only, contiguous per-tree segments, negative indices decoding to
@@ -177,17 +177,20 @@ func TestFlatBatchPaths(t *testing.T) {
 			}
 		}
 	}
-	// Exercise both block-kernel paths: the paired walk (pairMin = 0
-	// forces it even on this small arena) and the simple per-row walk.
-	for _, pairMin := range []int{0, 1 << 30} {
-		e.pairMin = pairMin
+	// Exercise every block-kernel path: the per-row walk and the 2/4/8-
+	// way interleaved walks, forced regardless of this small arena's
+	// calibrated width.
+	for _, width := range []int{1, 2, 4, 8} {
+		if got := e.SetInterleave(width); got != width {
+			t.Fatalf("SetInterleave(%d) adopted %d", width, got)
+		}
 		for _, workers := range []int{0, 1, 2, 5} {
 			for _, block := range []int{0, 1, 3, 64, 1 << 20} {
 				check("PredictBatch", e.PredictBatch(d.Features, nil, workers, block))
 			}
 		}
 	}
-	e.pairMin = 0 // keep the paired walk under test below
+	e.SetInterleave(8) // keep the widest walk under test below
 	// Output slice reuse.
 	out := make([]int32, 0, d.Len())
 	check("PredictBatch/reuse", e.PredictBatch(d.Features, out, 2, 8))
@@ -250,9 +253,9 @@ func testFlatZeroAlloc(t *testing.T, ds string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, pairMin := range []int{0, 1 << 30} {
-		e.pairMin = pairMin
-		// Odd block size: every paired-walk block has a leftover row,
+	for _, width := range []int{1, 2, 4, 8} {
+		e.SetInterleave(width)
+		// Odd block size: every interleaved block has leftover rows,
 		// which must not fall back to an allocating path.
 		b := NewBatcher(e, 2, 7)
 		out := make([]int32, d.Len())
@@ -260,7 +263,7 @@ func testFlatZeroAlloc(t *testing.T, ds string) {
 		if avg := testing.AllocsPerRun(20, func() {
 			b.Predict(d.Features, out)
 		}); avg != 0 {
-			t.Errorf("pairMin=%d: Batcher.Predict allocates %.1f objects per batch, want 0", pairMin, avg)
+			t.Errorf("width=%d: Batcher.Predict allocates %.1f objects per batch, want 0", width, avg)
 		}
 		b.Close()
 	}
