@@ -16,6 +16,8 @@
 //	flintbench -machines
 //	flintbench -grid quick -backends interp,cc
 //	flintbench -grid quick -backends sim -csv out/
+//	flintbench -batchjson BENCH_batch.json
+//	flintbench -trenddiff old/BENCH_batch.json BENCH_batch.json
 package main
 
 import (
@@ -46,11 +48,22 @@ func main() {
 		verbose   = flag.Bool("v", false, "log every measured grid point")
 		batchJSON = flag.String("batchjson", "", "run the short batch-throughput bench (rows/s per arena variant per workload), write JSON to this path and exit")
 		batchRows = flag.Int("batchrows", 0, "dataset rows for -batchjson (0 = 1200)")
+		trenddiff = flag.Bool("trenddiff", false, "diff two BENCH_batch.json reports (usage: flintbench -trenddiff old.json new.json), print per-(workload, variant) rows/s deltas and exit")
 	)
 	flag.Parse()
 
 	if *machines {
 		printMachines()
+		return
+	}
+
+	if *trenddiff {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: flintbench -trenddiff old.json new.json")
+		}
+		if err := runTrendDiff(flag.Arg(0), flag.Arg(1)); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -235,15 +248,46 @@ func runBatchBench(path string, rows int) error {
 		return err
 	}
 	for _, r := range rep.Results {
-		if r.ArenaNodes > 0 {
+		switch {
+		case r.PrunedFeatures > 0:
+			fmt.Printf("%-12s %-13s %12.0f rows/s  %8d nodes  %4.1f B/node  x%d interleave  %d/%d split-on features\n",
+				r.Dataset, r.Variant, r.RowsPerSec, r.ArenaNodes, r.BytesPerNode, r.Interleave,
+				r.PrunedFeatures, r.NumFeatures)
+		case r.ArenaNodes > 0:
 			fmt.Printf("%-12s %-13s %12.0f rows/s  %8d nodes  %4.1f B/node  x%d interleave\n",
 				r.Dataset, r.Variant, r.RowsPerSec, r.ArenaNodes, r.BytesPerNode, r.Interleave)
-		} else {
+		default:
 			fmt.Printf("%-12s %-13s %12.0f rows/s\n", r.Dataset, r.Variant, r.RowsPerSec)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	return nil
+}
+
+// runTrendDiff aligns two BENCH_batch.json reports (typically the
+// previous CI run's artifact against this run's) and prints the
+// per-(workload, variant) rows/s deltas. Report-only: throughput on
+// shared runners is noisy, so nothing here exits non-zero on a
+// regression — the table exists to make trends visible, not to gate.
+func runTrendDiff(oldPath, newPath string) error {
+	read := func(path string) (*bench.BatchBenchReport, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return bench.ReadBatchBenchJSON(f)
+	}
+	oldRep, err := read(oldPath)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", oldPath, err)
+	}
+	newRep, err := read(newPath)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", newPath, err)
+	}
+	fmt.Printf("batch throughput trend: %s -> %s\n", oldPath, newPath)
+	return bench.WriteTrendDiff(os.Stdout, bench.TrendDiff(oldRep, newRep))
 }
 
 // printArenaFootprint trains one representative ensemble and prints the

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"flint/internal/bench"
@@ -60,5 +62,41 @@ func TestFilterSeries(t *testing.T) {
 	}
 	if len(filterSeries(in)) != 0 {
 		t.Error("empty filter must drop everything")
+	}
+}
+
+func TestRunTrendDiff(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep *bench.BatchBenchReport) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := bench.WriteBatchBenchJSON(f, rep); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", &bench.BatchBenchReport{Results: []bench.BatchBenchRow{
+		{Dataset: "magic", Variant: "flat-compact", RowsPerSec: 100},
+	}})
+	newPath := write("new.json", &bench.BatchBenchReport{Results: []bench.BatchBenchRow{
+		{Dataset: "magic", Variant: "flat-compact", RowsPerSec: 110},
+	}})
+	if err := runTrendDiff(oldPath, newPath); err != nil {
+		t.Errorf("runTrendDiff: %v", err)
+	}
+	if err := runTrendDiff(oldPath, filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing new report accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{oops"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTrendDiff(bad, newPath); err == nil {
+		t.Error("malformed old report accepted")
 	}
 }

@@ -33,11 +33,14 @@ func main() {
 	}
 
 	// Measure, once, the arena sizes past which the 2/4/8-way
-	// interleaved walks win on this host; engines built afterwards pick
-	// their width from the result.
+	// interleaved walks win on this host — one threshold set per arena
+	// layout, because the compact arena's quantization overhead shifts
+	// its crossovers; engines built afterwards pick their width from
+	// the result.
 	gates := flint.Calibrate(0)
-	fmt.Printf("calibrated interleave gates (bytes): x2>=%d x4>=%d x8>=%d\n",
-		gates.Min2, gates.Min4, gates.Min8)
+	fmt.Printf("calibrated interleave gates (bytes): flint x2>=%d x4>=%d x8>=%d | compact x2>=%d x4>=%d x8>=%d\n",
+		gates.Min2, gates.Min4, gates.Min8,
+		gates.CompactMin2, gates.CompactMin4, gates.CompactMin8)
 
 	// Prefer the 8-byte compact arena when the forest fits its
 	// encoding; it halves the cache footprint at identical predictions.
@@ -51,9 +54,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s arena: %d nodes, %d bytes (%.1f B/node), x%d interleave\n",
+	fmt.Printf("%s arena: %d nodes, %d bytes (%.1f B/node), %d/%d split-on features, x%d interleave\n",
 		engine.Name(), engine.ArenaNodes(), engine.ArenaBytes(),
-		float64(engine.ArenaBytes())/float64(engine.ArenaNodes()), engine.Interleave())
+		float64(engine.ArenaBytes())/float64(engine.ArenaNodes()),
+		engine.PrunedFeatures(), engine.NumFeatures(), engine.Interleave())
+
+	// Sharpen the width on this exact arena using real rows: sampled
+	// production traffic walks the trained branches the host-wide
+	// synthetic ladder can only approximate. Here the training set
+	// stands in for a traffic sample.
+	width := engine.CalibrateInterleaveRows(train.Features, 0)
+	fmt.Printf("row-calibrated interleave: x%d\n", width)
 
 	workers := runtime.GOMAXPROCS(0)
 	batcher := flint.NewBatcher(engine, workers)

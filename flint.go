@@ -47,17 +47,44 @@
 //   - Compact SoA arena (FlatCompact): 8 bytes per node split across
 //     parallel uint16 key / uint16 feature / packed int32 child slices.
 //     Split values are reduced — exactly, via per-feature total-order
-//     ranking — to 16-bit keys, and each row is quantized once by
-//     binary search before the walk. Predictions are bit-identical to
-//     FlatFLInt. Halves the arena footprint again, so roughly twice the
-//     forest fits in the same cache; it wins on big ensembles at batch
-//     scale. Forests exceeding the narrow encoding (per-feature
-//     distinct splits, per-tree size, classes, features — probe with
-//     Compactable) gracefully fall back to the FLInt arena.
+//     ranking — to 16-bit keys, and each interleaved group of rows is
+//     quantized by binary search before the walk. The cut tables are
+//     feature-pruned: only the columns the forest actually splits on
+//     are searched (and only the split-on count is bounded by the
+//     encoding, so wide sparse-split inputs compact fine). Predictions
+//     are bit-identical to FlatFLInt. Halves the arena footprint again,
+//     so roughly twice the forest fits in the same cache; it wins on
+//     big ensembles at batch scale. Forests exceeding the narrow
+//     encoding (per-feature distinct splits, per-tree size, classes,
+//     split-on features — probe with Compactable) gracefully fall back
+//     to the FLInt arena.
 //
 // Batch work should go through PredictBatch (ephemeral workers) or a
 // persistent Batcher (zero-alloc steady state; concurrent Predict calls
 // interleave block-by-block over the shared pool).
+//
+// # Calibrating the interleaved batch kernel
+//
+// On arenas past the cache comfort zone the batch kernel walks 2, 4 or
+// 8 rows with register-resident cursors so the core overlaps their node
+// fetches. Where those crossovers sit depends on the host (cache sizes,
+// load-queue depth) and on the arena layout — the compact arena's
+// quantization overhead and denser packing shift them — so the gate
+// table (InterleaveGates) keeps one threshold set per interleaving
+// layout and engines pick their width from it at construction:
+//
+//   - Calibrate(budget) measures a synthetic arena ladder for both the
+//     FLInt and compact layouts once per process and installs per-
+//     variant gates for engines built afterwards.
+//   - engine.CalibrateInterleave(budget) times the engine's own arena,
+//     on rows synthesized from its own split tables — every calibration
+//     input spans the trained comparison range, so the measured walks
+//     branch both ways like production traffic.
+//   - engine.CalibrateInterleaveRows(rows, budget) is the most accurate
+//     tool: pass sampled production rows and the engine times exactly
+//     the branch and fetch patterns it will serve. Prefer this when
+//     request traffic is at hand (the synthetic rows approximate range,
+//     not distribution).
 package flint
 
 import (
@@ -236,7 +263,10 @@ const (
 )
 
 // InterleaveGates are the arena-size thresholds (bytes) from which the
-// batch kernel walks 2, 4 and 8 rows at once; see Calibrate.
+// batch kernel walks 2, 4 and 8 rows at once, one threshold set per
+// interleaving arena layout (the 16-byte AoS arenas read Min2/Min4/
+// Min8, the compact SoA arena reads CompactMin2/CompactMin4/
+// CompactMin8); see Calibrate.
 type InterleaveGates = treeexec.InterleaveGates
 
 // Compactable reports whether a forest fits the compact SoA arena's
@@ -245,12 +275,24 @@ type InterleaveGates = treeexec.InterleaveGates
 // the 32-bit FLInt arena.
 func Compactable(f *Forest) (ok bool, reason string) { return treeexec.Compactable(f) }
 
-// Calibrate measures, on this host, the arena sizes past which the
-// batch kernel's 2/4/8-way interleaved walks win, and installs the
-// thresholds for engines constructed afterwards. Call it once at
-// process start (budget <= 0 selects ~200ms). Individual engines can
-// self-tune instead via FlatEngine.CalibrateInterleave.
+// Calibrate measures, on this host and for each interleaving arena
+// layout, the arena sizes past which the batch kernel's 2/4/8-way
+// interleaved walks win, and installs the per-variant thresholds for
+// engines constructed afterwards. Call it once at process start
+// (budget <= 0 selects ~200ms). Individual engines can self-tune
+// instead via FlatEngine.CalibrateInterleave, or — most accurately —
+// on sampled production rows via FlatEngine.CalibrateInterleaveRows.
 func Calibrate(budget time.Duration) InterleaveGates { return treeexec.Calibrate(budget) }
+
+// CurrentInterleaveGates returns the gate table newly constructed
+// engines will read: the last Calibrate (or SetInterleaveGates) result,
+// or the static defaults.
+func CurrentInterleaveGates() InterleaveGates { return treeexec.CurrentInterleaveGates() }
+
+// SetInterleaveGates installs a gate table for subsequently constructed
+// engines — for deployments that ship thresholds measured offline
+// instead of spending Calibrate's startup budget.
+func SetInterleaveGates(g InterleaveGates) { treeexec.SetInterleaveGates(g) }
 
 // Batcher is a persistent worker pool over a FlatEngine: goroutines and
 // per-worker scratch are allocated once, so steady-state batch

@@ -45,6 +45,12 @@ type BatchBenchRow struct {
 	BytesPerNode float64 `json:"bytes_per_node,omitempty"`
 	// Interleave is the batch kernel's cursor count (arena variants).
 	Interleave int `json:"interleave,omitempty"`
+	// PrunedFeatures is the number of features the forest actually
+	// splits on — the compact arena's per-row quantization cost (one
+	// binary search each); NumFeatures is the input dimensionality it
+	// was pruned from. Recorded for the compact variant only.
+	PrunedFeatures int `json:"pruned_features,omitempty"`
+	NumFeatures    int `json:"num_features,omitempty"`
 }
 
 // BatchBenchReport is the BENCH_batch.json document.
@@ -53,7 +59,12 @@ type BatchBenchReport struct {
 		Rows, Trees, Depth, Workers int
 		GOMAXPROCS                  int
 	} `json:"config"`
-	Results []BatchBenchRow `json:"results"`
+	// Gates is the host-wide per-variant interleave gate table measured
+	// at the start of the run (each engine still self-calibrates on its
+	// own arena before timing; the table contextualizes the recorded
+	// Interleave widths).
+	Gates   treeexec.InterleaveGates `json:"gates"`
+	Results []BatchBenchRow          `json:"results"`
 }
 
 func (c BatchBench) withDefaults() BatchBench {
@@ -79,20 +90,29 @@ func (c BatchBench) withDefaults() BatchBench {
 }
 
 // timeRows measures rows/s for fn, which classifies the whole test set
-// once per call and returns the row count.
-func (c BatchBench) timeRows(fn func() int) float64 {
-	n := fn() // warm up
+// once per call and returns the row count. An fn error aborts the
+// measurement and is returned to the caller like every other error path
+// in Run — never panicked across the timing loop.
+func (c BatchBench) timeRows(fn func() (int, error)) (float64, error) {
+	n, err := fn() // warm up
+	if err != nil {
+		return 0, err
+	}
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
 	total := 0
 	start := time.Now()
 	elapsed := time.Duration(0)
 	for elapsed < c.MinDuration {
-		total += fn()
+		n, err := fn()
+		if err != nil {
+			return 0, err
+		}
+		total += n
 		elapsed = time.Since(start)
 	}
-	return float64(total) / elapsed.Seconds()
+	return float64(total) / elapsed.Seconds(), nil
 }
 
 // Run trains one forest per workload and measures batch throughput for
@@ -109,6 +129,15 @@ func (c BatchBench) Run() (*BatchBenchReport, error) {
 	rep.Config.Depth = c.Depth
 	rep.Config.Workers = c.Workers
 	rep.Config.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	// Measure the per-variant gate table for the report, then restore
+	// whatever the process had: a short-budget ladder is noisy, and a
+	// bench run must not leave noise gates installed for engines the
+	// embedding process constructs later. (The engines measured below
+	// self-calibrate on the real test rows, so they never read this
+	// table anyway.)
+	prev := treeexec.CurrentInterleaveGates()
+	rep.Gates = treeexec.Calibrate(4 * c.MinDuration)
+	treeexec.SetInterleaveGates(prev)
 	for _, ds := range dataset.Names() {
 		full, err := dataset.Generate(ds, c.Rows, c.Seed)
 		if err != nil {
@@ -130,14 +159,17 @@ func (c BatchBench) Run() (*BatchBenchReport, error) {
 		if err != nil {
 			return nil, err
 		}
+		rps, err := c.timeRows(func() (int, error) {
+			if _, err := treeexec.Batch(perTree, rows, c.Workers); err != nil {
+				return 0, fmt.Errorf("bench: %s per-tree batch: %w", ds, err)
+			}
+			return len(rows), nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		rep.Results = append(rep.Results, BatchBenchRow{
-			Dataset: ds, Variant: "flint",
-			RowsPerSec: c.timeRows(func() int {
-				if _, err := treeexec.Batch(perTree, rows, c.Workers); err != nil {
-					panic(err) // nil engine / impossible here
-				}
-				return len(rows)
-			}),
+			Dataset: ds, Variant: "flint", RowsPerSec: rps,
 		})
 
 		for _, v := range []treeexec.FlatVariant{treeexec.FlatFLInt, treeexec.FlatCompact} {
@@ -145,14 +177,17 @@ func (c BatchBench) Run() (*BatchBenchReport, error) {
 			if err != nil {
 				return nil, err
 			}
-			e.CalibrateInterleave(2 * c.MinDuration)
+			e.CalibrateInterleaveRows(rows, 2*c.MinDuration)
 			pool := treeexec.NewBatcher(e, c.Workers, 0)
 			out := make([]int32, len(rows))
-			rps := c.timeRows(func() int {
+			rps, err := c.timeRows(func() (int, error) {
 				out = pool.Predict(rows, out)
-				return len(rows)
+				return len(rows), nil
 			})
 			pool.Close()
+			if err != nil {
+				return nil, err
+			}
 			nodes := e.ArenaNodes()
 			bytes := e.ArenaBytes()
 			row := BatchBenchRow{
@@ -162,6 +197,10 @@ func (c BatchBench) Run() (*BatchBenchReport, error) {
 			}
 			if nodes > 0 {
 				row.BytesPerNode = float64(bytes) / float64(nodes)
+			}
+			if e.Variant() == treeexec.FlatCompact {
+				row.PrunedFeatures = e.PrunedFeatures()
+				row.NumFeatures = e.NumFeatures()
 			}
 			rep.Results = append(rep.Results, row)
 		}

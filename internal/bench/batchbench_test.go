@@ -3,10 +3,12 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"testing"
 	"time"
 
 	"flint/internal/dataset"
+	"flint/internal/treeexec"
 )
 
 // TestBatchBenchRun runs the CI throughput harness at a tiny
@@ -56,6 +58,26 @@ func TestBatchBenchRun(t *testing.T) {
 		if compact.Interleave == 0 {
 			t.Errorf("%s: compact interleave unset", ds)
 		}
+		// The compact row records its quantization cost: how many of the
+		// input columns the forest actually splits on.
+		if compact.PrunedFeatures <= 0 || compact.NumFeatures <= 0 ||
+			compact.PrunedFeatures > compact.NumFeatures {
+			t.Errorf("%s: compact pruned/total features = %d/%d",
+				ds, compact.PrunedFeatures, compact.NumFeatures)
+		}
+		if flat.PrunedFeatures != 0 {
+			t.Errorf("%s: flat row carries pruned features %d", ds, flat.PrunedFeatures)
+		}
+	}
+	// The report carries the measured per-variant gate table (monotone
+	// per set, as Calibrate guarantees).
+	g := rep.Gates
+	if g == (treeexec.InterleaveGates{}) {
+		t.Error("report gates are zero-valued")
+	}
+	if g.Min2 > g.Min4 || g.Min4 > g.Min8 ||
+		g.CompactMin2 > g.CompactMin4 || g.CompactMin4 > g.CompactMin8 {
+		t.Errorf("report gates not monotone: %+v", g)
 	}
 
 	var buf bytes.Buffer
@@ -68,5 +90,30 @@ func TestBatchBenchRun(t *testing.T) {
 	}
 	if len(back.Results) != len(rep.Results) {
 		t.Errorf("round trip lost rows: %d vs %d", len(back.Results), len(rep.Results))
+	}
+}
+
+// TestTimeRowsPropagatesError pins the timing loop's error contract: a
+// failing measurement function surfaces as a returned error — from the
+// warm-up call and from mid-loop — never as a panic.
+func TestTimeRowsPropagatesError(t *testing.T) {
+	c := BatchBench{MinDuration: time.Millisecond}.withDefaults()
+	sentinel := errors.New("batch failed")
+	if _, err := c.timeRows(func() (int, error) { return 0, sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("warm-up error = %v, want sentinel", err)
+	}
+	calls := 0
+	if _, err := c.timeRows(func() (int, error) {
+		calls++
+		if calls > 1 {
+			return 0, sentinel
+		}
+		return 5, nil
+	}); !errors.Is(err, sentinel) {
+		t.Errorf("mid-loop error = %v, want sentinel", err)
+	}
+	// A zero-row warm-up short-circuits without error.
+	if rps, err := c.timeRows(func() (int, error) { return 0, nil }); err != nil || rps != 0 {
+		t.Errorf("zero-row measurement = %v, %v", rps, err)
 	}
 }

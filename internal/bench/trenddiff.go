@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trend diffing closes the loop on the BENCH_batch.json artifacts CI
+// uploads every run: two consecutive reports, aligned cell-by-cell,
+// become a per-(workload, variant) rows/s delta table. The numbers are
+// wall-clock on shared runners, so the diff is report-only context for
+// reviewers — consumers must not gate on it.
+
+// TrendDelta is one aligned (workload, variant) cell of a trend diff.
+// Old or New is zero when that side of the diff lacks the cell (a
+// workload or variant added or removed between runs).
+type TrendDelta struct {
+	Dataset string
+	Variant string
+	Old     float64 // rows/s in the older report, 0 if absent
+	New     float64 // rows/s in the newer report, 0 if absent
+}
+
+// Pct returns the relative throughput change in percent, valid only
+// when both sides are present.
+func (d TrendDelta) Pct() float64 {
+	return (d.New - d.Old) / d.Old * 100
+}
+
+// ReadBatchBenchJSON parses a BENCH_batch.json document written by
+// WriteBatchBenchJSON.
+func ReadBatchBenchJSON(r io.Reader) (*BatchBenchReport, error) {
+	var rep BatchBenchReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench: malformed batch report: %w", err)
+	}
+	return &rep, nil
+}
+
+// TrendDiff aligns two batch reports by (dataset, variant): cells of
+// the newer report keep its ordering, cells present only in the older
+// report are appended in its ordering. Duplicate cells within one
+// report keep the first occurrence.
+func TrendDiff(oldRep, newRep *BatchBenchReport) []TrendDelta {
+	type key struct{ ds, v string }
+	oldBy := make(map[key]float64, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		k := key{r.Dataset, r.Variant}
+		if _, ok := oldBy[k]; !ok {
+			oldBy[k] = r.RowsPerSec
+		}
+	}
+	var out []TrendDelta
+	seen := make(map[key]bool, len(newRep.Results))
+	for _, r := range newRep.Results {
+		k := key{r.Dataset, r.Variant}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, TrendDelta{
+			Dataset: r.Dataset, Variant: r.Variant,
+			Old: oldBy[k], New: r.RowsPerSec,
+		})
+	}
+	for _, r := range oldRep.Results {
+		k := key{r.Dataset, r.Variant}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, TrendDelta{
+			Dataset: r.Dataset, Variant: r.Variant, Old: r.RowsPerSec,
+		})
+	}
+	return out
+}
+
+// WriteTrendDiff renders a trend diff as an aligned text table. Cells
+// missing on one side are marked (new) or (dropped) instead of carrying
+// a meaningless percentage.
+func WriteTrendDiff(w io.Writer, deltas []TrendDelta) error {
+	if _, err := fmt.Fprintf(w, "%-12s %-13s %14s %14s %9s\n",
+		"dataset", "variant", "old rows/s", "new rows/s", "delta"); err != nil {
+		return err
+	}
+	for _, d := range deltas {
+		var err error
+		switch {
+		case d.Old == 0 && d.New == 0:
+			_, err = fmt.Fprintf(w, "%-12s %-13s %14s %14s %9s\n",
+				d.Dataset, d.Variant, "-", "-", "-")
+		case d.Old == 0:
+			_, err = fmt.Fprintf(w, "%-12s %-13s %14s %14.0f %9s\n",
+				d.Dataset, d.Variant, "-", d.New, "(new)")
+		case d.New == 0:
+			_, err = fmt.Fprintf(w, "%-12s %-13s %14.0f %14s %9s\n",
+				d.Dataset, d.Variant, d.Old, "-", "(dropped)")
+		default:
+			_, err = fmt.Fprintf(w, "%-12s %-13s %14.0f %14.0f %+8.1f%%\n",
+				d.Dataset, d.Variant, d.Old, d.New, d.Pct())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func trendReport(rows ...BatchBenchRow) *BatchBenchReport {
+	return &BatchBenchReport{Results: rows}
+}
+
+func TestTrendDiffAlignment(t *testing.T) {
+	oldRep := trendReport(
+		BatchBenchRow{Dataset: "magic", Variant: "flat-flint", RowsPerSec: 50000},
+		BatchBenchRow{Dataset: "magic", Variant: "flat-compact", RowsPerSec: 60000},
+		BatchBenchRow{Dataset: "wine", Variant: "flint", RowsPerSec: 1000},
+	)
+	newRep := trendReport(
+		BatchBenchRow{Dataset: "magic", Variant: "flat-flint", RowsPerSec: 55000},
+		BatchBenchRow{Dataset: "magic", Variant: "flat-compact", RowsPerSec: 54000},
+		BatchBenchRow{Dataset: "eye", Variant: "flat-compact", RowsPerSec: 42000},
+	)
+	deltas := TrendDiff(oldRep, newRep)
+	if len(deltas) != 4 {
+		t.Fatalf("%d deltas, want 4: %+v", len(deltas), deltas)
+	}
+	// New-report order first, then old-only cells.
+	if deltas[0].Dataset != "magic" || deltas[0].Variant != "flat-flint" ||
+		deltas[0].Old != 50000 || deltas[0].New != 55000 {
+		t.Errorf("delta[0] = %+v", deltas[0])
+	}
+	if got := deltas[0].Pct(); got < 9.9 || got > 10.1 {
+		t.Errorf("delta[0].Pct() = %v, want ~10", got)
+	}
+	if got := deltas[1].Pct(); got > -9.9 || got < -10.1 {
+		t.Errorf("delta[1].Pct() = %v, want ~-10", got)
+	}
+	if deltas[2].Dataset != "eye" || deltas[2].Old != 0 || deltas[2].New != 42000 {
+		t.Errorf("new-only cell = %+v", deltas[2])
+	}
+	if deltas[3].Dataset != "wine" || deltas[3].Old != 1000 || deltas[3].New != 0 {
+		t.Errorf("dropped cell = %+v", deltas[3])
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTrendDiff(&buf, deltas); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"+10.0%", "-10.0%", "(new)", "(dropped)", "dataset"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trend table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReadBatchBenchJSONRoundTrip(t *testing.T) {
+	rep := trendReport(BatchBenchRow{
+		Dataset: "gas", Variant: "flat-compact", RowsPerSec: 12345,
+		ArenaNodes: 10, ArenaBytes: 160, PrunedFeatures: 37, NumFeatures: 128,
+	})
+	rep.Config.Rows = 600
+	var buf bytes.Buffer
+	if err := WriteBatchBenchJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBatchBenchJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 1 || back.Results[0] != rep.Results[0] || back.Config.Rows != 600 {
+		t.Errorf("round trip = %+v", back)
+	}
+	if _, err := ReadBatchBenchJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed report accepted")
+	}
+}

@@ -46,3 +46,23 @@ func TotalOrderKey64(b uint64) uint64 {
 	mask := uint64(int64(b)>>63) | 0x8000_0000_0000_0000
 	return b ^ mask
 }
+
+// FromTotalOrderKey32 inverts TotalOrderKey32, recovering the binary32
+// bit pattern whose total-order key is k. Keys with the top bit set came
+// from non-negative patterns (the key is the pattern with the sign bit
+// flipped on); keys with the top bit clear came from negative patterns
+// (the key is the pattern bitwise inverted).
+func FromTotalOrderKey32(k uint32) uint32 {
+	if k&0x8000_0000 != 0 {
+		return k ^ 0x8000_0000
+	}
+	return ^k
+}
+
+// FromTotalOrderKey64 is FromTotalOrderKey32 for binary64 keys.
+func FromTotalOrderKey64(k uint64) uint64 {
+	if k&0x8000_0000_0000_0000 != 0 {
+		return k ^ 0x8000_0000_0000_0000
+	}
+	return ^k
+}

@@ -455,3 +455,33 @@ func TestValid(t *testing.T) {
 		t.Error("Binary64.Valid(^0) should hold")
 	}
 }
+
+func TestFromTotalOrderKeyRoundTrip(t *testing.T) {
+	patterns := []uint32{
+		0x0000_0000, 0x8000_0000, // +0, -0
+		0x0000_0001, 0x8000_0001, // smallest denormals
+		0x3F80_0000, 0xBF80_0000, // ±1
+		0x7F7F_FFFF, 0xFF7F_FFFF, // ±MaxFloat32
+		0x7F80_0000, 0xFF80_0000, // ±Inf
+		0x4121_3087, 0xC03B_DDDE,
+	}
+	for _, b := range patterns {
+		if got := FromTotalOrderKey32(TotalOrderKey32(b)); got != b {
+			t.Errorf("FromTotalOrderKey32(TotalOrderKey32(%#x)) = %#x", b, got)
+		}
+	}
+	err := quick.Check(func(b uint32) bool {
+		return FromTotalOrderKey32(TotalOrderKey32(b)) == b &&
+			TotalOrderKey32(FromTotalOrderKey32(b)) == b
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+	err = quick.Check(func(b uint64) bool {
+		return FromTotalOrderKey64(TotalOrderKey64(b)) == b &&
+			TotalOrderKey64(FromTotalOrderKey64(b)) == b
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

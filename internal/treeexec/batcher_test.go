@@ -106,7 +106,10 @@ func TestBatcherScratchReuseAcrossBatchSizes(t *testing.T) {
 	}
 }
 
-// TestBatcherPredictAfterClosePanics pins the documented contract.
+// TestBatcherPredictAfterClosePanics pins the documented contract: any
+// Predict after Close panics, whether or not the batch is empty. (The
+// empty batch used to return before the closed check, so misuse only
+// surfaced on the first non-empty call.)
 func TestBatcherPredictAfterClosePanics(t *testing.T) {
 	f, d := trainedForest(t, "wine", 4, 2)
 	e, err := NewFlat(f, FlatFLInt)
@@ -114,12 +117,43 @@ func TestBatcherPredictAfterClosePanics(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := NewBatcher(e, 1, 0)
+	// Empty batches are fine while the pool is open.
+	if out := b.Predict(nil, nil); len(out) != 0 {
+		t.Errorf("empty Predict before Close returned %v", out)
+	}
 	b.Close()
 	b.Close() // double Close is tolerated
-	defer func() {
-		if recover() == nil {
-			t.Error("Predict after Close did not panic")
-		}
-	}()
-	b.Predict(d.Features[:1], nil)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s after Close did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("non-empty Predict", func() { b.Predict(d.Features[:1], nil) })
+	mustPanic("empty Predict", func() { b.Predict(nil, nil) })
+	mustPanic("empty non-nil Predict", func() { b.Predict([][]float32{}, make([]int32, 0, 4)) })
+}
+
+// TestNilEngineBatchEntryPoints pins the pool-constructor and batch-
+// method guards: a nil (or typed-nil) engine must fail fast in the
+// caller's goroutine, where the panic is recoverable, instead of
+// killing the process from inside a spawned worker.
+func TestNilEngineBatchEntryPoints(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on nil engine did not panic in the caller", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("NewBatcher", func() { NewBatcher(nil, 2, 8) })
+	var e *FlatForestEngine
+	mustPanic("typed-nil NewBatcher", func() { NewBatcher(e, 0, 0) })
+	mustPanic("PredictBatch", func() { e.PredictBatch([][]float32{{1}}, nil, 1, 0) })
+	mustPanic("empty PredictBatch", func() { e.PredictBatch(nil, nil, 1, 0) })
 }

@@ -81,12 +81,18 @@ type FlatForestEngine struct {
 	variant FlatVariant
 
 	// Compact SoA arena (FlatCompact only): parallel 8-byte nodes plus
-	// the per-feature quantization tables. See flat_compact.go.
-	keys16  []uint16 // per-node split rank in the feature's cut table
-	feats16 []uint16 // per-node feature index
-	kids    []int32  // packed child/leaf word: low int16 left, high int16 right
-	cuts    []uint32 // flattened per-feature sorted distinct split keys (total order)
-	cutLo   []int32  // numFeatures+1 offsets into cuts
+	// the feature-pruned quantization tables. Cut tables exist only for
+	// the numPruned features the forest actually splits on; feats16 and
+	// the quantized rank lanes are indexed by the dense pruned
+	// renumbering, prunedOrig maps it back to input columns. See
+	// flat_compact.go.
+	keys16     []uint16 // per-node split rank in the feature's cut table
+	feats16    []uint16 // per-node pruned feature index
+	kids       []int32  // packed child/leaf word: low int16 left, high int16 right
+	cuts       []uint32 // flattened pruned-feature sorted distinct split keys (total order)
+	cutLo      []int32  // numPruned+1 offsets into cuts
+	prunedOrig []int32  // pruned feature index -> original input column
+	numPruned  int      // features the forest splits on (== len(prunedOrig))
 
 	numClasses  int
 	numFeatures int
@@ -118,7 +124,7 @@ func NewFlat(f *rf.Forest, v FlatVariant) (*FlatForestEngine, error) {
 			if err := e.buildCompact(f, cuts); err != nil {
 				return nil, err
 			}
-			e.interleave = CurrentInterleaveGates().widthFor(e.ArenaBytes())
+			e.interleave = CurrentInterleaveGates().widthFor(e.variant, e.ArenaBytes())
 			return e, nil
 		}
 	}
@@ -183,7 +189,7 @@ func NewFlat(f *rf.Forest, v FlatVariant) (*FlatForestEngine, error) {
 			})
 		}
 	}
-	e.interleave = CurrentInterleaveGates().widthFor(e.ArenaBytes())
+	e.interleave = CurrentInterleaveGates().widthFor(e.variant, e.ArenaBytes())
 	return e, nil
 }
 
@@ -199,6 +205,17 @@ func (e *FlatForestEngine) NumClasses() int { return e.numClasses }
 
 // NumFeatures returns the input dimensionality.
 func (e *FlatForestEngine) NumFeatures() int { return e.numFeatures }
+
+// PrunedFeatures returns the number of features the compiled forest
+// actually splits on — the per-row quantization cost of the compact
+// arena (one binary search each). For non-compact variants, which keep
+// no cut tables, it returns NumFeatures.
+func (e *FlatForestEngine) PrunedFeatures() int {
+	if e.variant == FlatCompact {
+		return e.numPruned
+	}
+	return e.numFeatures
+}
 
 // classifyFLInt walks one tree from root over sign-resolved FLInt keys.
 func (e *FlatForestEngine) classifyFLInt(xi []int32, i int32) int32 {
@@ -324,10 +341,10 @@ func (e *FlatForestEngine) voteEncoded(xi []int32, counts []int32) {
 	case FlatCompact:
 		var stack [maxStackQuantizedFeatures]uint16
 		var q []uint16
-		if e.numFeatures <= maxStackQuantizedFeatures {
-			q = stack[:e.numFeatures]
+		if e.numPruned <= maxStackQuantizedFeatures {
+			q = stack[:e.numPruned]
 		} else {
-			q = make([]uint16, e.numFeatures)
+			q = make([]uint16, e.numPruned)
 		}
 		e.quantizeBits(q, xi)
 		for _, root := range e.roots {
@@ -341,8 +358,9 @@ func (e *FlatForestEngine) voteEncoded(xi []int32, counts []int32) {
 }
 
 // maxStackQuantizedFeatures bounds the stack buffer the single-row
-// compact path quantizes into; wider feature spaces allocate. Batch
-// paths always use engine scratch and stay allocation-free.
+// compact path quantizes into; forests splitting on more features
+// allocate (the bound is on the pruned count, not the input width).
+// Batch paths always use engine scratch and stay allocation-free.
 const maxStackQuantizedFeatures = 64
 
 // PredictEncoded returns the majority-vote class for a raw bit-pattern
@@ -368,10 +386,10 @@ func (e *FlatForestEngine) PredictPrecoded(keys []uint32) int32 {
 	if e.variant == FlatCompact {
 		var qstack [maxStackQuantizedFeatures]uint16
 		var q []uint16
-		if e.numFeatures <= maxStackQuantizedFeatures {
-			q = qstack[:e.numFeatures]
+		if e.numPruned <= maxStackQuantizedFeatures {
+			q = qstack[:e.numPruned]
 		} else {
-			q = make([]uint16, e.numFeatures)
+			q = make([]uint16, e.numPruned)
 		}
 		e.quantizeKeys(q, keys)
 		for _, root := range e.roots {
@@ -418,7 +436,7 @@ const DefaultBlockRows = 16
 type flatScratch struct {
 	enc   []int32  // 8*numFeatures raw bit patterns (FLInt/Float32)
 	keys  []uint32 // numFeatures precoded keys (FlatPrecoded only)
-	q     []uint16 // 8*numFeatures quantized ranks (FlatCompact only)
+	q     []uint16 // 8*numPruned quantized ranks (FlatCompact only)
 	votes []int32  // 8*numClasses vote counts (spilled when classes > 8)
 }
 
@@ -428,7 +446,7 @@ func (e *FlatForestEngine) newScratch() *flatScratch {
 	case FlatPrecoded:
 		s.keys = make([]uint32, e.numFeatures)
 	case FlatCompact:
-		s.q = make([]uint16, 8*e.numFeatures)
+		s.q = make([]uint16, 8*e.numPruned)
 	default:
 		s.enc = make([]int32, 8*e.numFeatures)
 	}
@@ -523,8 +541,13 @@ func normWorkers(workers, jobs int) int {
 // is capped at the number of blocks. The result is written into out
 // when it has sufficient capacity; otherwise a new slice is allocated.
 // For steady-state serving without per-call worker spawning, use a
-// Batcher.
+// Batcher. Calling on a nil engine panics immediately in the caller's
+// goroutine (a clear error instead of an unrecoverable panic inside a
+// spawned worker).
 func (e *FlatForestEngine) PredictBatch(rows [][]float32, out []int32, workers, block int) []int32 {
+	if isNilEngine(e) {
+		panic("treeexec: PredictBatch on nil engine")
+	}
 	if cap(out) < len(rows) {
 		out = make([]int32, len(rows))
 	}
@@ -614,7 +637,15 @@ type Batcher struct {
 // block rows. Zero or negative workers selects GOMAXPROCS, zero or
 // negative block selects DefaultBlockRows (the same clamping as
 // PredictBatch). Close releases the pool.
+//
+// A nil engine panics here, in the caller's goroutine, where it can be
+// recovered — without the guard the constructor would hand back a
+// working-looking Batcher whose workers die unrecoverably on their
+// first scratch allocation.
 func NewBatcher(e *FlatForestEngine, workers, block int) *Batcher {
+	if isNilEngine(e) {
+		panic("treeexec: NewBatcher on nil engine")
+	}
 	workers = normWorkers(workers, int(^uint(0)>>1))
 	b := &Batcher{
 		e:       e,
@@ -641,19 +672,21 @@ func (b *Batcher) Workers() int { return b.workers }
 // Predict classifies all rows, writing into out when it has sufficient
 // capacity (otherwise allocating a result slice). Concurrent calls are
 // safe and interleave block-by-block over the shared worker pool;
-// calling after Close panics.
+// calling after Close panics — for every batch shape, including the
+// empty one, so a misuse surfaces on the first call rather than the
+// first non-empty one.
 func (b *Batcher) Predict(rows [][]float32, out []int32) []int32 {
+	b.closeMu.RLock()
+	defer b.closeMu.RUnlock()
+	if b.closed {
+		panic("treeexec: Batcher.Predict called after Close")
+	}
 	if cap(out) < len(rows) {
 		out = make([]int32, len(rows))
 	}
 	out = out[:len(rows)]
 	if len(rows) == 0 {
 		return out
-	}
-	b.closeMu.RLock()
-	defer b.closeMu.RUnlock()
-	if b.closed {
-		panic("treeexec: Batcher.Predict called after Close")
 	}
 	var done *sync.WaitGroup
 	select {

@@ -14,7 +14,8 @@ import (
 // node in 8 bytes across three parallel slices:
 //
 //	keys16[i] uint16 — the split as a per-feature total-order rank
-//	feats16[i] uint16 — the feature index
+//	feats16[i] uint16 — the pruned feature index (dense renumbering of
+//	                    the features the forest actually splits on)
 //	kids[i]   int32  — packed child/leaf word: low half left, high half right
 //
 // The split key is not the float bit pattern but its *rank* among the
@@ -49,8 +50,11 @@ const (
 	// maxCompactClasses bounds leaf classes: a leaf is ^class in an
 	// int16 half, so class <= 32767.
 	maxCompactClasses = 1 << 15
-	// maxCompactFeatures bounds feature indices to the uint16 feats
-	// slice.
+	// maxCompactFeatures bounds the number of features the forest
+	// actually splits on: feats16 stores *pruned* feature indices (the
+	// dense renumbering of split-on features), so the input
+	// dimensionality itself is unbounded — only the split-on count must
+	// fit the uint16 slice.
 	maxCompactFeatures = 1 << 16
 	// maxCompactCuts bounds distinct split values per feature: node keys
 	// are ranks in [0, cuts) and quantized inputs are counts in
@@ -76,10 +80,6 @@ func Compactable(f *rf.Forest) (bool, string) {
 // builder does not collect them a second time. On failure it returns a
 // nil table and the reason.
 func compactProbe(f *rf.Forest) ([][]uint32, string) {
-	if f.NumFeatures > maxCompactFeatures {
-		return nil, fmt.Sprintf("%d features exceed the uint16 feature index (max %d)",
-			f.NumFeatures, maxCompactFeatures)
-	}
 	if f.NumClasses > maxCompactClasses {
 		return nil, fmt.Sprintf("%d classes exceed the int16 ^class leaf encoding (max %d)",
 			f.NumClasses, maxCompactClasses)
@@ -91,11 +91,23 @@ func compactProbe(f *rf.Forest) ([][]uint32, string) {
 		}
 	}
 	cuts := collectCuts(f)
+	pruned := 0
 	for fi := range cuts {
 		if len(cuts[fi]) > maxCompactCuts {
 			return nil, fmt.Sprintf("feature %d has %d distinct split values, exceeding the uint16 total-order rank (max %d)",
 				fi, len(cuts[fi]), maxCompactCuts)
 		}
+		if len(cuts[fi]) > 0 {
+			pruned++
+		}
+	}
+	// The arena stores pruned feature indices, so only features the
+	// forest actually splits on count against the uint16 bound; a
+	// million-dimensional input with a few thousand split-on features
+	// still compacts.
+	if pruned > maxCompactFeatures {
+		return nil, fmt.Sprintf("forest splits on %d features, exceeding the uint16 pruned feature index (max %d)",
+			pruned, maxCompactFeatures)
 	}
 	return cuts, ""
 }
@@ -132,6 +144,13 @@ func collectCuts(f *rf.Forest) [][]uint32 {
 // buildCompact fills e with the compact SoA arena for f, reusing the
 // cut tables the probe already collected. The caller has verified the
 // forest against the compact limits.
+//
+// The cut tables are emitted *feature-pruned*: only features the forest
+// actually splits on get a table, renumbered densely, and feats16
+// stores the pruned index. Per-row quantization therefore costs one
+// binary search per split-on feature rather than per input column — on
+// wide sparse-split workloads (gas splits on a fraction of its 128
+// features) that is most of the per-row overhead.
 func (e *FlatForestEngine) buildCompact(f *rf.Forest, cuts [][]uint32) error {
 	inner := 0
 	for i := range f.Trees {
@@ -140,16 +159,30 @@ func (e *FlatForestEngine) buildCompact(f *rf.Forest, cuts [][]uint32) error {
 	if inner > math.MaxInt32 {
 		return fmt.Errorf("treeexec: forest has %d inner nodes, arena indices overflow int32", inner)
 	}
-	e.cutLo = make([]int32, f.NumFeatures+1)
-	total := 0
+	// prunedIdx maps original feature -> dense pruned index (or -1); the
+	// engine keeps only the inverse (prunedOrig), which is all the
+	// quantizers iterate.
+	prunedIdx := make([]int32, f.NumFeatures)
+	e.prunedOrig = make([]int32, 0, len(cuts))
 	for fi, c := range cuts {
-		e.cutLo[fi] = int32(total)
-		total += len(c)
+		if len(c) == 0 {
+			prunedIdx[fi] = -1
+			continue
+		}
+		prunedIdx[fi] = int32(len(e.prunedOrig))
+		e.prunedOrig = append(e.prunedOrig, int32(fi))
 	}
-	e.cutLo[f.NumFeatures] = int32(total)
+	e.numPruned = len(e.prunedOrig)
+	e.cutLo = make([]int32, e.numPruned+1)
+	total := 0
+	for p, fi := range e.prunedOrig {
+		e.cutLo[p] = int32(total)
+		total += len(cuts[fi])
+	}
+	e.cutLo[e.numPruned] = int32(total)
 	e.cuts = make([]uint32, 0, total)
-	for _, c := range cuts {
-		e.cuts = append(e.cuts, c...)
+	for _, fi := range e.prunedOrig {
+		e.cuts = append(e.cuts, cuts[fi]...)
 	}
 
 	e.keys16 = make([]uint16, 0, inner)
@@ -190,7 +223,7 @@ func (e *FlatForestEngine) buildCompact(f *rf.Forest, cuts [][]uint32) error {
 			key := core.PrecodeSplit32(n.Split)
 			rank := sort.Search(len(fc), func(i int) bool { return fc[i] >= key })
 			e.keys16 = append(e.keys16, uint16(rank))
-			e.feats16 = append(e.feats16, uint16(n.Feature))
+			e.feats16 = append(e.feats16, uint16(prunedIdx[n.Feature]))
 			e.kids = append(e.kids, packKids(remap[n.Left], remap[n.Right]))
 		}
 	}
@@ -205,15 +238,17 @@ func packKids(left, right int32) int32 {
 }
 
 // quantizeBits maps one row of raw float bit patterns (EncodeFeatures32
-// output) into the arena's per-feature rank space: dst[f] is the number
-// of distinct feature-f split keys strictly below x[f] in total order.
-// One pass per row, amortized over every node visit of the forest walk —
-// the compact analog of the precoded variant's key transformation.
+// output) into the arena's pruned rank space: dst[p] is the number of
+// distinct split keys strictly below the row's value on pruned feature
+// p, for the numPruned features the forest splits on — input columns no
+// node reads are never searched. One pass per row, amortized over every
+// node visit of the forest walk — the compact analog of the precoded
+// variant's key transformation.
 func (e *FlatForestEngine) quantizeBits(dst []uint16, xi []int32) {
 	cuts, cutLo := e.cuts, e.cutLo
-	for f, v := range xi {
-		key := ieee754.TotalOrderKey32(uint32(v))
-		lo, hi := cutLo[f], cutLo[f+1]
+	for p, f := range e.prunedOrig {
+		key := ieee754.TotalOrderKey32(uint32(xi[f]))
+		lo, hi := cutLo[p], cutLo[p+1]
 		// Binary search for the first cut >= key; the count of cuts
 		// below key is that index. Overflow-safe midpoint: offsets can
 		// approach MaxInt32 on maximal forests.
@@ -225,26 +260,35 @@ func (e *FlatForestEngine) quantizeBits(dst []uint16, xi []int32) {
 				lo = mid + 1
 			}
 		}
-		dst[f] = uint16(lo - cutLo[f])
+		dst[p] = uint16(lo - cutLo[p])
 	}
 }
 
-// quantizeRow is quantizeBits from the float32 row directly, skipping
-// the intermediate bit-pattern slice on the batch path.
-func (e *FlatForestEngine) quantizeRow(dst []uint16, x []float32) {
+// quantizeBlock quantizes a group of up to 8 float rows at once into
+// consecutive numPruned-wide lanes of dst (row i fills
+// dst[i*numPruned : (i+1)*numPruned]). The loop is feature-major: one
+// pruned feature's cut-table segment is binary-searched for every row
+// of the group while it is cache-hot, so the per-row quantization cost
+// of the interleaved batch kernel amortizes across the group instead of
+// re-fetching each feature's cuts per row.
+func (e *FlatForestEngine) quantizeBlock(rows [][]float32, dst []uint16) {
 	cuts, cutLo := e.cuts, e.cutLo
-	for f, v := range x {
-		key := ieee754.TotalOrderKey32(math.Float32bits(v))
-		lo, hi := cutLo[f], cutLo[f+1]
-		for lo < hi {
-			mid := lo + (hi-lo)/2
-			if cuts[mid] >= key {
-				hi = mid
-			} else {
-				lo = mid + 1
+	nq := e.numPruned
+	for p, f := range e.prunedOrig {
+		lo0, hi0 := cutLo[p], cutLo[p+1]
+		for i, x := range rows {
+			key := ieee754.TotalOrderKey32(math.Float32bits(x[f]))
+			lo, hi := lo0, hi0
+			for lo < hi {
+				mid := lo + (hi-lo)/2
+				if cuts[mid] >= key {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
 			}
+			dst[i*nq+p] = uint16(lo - lo0)
 		}
-		dst[f] = uint16(lo - cutLo[f])
 	}
 }
 
@@ -253,8 +297,9 @@ func (e *FlatForestEngine) quantizeRow(dst []uint16, x []float32) {
 // the compact variant exactly.
 func (e *FlatForestEngine) quantizeKeys(dst []uint16, keys []uint32) {
 	cuts, cutLo := e.cuts, e.cutLo
-	for f, key := range keys {
-		lo, hi := cutLo[f], cutLo[f+1]
+	for p, f := range e.prunedOrig {
+		key := keys[f]
+		lo, hi := cutLo[p], cutLo[p+1]
 		for lo < hi {
 			mid := lo + (hi-lo)/2
 			if cuts[mid] >= key {
@@ -263,7 +308,7 @@ func (e *FlatForestEngine) quantizeKeys(dst []uint16, keys []uint32) {
 				lo = mid + 1
 			}
 		}
-		dst[f] = uint16(lo - cutLo[f])
+		dst[p] = uint16(lo - cutLo[p])
 	}
 }
 
@@ -450,23 +495,24 @@ func (e *FlatForestEngine) finishCompact(q []uint16, base, rel int) int32 {
 }
 
 // predictBlockCompact classifies one block of rows over the compact
-// arena, quantizing groups of e.interleave rows into s.q and walking
-// them with the matching interleaved kernel.
+// arena, quantizing groups of e.interleave rows at a time into s.q
+// (feature-major, so each pruned feature's cut segment amortizes across
+// the group — see quantizeBlock) and walking them with the matching
+// interleaved kernel. Lane strides are numPruned, not numFeatures: the
+// walk only ever consults ranks of split-on features.
 func (e *FlatForestEngine) predictBlockCompact(rows [][]float32, out []int32, s *flatScratch) {
-	nf := e.numFeatures
+	nq := e.numPruned
 	nc := e.numClasses
 	width := e.interleave
 	b := 0
 	if width >= 8 {
 		var q8 [8][]uint16
 		for i := range q8 {
-			q8[i] = s.q[i*nf : (i+1)*nf]
+			q8[i] = s.q[i*nq : (i+1)*nq]
 		}
 		var cls [8]int32
 		for ; b+8 <= len(rows); b += 8 {
-			for i := 0; i < 8; i++ {
-				e.quantizeRow(q8[i], rows[b+i])
-			}
+			e.quantizeBlock(rows[b:b+8], s.q)
 			var stack [8][maxStackClasses]int32
 			lanes := voteLanes(&stack, s.votes, nc, 8)
 			for _, root := range e.roots {
@@ -486,13 +532,10 @@ func (e *FlatForestEngine) predictBlockCompact(rows [][]float32, out []int32, s 
 		}
 	}
 	if width >= 4 {
-		q0, q1 := s.q[0*nf:1*nf], s.q[1*nf:2*nf]
-		q2, q3 := s.q[2*nf:3*nf], s.q[3*nf:4*nf]
+		q0, q1 := s.q[0*nq:1*nq], s.q[1*nq:2*nq]
+		q2, q3 := s.q[2*nq:3*nq], s.q[3*nq:4*nq]
 		for ; b+4 <= len(rows); b += 4 {
-			e.quantizeRow(q0, rows[b])
-			e.quantizeRow(q1, rows[b+1])
-			e.quantizeRow(q2, rows[b+2])
-			e.quantizeRow(q3, rows[b+3])
+			e.quantizeBlock(rows[b:b+4], s.q)
 			var stack [8][maxStackClasses]int32
 			lanes := voteLanes(&stack, s.votes, nc, 4)
 			for _, root := range e.roots {
@@ -509,10 +552,9 @@ func (e *FlatForestEngine) predictBlockCompact(rows [][]float32, out []int32, s 
 		}
 	}
 	if width >= 2 {
-		q0, q1 := s.q[0*nf:1*nf], s.q[1*nf:2*nf]
+		q0, q1 := s.q[0*nq:1*nq], s.q[1*nq:2*nq]
 		for ; b+2 <= len(rows); b += 2 {
-			e.quantizeRow(q0, rows[b])
-			e.quantizeRow(q1, rows[b+1])
+			e.quantizeBlock(rows[b:b+2], s.q)
 			var stack [8][maxStackClasses]int32
 			lanes := voteLanes(&stack, s.votes, nc, 2)
 			for _, root := range e.roots {
@@ -524,9 +566,9 @@ func (e *FlatForestEngine) predictBlockCompact(rows [][]float32, out []int32, s 
 			out[b+1] = rf.Argmax(lanes[1])
 		}
 	}
-	q := s.q[:nf]
+	q := s.q[:nq]
 	for ; b < len(rows); b++ {
-		e.quantizeRow(q, rows[b])
+		e.quantizeBlock(rows[b:b+1], q)
 		var stack [8][maxStackClasses]int32
 		lanes := voteLanes(&stack, s.votes, nc, 1)
 		for _, root := range e.roots {

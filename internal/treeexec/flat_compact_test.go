@@ -60,12 +60,19 @@ func TestCompactArenaStructure(t *testing.T) {
 	if e.kids[1] != packKids(^int32(0), ^int32(2)) {
 		t.Errorf("node 1 kids = %#x, want %#x", e.kids[1], packKids(^int32(0), ^int32(2)))
 	}
-	// One cut per feature.
+	// One cut per feature; both features are split on, so the pruned
+	// index space is the identity over both columns.
 	if len(e.cuts) != 2 || e.cutLo[0] != 0 || e.cutLo[1] != 1 || e.cutLo[2] != 2 {
 		t.Errorf("cut tables = %v / %v, want one cut per feature", e.cuts, e.cutLo)
 	}
-	// 8 bytes per node, plus the cut tables.
-	if got, want := e.ArenaBytes(), 2*2+2*2+4*2+4*2+4*3; got != want {
+	if e.numPruned != 2 || len(e.prunedOrig) != 2 || e.prunedOrig[0] != 0 || e.prunedOrig[1] != 1 {
+		t.Errorf("pruned mapping = %d/%v, want identity over 2 features", e.numPruned, e.prunedOrig)
+	}
+	if got := e.PrunedFeatures(); got != 2 {
+		t.Errorf("PrunedFeatures = %d, want 2", got)
+	}
+	// 8 bytes per node, plus the cut tables and the pruned-index map.
+	if got, want := e.ArenaBytes(), 2*2+2*2+4*2+4*2+4*3+4*2; got != want {
 		t.Errorf("ArenaBytes = %d, want %d", got, want)
 	}
 	for _, x := range [][]float32{{0, 0}, {2, -3}, {2, 5}, {-1, -2}, {1.5, -2}} {
@@ -203,6 +210,104 @@ func TestCompactAdversarialRandomForests(t *testing.T) {
 	}
 }
 
+// featureChainTree builds a right-spine chain of n inner nodes over n
+// distinct features baseFeat, baseFeat+1, ..., one split each.
+func featureChainTree(n int, baseFeat int32) rf.Tree {
+	nodes := make([]rf.Node, 0, 2*n+1)
+	for k := 0; k < n; k++ {
+		me := int32(len(nodes))
+		nodes = append(nodes, rf.Node{Feature: baseFeat + int32(k), Split: 0.5, Left: me + 1, Right: me + 2})
+		nodes = append(nodes, rf.Node{Feature: rf.LeafFeature, Class: int32(k % 2)})
+	}
+	nodes = append(nodes, rf.Node{Feature: rf.LeafFeature, Class: 1})
+	return rf.Tree{Nodes: nodes}
+}
+
+// TestCompactPrunedFeaturesDifferential drives the pruned-index
+// indirection over a forest whose split-on features leave gaps: 40
+// input columns, splits only on a scattered handful, so prunedOrig is
+// a non-identity map and every quantizer path (float rows, encoded
+// bits, precoded keys, all interleave widths) has to translate through
+// it. Predictions must stay bit-identical to the FLInt arena.
+func TestCompactPrunedFeaturesDifferential(t *testing.T) {
+	const numFeatures = 40
+	splitFeats := []int32{3, 7, 19, 20, 38} // gaps on both sides
+	rng := rand.New(rand.NewSource(77))
+	randTree := func(depth int) rf.Tree {
+		var nodes []rf.Node
+		var grow func(d int) int32
+		grow = func(d int) int32 {
+			me := int32(len(nodes))
+			if d == 0 || rng.Float64() < 0.25 {
+				nodes = append(nodes, rf.Node{Feature: rf.LeafFeature, Class: int32(rng.Intn(3))})
+				return me
+			}
+			nodes = append(nodes, rf.Node{
+				Feature: splitFeats[rng.Intn(len(splitFeats))],
+				Split:   float32(rng.NormFloat64()),
+			})
+			l := grow(d - 1)
+			r := grow(d - 1)
+			nodes[me].Left = l
+			nodes[me].Right = r
+			return me
+		}
+		grow(depth)
+		return rf.Tree{Nodes: nodes}
+	}
+	f := &rf.Forest{NumFeatures: numFeatures, NumClasses: 3,
+		Trees: []rf.Tree{randTree(7), randTree(7), randTree(7), randTree(7)}}
+	ref, err := NewFlat(f, FlatFLInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Variant() != FlatCompact {
+		t.Fatalf("fell back to %v", e.Variant())
+	}
+	if e.PrunedFeatures() != len(splitFeats) {
+		t.Fatalf("PrunedFeatures = %d, want %d", e.PrunedFeatures(), len(splitFeats))
+	}
+	for p, want := range splitFeats {
+		if e.prunedOrig[p] != want {
+			t.Fatalf("prunedOrig = %v, want %v", e.prunedOrig, splitFeats)
+		}
+	}
+	rows := make([][]float32, 96)
+	for i := range rows {
+		r := make([]float32, numFeatures)
+		for j := range r {
+			r[j] = float32(rng.NormFloat64())
+		}
+		rows[i] = r
+	}
+	want := make([]int32, len(rows))
+	for i, x := range rows {
+		want[i] = ref.Predict(x)
+		if got := e.Predict(x); got != want[i] {
+			t.Fatalf("row %d: single-row got %d want %d", i, got, want[i])
+		}
+		if got := e.PredictEncoded(core.EncodeFeatures32(nil, x)); got != want[i] {
+			t.Fatalf("row %d: encoded got %d want %d", i, got, want[i])
+		}
+		if got := e.PredictPrecoded(core.PrecodeFeatures32(nil, x)); got != want[i] {
+			t.Fatalf("row %d: precoded got %d want %d", i, got, want[i])
+		}
+	}
+	for _, width := range []int{1, 2, 4, 8} {
+		e.SetInterleave(width)
+		got := e.PredictBatch(rows, nil, 2, 11)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("width %d row %d: batch got %d want %d", width, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 // chainTree builds a right-spine chain of n inner nodes on feature 0
 // whose split values are base, base+1, ... — n distinct values per tree.
 func chainTree(n int, base float32) rf.Tree {
@@ -275,15 +380,39 @@ func TestCompactFallbackReasons(t *testing.T) {
 		t.Errorf("class limit: ok=%v reason=%q", ok, reason)
 	}
 
-	features := &rf.Forest{NumFeatures: maxCompactFeatures + 1, NumClasses: 2, Trees: []rf.Tree{
+	// Input dimensionality alone no longer trips the feature limit: the
+	// arena stores pruned indices, so a wide input splitting on one
+	// column compacts fine.
+	wide := &rf.Forest{NumFeatures: maxCompactFeatures + 1, NumClasses: 2, Trees: []rf.Tree{
 		{Nodes: []rf.Node{
 			{Feature: 0, Split: 1, Left: 1, Right: 2},
 			{Feature: rf.LeafFeature, Class: 0},
 			{Feature: rf.LeafFeature, Class: 1},
 		}},
 	}}
+	if ok, reason := Compactable(wide); !ok {
+		t.Errorf("wide sparse-split forest rejected: %q", reason)
+	}
+	if e, err := NewFlat(wide, FlatCompact); err != nil || e.Variant() != FlatCompact {
+		t.Errorf("wide sparse-split forest: variant=%v err=%v", e.Variant(), err)
+	} else if e.PrunedFeatures() != 1 {
+		t.Errorf("wide sparse-split forest: PrunedFeatures=%d, want 1", e.PrunedFeatures())
+	}
+
+	// What does trip it is the number of features actually split on.
+	const splitOn = maxCompactFeatures + 1
+	perTree := (splitOn + 2) / 3
+	featTrees := make([]rf.Tree, 0, 3)
+	for b := 0; b < splitOn; b += perTree {
+		n := perTree
+		if b+n > splitOn {
+			n = splitOn - b
+		}
+		featTrees = append(featTrees, featureChainTree(n, int32(b)))
+	}
+	features := &rf.Forest{NumFeatures: splitOn, NumClasses: 2, Trees: featTrees}
 	if ok, reason := Compactable(features); ok || !strings.Contains(reason, "features") {
-		t.Errorf("feature limit: ok=%v reason=%q", ok, reason)
+		t.Errorf("pruned feature limit: ok=%v reason=%q", ok, reason)
 	}
 
 	invalid := &rf.Forest{NumFeatures: 1, NumClasses: 2}
@@ -343,8 +472,20 @@ func TestInterleaveGatesAndCalibration(t *testing.T) {
 	for _, tc := range []struct{ bytes, want int }{
 		{0, 1}, {99, 1}, {100, 2}, {999, 2}, {1000, 4}, {10000, 8}, {1 << 30, 8},
 	} {
-		if got := g.widthFor(tc.bytes); got != tc.want {
-			t.Errorf("widthFor(%d) = %d, want %d", tc.bytes, got, tc.want)
+		if got := g.widthFor(FlatFLInt, tc.bytes); got != tc.want {
+			t.Errorf("widthFor(FlatFLInt, %d) = %d, want %d", tc.bytes, got, tc.want)
+		}
+		// An all-zero compact set falls back to the AoS thresholds.
+		if got := g.widthFor(FlatCompact, tc.bytes); got != tc.want {
+			t.Errorf("legacy widthFor(FlatCompact, %d) = %d, want %d", tc.bytes, got, tc.want)
+		}
+	}
+	g.CompactMin2, g.CompactMin4, g.CompactMin8 = 200, 2000, 20000
+	for _, tc := range []struct{ bytes, want int }{
+		{100, 1}, {200, 2}, {1999, 2}, {2000, 4}, {20000, 8},
+	} {
+		if got := g.widthFor(FlatCompact, tc.bytes); got != tc.want {
+			t.Errorf("widthFor(FlatCompact, %d) = %d, want %d", tc.bytes, got, tc.want)
 		}
 	}
 
@@ -393,13 +534,17 @@ func TestInterleaveGatesAndCalibration(t *testing.T) {
 	}
 
 	// The host-wide ladder: monotone gates made of ladder sizes or
-	// MaxInt, installed for later constructions.
+	// MaxInt, installed for later constructions — one set per
+	// interleaving arena layout.
 	gates := Calibrate(40 * time.Millisecond)
 	if gates != CurrentInterleaveGates() {
 		t.Errorf("Calibrate did not install its result: %+v vs %+v", gates, CurrentInterleaveGates())
 	}
 	if gates.Min2 > gates.Min4 || gates.Min4 > gates.Min8 {
-		t.Errorf("gates not monotone: %+v", gates)
+		t.Errorf("AoS gates not monotone: %+v", gates)
+	}
+	if gates.CompactMin2 > gates.CompactMin4 || gates.CompactMin4 > gates.CompactMin8 {
+		t.Errorf("compact gates not monotone: %+v", gates)
 	}
 }
 

@@ -2,10 +2,12 @@ package treeexec
 
 import (
 	"math"
+	"sort"
 	"sync/atomic"
 	"time"
 
 	"flint/internal/core"
+	"flint/internal/ieee754"
 	"flint/internal/rf"
 )
 
@@ -15,31 +17,50 @@ import (
 // the arena's cache footprint: small arenas are IPC-bound and prefer the
 // plain per-row loop, large arenas are fetch-latency-bound and prefer
 // wider interleave. The crossover points are host properties (load-queue
-// depth, cache sizes), so they are gates measured at runtime rather
-// than constants: see Calibrate and CalibrateInterleave.
+// depth, cache sizes) *and* arena-layout properties (the compact SoA
+// arena packs twice the nodes per cache line but pays a per-group
+// quantization pass, so its crossovers sit elsewhere than the 16-byte
+// AoS arena's), so they are gates measured at runtime rather than
+// constants — one gate set per interleaving arena layout: see Calibrate
+// and CalibrateInterleave.
 
 // interleaveWidths are the supported cursor counts, in ascending order.
 var interleaveWidths = [4]int{1, 2, 4, 8}
 
 // InterleaveGates holds the arena byte-size thresholds from which each
-// wider interleaved walk wins on this host. A threshold of math.MaxInt
-// disables that width. The zero value is not meaningful; use
-// DefaultInterleaveGates or Calibrate.
+// wider interleaved walk wins on this host, one set per interleaving
+// arena layout. A threshold of math.MaxInt disables that width. The zero
+// value is not meaningful; use DefaultInterleaveGates or Calibrate.
 type InterleaveGates struct {
 	// Min2/Min4/Min8 are the smallest arena footprints (bytes) at which
-	// the 2-, 4- and 8-way walks outperform the next narrower one.
+	// the 2-, 4- and 8-way walks outperform the next narrower one on the
+	// 16-byte AoS arenas (FlatFLInt).
 	Min2, Min4, Min8 int
+	// CompactMin2/CompactMin4/CompactMin8 are the same crossovers for
+	// the 8-byte compact SoA arena, whose quantization overhead and
+	// denser node packing shift them relative to the AoS set. When all
+	// three are zero (a gate table from before the compact set existed),
+	// widthFor falls back to the AoS thresholds.
+	CompactMin2, CompactMin4, CompactMin8 int
 }
 
 // DefaultInterleaveGates are the static thresholds used until Calibrate
 // measures the host: 2-way past the ~1MB L2 comfort zone (the PR 1
 // pairMinArenaNodes point), 4-way past ~4MB, 8-way past ~16MB. They are
-// conservative transcriptions of one x86 VM's measurements.
+// conservative transcriptions of one x86 VM's measurements; the compact
+// set reuses them until a measurement says otherwise (on the dev host
+// the compact arena's crossovers sat near the same byte footprints —
+// half the nodes per byte, but each fetch serves two 8-byte nodes per
+// line).
 func DefaultInterleaveGates() InterleaveGates {
 	return InterleaveGates{
 		Min2: pairMinArenaNodes * 16, // the old node gate, in bytes
 		Min4: 4 << 20,
 		Min8: 16 << 20,
+
+		CompactMin2: pairMinArenaNodes * 16,
+		CompactMin4: 4 << 20,
+		CompactMin8: 16 << 20,
 	}
 }
 
@@ -64,26 +85,35 @@ func SetInterleaveGates(g InterleaveGates) {
 	calibratedGates.Store(&g)
 }
 
-// widthFor selects the interleave width for an arena footprint.
-func (g InterleaveGates) widthFor(arenaBytes int) int {
+// widthFor selects the interleave width for an arena footprint,
+// dispatching on the arena layout: the compact SoA arena reads its own
+// gate set (unless that set is entirely zero — a legacy table — in
+// which case the AoS thresholds apply), every other variant reads the
+// AoS set.
+func (g InterleaveGates) widthFor(v FlatVariant, arenaBytes int) int {
+	m2, m4, m8 := g.Min2, g.Min4, g.Min8
+	if v == FlatCompact && (g.CompactMin2 != 0 || g.CompactMin4 != 0 || g.CompactMin8 != 0) {
+		m2, m4, m8 = g.CompactMin2, g.CompactMin4, g.CompactMin8
+	}
 	switch {
-	case g.Min8 > 0 && arenaBytes >= g.Min8:
+	case m8 > 0 && arenaBytes >= m8:
 		return 8
-	case g.Min4 > 0 && arenaBytes >= g.Min4:
+	case m4 > 0 && arenaBytes >= m4:
 		return 4
-	case g.Min2 > 0 && arenaBytes >= g.Min2:
+	case m2 > 0 && arenaBytes >= m2:
 		return 2
 	}
 	return 1
 }
 
 // ArenaBytes returns the engine's node storage footprint: 16 bytes per
-// node for the AoS arenas, 8 bytes per node plus the per-feature cut
-// tables for the compact SoA arena. This is the quantity the interleave
-// gates are measured against.
+// node for the AoS arenas, 8 bytes per node plus the pruned per-feature
+// cut tables for the compact SoA arena. This is the quantity the
+// interleave gates are measured against.
 func (e *FlatForestEngine) ArenaBytes() int {
 	if e.variant == FlatCompact {
-		return 2*len(e.keys16) + 2*len(e.feats16) + 4*len(e.kids) + 4*len(e.cuts) + 4*len(e.cutLo)
+		return 2*len(e.keys16) + 2*len(e.feats16) + 4*len(e.kids) +
+			4*len(e.cuts) + 4*len(e.cutLo) + 4*len(e.prunedOrig)
 	}
 	return 16 * len(e.arena)
 }
@@ -116,19 +146,51 @@ func (e *FlatForestEngine) SetInterleave(width int) int {
 }
 
 // CalibrateInterleave times this engine's own batch kernel at every
-// supported interleave width on synthetic rows and adopts the fastest,
-// returning it. The whole pass costs roughly budget wall time (budget
-// <= 0 selects 40ms). This is the on-demand, per-engine half of the
+// supported interleave width and adopts the fastest, returning it. The
+// timing rows are synthesized from the engine's own split tables (see
+// CalibrateInterleaveRows for feeding sampled production rows instead),
+// and the whole pass costs roughly budget wall time (budget <= 0
+// selects 40ms). This is the on-demand, per-engine half of the
 // calibration story; Calibrate measures host-wide gates for engines not
 // yet built.
 func (e *FlatForestEngine) CalibrateInterleave(budget time.Duration) int {
+	return e.CalibrateInterleaveRows(nil, budget)
+}
+
+// CalibrateInterleaveRows is CalibrateInterleave over caller-supplied
+// sample rows — typically rows drawn from production traffic, whose
+// branch patterns (and therefore fetch-latency exposure) the synthetic
+// rows can only approximate. Rows whose length is not NumFeatures are
+// ignored; when none remain (or rows is nil) the engine falls back to
+// rows synthesized from its own split tables, so every calibration
+// input spans the arena's actual comparison range and trained walks
+// branch both ways. Only the FLInt and compact kernels interleave;
+// other variants return the current width unchanged.
+func (e *FlatForestEngine) CalibrateInterleaveRows(rows [][]float32, budget time.Duration) int {
 	if e.variant != FlatFLInt && e.variant != FlatCompact {
 		return e.interleave
 	}
 	if budget <= 0 {
 		budget = 40 * time.Millisecond
 	}
-	rows := syntheticRows(e.numFeatures, 64, 0x9E3779B9)
+	var sample [][]float32
+	for _, r := range rows {
+		if len(r) == e.numFeatures {
+			sample = append(sample, r)
+		}
+	}
+	if len(sample) == 0 {
+		sample = e.representativeRows(64, 0x9E3779B9)
+	}
+	e.interleave = e.timeWidths(sample, budget)
+	return e.interleave
+}
+
+// timeWidths times predictBlock over rows at every supported interleave
+// width, spending roughly budget wall time in total, and returns the
+// fastest width. The engine's interleave setting is restored before
+// returning (ties and zero-run widths keep the incumbent).
+func (e *FlatForestEngine) timeWidths(rows [][]float32, budget time.Duration) int {
 	out := make([]int32, len(rows))
 	s := e.newScratch()
 	prev := e.interleave
@@ -151,14 +213,16 @@ func (e *FlatForestEngine) CalibrateInterleave(budget time.Duration) int {
 			best, bestNs = w, ns
 		}
 	}
-	e.interleave = best
+	e.interleave = prev
 	return best
 }
 
-// Calibrate measures the interleave crossover points on this host: for
-// a ladder of synthetic arena sizes it times the FLInt batch kernel at
-// widths 1/2/4/8, picks the fastest width per size, derives monotone
-// byte thresholds, installs them for subsequently constructed engines
+// Calibrate measures the interleave crossover points on this host, one
+// gate set per interleaving arena layout: for a ladder of synthetic
+// arena sizes it times the FLInt and compact batch kernels at widths
+// 1/2/4/8 on rows spanning each arena's own split range, picks the
+// fastest width per (layout, size), derives monotone byte thresholds,
+// installs them for subsequently constructed engines
 // (SetInterleaveGates) and returns them. The whole pass costs roughly
 // budget wall time (budget <= 0 selects 200ms); call it once at process
 // start, or whenever the deployment moves to different hardware.
@@ -166,65 +230,79 @@ func Calibrate(budget time.Duration) InterleaveGates {
 	if budget <= 0 {
 		budget = 200 * time.Millisecond
 	}
-	// Depth-9 synthetic trees (511 inner nodes, 8KB each in the AoS
-	// arena) stacked to the ladder's target footprints, bracketing the
-	// L2/L3/DRAM regimes where the crossovers live.
+	// Depth-9 synthetic trees stacked to the ladder's target footprints,
+	// bracketing the L2/L3/DRAM regimes where the crossovers live.
 	sizes := []int{256 << 10, 1 << 20, 4 << 20, 16 << 20}
-	per := budget / time.Duration(len(sizes)*len(interleaveWidths))
-	bestAt := make([]int, len(sizes))
+	perEngine := budget / time.Duration(2*len(sizes))
+	flintBest := make([]int, len(sizes))
+	compactBest := make([]int, len(sizes))
 	for si, bytes := range sizes {
-		e := syntheticFLIntEngine(bytes)
-		rows := syntheticRows(e.numFeatures, 64, uint32(0xB5297A4D+si))
-		out := make([]int32, len(rows))
-		s := e.newScratch()
-		best, bestNs := 1, math.MaxFloat64
-		for _, w := range interleaveWidths {
-			e.interleave = w
-			e.predictBlock(rows, out, s)
-			var runs int
-			start := time.Now()
-			for time.Since(start) < per {
-				e.predictBlock(rows, out, s)
-				runs++
-			}
-			if runs == 0 {
-				continue
-			}
-			ns := float64(time.Since(start).Nanoseconds()) / float64(runs)
-			if ns < bestNs {
-				best, bestNs = w, ns
-			}
-		}
-		bestAt[si] = best
+		fe := syntheticFLIntEngine(bytes)
+		flintBest[si] = fe.timeWidths(fe.representativeRows(64, uint32(0xB5297A4D+si)), perEngine)
+		ce := syntheticCompactEngine(bytes)
+		compactBest[si] = ce.timeWidths(ce.representativeRows(64, uint32(0x68E31DA4+si)), perEngine)
 	}
-	// Enforce monotone non-decreasing widths over the size ladder (a
-	// narrow win at a larger size is measurement noise), then read off
-	// the smallest size preferring each width.
+	g := InterleaveGates{}
+	g.Min2, g.Min4, g.Min8 = gatesFromLadder(sizes, flintBest)
+	g.CompactMin2, g.CompactMin4, g.CompactMin8 = gatesFromLadder(sizes, compactBest)
+	SetInterleaveGates(g)
+	return g
+}
+
+// gatesFromLadder turns per-size fastest widths into monotone byte
+// thresholds: widths are first forced non-decreasing over the size
+// ladder (a narrow win at a larger size is measurement noise), then each
+// threshold is the smallest size preferring at least that width, or
+// math.MaxInt when no size did.
+func gatesFromLadder(sizes []int, bestAt []int) (min2, min4, min8 int) {
 	for i := 1; i < len(bestAt); i++ {
 		if bestAt[i] < bestAt[i-1] {
 			bestAt[i] = bestAt[i-1]
 		}
 	}
-	g := InterleaveGates{Min2: math.MaxInt, Min4: math.MaxInt, Min8: math.MaxInt}
+	min2, min4, min8 = math.MaxInt, math.MaxInt, math.MaxInt
 	for i := len(sizes) - 1; i >= 0; i-- {
 		if bestAt[i] >= 2 {
-			g.Min2 = sizes[i]
+			min2 = sizes[i]
 		}
 		if bestAt[i] >= 4 {
-			g.Min4 = sizes[i]
+			min4 = sizes[i]
 		}
 		if bestAt[i] >= 8 {
-			g.Min8 = sizes[i]
+			min8 = sizes[i]
 		}
 	}
-	SetInterleaveGates(g)
-	return g
+	return min2, min4, min8
+}
+
+// xorshift32 is the deterministic generator all calibration synthesis
+// shares; seed must be non-zero.
+func xorshift32(seed uint32) func() uint32 {
+	rng := seed | 1
+	return func() uint32 {
+		rng ^= rng << 13
+		rng ^= rng >> 17
+		rng ^= rng << 5
+		return rng
+	}
+}
+
+// syntheticSplit maps one generator draw to a split value uniform in
+// (-1, 1), the range the synthetic engines and their calibration rows
+// share.
+func syntheticSplit(u uint32) float32 {
+	f := float32(u>>8) * (1.0 / (1 << 24)) // [0, 1)
+	if u&1 == 1 {
+		f = -f
+	}
+	return f
 }
 
 // syntheticFLIntEngine builds a calibration-only FLInt arena of roughly
 // the requested byte footprint out of random perfect trees, without
-// training: topology and split values only need to be plausible for the
-// walk's memory behavior, not meaningful.
+// training: topology only needs to be plausible for the walk's memory
+// behavior, not meaningful, but split values are drawn from a bounded
+// range so representativeRows can exercise both branch directions.
 func syntheticFLIntEngine(arenaBytes int) *FlatForestEngine {
 	const depth = 9
 	const perTree = 1<<depth - 1 // inner nodes per perfect tree
@@ -241,13 +319,7 @@ func syntheticFLIntEngine(arenaBytes int) *FlatForestEngine {
 		numFeatures: numFeatures,
 		interleave:  1,
 	}
-	rng := uint32(0x2545F491)
-	next := func() uint32 {
-		rng ^= rng << 13
-		rng ^= rng >> 17
-		rng ^= rng << 5
-		return rng
-	}
+	next := xorshift32(0x2545F491)
 	for t := 0; t < trees; t++ {
 		base := int32(len(e.arena))
 		e.roots[t] = base
@@ -260,10 +332,9 @@ func syntheticFLIntEngine(arenaBytes int) *FlatForestEngine {
 			} else {
 				left, right = ^int32(next()%4), ^int32(next()%4)
 			}
-			key := int32(next() &^ 0x7F80_0000) // finite: clear the NaN/Inf exponent
 			e.arena = append(e.arena, node{
 				feature: int32(next() % numFeatures),
-				key:     key,
+				key:     core.MustEncodeSplit32(syntheticSplit(next())).Key,
 				left:    left,
 				right:   right,
 			})
@@ -272,22 +343,146 @@ func syntheticFLIntEngine(arenaBytes int) *FlatForestEngine {
 	return e
 }
 
-// syntheticRows generates deterministic pseudo-random finite float rows
-// for calibration runs.
-func syntheticRows(numFeatures, n int, seed uint32) [][]float32 {
-	rng := seed | 1
-	next := func() uint32 {
-		rng ^= rng << 13
-		rng ^= rng >> 17
-		rng ^= rng << 5
-		return rng
+// syntheticCompactEngine is syntheticFLIntEngine for the 8-byte compact
+// SoA arena: perfect trees over random ranks into per-feature cut
+// tables drawn from the same bounded split range.
+func syntheticCompactEngine(arenaBytes int) *FlatForestEngine {
+	const depth = 9
+	const perTree = 1<<depth - 1
+	const numFeatures = 16
+	const cutsPerFeature = 256
+	trees := arenaBytes / (8 * perTree)
+	if trees < 1 {
+		trees = 1
 	}
+	e := &FlatForestEngine{
+		roots:       make([]int32, trees),
+		variant:     FlatCompact,
+		numClasses:  4,
+		numFeatures: numFeatures,
+		numPruned:   numFeatures,
+		interleave:  1,
+	}
+	next := xorshift32(0x9E3779B1)
+	e.prunedOrig = make([]int32, numFeatures)
+	e.cutLo = make([]int32, numFeatures+1)
+	e.cuts = make([]uint32, 0, numFeatures*cutsPerFeature)
+	for f := 0; f < numFeatures; f++ {
+		e.prunedOrig[f] = int32(f)
+		e.cutLo[f] = int32(len(e.cuts))
+		fc := make([]uint32, 0, cutsPerFeature)
+		for len(fc) < cutsPerFeature {
+			fc = append(fc, core.PrecodeSplit32(syntheticSplit(next())))
+		}
+		sort.Slice(fc, func(i, j int) bool { return fc[i] < fc[j] })
+		w := 0
+		for i, v := range fc {
+			if i == 0 || v != fc[w-1] {
+				fc[w] = v
+				w++
+			}
+		}
+		e.cuts = append(e.cuts, fc[:w]...)
+	}
+	e.cutLo[numFeatures] = int32(len(e.cuts))
+
+	e.keys16 = make([]uint16, 0, trees*perTree)
+	e.feats16 = make([]uint16, 0, trees*perTree)
+	e.kids = make([]int32, 0, trees*perTree)
+	for t := 0; t < trees; t++ {
+		e.roots[t] = int32(len(e.kids))
+		for i := 0; i < perTree; i++ {
+			var left, right int32
+			if 2*i+1 < perTree {
+				left, right = int32(2*i+1), int32(2*i+2) // tree-relative
+			} else {
+				left, right = ^int32(next()%4), ^int32(next()%4)
+			}
+			f := next() % numFeatures
+			nc := e.cutLo[f+1] - e.cutLo[f]
+			e.feats16 = append(e.feats16, uint16(f))
+			e.keys16 = append(e.keys16, uint16(next()%uint32(nc)))
+			e.kids = append(e.kids, packKids(left, right))
+		}
+	}
+	return e
+}
+
+// splitValues returns, per original feature, the engine's distinct
+// split values decoded from the arena back into float space, sorted in
+// FLInt total order. Features the forest never splits on get an empty
+// slice.
+func (e *FlatForestEngine) splitValues() [][]float32 {
+	vals := make([][]float32, e.numFeatures)
+	if e.variant == FlatCompact {
+		for p, f := range e.prunedOrig {
+			lo, hi := e.cutLo[p], e.cutLo[p+1]
+			fv := make([]float32, 0, hi-lo)
+			for _, k := range e.cuts[lo:hi] {
+				fv = append(fv, math.Float32frombits(ieee754.FromTotalOrderKey32(k)))
+			}
+			vals[f] = fv // cut tables are already sorted and distinct
+		}
+		return vals
+	}
+	for i := range e.arena {
+		n := &e.arena[i]
+		var v float32
+		if e.variant == FlatPrecoded {
+			v = math.Float32frombits(ieee754.FromTotalOrderKey32(uint32(n.key)))
+		} else {
+			// FlatFLInt and FlatFloat32 both store SI(bits(split)).
+			v = ieee754.FromSI32(n.key)
+		}
+		vals[n.feature] = append(vals[n.feature], v)
+	}
+	for f := range vals {
+		fv := vals[f]
+		sort.Slice(fv, func(i, j int) bool {
+			return core.PrecodeSplit32(fv[i]) < core.PrecodeSplit32(fv[j])
+		})
+		w := 0
+		for i, v := range fv {
+			if i == 0 || core.PrecodeSplit32(v) != core.PrecodeSplit32(fv[w-1]) {
+				fv[w] = v
+				w++
+			}
+		}
+		vals[f] = fv[:w]
+	}
+	return vals
+}
+
+// representativeRows synthesizes n calibration rows spanning the
+// engine's own comparison range: each feature value is one of the
+// feature's decoded split values — sometimes the split itself
+// (exercising the <= tie), sometimes its immediate float neighbor on
+// either side — so a trained arena's walks branch both ways and the
+// timed traversals resemble production fetch patterns. (The PR 2
+// synthesis cleared the exponent bits, so every row was a near-zero
+// subnormal that compared below essentially every trained split and
+// every cursor walked the same one-sided path.) Features the forest
+// never splits on stay zero: no node reads them.
+func (e *FlatForestEngine) representativeRows(n int, seed uint32) [][]float32 {
+	vals := e.splitValues()
+	next := xorshift32(seed)
 	rows := make([][]float32, n)
 	for i := range rows {
-		r := make([]float32, numFeatures)
-		for j := range r {
-			b := next() &^ 0x7F80_0000 // finite
-			r[j] = math.Float32frombits(b)
+		r := make([]float32, e.numFeatures)
+		for f := range r {
+			fv := vals[f]
+			if len(fv) == 0 {
+				continue
+			}
+			c := fv[next()%uint32(len(fv))]
+			switch next() % 3 {
+			case 0:
+				r[f] = c
+			case 1:
+				r[f] = math.Nextafter32(c, float32(math.Inf(-1)))
+			default:
+				r[f] = math.Nextafter32(c, float32(math.Inf(+1)))
+			}
 		}
 		rows[i] = r
 	}

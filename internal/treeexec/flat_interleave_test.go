@@ -1,0 +1,273 @@
+package treeexec
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"flint/internal/core"
+)
+
+// TestSetInterleaveRounding pins the knob's contract: any requested
+// width rounds down to the nearest supported cursor count, with a floor
+// of 1.
+func TestSetInterleaveRounding(t *testing.T) {
+	f, _ := trainedForest(t, "wine", 4, 3)
+	e, err := NewFlat(f, FlatFLInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ in, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 4},
+		{5, 4}, {7, 4}, {8, 8}, {9, 8}, {1 << 20, 8},
+	} {
+		if got := e.SetInterleave(tc.in); got != tc.want {
+			t.Errorf("SetInterleave(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+		if e.Interleave() != tc.want {
+			t.Errorf("Interleave() = %d after SetInterleave(%d)", e.Interleave(), tc.in)
+		}
+	}
+}
+
+// TestWidthForBoundaries exercises the gate table exactly at each
+// threshold and with disabled (math.MaxInt) gates, for both gate sets.
+func TestWidthForBoundaries(t *testing.T) {
+	g := InterleaveGates{
+		Min2: 1 << 10, Min4: 1 << 20, Min8: 1 << 30,
+		CompactMin2: 1 << 11, CompactMin4: 1 << 21, CompactMin8: 1 << 31,
+	}
+	for _, tc := range []struct {
+		v           FlatVariant
+		bytes, want int
+	}{
+		{FlatFLInt, 1<<10 - 1, 1}, {FlatFLInt, 1 << 10, 2},
+		{FlatFLInt, 1<<20 - 1, 2}, {FlatFLInt, 1 << 20, 4},
+		{FlatFLInt, 1<<30 - 1, 4}, {FlatFLInt, 1 << 30, 8},
+		{FlatCompact, 1 << 10, 1}, {FlatCompact, 1 << 11, 2},
+		{FlatCompact, 1 << 21, 4}, {FlatCompact, 1 << 31, 8},
+		// The non-compact AoS variants all read the AoS set.
+		{FlatFloat32, 1 << 10, 2}, {FlatPrecoded, 1 << 20, 4},
+	} {
+		if got := g.widthFor(tc.v, tc.bytes); got != tc.want {
+			t.Errorf("widthFor(%v, %d) = %d, want %d", tc.v, tc.bytes, got, tc.want)
+		}
+	}
+
+	disabled := InterleaveGates{
+		Min2: math.MaxInt, Min4: math.MaxInt, Min8: math.MaxInt,
+		CompactMin2: math.MaxInt, CompactMin4: math.MaxInt, CompactMin8: math.MaxInt,
+	}
+	for _, v := range []FlatVariant{FlatFLInt, FlatCompact} {
+		if got := disabled.widthFor(v, 1<<40); got != 1 {
+			t.Errorf("disabled gates: widthFor(%v) = %d, want 1", v, got)
+		}
+	}
+
+	// Partially disabled: only the 4-way step enabled.
+	partial := InterleaveGates{Min2: math.MaxInt, Min4: 1 << 20, Min8: math.MaxInt}
+	if got := partial.widthFor(FlatFLInt, 1<<25); got != 4 {
+		t.Errorf("partial gates: widthFor = %d, want 4", got)
+	}
+}
+
+// TestGatesFromLadder pins the monotone-threshold derivation: narrow
+// wins at larger sizes are smoothed away, and each threshold is the
+// smallest ladder size preferring at least that width.
+func TestGatesFromLadder(t *testing.T) {
+	sizes := []int{1, 2, 4, 8}
+	m2, m4, m8 := gatesFromLadder(sizes, []int{1, 2, 1, 8})
+	if m2 != 2 || m4 != 8 || m8 != 8 {
+		t.Errorf("gatesFromLadder = %d/%d/%d, want 2/8/8", m2, m4, m8)
+	}
+	m2, m4, m8 = gatesFromLadder(sizes, []int{1, 1, 1, 1})
+	if m2 != math.MaxInt || m4 != math.MaxInt || m8 != math.MaxInt {
+		t.Errorf("all-narrow ladder = %d/%d/%d, want all MaxInt", m2, m4, m8)
+	}
+	m2, m4, m8 = gatesFromLadder(sizes, []int{8, 1, 1, 1})
+	if m2 != 1 || m4 != 1 || m8 != 1 {
+		t.Errorf("wide-first ladder = %d/%d/%d, want 1/1/1 after smoothing", m2, m4, m8)
+	}
+}
+
+// TestCalibrateGatesMonotone asserts that every gate set Calibrate
+// derives is monotone non-decreasing over the width ladder and made of
+// ladder sizes or MaxInt.
+func TestCalibrateGatesMonotone(t *testing.T) {
+	defer SetInterleaveGates(DefaultInterleaveGates())
+	g := Calibrate(60 * time.Millisecond)
+	valid := map[int]bool{256 << 10: true, 1 << 20: true, 4 << 20: true, 16 << 20: true, math.MaxInt: true}
+	for _, v := range []int{g.Min2, g.Min4, g.Min8, g.CompactMin2, g.CompactMin4, g.CompactMin8} {
+		if !valid[v] {
+			t.Errorf("gate %d is not a ladder size or MaxInt", v)
+		}
+	}
+	if g.Min2 > g.Min4 || g.Min4 > g.Min8 {
+		t.Errorf("AoS gates not monotone: %+v", g)
+	}
+	if g.CompactMin2 > g.CompactMin4 || g.CompactMin4 > g.CompactMin8 {
+		t.Errorf("compact gates not monotone: %+v", g)
+	}
+}
+
+// TestRepresentativeRowsExerciseBothBranches is the regression test for
+// the PR 2 calibration bug: syntheticRows cleared the exponent bits, so
+// every calibration input was a near-zero subnormal, every cursor of a
+// trained engine walked the same one-sided path, and the measured
+// interleave widths came from degenerate traversals. Representative
+// rows are drawn from the engine's own split values (and their float
+// neighbors), so trained walks must branch both ways and quantized
+// ranks must spread over the rank range instead of pinning at 0 or max.
+func TestRepresentativeRowsExerciseBothBranches(t *testing.T) {
+	f, _ := trainedForest(t, "magic", 8, 8)
+
+	// FLInt arena: count left and right picks over every tree walk.
+	e, err := NewFlat(f, FlatFLInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := e.representativeRows(64, 0x1234)
+	if len(rows) != 64 {
+		t.Fatalf("representativeRows returned %d rows", len(rows))
+	}
+	var lefts, rights int
+	for _, r := range rows {
+		xi := core.EncodeFeatures32(nil, r)
+		for _, root := range e.roots {
+			i := root
+			for i >= 0 {
+				n := &e.arena[i]
+				v := xi[n.feature]
+				var le bool
+				if n.key >= 0 {
+					le = v <= n.key
+				} else {
+					le = uint32(v) >= uint32(n.key)
+				}
+				if le {
+					lefts++
+					i = n.left
+				} else {
+					rights++
+					i = n.right
+				}
+			}
+		}
+	}
+	if lefts == 0 || rights == 0 {
+		t.Fatalf("calibration walks are one-sided: %d lefts, %d rights", lefts, rights)
+	}
+	// Not merely non-zero: neither direction should be a rounding error.
+	total := lefts + rights
+	if lefts*10 < total || rights*10 < total {
+		t.Errorf("calibration walks are lopsided: %d lefts vs %d rights", lefts, rights)
+	}
+
+	// Compact arena: quantized ranks of the synthesized rows must spread
+	// per feature, not pin at 0 or the top of the rank range.
+	ce, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.Variant() != FlatCompact {
+		t.Fatalf("fell back to %v", ce.Variant())
+	}
+	crows := ce.representativeRows(64, 0x5678)
+	q := make([]uint16, ce.numPruned)
+	minR := make([]int, ce.numPruned)
+	maxR := make([]int, ce.numPruned)
+	for p := range minR {
+		minR[p] = math.MaxInt
+		maxR[p] = -1
+	}
+	for _, r := range crows {
+		ce.quantizeBlock([][]float32{r}, q)
+		for p, rank := range q {
+			if int(rank) < minR[p] {
+				minR[p] = int(rank)
+			}
+			if int(rank) > maxR[p] {
+				maxR[p] = int(rank)
+			}
+		}
+	}
+	for p := range minR {
+		cuts := int(ce.cutLo[p+1] - ce.cutLo[p])
+		if cuts < 2 {
+			continue // a single cut admits only ranks {0, 1}
+		}
+		if minR[p] == maxR[p] {
+			t.Errorf("pruned feature %d (%d cuts): all 64 rows quantize to rank %d", p, cuts, minR[p])
+		}
+	}
+}
+
+// TestCalibrateInterleaveRows covers the caller-supplied-sample entry:
+// adopted widths are supported, predictions survive, malformed rows are
+// ignored, and non-interleaving variants are a no-op.
+func TestCalibrateInterleaveRows(t *testing.T) {
+	f, d := trainedForest(t, "magic", 6, 5)
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int32, d.Len())
+	for i, x := range d.Features {
+		want[i] = f.Predict(x)
+	}
+
+	w := e.CalibrateInterleaveRows(d.Features, 8*time.Millisecond)
+	if w != 1 && w != 2 && w != 4 && w != 8 {
+		t.Fatalf("CalibrateInterleaveRows chose %d", w)
+	}
+	if e.Interleave() != w {
+		t.Errorf("Interleave() = %d after calibration to %d", e.Interleave(), w)
+	}
+	got := e.PredictBatch(d.Features, nil, 1, 0)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d diverges after row calibration", i)
+		}
+	}
+
+	// Rows of the wrong width are ignored; an all-malformed sample falls
+	// back to the synthesized representative rows instead of panicking.
+	mixed := [][]float32{{1, 2}, d.Features[0], {}, d.Features[1]}
+	if w := e.CalibrateInterleaveRows(mixed, 4*time.Millisecond); w != 1 && w != 2 && w != 4 && w != 8 {
+		t.Errorf("mixed-sample calibration chose %d", w)
+	}
+	if w := e.CalibrateInterleaveRows([][]float32{{1}, {2, 3, 4}}, 4*time.Millisecond); w != 1 && w != 2 && w != 4 && w != 8 {
+		t.Errorf("malformed-sample calibration chose %d", w)
+	}
+
+	pe, err := NewFlat(f, FlatPrecoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := pe.Interleave()
+	if w := pe.CalibrateInterleaveRows(d.Features, time.Millisecond); w != before {
+		t.Errorf("precoded row calibration changed width to %d", w)
+	}
+}
+
+// TestSyntheticCompactEngineConsistent guards the Calibrate ladder's
+// compact half: the synthetic SoA arena must be structurally sound —
+// identical predictions at every interleave width.
+func TestSyntheticCompactEngineConsistent(t *testing.T) {
+	e := syntheticCompactEngine(64 << 10)
+	rows := e.representativeRows(48, 0x42)
+	e.interleave = 1
+	s := e.newScratch()
+	want := make([]int32, len(rows))
+	e.predictBlock(rows, want, s)
+	got := make([]int32, len(rows))
+	for _, w := range []int{2, 4, 8} {
+		e.interleave = w
+		e.predictBlock(rows, got, s)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("width %d row %d: got %d want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
