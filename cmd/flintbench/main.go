@@ -23,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -49,8 +50,15 @@ func main() {
 		batchJSON = flag.String("batchjson", "", "run the short batch-throughput bench (rows/s per arena variant per workload), write JSON to this path and exit")
 		batchRows = flag.Int("batchrows", 0, "dataset rows for -batchjson (0 = 1200)")
 		trenddiff = flag.Bool("trenddiff", false, "diff two BENCH_batch.json reports (usage: flintbench -trenddiff old.json new.json), print per-(workload, variant) rows/s deltas and exit")
+		gatesFile = flag.String("gates", "", "persist host-wide interleave gates: load and install the gate table from this JSON file when it exists, otherwise calibrate this host and write it")
 	)
 	flag.Parse()
+
+	if *gatesFile != "" {
+		if err := loadOrCalibrateGates(*gatesFile); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if *machines {
 		printMachines()
@@ -139,24 +147,69 @@ func main() {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			log.Fatal(err)
 		}
-		raw, err := os.Create(filepath.Join(*csvDir, "cells.csv"))
-		if err != nil {
+		if err := writeFile(filepath.Join(*csvDir, "cells.csv"), func(w io.Writer) error {
+			return bench.WriteCSV(w, res)
+		}); err != nil {
 			log.Fatal(err)
 		}
-		defer raw.Close()
-		if err := bench.WriteCSV(raw, res); err != nil {
-			log.Fatal(err)
-		}
-		sf, err := os.Create(filepath.Join(*csvDir, "figure3.csv"))
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer sf.Close()
-		if err := bench.WriteSeriesCSV(sf, series); err != nil {
+		if err := writeFile(filepath.Join(*csvDir, "figure3.csv"), func(w io.Writer) error {
+			return bench.WriteSeriesCSV(w, series)
+		}); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s and %s\n",
 			filepath.Join(*csvDir, "cells.csv"), filepath.Join(*csvDir, "figure3.csv"))
+	}
+}
+
+// writeFile creates path, streams write into it and propagates the
+// Close error: on a full disk the final flush is where truncated output
+// surfaces, and the previous deferred Close silently swallowed it —
+// leaving CI artifacts (cells.csv, BENCH_batch.json) cut short with a
+// success exit code.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("writing %s: %w", path, werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("closing %s: %w", path, cerr)
+	}
+	return nil
+}
+
+// loadOrCalibrateGates implements -gates: a deployment's warm-start
+// path for the host-wide interleave gate table. An existing file is
+// loaded and installed (no calibration cost); a missing one triggers
+// one Calibrate pass whose result is persisted for the next run.
+func loadOrCalibrateGates(path string) error {
+	f, err := os.Open(path)
+	switch {
+	case err == nil:
+		g, rerr := treeexec.ReadGatesJSON(f)
+		f.Close()
+		if rerr != nil {
+			return fmt.Errorf("reading %s: %w", path, rerr)
+		}
+		treeexec.SetInterleaveGates(g)
+		fmt.Fprintf(os.Stderr, "installed interleave gates from %s\n", path)
+		return nil
+	case os.IsNotExist(err):
+		g := treeexec.Calibrate(0)
+		if werr := writeFile(path, func(w io.Writer) error {
+			return treeexec.WriteGatesJSON(w, g)
+		}); werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "calibrated this host and wrote gates to %s\n", path)
+		return nil
+	default:
+		return err
 	}
 }
 
@@ -239,23 +292,23 @@ func runBatchBench(path string, rows int) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := bench.WriteBatchBenchJSON(f, rep); err != nil {
+	// The Close error matters here: BENCH_batch.json is the CI trend
+	// artifact, and a full disk surfacing only at the final flush used
+	// to truncate it silently.
+	if err := writeFile(path, func(w io.Writer) error {
+		return bench.WriteBatchBenchJSON(w, rep)
+	}); err != nil {
 		return err
 	}
 	for _, r := range rep.Results {
 		switch {
 		case r.PrunedFeatures > 0:
-			fmt.Printf("%-12s %-13s %12.0f rows/s  %8d nodes  %4.1f B/node  x%d interleave  %d/%d split-on features\n",
-				r.Dataset, r.Variant, r.RowsPerSec, r.ArenaNodes, r.BytesPerNode, r.Interleave,
+			fmt.Printf("%-12s %-13s %12.0f rows/s  %8d nodes  %4.1f B/node  x%d interleave (%s)  %d/%d split-on features\n",
+				r.Dataset, r.Variant, r.RowsPerSec, r.ArenaNodes, r.BytesPerNode, r.Interleave, r.CalibSource,
 				r.PrunedFeatures, r.NumFeatures)
 		case r.ArenaNodes > 0:
-			fmt.Printf("%-12s %-13s %12.0f rows/s  %8d nodes  %4.1f B/node  x%d interleave\n",
-				r.Dataset, r.Variant, r.RowsPerSec, r.ArenaNodes, r.BytesPerNode, r.Interleave)
+			fmt.Printf("%-12s %-13s %12.0f rows/s  %8d nodes  %4.1f B/node  x%d interleave (%s)\n",
+				r.Dataset, r.Variant, r.RowsPerSec, r.ArenaNodes, r.BytesPerNode, r.Interleave, r.CalibSource)
 		default:
 			fmt.Printf("%-12s %-13s %12.0f rows/s\n", r.Dataset, r.Variant, r.RowsPerSec)
 		}

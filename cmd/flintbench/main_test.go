@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"flint/internal/bench"
+	"flint/internal/treeexec"
 )
 
 func TestGridConfig(t *testing.T) {
@@ -98,5 +99,44 @@ func TestRunTrendDiff(t *testing.T) {
 	}
 	if err := runTrendDiff(bad, newPath); err == nil {
 		t.Error("malformed old report accepted")
+	}
+}
+
+// TestLoadOrCalibrateGates covers the -gates warm-start path: a missing
+// file triggers calibration and persists a loadable table, an existing
+// file installs without recalibrating, and a corrupt file errors
+// instead of silently running with default gates.
+func TestLoadOrCalibrateGates(t *testing.T) {
+	defer treeexec.SetInterleaveGates(treeexec.DefaultInterleaveGates())
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gates.json")
+	if err := loadOrCalibrateGates(path); err != nil {
+		t.Fatalf("calibrate-and-write: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("gates file not written: %v", err)
+	}
+	g, err := treeexec.ReadGatesJSON(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("written gates unreadable: %v", err)
+	}
+
+	// Second run: the file exists and must be installed as-is.
+	treeexec.SetInterleaveGates(treeexec.DefaultInterleaveGates())
+	if err := loadOrCalibrateGates(path); err != nil {
+		t.Fatalf("load existing: %v", err)
+	}
+	if got := treeexec.CurrentInterleaveGates(); got != g {
+		t.Errorf("installed gates %+v, want persisted %+v", got, g)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{oops"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := loadOrCalibrateGates(bad); err == nil {
+		t.Error("corrupt gates file accepted")
 	}
 }

@@ -6,9 +6,26 @@
 // reused output slice, so the steady state classifies request batches
 // with zero allocations. Concurrent Predict calls interleave over the
 // shared pool, so one Batcher serves many request goroutines.
+//
+// It also walks the adaptive serving lifecycle end to end:
+//
+//	serve → reservoir sample → Recalibrate → SaveCalibration
+//	                                              │
+//	restart: LoadCalibration → SeedSample → serve ┘  (warm start)
+//
+// The Batcher samples served rows into a fixed-capacity reservoir as a
+// side effect of Predict (allocation-free; Vitter's Algorithm R over a
+// stride-decimated view of the stream). Recalibrate re-times the
+// interleave width on that sample — real traffic, not synthetic
+// approximations — and installs the winner atomically, so it is safe
+// while requests are in flight; call it periodically in a real server.
+// SaveCalibration persists gates + width + sample, and the "restarted"
+// engine warm-starts from the record (fingerprint-checked) instead of
+// re-paying any calibration ladder.
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"runtime"
@@ -67,11 +84,26 @@ func main() {
 	fmt.Printf("row-calibrated interleave: x%d\n", width)
 
 	workers := runtime.GOMAXPROCS(0)
+	// NewBatcher enables reservoir sampling by default; NewBatcherSampled
+	// tunes capacity/stride (or disables it with a negative capacity).
 	batcher := flint.NewBatcher(engine, workers)
 	defer batcher.Close()
 
+	// Malformed requests fail fast in the caller's goroutine — a short
+	// row is a recoverable panic here, not a dead worker taking the
+	// process down. A real server would recover per request.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				fmt.Printf("short row rejected in the caller: %v\n", r)
+			}
+		}()
+		batcher.Predict([][]float32{{1, 2, 3}}, nil)
+	}()
+
 	// Serve the test set as a stream of fixed-size request batches,
-	// reusing one output slice across requests.
+	// reusing one output slice across requests. The Batcher samples the
+	// served rows into its reservoir as a side effect.
 	const batchSize = 256
 	out := make([]int32, batchSize)
 	correct, total := 0, 0
@@ -95,10 +127,54 @@ func main() {
 		total, elapsed, float64(total)/elapsed.Seconds(), workers)
 	fmt.Printf("accuracy %.3f\n", float64(correct)/float64(total))
 
-	// The arena engine agrees with the reference forest row by row.
+	// Periodic online recalibration: re-time the interleave width on the
+	// reservoir's sample of real served traffic. Safe while other
+	// goroutines keep calling Predict — the winner installs atomically.
+	sampled, seen := batcher.SampleStats()
+	rw := batcher.Recalibrate(0)
+	fmt.Printf("recalibrated on %d reservoir rows (of %d served): x%d interleave\n", sampled, seen, rw)
+
+	// Persist the measured calibration — gates, width and the traffic
+	// sample — so the next deployment warm-starts from evidence. A file
+	// in a real deployment; a buffer here.
+	var record bytes.Buffer
+	if err := engine.SaveCalibration(&record, batcher.SampleSnapshot()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("persisted calibration record (%d bytes)\n", record.Len())
+
+	// "Restart": compile the arena again and warm-start it from the
+	// record. LoadCalibration validates the arena fingerprint (a record
+	// measured on a different forest or variant is rejected), installs
+	// the width, and hands back the persisted rows to seed the new
+	// Batcher's reservoir — recalibration keeps working on real traffic
+	// from the first second. Installing the record's gate table is a
+	// separate, explicit step because it is only valid on the hardware
+	// it was measured on (this process, here).
+	engine2, err := flint.NewFlatEngineVariant(grouped, variant)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := engine2.LoadCalibration(&record)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flint.SetInterleaveGates(rec.Gates)
+	batcher2 := flint.NewBatcher(engine2, workers)
+	defer batcher2.Close()
+	n := batcher2.SeedSample(rec.Rows)
+	fmt.Printf("warm start: x%d interleave from persisted record, reservoir seeded with %d rows\n",
+		engine2.Interleave(), n)
+
+	// The arena engine agrees with the reference forest row by row,
+	// before and after the warm start.
 	for i, x := range test.Features[:10] {
-		if got, want := engine.Predict(x), forest.Predict(x); got != want {
+		want := forest.Predict(x)
+		if got := engine.Predict(x); got != want {
 			log.Fatalf("row %d: arena %d != reference %d", i, got, want)
+		}
+		if got := engine2.Predict(x); got != want {
+			log.Fatalf("row %d: warm-started arena %d != reference %d", i, got, want)
 		}
 	}
 	fmt.Println("arena predictions match the reference forest")

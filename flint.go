@@ -85,6 +85,35 @@
 //     the branch and fetch patterns it will serve. Prefer this when
 //     request traffic is at hand (the synthetic rows approximate range,
 //     not distribution).
+//
+// # The adaptive serving lifecycle: reservoir → recalibrate → persist
+//
+// A serving deployment does not need to gather those production rows by
+// hand. Every Batcher keeps a reservoir sample of the traffic it serves
+// (Vitter's Algorithm R over a stride-decimated view of the stream;
+// storage is pre-allocated, so the zero-alloc steady state survives):
+//
+//   - batcher.Recalibrate(budget) re-times the engine's interleave
+//     width on the sampled rows and installs the winner atomically, so
+//     it is safe to call periodically while Predict traffic is in
+//     flight — the width follows the distribution actually served.
+//   - engine.SaveCalibration(w, batcher.SampleSnapshot()) persists the
+//     measured gate table, the engine's width and the sampled rows as
+//     JSON. On the next start, engine.LoadCalibration(r) validates the
+//     record against the engine's arena fingerprint and restores the
+//     width; SetInterleaveGates(rec.Gates) additionally installs the
+//     persisted gate table when the record came from this same hardware
+//     (left explicit so a foreign or pre-calibration record cannot
+//     silently clobber gates the process already measured); and
+//     batcher.SeedSample(rec.Rows) re-arms the reservoir with the
+//     previous deployment's traffic, so a restart (or a hardware move,
+//     after one Recalibrate) never falls back to synthetic
+//     approximations. See examples/batchserve for the whole loop.
+//
+// Malformed input fails fast on every batch entry: rows whose length is
+// not the engine's NumFeatures panic in the caller's goroutine
+// (Batcher.Predict, PredictBatch) or return an error (Batch,
+// BatchFloat) instead of killing the process from inside a worker.
 package flint
 
 import (
@@ -296,8 +325,33 @@ func SetInterleaveGates(g InterleaveGates) { treeexec.SetInterleaveGates(g) }
 
 // Batcher is a persistent worker pool over a FlatEngine: goroutines and
 // per-worker scratch are allocated once, so steady-state batch
-// prediction with a reused output slice allocates nothing.
+// prediction with a reused output slice allocates nothing. It also
+// samples the traffic it serves into a fixed-capacity reservoir
+// (allocation-free on the Predict path) feeding Recalibrate — re-timing
+// the engine's interleave width on measured rows, safely while traffic
+// is in flight — and SampleSnapshot, whose rows SaveCalibration can
+// persist for the next deployment's warm start.
 type Batcher = treeexec.Batcher
+
+// ArenaFingerprint identifies the compiled arena a calibration record
+// was measured on (variant, node count, feature and class counts);
+// LoadCalibration rejects records whose fingerprint does not match the
+// loading engine.
+type ArenaFingerprint = treeexec.ArenaFingerprint
+
+// CalibrationRecord is the persisted calibration state of one engine —
+// arena fingerprint, host gate table, chosen interleave width and
+// optionally sampled traffic rows — written by FlatEngine.
+// SaveCalibration and restored by FlatEngine.LoadCalibration.
+type CalibrationRecord = treeexec.CalibrationRecord
+
+// WriteGatesJSON persists a host-wide interleave gate table alone (no
+// engine fingerprint), e.g. a Calibrate result measured offline.
+func WriteGatesJSON(w io.Writer, g InterleaveGates) error { return treeexec.WriteGatesJSON(w, g) }
+
+// ReadGatesJSON reads a gate table written by WriteGatesJSON; install
+// it with SetInterleaveGates.
+func ReadGatesJSON(r io.Reader) (InterleaveGates, error) { return treeexec.ReadGatesJSON(r) }
 
 // NewFlatEngine compiles a forest into a single-arena FLInt engine. To
 // keep the CAGS cache benefit inside the arena, pass a Reorder-ed
@@ -320,9 +374,20 @@ func PredictBatch(e *FlatEngine, rows [][]float32, workers int) []int32 {
 }
 
 // NewBatcher starts a persistent worker pool of the given size over the
-// engine (0 selects GOMAXPROCS). Close it when done.
+// engine (0 selects GOMAXPROCS), with traffic-reservoir sampling
+// enabled at the default capacity and stride. Close it when done.
 func NewBatcher(e *FlatEngine, workers int) *Batcher {
 	return treeexec.NewBatcher(e, workers, 0)
+}
+
+// NewBatcherSampled is NewBatcher with the row-block size and the
+// reservoir parameters explicit: block is the rows-per-work-unit of the
+// pool (<= 0 selects the default, like NewBatcher), capacity rows are
+// held in the traffic reservoir (negative disables sampling, zero
+// selects the default) and one served row in every stride is considered
+// for admission (<= 0 selects the default).
+func NewBatcherSampled(e *FlatEngine, workers, block, capacity, stride int) *Batcher {
+	return treeexec.NewBatcherSampled(e, workers, block, capacity, stride)
 }
 
 // ---- CAGS (Chen et al. [6]) ----

@@ -152,3 +152,75 @@ func TestFacadeJSONAndSoftFloat(t *testing.T) {
 		t.Error("DatasetNames must list the paper's five workloads")
 	}
 }
+
+// TestFacadeAdaptiveServing runs the exported reservoir → recalibrate →
+// persist lifecycle through the facade: sampled traffic drives
+// Recalibrate, SaveCalibration/LoadCalibration round-trips onto a fresh
+// engine, and the gates-only persistence helpers round-trip too.
+func TestFacadeAdaptiveServing(t *testing.T) {
+	defer SetInterleaveGates(CurrentInterleaveGates())
+	data, err := GenerateDataset("magic", 600, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := data.Split(0.75, 1)
+	forest, err := Train(train, TrainConfig{NumTrees: 10, MaxDepth: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewFlatEngineVariant(forest, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcherSampled(engine, 2, 0, 64, 1)
+	defer b.Close()
+	out := b.Predict(test.Features, nil)
+	for i, x := range test.Features {
+		if out[i] != forest.Predict(x) {
+			t.Fatalf("batcher diverges at row %d", i)
+		}
+	}
+	if sampled, seen := b.SampleStats(); sampled == 0 || seen != uint64(len(test.Features)) {
+		t.Fatalf("reservoir stats %d/%d after serving %d rows", sampled, seen, len(test.Features))
+	}
+	if w := b.Recalibrate(0); w != engine.Interleave() {
+		t.Errorf("Recalibrate returned %d, engine holds %d", w, engine.Interleave())
+	}
+
+	var rec bytes.Buffer
+	if err := engine.SaveCalibration(&rec, b.SampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	engine2, err := NewFlatEngineVariant(forest, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := engine2.LoadCalibration(&rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine2.Interleave() != engine.Interleave() {
+		t.Errorf("warm-started width %d, want %d", engine2.Interleave(), engine.Interleave())
+	}
+	if loaded.Fingerprint != engine2.Fingerprint() {
+		t.Errorf("fingerprint mismatch after round trip")
+	}
+	b2 := NewBatcher(engine2, 1)
+	defer b2.Close()
+	if n := b2.SeedSample(loaded.Rows); n != len(loaded.Rows) {
+		t.Errorf("seeded %d of %d persisted rows", n, len(loaded.Rows))
+	}
+
+	g := CurrentInterleaveGates()
+	var gbuf bytes.Buffer
+	if err := WriteGatesJSON(&gbuf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGatesJSON(&gbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != g {
+		t.Errorf("gates JSON round trip = %+v, want %+v", back, g)
+	}
+}

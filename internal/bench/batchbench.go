@@ -51,6 +51,13 @@ type BatchBenchRow struct {
 	// was pruned from. Recorded for the compact variant only.
 	PrunedFeatures int `json:"pruned_features,omitempty"`
 	NumFeatures    int `json:"num_features,omitempty"`
+	// CalibSource records where the engine's interleave width came from
+	// ("rows" for sampled traffic — the reservoir-backed serving path —
+	// "synthetic" for split-table rows, "persisted" for a loaded record,
+	// "manual" for a SetInterleave override, "default" for the
+	// construction-time gates), so a recorded width can be traced to its
+	// evidence. Arena variants only.
+	CalibSource string `json:"calib_source,omitempty"`
 }
 
 // BatchBenchReport is the BENCH_batch.json document.
@@ -193,7 +200,8 @@ func (c BatchBench) Run() (*BatchBenchReport, error) {
 			row := BatchBenchRow{
 				Dataset: ds, Variant: e.Name(), RowsPerSec: rps,
 				ArenaNodes: nodes, ArenaBytes: bytes,
-				Interleave: e.Interleave(),
+				Interleave:  e.Interleave(),
+				CalibSource: e.CalibrationSource(),
 			}
 			if nodes > 0 {
 				row.BytesPerNode = float64(bytes) / float64(nodes)

@@ -13,17 +13,22 @@ import (
 // reviewers — consumers must not gate on it.
 
 // TrendDelta is one aligned (workload, variant) cell of a trend diff.
-// Old or New is zero when that side of the diff lacks the cell (a
-// workload or variant added or removed between runs).
+// Presence is tracked explicitly in HasOld/HasNew: a measured 0 rows/s
+// (a failed or degenerate measurement that still produced a cell) is a
+// different fact from a cell that does not exist in that report, and
+// conflating them used to mislabel real zero measurements as
+// "(new)"/"(dropped)".
 type TrendDelta struct {
 	Dataset string
 	Variant string
-	Old     float64 // rows/s in the older report, 0 if absent
-	New     float64 // rows/s in the newer report, 0 if absent
+	Old     float64 // rows/s in the older report (0 when absent or measured 0)
+	New     float64 // rows/s in the newer report (0 when absent or measured 0)
+	HasOld  bool    // the older report contains this cell
+	HasNew  bool    // the newer report contains this cell
 }
 
 // Pct returns the relative throughput change in percent, valid only
-// when both sides are present.
+// when both sides are present and the old side is non-zero.
 func (d TrendDelta) Pct() float64 {
 	return (d.New - d.Old) / d.Old * 100
 }
@@ -59,10 +64,14 @@ func TrendDiff(oldRep, newRep *BatchBenchReport) []TrendDelta {
 			continue
 		}
 		seen[k] = true
-		out = append(out, TrendDelta{
+		d := TrendDelta{
 			Dataset: r.Dataset, Variant: r.Variant,
-			Old: oldBy[k], New: r.RowsPerSec,
-		})
+			New: r.RowsPerSec, HasNew: true,
+		}
+		if old, ok := oldBy[k]; ok {
+			d.Old, d.HasOld = old, true
+		}
+		out = append(out, d)
 	}
 	for _, r := range oldRep.Results {
 		k := key{r.Dataset, r.Variant}
@@ -71,7 +80,8 @@ func TrendDiff(oldRep, newRep *BatchBenchReport) []TrendDelta {
 		}
 		seen[k] = true
 		out = append(out, TrendDelta{
-			Dataset: r.Dataset, Variant: r.Variant, Old: r.RowsPerSec,
+			Dataset: r.Dataset, Variant: r.Variant,
+			Old: r.RowsPerSec, HasOld: true,
 		})
 	}
 	return out
@@ -79,7 +89,9 @@ func TrendDiff(oldRep, newRep *BatchBenchReport) []TrendDelta {
 
 // WriteTrendDiff renders a trend diff as an aligned text table. Cells
 // missing on one side are marked (new) or (dropped) instead of carrying
-// a meaningless percentage.
+// a meaningless percentage; a measured 0 rows/s is printed as the
+// number it is (with no percentage when the old side is 0, where the
+// relative change is undefined), not mislabeled as a missing cell.
 func WriteTrendDiff(w io.Writer, deltas []TrendDelta) error {
 	if _, err := fmt.Fprintf(w, "%-12s %-13s %14s %14s %9s\n",
 		"dataset", "variant", "old rows/s", "new rows/s", "delta"); err != nil {
@@ -88,15 +100,18 @@ func WriteTrendDiff(w io.Writer, deltas []TrendDelta) error {
 	for _, d := range deltas {
 		var err error
 		switch {
-		case d.Old == 0 && d.New == 0:
+		case !d.HasOld && !d.HasNew:
 			_, err = fmt.Fprintf(w, "%-12s %-13s %14s %14s %9s\n",
 				d.Dataset, d.Variant, "-", "-", "-")
-		case d.Old == 0:
+		case !d.HasOld:
 			_, err = fmt.Fprintf(w, "%-12s %-13s %14s %14.0f %9s\n",
 				d.Dataset, d.Variant, "-", d.New, "(new)")
-		case d.New == 0:
+		case !d.HasNew:
 			_, err = fmt.Fprintf(w, "%-12s %-13s %14.0f %14s %9s\n",
 				d.Dataset, d.Variant, d.Old, "-", "(dropped)")
+		case d.Old == 0:
+			_, err = fmt.Fprintf(w, "%-12s %-13s %14.0f %14.0f %9s\n",
+				d.Dataset, d.Variant, d.Old, d.New, "-")
 		default:
 			_, err = fmt.Fprintf(w, "%-12s %-13s %14.0f %14.0f %+8.1f%%\n",
 				d.Dataset, d.Variant, d.Old, d.New, d.Pct())

@@ -29,13 +29,52 @@ type BatchPredictor interface {
 	PredictEncoded(xi []int32) int32
 }
 
+// rowWidthError is the single row-length validator every batch entry
+// funnels through (wrapped as an error by Batch/BatchFloat, as a
+// caller-goroutine panic by Batcher.Predict/PredictBatch): one loop to
+// keep in sync for one invariant.
+func rowWidthError(nf int, rows [][]float32) error {
+	for i, r := range rows {
+		if len(r) != nf {
+			return fmt.Errorf("row %d has %d features, engine expects %d", i, len(r), nf)
+		}
+	}
+	return nil
+}
+
+// checkRowWidths validates every row against the engine's feature width
+// in the caller's goroutine, before any worker is spawned. A short row
+// used to index out of range inside a worker goroutine, where no caller
+// can recover the panic, killing the whole process. The width is probed
+// from the engine (a NumFeatures method — every treeexec engine has one
+// — or the *rf.Forest field); only a caller-supplied custom predictor
+// exposing neither skips validation and keeps its own behavior.
+func checkRowWidths(e any, rows [][]float32) error {
+	nf := 0
+	switch v := e.(type) {
+	case interface{ NumFeatures() int }:
+		nf = v.NumFeatures()
+	case *rf.Forest:
+		nf = v.NumFeatures
+	}
+	if nf <= 0 {
+		return nil
+	}
+	if err := rowWidthError(nf, rows); err != nil {
+		return fmt.Errorf("treeexec: %w", err)
+	}
+	return nil
+}
+
 // Batch classifies many rows concurrently with up to workers goroutines;
 // zero or negative workers selects GOMAXPROCS, and the count is capped
 // at the number of rows (the same clamping as FlatForestEngine.
 // PredictBatch and NewBatcher). Feature vectors are reinterpreted once
 // per row inside the worker, reusing a per-worker buffer, so the
 // amortized cost matches the paper's pointer-cast semantics. The result
-// slice is indexed like rows.
+// slice is indexed like rows. Rows whose length does not match the
+// engine's feature width (when the engine exposes one) are rejected
+// with an error before any worker is spawned.
 //
 // Engines are immutable after construction, which is what makes this
 // safe; the batch-oriented related work the paper cites (QuickScorer,
@@ -44,6 +83,9 @@ type BatchPredictor interface {
 func Batch(e BatchPredictor, rows [][]float32, workers int) ([]int32, error) {
 	if isNilEngine(e) {
 		return nil, fmt.Errorf("treeexec: nil engine")
+	}
+	if err := checkRowWidths(e, rows); err != nil {
+		return nil, err
 	}
 	// The arena engine has a blocked kernel that amortizes node fetches
 	// across rows; route it there instead of the row-at-a-time loop.
@@ -86,6 +128,9 @@ func Batch(e BatchPredictor, rows [][]float32, workers int) ([]int32, error) {
 func BatchFloat(e rf.Predictor, rows [][]float32, workers int) ([]int32, error) {
 	if isNilEngine(e) {
 		return nil, fmt.Errorf("treeexec: nil engine")
+	}
+	if err := checkRowWidths(e, rows); err != nil {
+		return nil, err
 	}
 	if fe, ok := e.(*FlatForestEngine); ok {
 		return fe.PredictBatch(rows, nil, workers, 0), nil

@@ -137,6 +137,83 @@ func TestBatcherPredictAfterClosePanics(t *testing.T) {
 	mustPanic("empty non-nil Predict", func() { b.Predict([][]float32{}, make([]int32, 0, 4)) })
 }
 
+// TestMalformedRowsFailInCaller is the regression test for the serving-
+// path crash: a row whose length is not NumFeatures used to index out
+// of range inside a Batcher worker goroutine — an unrecoverable panic
+// that killed the whole process. Every batch entry must now fail fast
+// in the caller's goroutine: Batcher.Predict and PredictBatch with a
+// recoverable panic, Batch and BatchFloat with an error. The Batcher
+// must survive the rejected call and keep serving.
+func TestMalformedRowsFailInCaller(t *testing.T) {
+	f, d := trainedForest(t, "magic", 6, 5)
+	e, err := NewFlat(f, FlatFLInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := [][]float32{d.Features[0], d.Features[1][:3], d.Features[2]}
+	long := [][]float32{append(append([]float32{}, d.Features[0]...), 7)}
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s with a malformed row did not panic in the caller", name)
+			}
+		}()
+		fn()
+	}
+	b := NewBatcher(e, 2, 4)
+	defer b.Close()
+	mustPanic("Batcher.Predict (short row)", func() { b.Predict(short, nil) })
+	mustPanic("Batcher.Predict (long row)", func() { b.Predict(long, nil) })
+	mustPanic("PredictBatch", func() { e.PredictBatch(short, nil, 2, 4) })
+
+	// The rejected calls must not have poisoned the pool.
+	out := b.Predict(d.Features[:8], nil)
+	for i, x := range d.Features[:8] {
+		if out[i] != f.Predict(x) {
+			t.Fatalf("row %d diverges after a rejected batch", i)
+		}
+	}
+
+	// The error-returning entries reject the same rows without panicking.
+	if _, err := Batch(e, short, 2); err == nil {
+		t.Error("Batch accepted a short row")
+	}
+	if _, err := BatchFloat(e, long, 2); err == nil {
+		t.Error("BatchFloat accepted a long row")
+	}
+	perTree, err := NewFLInt(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Batch(perTree, short, 2); err == nil {
+		t.Error("per-tree Batch accepted a short row")
+	}
+	if _, err := BatchFloat(f, short, 2); err == nil {
+		t.Error("BatchFloat over *rf.Forest accepted a short row")
+	}
+	if _, err := Batch(perTree, d.Features[:4], 2); err != nil {
+		t.Errorf("well-formed per-tree Batch errored: %v", err)
+	}
+	// Every per-tree engine exposes NumFeatures, so the guard covers the
+	// whole ablation family, not just the FLInt engine.
+	to, err := NewTotalOrder(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Batch(to, short, 2); err == nil {
+		t.Error("total-order Batch accepted a short row")
+	}
+	f32, err := NewFloat32(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BatchFloat(f32, long, 2); err == nil {
+		t.Error("float32 BatchFloat accepted a long row")
+	}
+}
+
 // TestNilEngineBatchEntryPoints pins the pool-constructor and batch-
 // method guards: a nil (or typed-nil) engine must fail fast in the
 // caller's goroutine, where the panic is recoverable, instead of

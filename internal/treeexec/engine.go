@@ -139,7 +139,13 @@ func voteSlice(stack *[maxStackClasses]int32, numClasses int) []int32 {
 type Float32Engine struct {
 	trees      []tree
 	numClasses int
+	numFeat    int
 }
+
+// NumFeatures returns the input dimensionality the engine was compiled
+// for (the batch entries use it to reject malformed rows in the
+// caller's goroutine).
+func (e *Float32Engine) NumFeatures() int { return e.numFeat }
 
 // NewFloat32 compiles a forest into a Float32Engine.
 func NewFloat32(f *rf.Forest) (*Float32Engine, error) {
@@ -147,7 +153,7 @@ func NewFloat32(f *rf.Forest) (*Float32Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Float32Engine{trees: trees, numClasses: f.NumClasses}, nil
+	return &Float32Engine{trees: trees, numClasses: f.NumClasses, numFeat: f.NumFeatures}, nil
 }
 
 // PredictTree returns the class chosen by tree t for x.
@@ -197,6 +203,11 @@ func NewFLInt(f *rf.Forest) (*FLIntEngine, error) {
 	}
 	return &FLIntEngine{trees: trees, numClasses: f.NumClasses, numFeat: f.NumFeatures}, nil
 }
+
+// NumFeatures returns the input dimensionality the engine was compiled
+// for (Batch uses it to reject malformed rows in the caller's
+// goroutine).
+func (e *FLIntEngine) NumFeatures() int { return e.numFeat }
 
 // PredictTreeEncoded returns tree t's class for a pre-encoded feature
 // vector (core.EncodeFeatures32).
@@ -264,6 +275,12 @@ func NewFLIntXor(f *rf.Forest) (*FLIntXorEngine, error) {
 	return &FLIntXorEngine{inner: *e}, nil
 }
 
+// NumFeatures returns the input dimensionality the engine was compiled
+// for.
+func (e *FLIntXorEngine) NumFeatures() int {
+	return e.inner.NumFeatures()
+}
+
 // PredictTreeEncoded returns tree t's class for a pre-encoded vector.
 func (e *FLIntXorEngine) PredictTreeEncoded(t int, xi []int32) int32 {
 	nodes := e.inner.trees[t].nodes
@@ -304,7 +321,12 @@ func (e *FLIntXorEngine) Name() string { return "flint-xor" }
 type TotalOrderEngine struct {
 	trees      []tree
 	numClasses int
+	numFeat    int
 }
+
+// NumFeatures returns the input dimensionality the engine was compiled
+// for.
+func (e *TotalOrderEngine) NumFeatures() int { return e.numFeat }
 
 // NewTotalOrder compiles a forest into a TotalOrderEngine.
 func NewTotalOrder(f *rf.Forest) (*TotalOrderEngine, error) {
@@ -314,7 +336,7 @@ func NewTotalOrder(f *rf.Forest) (*TotalOrderEngine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TotalOrderEngine{trees: trees, numClasses: f.NumClasses}, nil
+	return &TotalOrderEngine{trees: trees, numClasses: f.NumClasses, numFeat: f.NumFeatures}, nil
 }
 
 // PredictTreeEncoded returns tree t's class for raw float bit patterns
@@ -359,7 +381,12 @@ func (e *TotalOrderEngine) Name() string { return "total-order" }
 type PrecodedEngine struct {
 	trees      []tree
 	numClasses int
+	numFeat    int
 }
+
+// NumFeatures returns the input dimensionality the engine was compiled
+// for.
+func (e *PrecodedEngine) NumFeatures() int { return e.numFeat }
 
 // NewPrecoded compiles a forest into a PrecodedEngine.
 func NewPrecoded(f *rf.Forest) (*PrecodedEngine, error) {
@@ -369,7 +396,7 @@ func NewPrecoded(f *rf.Forest) (*PrecodedEngine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PrecodedEngine{trees: trees, numClasses: f.NumClasses}, nil
+	return &PrecodedEngine{trees: trees, numClasses: f.NumClasses, numFeat: f.NumFeatures}, nil
 }
 
 // PredictTreePrecoded returns tree t's class for a precoded vector

@@ -56,7 +56,12 @@ func compileForest64(f *rf.Forest, enc func(split float64) int64) ([]tree64, err
 type Float64Engine struct {
 	trees      []tree64
 	numClasses int
+	numFeat    int
 }
+
+// NumFeatures returns the input dimensionality the engine was compiled
+// for.
+func (e *Float64Engine) NumFeatures() int { return e.numFeat }
 
 // NewFloat64 compiles a forest into a Float64Engine. Split values widen
 // exactly from float32 to float64, so predictions agree with the float32
@@ -66,7 +71,7 @@ func NewFloat64(f *rf.Forest) (*Float64Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Float64Engine{trees: trees, numClasses: f.NumClasses}, nil
+	return &Float64Engine{trees: trees, numClasses: f.NumClasses, numFeat: f.NumFeatures}, nil
 }
 
 // PredictTree64 returns tree t's class for a float64 feature vector.
@@ -112,7 +117,12 @@ func (e *Float64Engine) Name() string { return "float64" }
 type FLInt64Engine struct {
 	trees      []tree64
 	numClasses int
+	numFeat    int
 }
+
+// NumFeatures returns the input dimensionality the engine was compiled
+// for.
+func (e *FLInt64Engine) NumFeatures() int { return e.numFeat }
 
 // NewFLInt64 compiles a forest into a FLInt64Engine.
 func NewFLInt64(f *rf.Forest) (*FLInt64Engine, error) {
@@ -120,7 +130,7 @@ func NewFLInt64(f *rf.Forest) (*FLInt64Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FLInt64Engine{trees: trees, numClasses: f.NumClasses}, nil
+	return &FLInt64Engine{trees: trees, numClasses: f.NumClasses, numFeat: f.NumFeatures}, nil
 }
 
 // PredictTreeEncoded returns tree t's class for a pre-encoded vector

@@ -15,7 +15,12 @@ import (
 type SoftFloatEngine struct {
 	trees      []tree
 	numClasses int
+	numFeat    int
 }
+
+// NumFeatures returns the input dimensionality the engine was compiled
+// for.
+func (e *SoftFloatEngine) NumFeatures() int { return e.numFeat }
 
 // NewSoftFloat compiles a forest into a SoftFloatEngine.
 func NewSoftFloat(f *rf.Forest) (*SoftFloatEngine, error) {
@@ -25,7 +30,7 @@ func NewSoftFloat(f *rf.Forest) (*SoftFloatEngine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &SoftFloatEngine{trees: trees, numClasses: f.NumClasses}, nil
+	return &SoftFloatEngine{trees: trees, numClasses: f.NumClasses, numFeat: f.NumFeatures}, nil
 }
 
 func mustBits(s float32) uint32 {

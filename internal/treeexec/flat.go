@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"flint/internal/core"
 	"flint/internal/ieee754"
@@ -98,8 +99,16 @@ type FlatForestEngine struct {
 	numFeatures int
 	// interleave is the batch kernel's cursor count (1, 2, 4 or 8),
 	// selected at construction from the calibrated gates and the arena
-	// footprint; SetInterleave and CalibrateInterleave override it.
-	interleave int
+	// footprint; SetInterleave and CalibrateInterleave override it. It
+	// is atomic because recalibration (Batcher.Recalibrate on sampled
+	// traffic, or an explicit CalibrateInterleaveRows) may install a new
+	// width while Batcher workers are mid-batch: every width produces
+	// identical predictions, so a worker racing the store merely finishes
+	// its block at the old width.
+	interleave atomic.Int32
+	// calibSource records where the current width came from (see the
+	// calibSource* constants); CalibrationSource decodes it for reports.
+	calibSource atomic.Int32
 }
 
 // NewFlat compiles a validated forest into a single-arena engine for the
@@ -124,7 +133,7 @@ func NewFlat(f *rf.Forest, v FlatVariant) (*FlatForestEngine, error) {
 			if err := e.buildCompact(f, cuts); err != nil {
 				return nil, err
 			}
-			e.interleave = CurrentInterleaveGates().widthFor(e.variant, e.ArenaBytes())
+			e.interleave.Store(int32(CurrentInterleaveGates().widthFor(e.variant, e.ArenaBytes())))
 			return e, nil
 		}
 	}
@@ -189,7 +198,7 @@ func NewFlat(f *rf.Forest, v FlatVariant) (*FlatForestEngine, error) {
 			})
 		}
 	}
-	e.interleave = CurrentInterleaveGates().widthFor(e.variant, e.ArenaBytes())
+	e.interleave.Store(int32(CurrentInterleaveGates().widthFor(e.variant, e.ArenaBytes())))
 	return e, nil
 }
 
@@ -465,6 +474,15 @@ func (e *FlatForestEngine) newScratch() *flatScratch {
 // leaf-free arena already provides. See ROADMAP for the SIMD/lock-step
 // follow-on.
 func (e *FlatForestEngine) predictBlock(rows [][]float32, out []int32, s *flatScratch) {
+	e.predictBlockWidth(rows, out, s, int(e.interleave.Load()))
+}
+
+// predictBlockWidth is predictBlock at an explicit interleave width,
+// bypassing the engine's atomic width field. It exists so calibration
+// (timeWidths) can time every candidate width without mutating shared
+// engine state while Batcher workers are in flight; the serving path
+// loads the atomic once per block and funnels through here.
+func (e *FlatForestEngine) predictBlockWidth(rows [][]float32, out []int32, s *flatScratch, width int) {
 	nf := e.numFeatures
 	nc := e.numClasses
 	switch {
@@ -481,9 +499,9 @@ func (e *FlatForestEngine) predictBlock(rows [][]float32, out []int32, s *flatSc
 			out[b] = rf.Argmax(votes)
 		}
 	case e.variant == FlatCompact:
-		e.predictBlockCompact(rows, out, s)
-	case e.variant == FlatFLInt && e.interleave >= 2:
-		e.predictBlockFLIntWide(rows, out, s)
+		e.predictBlockCompact(rows, out, s, width)
+	case e.variant == FlatFLInt && width >= 2:
+		e.predictBlockFLIntWide(rows, out, s, width)
 	default:
 		for b, x := range rows {
 			out[b] = e.predictOneInto(core.EncodeFeatures32(s.enc[0:0:nf], x), s)
@@ -534,6 +552,19 @@ func normWorkers(workers, jobs int) int {
 	return workers
 }
 
+// checkRows panics when any row's length differs from the engine's
+// feature width (the shared rowWidthError loop, surfaced as a panic).
+// Every batch entry calls it in the caller's goroutine, where the panic
+// is recoverable and carries the offending index — the same fail-fast
+// pattern as the nil-engine guards. Without it a short row would index
+// out of range inside a worker goroutine, which no caller can recover,
+// killing the whole process.
+func (e *FlatForestEngine) checkRows(entry string, rows [][]float32) {
+	if err := rowWidthError(e.numFeatures, rows); err != nil {
+		panic(fmt.Sprintf("treeexec: %s: %v", entry, err))
+	}
+}
+
 // PredictBatch classifies all rows with the blocked kernel, spawning up
 // to workers goroutines for this call that claim blocks of block rows
 // from a shared cursor. Zero or negative workers selects GOMAXPROCS,
@@ -541,13 +572,14 @@ func normWorkers(workers, jobs int) int {
 // is capped at the number of blocks. The result is written into out
 // when it has sufficient capacity; otherwise a new slice is allocated.
 // For steady-state serving without per-call worker spawning, use a
-// Batcher. Calling on a nil engine panics immediately in the caller's
-// goroutine (a clear error instead of an unrecoverable panic inside a
-// spawned worker).
+// Batcher. Calling on a nil engine, or with a row whose length is not
+// NumFeatures, panics immediately in the caller's goroutine (a clear
+// error instead of an unrecoverable panic inside a spawned worker).
 func (e *FlatForestEngine) PredictBatch(rows [][]float32, out []int32, workers, block int) []int32 {
 	if isNilEngine(e) {
 		panic("treeexec: PredictBatch on nil engine")
 	}
+	e.checkRows("PredictBatch", rows)
 	if cap(out) < len(rows) {
 		out = make([]int32, len(rows))
 	}
@@ -615,10 +647,19 @@ type batchJob struct {
 // steady state stays allocation-free), and the shared workers drain
 // blocks from every in-flight call as they arrive instead of serializing
 // whole batches behind a lock.
+//
+// Unless disabled at construction, the Batcher also maintains a
+// reservoir sample of the rows it serves (pre-allocated storage, one
+// atomic add per call plus a short mutex on every sampled row, so the
+// zero-alloc steady state is preserved). The sample feeds Recalibrate —
+// re-timing the engine's interleave width on measured traffic instead
+// of synthetic rows — and SampleSnapshot, whose rows SaveCalibration
+// can persist so the next deployment warm-starts from real traffic.
 type Batcher struct {
 	e       *FlatForestEngine
 	block   int
 	workers int
+	sample  *rowReservoir // nil when sampling is disabled
 	jobs    chan batchJob
 
 	// tokens recycles per-call completion WaitGroups so concurrent
@@ -633,9 +674,22 @@ type Batcher struct {
 	closed  bool
 }
 
+// DefaultReservoirRows is the traffic-reservoir capacity NewBatcher
+// enables: enough rows for a stable interleave timing block (see
+// minTimingRows) at a few hundred KB of storage for typical feature
+// counts.
+const DefaultReservoirRows = 256
+
+// DefaultSampleStride is the decimation NewBatcher applies to reservoir
+// sampling: one served row in every DefaultSampleStride is considered
+// for admission, bounding the sampling cost (and its mutex) to a small
+// fraction of the Predict path.
+const DefaultSampleStride = 32
+
 // NewBatcher starts a pool of workers goroutines processing blocks of
-// block rows. Zero or negative workers selects GOMAXPROCS, zero or
-// negative block selects DefaultBlockRows (the same clamping as
+// block rows, with traffic-reservoir sampling enabled at the default
+// capacity and stride. Zero or negative workers selects GOMAXPROCS,
+// zero or negative block selects DefaultBlockRows (the same clamping as
 // PredictBatch). Close releases the pool.
 //
 // A nil engine panics here, in the caller's goroutine, where it can be
@@ -643,6 +697,16 @@ type Batcher struct {
 // working-looking Batcher whose workers die unrecoverably on their
 // first scratch allocation.
 func NewBatcher(e *FlatForestEngine, workers, block int) *Batcher {
+	return NewBatcherSampled(e, workers, block, DefaultReservoirRows, DefaultSampleStride)
+}
+
+// NewBatcherSampled is NewBatcher with explicit reservoir parameters:
+// capacity is the sample size held (negative disables sampling
+// entirely; zero selects DefaultReservoirRows) and stride the
+// decimation (one served row in every stride is considered; <= 0
+// selects DefaultSampleStride). Reservoir storage is allocated here,
+// once, so sampling keeps the steady state at zero allocations per op.
+func NewBatcherSampled(e *FlatForestEngine, workers, block, capacity, stride int) *Batcher {
 	if isNilEngine(e) {
 		panic("treeexec: NewBatcher on nil engine")
 	}
@@ -653,6 +717,15 @@ func NewBatcher(e *FlatForestEngine, workers, block int) *Batcher {
 		workers: workers,
 		jobs:    make(chan batchJob, workers*4),
 		tokens:  make(chan *sync.WaitGroup, 4*workers),
+	}
+	if capacity >= 0 {
+		if capacity == 0 {
+			capacity = DefaultReservoirRows
+		}
+		if stride <= 0 {
+			stride = DefaultSampleStride
+		}
+		b.sample = newRowReservoir(capacity, e.numFeatures, uint64(stride))
 	}
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -674,13 +747,16 @@ func (b *Batcher) Workers() int { return b.workers }
 // safe and interleave block-by-block over the shared worker pool;
 // calling after Close panics — for every batch shape, including the
 // empty one, so a misuse surfaces on the first call rather than the
-// first non-empty one.
+// first non-empty one. A row whose length is not the engine's
+// NumFeatures panics here, in the caller's goroutine, where it is
+// recoverable — previously it killed the process from inside a worker.
 func (b *Batcher) Predict(rows [][]float32, out []int32) []int32 {
 	b.closeMu.RLock()
 	defer b.closeMu.RUnlock()
 	if b.closed {
 		panic("treeexec: Batcher.Predict called after Close")
 	}
+	b.e.checkRows("Batcher.Predict", rows)
 	if cap(out) < len(rows) {
 		out = make([]int32, len(rows))
 	}
@@ -688,6 +764,7 @@ func (b *Batcher) Predict(rows [][]float32, out []int32) []int32 {
 	if len(rows) == 0 {
 		return out
 	}
+	b.sample.observe(rows)
 	var done *sync.WaitGroup
 	select {
 	case done = <-b.tokens:
@@ -719,4 +796,41 @@ func (b *Batcher) Close() {
 		b.closed = true
 		close(b.jobs)
 	}
+}
+
+// Engine returns the engine the pool serves — e.g. to persist its
+// calibration alongside a SampleSnapshot.
+func (b *Batcher) Engine() *FlatForestEngine { return b.e }
+
+// SampleStats reports the traffic reservoir's fill level and the total
+// rows observed on the Predict path ((0, 0) when sampling is disabled).
+func (b *Batcher) SampleStats() (sampled int, seen uint64) { return b.sample.stats() }
+
+// SampleSnapshot returns a copy of the reservoir's current rows — a
+// uniform sample of served traffic — or nil when sampling is disabled
+// or nothing has been served. Safe to call while Predict traffic flows;
+// the snapshot allocates, so keep it off the per-request path.
+func (b *Batcher) SampleSnapshot() [][]float32 { return b.sample.snapshot() }
+
+// SeedSample pre-populates the traffic reservoir, typically with the
+// Rows of a persisted CalibrationRecord, so a freshly started Batcher
+// can Recalibrate on the previous deployment's measured traffic before
+// its own sample fills. Rows of the wrong width are skipped; the number
+// accepted is returned (0 when sampling is disabled).
+func (b *Batcher) SeedSample(rows [][]float32) int { return b.sample.seedRows(rows) }
+
+// Recalibrate re-times the engine's interleave width on the reservoir's
+// sampled traffic (falling back to rows synthesized from the engine's
+// split tables while the reservoir is empty or sampling is disabled)
+// and installs the winner, returning it. The whole pass costs roughly
+// budget wall time (<= 0 selects the CalibrateInterleaveRows default).
+//
+// It is safe while Predict traffic is in flight: candidate widths are
+// timed through an explicit-width kernel without touching shared engine
+// state, and the winner lands in one atomic store — workers racing the
+// store finish their current block at the old width and pick up the new
+// one on the next. Call it periodically (or after traffic shifts) to
+// keep the width matched to the distribution actually served.
+func (b *Batcher) Recalibrate(budget time.Duration) int {
+	return b.e.CalibrateInterleaveRows(b.sample.snapshot(), budget)
 }

@@ -495,15 +495,14 @@ func (e *FlatForestEngine) finishCompact(q []uint16, base, rel int) int32 {
 }
 
 // predictBlockCompact classifies one block of rows over the compact
-// arena, quantizing groups of e.interleave rows at a time into s.q
+// arena, quantizing groups of width rows at a time into s.q
 // (feature-major, so each pruned feature's cut segment amortizes across
 // the group — see quantizeBlock) and walking them with the matching
 // interleaved kernel. Lane strides are numPruned, not numFeatures: the
 // walk only ever consults ranks of split-on features.
-func (e *FlatForestEngine) predictBlockCompact(rows [][]float32, out []int32, s *flatScratch) {
+func (e *FlatForestEngine) predictBlockCompact(rows [][]float32, out []int32, s *flatScratch, width int) {
 	nq := e.numPruned
 	nc := e.numClasses
-	width := e.interleave
 	b := 0
 	if width >= 8 {
 		var q8 [8][]uint16

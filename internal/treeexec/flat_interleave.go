@@ -31,17 +31,25 @@ var interleaveWidths = [4]int{1, 2, 4, 8}
 // wider interleaved walk wins on this host, one set per interleaving
 // arena layout. A threshold of math.MaxInt disables that width. The zero
 // value is not meaningful; use DefaultInterleaveGates or Calibrate.
+// The json tags fix the persistence schema (CalibrationRecord, gate
+// files, BENCH_batch.json) explicitly, consistent with the lowercase
+// field names of the surrounding documents, so a future rename of the
+// Go fields cannot silently break previously persisted records.
 type InterleaveGates struct {
 	// Min2/Min4/Min8 are the smallest arena footprints (bytes) at which
 	// the 2-, 4- and 8-way walks outperform the next narrower one on the
 	// 16-byte AoS arenas (FlatFLInt).
-	Min2, Min4, Min8 int
+	Min2 int `json:"min2"`
+	Min4 int `json:"min4"`
+	Min8 int `json:"min8"`
 	// CompactMin2/CompactMin4/CompactMin8 are the same crossovers for
 	// the 8-byte compact SoA arena, whose quantization overhead and
 	// denser node packing shift them relative to the AoS set. When all
 	// three are zero (a gate table from before the compact set existed),
 	// widthFor falls back to the AoS thresholds.
-	CompactMin2, CompactMin4, CompactMin8 int
+	CompactMin2 int `json:"compact_min2"`
+	CompactMin4 int `json:"compact_min4"`
+	CompactMin8 int `json:"compact_min8"`
 }
 
 // DefaultInterleaveGates are the static thresholds used until Calibrate
@@ -128,12 +136,14 @@ func (e *FlatForestEngine) ArenaNodes() int {
 
 // Interleave returns the batch kernel's current cursor count (1, 2, 4
 // or 8).
-func (e *FlatForestEngine) Interleave() int { return e.interleave }
+func (e *FlatForestEngine) Interleave() int { return int(e.interleave.Load()) }
 
 // SetInterleave forces the batch kernel's cursor count, bypassing the
 // calibrated gates; the requested width is rounded down to the nearest
 // supported one (1, 2, 4, 8) and returned. Only the FLInt and compact
-// kernels interleave; other variants ignore the setting.
+// kernels interleave; other variants ignore the setting. The width is
+// installed atomically, so calling while Batcher workers are in flight
+// is safe (in-flight blocks finish at the old width).
 func (e *FlatForestEngine) SetInterleave(width int) int {
 	w := 1
 	for _, c := range interleaveWidths {
@@ -141,8 +151,43 @@ func (e *FlatForestEngine) SetInterleave(width int) int {
 			w = c
 		}
 	}
-	e.interleave = w
+	e.interleave.Store(int32(w))
+	// A forced width is an operator decision, not measurement; without
+	// this the engine would keep reporting whatever evidence backed the
+	// previous width.
+	e.calibSource.Store(calibSourceManual)
 	return w
+}
+
+// Calibration sources for CalibrationSource: where the engine's current
+// interleave width came from.
+const (
+	calibSourceDefault   int32 = iota // construction-time gate table
+	calibSourceSynthetic              // rows synthesized from the split tables
+	calibSourceRows                   // caller-supplied sampled rows
+	calibSourcePersisted              // LoadCalibration record
+	calibSourceManual                 // SetInterleave override
+)
+
+// CalibrationSource names where the engine's current interleave width
+// came from: "default" (the construction-time gate table), "synthetic"
+// (rows synthesized from the engine's own split tables), "rows"
+// (caller-supplied sampled traffic, e.g. a Batcher reservoir),
+// "persisted" (a LoadCalibration record) or "manual" (a SetInterleave
+// override). Benchmark reports record it so a recorded width can be
+// traced to its evidence — or to the lack of it.
+func (e *FlatForestEngine) CalibrationSource() string {
+	switch e.calibSource.Load() {
+	case calibSourceSynthetic:
+		return "synthetic"
+	case calibSourceRows:
+		return "rows"
+	case calibSourcePersisted:
+		return "persisted"
+	case calibSourceManual:
+		return "manual"
+	}
+	return "default"
 }
 
 // CalibrateInterleave times this engine's own batch kernel at every
@@ -164,11 +209,15 @@ func (e *FlatForestEngine) CalibrateInterleave(budget time.Duration) int {
 // ignored; when none remain (or rows is nil) the engine falls back to
 // rows synthesized from its own split tables, so every calibration
 // input spans the arena's actual comparison range and trained walks
-// branch both ways. Only the FLInt and compact kernels interleave;
-// other variants return the current width unchanged.
+// branch both ways. The sample is resized to a bounded timing block
+// (tiny samples replicated up to 64 rows, huge ones decimated evenly
+// down to 256) so every width is timed on its real kernel and the pass
+// stays within budget regardless of sample size. Only the FLInt and
+// compact kernels interleave; other variants return the current width
+// unchanged.
 func (e *FlatForestEngine) CalibrateInterleaveRows(rows [][]float32, budget time.Duration) int {
 	if e.variant != FlatFLInt && e.variant != FlatCompact {
-		return e.interleave
+		return int(e.interleave.Load())
 	}
 	if budget <= 0 {
 		budget = 40 * time.Millisecond
@@ -179,42 +228,115 @@ func (e *FlatForestEngine) CalibrateInterleaveRows(rows [][]float32, budget time
 			sample = append(sample, r)
 		}
 	}
+	source := calibSourceRows
 	if len(sample) == 0 {
-		sample = e.representativeRows(64, 0x9E3779B9)
+		sample = e.representativeRows(minTimingRows, 0x9E3779B9)
+		source = calibSourceSynthetic
 	}
-	e.interleave = e.timeWidths(sample, budget)
-	return e.interleave
+	// A handful of valid rows (e.g. 1–7 from a barely-filled reservoir)
+	// would time the 2/4/8-way kernels on their non-interleaved remainder
+	// paths, making the selected width pure timer noise; replicate the
+	// sample up to a minimum timing block so every width runs its real
+	// kernel. Conversely a huge sample (a whole training set) would make
+	// every warm-up pass walk all of it and blow the budget before a
+	// single width is measured; decimate evenly down to a bounded block,
+	// which preserves the sample's distribution.
+	sample = capRows(replicateRows(sample, minTimingRows), maxTimingRows)
+	w, measured := e.timeWidths(sample, budget)
+	e.interleave.Store(int32(w))
+	if measured {
+		// A budget too small to time even one width returns the
+		// incumbent; recording a source for it would claim evidence
+		// that was never gathered.
+		e.calibSource.Store(source)
+	}
+	return w
 }
 
-// timeWidths times predictBlock over rows at every supported interleave
-// width, spending roughly budget wall time in total, and returns the
-// fastest width. The engine's interleave setting is restored before
-// returning (ties and zero-run widths keep the incumbent).
-func (e *FlatForestEngine) timeWidths(rows [][]float32, budget time.Duration) int {
+// minTimingRows is the smallest row block timeWidths may run: big enough
+// that the widest (8-way) kernel spends its time in the interleaved walk
+// rather than the remainder cascade.
+const minTimingRows = 64
+
+// maxTimingRows bounds the timing block so one predictBlock pass stays
+// well under any reasonable per-width budget slice.
+const maxTimingRows = 256
+
+// replicateRows cycles sample up to at least min rows (reusing the row
+// slice headers — the timing loop only reads them); samples already that
+// large are returned unchanged.
+func replicateRows(sample [][]float32, min int) [][]float32 {
+	if len(sample) == 0 || len(sample) >= min {
+		return sample
+	}
+	out := make([][]float32, 0, min)
+	for i := 0; len(out) < min; i++ {
+		out = append(out, sample[i%len(sample)])
+	}
+	return out
+}
+
+// capRows decimates sample down to at most max rows by taking evenly
+// spaced elements (reusing the row slice headers); samples within the
+// bound are returned unchanged.
+func capRows(sample [][]float32, max int) [][]float32 {
+	if len(sample) <= max {
+		return sample
+	}
+	out := make([][]float32, max)
+	for i := range out {
+		out[i] = sample[i*len(sample)/max]
+	}
+	return out
+}
+
+// timeWidths times the block kernel over rows at every supported
+// interleave width, spending roughly budget wall time in total, and
+// returns the fastest width (on an exact tie the first-measured width
+// wins; the incumbent is returned only when nothing was measured) plus
+// whether any width actually completed a measured run (false means the
+// result is just the incumbent and no timing evidence exists). It never touches
+// the engine's live interleave field — every candidate runs through
+// predictBlockWidth — so timing is safe while Batcher workers serve
+// concurrently. The warm-up run of each width is counted against that
+// width's budget slice (it used to be untimed, so the real cost of a
+// calibration pass could far exceed the caller's budget on arenas where
+// a single block walk is expensive), and once the whole budget is spent
+// no further width even warms up, so the total wall time is bounded by
+// budget plus at most one block pass. A width whose slice the warm-up
+// alone exhausts does not compete: its only sample is cache-cold, and
+// widths time in ascending order, so cold samples systematically favor
+// the later (wider) walks — an undersized budget keeps the incumbent
+// instead of installing a width chosen by cache state.
+func (e *FlatForestEngine) timeWidths(rows [][]float32, budget time.Duration) (width int, measured bool) {
 	out := make([]int32, len(rows))
 	s := e.newScratch()
-	prev := e.interleave
 	per := budget / time.Duration(len(interleaveWidths))
-	best, bestNs := prev, math.MaxFloat64
+	best, bestNs := int(e.interleave.Load()), math.MaxFloat64
+	tstart := time.Now()
 	for _, w := range interleaveWidths {
-		e.interleave = w
-		e.predictBlock(rows, out, s) // warm up
-		var runs int
+		if time.Since(tstart) >= budget {
+			break
+		}
 		start := time.Now()
-		for time.Since(start) < per {
-			e.predictBlock(rows, out, s)
+		e.predictBlockWidth(rows, out, s, w) // warm up, counted
+		warm := time.Since(start)
+		var runs int
+		mstart := time.Now()
+		for time.Since(mstart) < per-warm {
+			e.predictBlockWidth(rows, out, s, w)
 			runs++
 		}
 		if runs == 0 {
 			continue
 		}
-		ns := float64(time.Since(start).Nanoseconds()) / float64(runs)
+		measured = true
+		ns := float64(time.Since(mstart).Nanoseconds()) / float64(runs)
 		if ns < bestNs {
 			best, bestNs = w, ns
 		}
 	}
-	e.interleave = prev
-	return best
+	return best, measured
 }
 
 // Calibrate measures the interleave crossover points on this host, one
@@ -238,9 +360,9 @@ func Calibrate(budget time.Duration) InterleaveGates {
 	compactBest := make([]int, len(sizes))
 	for si, bytes := range sizes {
 		fe := syntheticFLIntEngine(bytes)
-		flintBest[si] = fe.timeWidths(fe.representativeRows(64, uint32(0xB5297A4D+si)), perEngine)
+		flintBest[si], _ = fe.timeWidths(fe.representativeRows(64, uint32(0xB5297A4D+si)), perEngine)
 		ce := syntheticCompactEngine(bytes)
-		compactBest[si] = ce.timeWidths(ce.representativeRows(64, uint32(0x68E31DA4+si)), perEngine)
+		compactBest[si], _ = ce.timeWidths(ce.representativeRows(64, uint32(0x68E31DA4+si)), perEngine)
 	}
 	g := InterleaveGates{}
 	g.Min2, g.Min4, g.Min8 = gatesFromLadder(sizes, flintBest)
@@ -317,8 +439,8 @@ func syntheticFLIntEngine(arenaBytes int) *FlatForestEngine {
 		variant:     FlatFLInt,
 		numClasses:  4,
 		numFeatures: numFeatures,
-		interleave:  1,
 	}
+	e.interleave.Store(1)
 	next := xorshift32(0x2545F491)
 	for t := 0; t < trees; t++ {
 		base := int32(len(e.arena))
@@ -361,8 +483,8 @@ func syntheticCompactEngine(arenaBytes int) *FlatForestEngine {
 		numClasses:  4,
 		numFeatures: numFeatures,
 		numPruned:   numFeatures,
-		interleave:  1,
 	}
+	e.interleave.Store(1)
 	next := xorshift32(0x9E3779B1)
 	e.prunedOrig = make([]int32, numFeatures)
 	e.cutLo = make([]int32, numFeatures+1)
@@ -680,12 +802,11 @@ func (e *FlatForestEngine) finishFLInt(xi []int32, i int32) int32 {
 }
 
 // predictBlockFLIntWide classifies one block with the interleaved FLInt
-// kernel at the engine's calibrated width, cascading 8 -> 4 -> 2 over
-// the remainder so every row but at most one runs interleaved.
-func (e *FlatForestEngine) predictBlockFLIntWide(rows [][]float32, out []int32, s *flatScratch) {
+// kernel at the given width, cascading 8 -> 4 -> 2 over the remainder so
+// every row but at most one runs interleaved.
+func (e *FlatForestEngine) predictBlockFLIntWide(rows [][]float32, out []int32, s *flatScratch, width int) {
 	nf := e.numFeatures
 	nc := e.numClasses
-	width := e.interleave
 	b := 0
 	if width >= 8 {
 		var x8 [8][]int32

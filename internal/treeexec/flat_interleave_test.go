@@ -250,20 +250,195 @@ func TestCalibrateInterleaveRows(t *testing.T) {
 	}
 }
 
+// TestReplicateRows pins the tiny-sample fix: fewer valid rows than a
+// timing block used to run the 2/4/8-way kernels on their
+// non-interleaved remainder paths, making the selected width pure timer
+// noise. Small samples are cycled up to the minimum block; larger
+// samples and the empty sample pass through untouched.
+func TestReplicateRows(t *testing.T) {
+	rows := [][]float32{{1}, {2}, {3}}
+	got := replicateRows(rows, minTimingRows)
+	if len(got) != minTimingRows {
+		t.Fatalf("replicated to %d rows, want %d", len(got), minTimingRows)
+	}
+	for i, r := range got {
+		if &r[0] != &rows[i%3][0] {
+			t.Fatalf("row %d is not a cycled alias of the sample", i)
+		}
+	}
+	if got := replicateRows(nil, minTimingRows); got != nil {
+		t.Errorf("empty sample replicated to %d rows", len(got))
+	}
+	big := make([][]float32, minTimingRows+5)
+	if got := replicateRows(big, minTimingRows); len(got) != len(big) {
+		t.Errorf("large sample resized to %d rows", len(got))
+	}
+}
+
+// TestCapRows pins the huge-sample decimation: a sample past the
+// timing bound is reduced to evenly spaced rows (preserving its
+// distribution), while samples within the bound pass through intact.
+func TestCapRows(t *testing.T) {
+	big := make([][]float32, 10*maxTimingRows)
+	for i := range big {
+		big[i] = []float32{float32(i)}
+	}
+	got := capRows(big, maxTimingRows)
+	if len(got) != maxTimingRows {
+		t.Fatalf("capped to %d rows, want %d", len(got), maxTimingRows)
+	}
+	for i, r := range got {
+		if want := float32(i * len(big) / maxTimingRows); r[0] != want {
+			t.Fatalf("capped row %d = %v, want evenly spaced %v", i, r[0], want)
+		}
+	}
+	if got := capRows(big[:maxTimingRows], maxTimingRows); len(got) != maxTimingRows {
+		t.Errorf("in-bound sample resized to %d rows", len(got))
+	}
+}
+
+// TestCalibrateTinySample feeds fewer rows than the widest kernel's
+// group: calibration must still time real interleaved walks (via
+// replication) and adopt a supported width with intact predictions.
+func TestCalibrateTinySample(t *testing.T) {
+	f, d := trainedForest(t, "magic", 6, 5)
+	for _, v := range []FlatVariant{FlatFLInt, FlatCompact} {
+		e, err := NewFlat(f, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{1, 3, 7} {
+			if w := e.CalibrateInterleaveRows(d.Features[:n], 4*time.Millisecond); w != 1 && w != 2 && w != 4 && w != 8 {
+				t.Fatalf("%v: %d-row calibration chose %d", v, n, w)
+			}
+			if src := e.CalibrationSource(); src != "rows" {
+				t.Errorf("%v: %d-row calibration source = %q, want \"rows\"", v, n, src)
+			}
+		}
+		got := e.PredictBatch(d.Features, nil, 1, 0)
+		for i, x := range d.Features {
+			if got[i] != f.Predict(x) {
+				t.Fatalf("%v row %d diverges after tiny-sample calibration", v, i)
+			}
+		}
+	}
+}
+
+// TestCalibrateBudgetBound pins the warm-up accounting fix: the
+// untimed warm-up run per width used to let a calibration pass far
+// exceed its budget on expensive arenas. With the warm-up counted
+// against each width's slice, the whole pass must stay within ~2x the
+// requested budget.
+func TestCalibrateBudgetBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock budget bounds are meaningless under the race detector's slowdown")
+	}
+	f, d := trainedForest(t, "magic", 7, 6)
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 40 * time.Millisecond
+	start := time.Now()
+	e.CalibrateInterleaveRows(d.Features, budget)
+	if elapsed := time.Since(start); elapsed > 2*budget {
+		t.Errorf("calibration spent %v against a %v budget (> 2x)", elapsed, budget)
+	}
+
+	// A sample far larger than the timing block must not scale the cost:
+	// it is decimated to the bounded block, so the budget still holds.
+	huge := make([][]float32, 0, 50*maxTimingRows)
+	for len(huge) < cap(huge) {
+		huge = append(huge, d.Features[len(huge)%len(d.Features)])
+	}
+	start = time.Now()
+	e.CalibrateInterleaveRows(huge, budget)
+	if elapsed := time.Since(start); elapsed > 2*budget {
+		t.Errorf("huge-sample calibration spent %v against a %v budget (> 2x)", elapsed, budget)
+	}
+	if src := e.CalibrationSource(); src != "rows" {
+		t.Errorf("huge-sample calibration source = %q, want \"rows\"", src)
+	}
+}
+
+// TestCalibrateTinyBudgetBound pins the other end of the budget
+// contract: when a single block pass over a big arena exceeds the whole
+// budget, calibration must stop after that first pass (keeping the
+// incumbent) instead of still warming up every width — the total is
+// bounded by budget plus roughly one pass, not four.
+func TestCalibrateTinyBudgetBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock budget bounds are meaningless under the race detector's slowdown")
+	}
+	e := syntheticFLIntEngine(16 << 20)
+	rows := e.representativeRows(maxTimingRows, 0x7777)
+	out := make([]int32, len(rows))
+	s := e.newScratch()
+	start := time.Now()
+	e.predictBlockWidth(rows, out, s, 1)
+	onePass := time.Since(start)
+
+	budget := onePass / 8 // guaranteed smaller than any single pass
+	if budget <= 0 {
+		budget = 1
+	}
+	incumbent := e.Interleave()
+	start = time.Now()
+	w := e.CalibrateInterleaveRows(rows, budget)
+	elapsed := time.Since(start)
+	if w != incumbent {
+		t.Errorf("starved calibration changed the width to %d", w)
+	}
+	if src := e.CalibrationSource(); src != "default" {
+		t.Errorf("starved calibration claimed source %q without measuring anything", src)
+	}
+	// Generous noise allowance: three passes would exceed it, the
+	// permitted single pass (plus sample prep) stays well under.
+	if elapsed > budget+3*onePass {
+		t.Errorf("starved calibration spent %v (budget %v, one pass %v)", elapsed, budget, onePass)
+	}
+}
+
+// TestCalibrationSourceTransitions walks the source label through its
+// lifecycle: construction-time default, synthetic self-calibration,
+// then sampled rows.
+func TestCalibrationSourceTransitions(t *testing.T) {
+	f, d := trainedForest(t, "wine", 5, 4)
+	e, err := NewFlat(f, FlatFLInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src := e.CalibrationSource(); src != "default" {
+		t.Errorf("fresh engine source = %q, want \"default\"", src)
+	}
+	e.CalibrateInterleave(2 * time.Millisecond)
+	if src := e.CalibrationSource(); src != "synthetic" {
+		t.Errorf("self-calibrated source = %q, want \"synthetic\"", src)
+	}
+	e.CalibrateInterleaveRows(d.Features, 2*time.Millisecond)
+	if src := e.CalibrationSource(); src != "rows" {
+		t.Errorf("row-calibrated source = %q, want \"rows\"", src)
+	}
+	// A forced width is an operator decision, not measurement — the
+	// stale "rows" evidence must not survive the override.
+	e.SetInterleave(1)
+	if src := e.CalibrationSource(); src != "manual" {
+		t.Errorf("forced-width source = %q, want \"manual\"", src)
+	}
+}
+
 // TestSyntheticCompactEngineConsistent guards the Calibrate ladder's
 // compact half: the synthetic SoA arena must be structurally sound —
 // identical predictions at every interleave width.
 func TestSyntheticCompactEngineConsistent(t *testing.T) {
 	e := syntheticCompactEngine(64 << 10)
 	rows := e.representativeRows(48, 0x42)
-	e.interleave = 1
 	s := e.newScratch()
 	want := make([]int32, len(rows))
-	e.predictBlock(rows, want, s)
+	e.predictBlockWidth(rows, want, s, 1)
 	got := make([]int32, len(rows))
 	for _, w := range []int{2, 4, 8} {
-		e.interleave = w
-		e.predictBlock(rows, got, s)
+		e.predictBlockWidth(rows, got, s, w)
 		for i := range got {
 			if got[i] != want[i] {
 				t.Fatalf("width %d row %d: got %d want %d", w, i, got[i], want[i])

@@ -1,0 +1,172 @@
+package treeexec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Calibration persistence closes the serving lifecycle: a deployment
+// samples its traffic (Batcher reservoir), recalibrates on it
+// (Batcher.Recalibrate), and persists the result (SaveCalibration) so
+// the next process — or the same one after a restart — warm-starts from
+// measured gates, width and traffic (LoadCalibration + SeedSample)
+// instead of re-paying the synthetic calibration ladder on rows that
+// only approximate the served distribution.
+
+// ArenaFingerprint identifies the compiled arena a calibration record
+// was measured on: the comparison variant, the inner-node count and the
+// input dimensionality (plus the class count, which pins the vote
+// shape). LoadCalibration rejects a record whose fingerprint does not
+// match the loading engine — a width measured on one arena is
+// meaningless on another.
+type ArenaFingerprint struct {
+	Variant  string `json:"variant"`
+	Nodes    int    `json:"nodes"`
+	Features int    `json:"features"`
+	Classes  int    `json:"classes"`
+}
+
+// Fingerprint returns this engine's arena fingerprint.
+func (e *FlatForestEngine) Fingerprint() ArenaFingerprint {
+	return ArenaFingerprint{
+		Variant:  e.variant.String(),
+		Nodes:    e.ArenaNodes(),
+		Features: e.numFeatures,
+		Classes:  e.numClasses,
+	}
+}
+
+// CalibrationRecord is the persisted calibration state of one engine:
+// the arena fingerprint it was measured on, the host-wide interleave
+// gate table, the engine's chosen width, and optionally a sample of the
+// traffic that width was measured against (a Batcher.SampleSnapshot),
+// so the next deployment can seed its reservoir with real rows.
+type CalibrationRecord struct {
+	Fingerprint ArenaFingerprint `json:"fingerprint"`
+	Gates       InterleaveGates  `json:"gates"`
+	Width       int              `json:"width"`
+	Rows        [][]float32      `json:"rows,omitempty"`
+}
+
+// finiteRow reports whether every value in the row is representable in
+// JSON (no NaN or infinity).
+func finiteRow(row []float32) bool {
+	for _, v := range row {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// SaveCalibration writes the engine's calibration state as an indented
+// JSON CalibrationRecord: fingerprint, the current host-wide gate table
+// (CurrentInterleaveGates), the engine's current interleave width, and
+// the given sample rows — pass a Batcher.SampleSnapshot to persist
+// measured traffic, or nil to persist gates and width alone. Rows whose
+// length is not the engine's feature width, or that contain non-finite
+// values (JSON cannot carry NaN or infinities), are skipped.
+func (e *FlatForestEngine) SaveCalibration(w io.Writer, rows [][]float32) error {
+	rec := CalibrationRecord{
+		Fingerprint: e.Fingerprint(),
+		Gates:       CurrentInterleaveGates(),
+		Width:       int(e.interleave.Load()),
+	}
+	for _, r := range rows {
+		if len(r) == e.numFeatures && finiteRow(r) {
+			rec.Rows = append(rec.Rows, r)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rec)
+}
+
+// validGates reports whether a persisted gate table is structurally
+// sane: no negative thresholds (math.MaxInt — "width disabled" — is
+// valid).
+func validGates(g InterleaveGates) bool {
+	for _, v := range []int{g.Min2, g.Min4, g.Min8, g.CompactMin2, g.CompactMin4, g.CompactMin8} {
+		if v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// LoadCalibration reads a CalibrationRecord written by SaveCalibration,
+// validates it against this engine's arena fingerprint, and installs
+// the persisted width on the engine (atomically, so loading while a
+// Batcher serves is safe). The record is returned so the caller can
+// seed a Batcher's reservoir with its Rows (Batcher.SeedSample) and —
+// when the record was measured on this same hardware — install its
+// gate table host-wide with SetInterleaveGates(rec.Gates). That last
+// step is deliberately left to the caller: installing automatically
+// would let a record carrying another host's (or the never-calibrated
+// default) table silently clobber gates this process already measured.
+//
+// A record measured on a different arena (mismatched fingerprint), an
+// unsupported width, or a malformed gate table is rejected without
+// installing anything.
+func (e *FlatForestEngine) LoadCalibration(r io.Reader) (*CalibrationRecord, error) {
+	var rec CalibrationRecord
+	if err := json.NewDecoder(r).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("treeexec: malformed calibration record: %w", err)
+	}
+	if got, want := rec.Fingerprint, e.Fingerprint(); got != want {
+		return nil, fmt.Errorf("treeexec: calibration fingerprint %+v does not match engine arena %+v", got, want)
+	}
+	switch rec.Width {
+	case 1, 2, 4, 8:
+	default:
+		return nil, fmt.Errorf("treeexec: persisted interleave width %d is not a supported width (1, 2, 4, 8)", rec.Width)
+	}
+	if !validGates(rec.Gates) {
+		return nil, fmt.Errorf("treeexec: persisted gate table has negative thresholds: %+v", rec.Gates)
+	}
+	if (rec.Gates == InterleaveGates{}) {
+		// A missing or zeroed gates field would, if ever installed,
+		// disable interleaving for every engine built afterwards; no
+		// SaveCalibration output ever carries one (disabled widths
+		// persist as math.MaxInt, not 0).
+		return nil, fmt.Errorf("treeexec: persisted record carries no gate table")
+	}
+	e.interleave.Store(int32(rec.Width))
+	e.calibSource.Store(calibSourcePersisted)
+	return &rec, nil
+}
+
+// WriteGatesJSON persists a host-wide gate table alone (no engine
+// fingerprint) — the form command-line tools use to carry Calibrate
+// results across process runs on the same machine.
+func WriteGatesJSON(w io.Writer, g InterleaveGates) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&g)
+}
+
+// ReadGatesJSON reads a gate table written by WriteGatesJSON, rejecting
+// structurally invalid tables. The caller decides whether to install it
+// (SetInterleaveGates). Decoding is strict — unknown fields and the
+// all-zero table are rejected — so pointing a tool's gates flag at some
+// other JSON document errors out instead of silently installing a
+// zero-value table that disables interleaving process-wide (Calibrate
+// never emits zeros: a disabled width is math.MaxInt, not 0).
+func ReadGatesJSON(r io.Reader) (InterleaveGates, error) {
+	var g InterleaveGates
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&g); err != nil {
+		return InterleaveGates{}, fmt.Errorf("treeexec: malformed gate table: %w", err)
+	}
+	if !validGates(g) {
+		return InterleaveGates{}, fmt.Errorf("treeexec: gate table has negative thresholds: %+v", g)
+	}
+	if (g == InterleaveGates{}) {
+		return InterleaveGates{}, fmt.Errorf("treeexec: gate table is all zeros — not a WriteGatesJSON document")
+	}
+	return g, nil
+}

@@ -1,0 +1,234 @@
+package treeexec
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestSaveLoadCalibrationRoundTrip persists an engine's calibration —
+// a gate table with both measured and disabled (MaxInt) thresholds, a
+// forced width, and sampled rows — and loads it into a second engine
+// compiled from the same forest: gates and width must round-trip
+// bit-identically, the rows must survive exactly (float32 JSON encoding
+// is shortest-round-trip), and the loaded engine must report the
+// persisted source.
+func TestSaveLoadCalibrationRoundTrip(t *testing.T) {
+	defer SetInterleaveGates(DefaultInterleaveGates())
+	f, d := trainedForest(t, "magic", 6, 5)
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gates := InterleaveGates{
+		Min2: 123456, Min4: 4 << 20, Min8: math.MaxInt,
+		CompactMin2: 1 << 10, CompactMin4: math.MaxInt, CompactMin8: math.MaxInt,
+	}
+	SetInterleaveGates(gates)
+	e.SetInterleave(4)
+
+	rows := d.Features[:7]
+	var buf bytes.Buffer
+	if err := e.SaveCalibration(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different process: defaults installed, fresh engine, same arena.
+	SetInterleaveGates(DefaultInterleaveGates())
+	e2, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := e2.LoadCalibration(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Gates != gates {
+		t.Errorf("gates did not round-trip: %+v != %+v", rec.Gates, gates)
+	}
+	// Installing the table host-wide is the caller's explicit decision —
+	// LoadCalibration must not clobber this process's gates on its own
+	// (the record could carry another host's, or never-calibrated
+	// default, thresholds).
+	if CurrentInterleaveGates() == gates {
+		t.Errorf("LoadCalibration installed the gate table implicitly")
+	}
+	SetInterleaveGates(rec.Gates)
+	if CurrentInterleaveGates() != gates {
+		t.Errorf("explicit install of the loaded gates failed")
+	}
+	if rec.Width != 4 || e2.Interleave() != 4 {
+		t.Errorf("width = %d (engine %d), want 4", rec.Width, e2.Interleave())
+	}
+	if e2.CalibrationSource() != "persisted" {
+		t.Errorf("calibration source = %q, want \"persisted\"", e2.CalibrationSource())
+	}
+	if len(rec.Rows) != len(rows) {
+		t.Fatalf("%d rows round-tripped, want %d", len(rec.Rows), len(rows))
+	}
+	for i, r := range rec.Rows {
+		for j, v := range r {
+			if math.Float32bits(v) != math.Float32bits(rows[i][j]) {
+				t.Fatalf("row %d[%d] = %x, want bit-identical %x",
+					i, j, math.Float32bits(v), math.Float32bits(rows[i][j]))
+			}
+		}
+	}
+}
+
+// TestLoadCalibrationRejects exercises every rejection path: arena
+// fingerprint mismatches (different forest, different variant of the
+// same forest), unsupported widths, negative gates and malformed JSON —
+// none of which may install anything.
+func TestLoadCalibrationRejects(t *testing.T) {
+	defer SetInterleaveGates(DefaultInterleaveGates())
+	f, _ := trainedForest(t, "magic", 6, 5)
+	other, _ := trainedForest(t, "wine", 5, 4)
+
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec bytes.Buffer
+	if err := e.SaveCalibration(&rec, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	load := func(t *testing.T, target *FlatForestEngine, doc string) error {
+		t.Helper()
+		before := CurrentInterleaveGates()
+		width := target.Interleave()
+		_, err := target.LoadCalibration(strings.NewReader(doc))
+		if err != nil {
+			if CurrentInterleaveGates() != before {
+				t.Errorf("rejected load still installed gates")
+			}
+			if target.Interleave() != width {
+				t.Errorf("rejected load still changed the width")
+			}
+		}
+		return err
+	}
+
+	oe, err := NewFlat(other, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := load(t, oe, rec.String()); err == nil {
+		t.Error("record for another forest's arena accepted")
+	}
+	fe, err := NewFlat(f, FlatFLInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := load(t, fe, rec.String()); err == nil {
+		t.Error("record for another variant of the same forest accepted")
+	}
+
+	badWidth := strings.Replace(rec.String(), `"width": `+itoa(e.Interleave()), `"width": 3`, 1)
+	if err := load(t, e, badWidth); err == nil {
+		t.Error("unsupported width 3 accepted")
+	}
+	badGates := strings.Replace(rec.String(), `"min2": `, `"min2": -`, 1)
+	if err := load(t, e, badGates); err == nil {
+		t.Error("negative gate threshold accepted")
+	}
+	// A record with a missing gates field decodes as the all-zero table,
+	// which would silently disable interleaving for every engine built
+	// afterwards; it must be rejected like ReadGatesJSON rejects it.
+	var dropped struct {
+		Fingerprint ArenaFingerprint `json:"fingerprint"`
+		Width       int              `json:"width"`
+	}
+	if err := json.Unmarshal([]byte(rec.String()), &dropped); err != nil {
+		t.Fatal(err)
+	}
+	noGates, err := json.Marshal(dropped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := load(t, e, string(noGates)); err == nil {
+		t.Error("record without a gate table accepted")
+	}
+	if err := load(t, e, "{broken"); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func itoa(v int) string {
+	switch v {
+	case 1:
+		return "1"
+	case 2:
+		return "2"
+	case 4:
+		return "4"
+	}
+	return "8"
+}
+
+// TestSaveCalibrationFiltersRows pins the save-side row filter: rows of
+// the wrong width and rows carrying NaN/Inf (unrepresentable in JSON)
+// are dropped instead of failing the whole save.
+func TestSaveCalibrationFiltersRows(t *testing.T) {
+	f, d := trainedForest(t, "wine", 4, 3)
+	e, err := NewFlat(f, FlatFLInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nan := append([]float32(nil), d.Features[0]...)
+	nan[0] = float32(math.NaN())
+	inf := append([]float32(nil), d.Features[1]...)
+	inf[1] = float32(math.Inf(1))
+	rows := [][]float32{d.Features[2], {1, 2}, nan, inf, d.Features[3]}
+
+	var buf bytes.Buffer
+	if err := e.SaveCalibration(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := e.LoadCalibration(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Rows) != 2 {
+		t.Fatalf("%d rows persisted, want 2 (malformed and non-finite dropped)", len(rec.Rows))
+	}
+}
+
+// TestGatesJSONRoundTrip covers the host-wide gates-only persistence
+// the CLI uses, including MaxInt (disabled-width) thresholds and the
+// rejection of negative tables.
+func TestGatesJSONRoundTrip(t *testing.T) {
+	g := InterleaveGates{
+		Min2: 1 << 20, Min4: math.MaxInt, Min8: math.MaxInt,
+		CompactMin2: 256 << 10, CompactMin4: 4 << 20, CompactMin8: 16 << 20,
+	}
+	var buf bytes.Buffer
+	if err := WriteGatesJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGatesJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != g {
+		t.Errorf("gates round trip = %+v, want %+v", back, g)
+	}
+	if _, err := ReadGatesJSON(strings.NewReader(`{"min2": -5}`)); err == nil {
+		t.Error("negative gate table accepted")
+	}
+	if _, err := ReadGatesJSON(strings.NewReader("nope")); err == nil {
+		t.Error("malformed gate table accepted")
+	}
+	// Wrong-file safety: another tool's JSON (unknown fields) or an
+	// empty object (all-zero table, which would silently disable
+	// interleaving everywhere) must be rejected, not installed.
+	if _, err := ReadGatesJSON(strings.NewReader(`{"config": {"rows": 600}}`)); err == nil {
+		t.Error("foreign JSON document accepted as a gate table")
+	}
+	if _, err := ReadGatesJSON(strings.NewReader(`{}`)); err == nil {
+		t.Error("all-zero gate table accepted")
+	}
+}

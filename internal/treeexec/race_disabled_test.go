@@ -1,0 +1,5 @@
+//go:build !race
+
+package treeexec
+
+const raceEnabled = false

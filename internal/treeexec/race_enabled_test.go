@@ -1,0 +1,8 @@
+//go:build race
+
+package treeexec
+
+// raceEnabled lets wall-clock-sensitive tests skip under the race
+// detector, whose 5-20x slowdown makes real-time budget bounds
+// meaningless.
+const raceEnabled = true

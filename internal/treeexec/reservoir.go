@@ -1,0 +1,168 @@
+package treeexec
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// rowReservoir maintains a fixed-capacity uniform random sample of the
+// rows a Batcher serves, so recalibration (and calibration persistence)
+// can replay measured production traffic instead of synthetic rows.
+//
+// The sampling scheme is Vitter's Algorithm R over a stride-decimated
+// view of the served stream: each stream position is "considered" with
+// independent probability 1/stride — decided by a stateless hash of the
+// position itself, so concurrent callers share no cursor and nothing
+// can stall or double-count — the first capacity considered rows fill
+// the reservoir, and each later considered row t replaces a uniformly
+// random slot with probability capacity/t. Decimation keeps the Predict
+// path cheap: one atomic add per call reserves the position range, the
+// per-row cost is a few arithmetic ops, and the mutex plus the row copy
+// are paid only on the (~1/stride) considered rows. The hash decision
+// (rather than fixed stride multiples) matters: a fixed phase aliases
+// with batch-aligned traffic — e.g. 256-row request batches under
+// stride 32 would only ever consider within-batch offsets 0,32,...,224,
+// so rows whose content correlates with batch position (tail-appended
+// outliers, say) would never be sampled.
+//
+// All row storage is pre-allocated at construction (capacity x features
+// float32 slots), and admission copies into a slot in place, so sampling
+// never allocates and the Batcher's zero-allocs-per-op steady state
+// survives with sampling enabled.
+type rowReservoir struct {
+	capacity int
+	features int
+	stride   uint64
+
+	// seen counts every row offered on the Predict path. One atomic add
+	// per Predict call reserves the call's position range, so concurrent
+	// callers own disjoint ranges and never consider a position twice.
+	seen atomic.Uint64
+
+	mu         sync.Mutex
+	data       []float32 // capacity contiguous feature-vector slots
+	filled     int       // slots holding a sampled row
+	considered uint64    // Algorithm R's stream index t
+	rng        uint64    // xorshift64 state, guarded by mu
+}
+
+func newRowReservoir(capacity, features int, stride uint64) *rowReservoir {
+	if stride == 0 {
+		stride = 1
+	}
+	return &rowReservoir{
+		capacity: capacity,
+		features: features,
+		stride:   stride,
+		data:     make([]float32, capacity*features),
+		rng:      0x9E3779B97F4A7C15,
+	}
+}
+
+// nextRand advances the xorshift64 state; callers hold mu.
+func (r *rowReservoir) nextRand() uint64 {
+	x := r.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.rng = x
+	return x
+}
+
+// splitmix64 is a stateless position hash (the SplitMix64 finalizer):
+// it turns a stream position into the independent considered/skip
+// decision, so the fast path touches no shared mutable randomness.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// observe offers a batch of rows (already validated to the reservoir's
+// feature width). Nil receivers and empty batches are no-ops, so the
+// caller needs no sampling-enabled branch. Each position is considered
+// independently (hash residue test), so the per-row cost is a handful
+// of integer ops — negligible against the forest walk each row pays.
+func (r *rowReservoir) observe(rows [][]float32) {
+	if r == nil || len(rows) == 0 {
+		return
+	}
+	end := r.seen.Add(uint64(len(rows)))
+	start := end - uint64(len(rows))
+	for pos := start; pos < end; pos++ {
+		if splitmix64(pos)%r.stride == 0 {
+			r.admit(rows[pos-start])
+		}
+	}
+}
+
+// admit runs one Algorithm R step for a considered row, copying it into
+// its slot when selected.
+func (r *rowReservoir) admit(row []float32) {
+	r.mu.Lock()
+	r.considered++
+	slot := -1
+	if r.filled < r.capacity {
+		slot = r.filled
+		r.filled++
+	} else if j := r.nextRand() % r.considered; j < uint64(r.capacity) {
+		slot = int(j)
+	}
+	if slot >= 0 {
+		copy(r.data[slot*r.features:(slot+1)*r.features], row)
+	}
+	r.mu.Unlock()
+}
+
+// snapshot returns a deep copy of the sampled rows, safe to read while
+// sampling continues. It allocates; callers are off the serving path
+// (recalibration, persistence).
+func (r *rowReservoir) snapshot() [][]float32 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.filled == 0 {
+		return nil
+	}
+	backing := make([]float32, r.filled*r.features)
+	copy(backing, r.data[:r.filled*r.features])
+	rows := make([][]float32, r.filled)
+	for i := range rows {
+		rows[i] = backing[i*r.features : (i+1)*r.features]
+	}
+	return rows
+}
+
+// stats returns the current fill level and the total rows observed.
+func (r *rowReservoir) stats() (sampled int, seen uint64) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	sampled = r.filled
+	r.mu.Unlock()
+	return sampled, r.seen.Load()
+}
+
+// seedRows pre-populates the reservoir with rows of the right width
+// (e.g. the persisted sample of a previous deployment), running each
+// through the same Algorithm R step as live traffic so a seed larger
+// than the capacity still yields a uniform sample. Returns how many rows
+// were accepted into the considered stream.
+func (r *rowReservoir) seedRows(rows [][]float32) int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, row := range rows {
+		if len(row) != r.features {
+			continue
+		}
+		r.admit(row)
+		n++
+	}
+	return n
+}
