@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	mrand "math/rand"
 	"runtime"
 	"sync"
 	"testing"
@@ -640,16 +641,23 @@ func BenchmarkBatchThroughput(b *testing.B) {
 			for _, arena := range []struct {
 				tag string
 				e   *treeexec.FlatForestEngine
-			}{{"blocked", flat}, {"compact", compact}} {
+				k   treeexec.Kernel
+			}{
+				{"blocked", flat, treeexec.KernelBranchy},
+				{"compact", compact, treeexec.KernelBranchy},
+				{"compact-fused", compact, treeexec.KernelFused},
+			} {
 				arena := arena
-				// Forced interleave widths expose the 2/4/8-way walks
+				// Forced interleave widths and kernels expose the
+				// 2/4/8-way walks and the branchy-vs-fused gap
 				// individually; serving code normally leaves the
-				// calibrated gate in charge.
+				// calibrated gate in charge. (SetKernel is a no-op on
+				// the AoS arena, which has no fused form.)
 				for _, width := range []int{1, 2, 4, 8} {
 					width := width
-					arena.e.SetInterleave(width)
 					b.Run(fmt.Sprintf("%s/%s/x%d/w%d", ds, arena.tag, width, w), func(b *testing.B) {
 						arena.e.SetInterleave(width)
+						arena.e.SetKernel(arena.k)
 						b.ReportAllocs()
 						out := make([]int32, len(rows))
 						b.ResetTimer()
@@ -666,6 +674,7 @@ func BenchmarkBatchThroughput(b *testing.B) {
 			}{{"batcher", flat}, {"batcher-compact", compact}} {
 				arena := arena
 				b.Run(fmt.Sprintf("%s/%s/w%d", ds, arena.tag, w), func(b *testing.B) {
+					arena.e.SetKernel(treeexec.KernelAuto) // clear the A/B pin
 					arena.e.CalibrateInterleave(20 * time.Millisecond)
 					pool := treeexec.NewBatcher(arena.e, w, 0)
 					defer pool.Close()
@@ -681,6 +690,105 @@ func BenchmarkBatchThroughput(b *testing.B) {
 			}
 		}
 	}
+
+	// Mispredict-hostile workload: a random roughly-balanced forest with
+	// depth-20 paths, uniform split thresholds and uniform rows, so
+	// every node comparison is close to a coin flip no predictor can
+	// learn — the regime the branchy walk pays a pipeline flush per
+	// level in and the fused walk converts into data dependencies. The
+	// trained workloads above have skewed, learnable branches that mute
+	// this gap; this one makes the branchy-vs-fused trade visible
+	// in-tree.
+	hostile := randomBalancedForest(24, 20, 7)
+	hostileRows := uniformRows(512, hostile.NumFeatures, 8)
+	hflat, err := treeexec.NewFlat(hostile, treeexec.FlatFLInt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hcompact, err := treeexec.NewFlat(hostile, treeexec.FlatCompact)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if hcompact.Variant() != treeexec.FlatCompact {
+		b.Fatalf("hostile forest fell back to %v", hcompact.Variant())
+	}
+	reportHostileRows := func(b *testing.B) {
+		b.ReportMetric(float64(len(hostileRows))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	}
+	for _, arena := range []struct {
+		tag string
+		e   *treeexec.FlatForestEngine
+		k   treeexec.Kernel
+	}{
+		{"blocked", hflat, treeexec.KernelBranchy},
+		{"compact", hcompact, treeexec.KernelBranchy},
+		{"compact-fused", hcompact, treeexec.KernelFused},
+	} {
+		arena := arena
+		for _, width := range []int{1, 2, 4, 8} {
+			width := width
+			b.Run(fmt.Sprintf("hostile/%s/x%d/w1", arena.tag, width), func(b *testing.B) {
+				arena.e.SetInterleave(width)
+				arena.e.SetKernel(arena.k)
+				b.ReportAllocs()
+				out := make([]int32, len(hostileRows))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out = arena.e.PredictBatch(hostileRows, out, 1, 0)
+				}
+				reportHostileRows(b)
+			})
+		}
+	}
+}
+
+// randomBalancedForest grows a forest for the mispredict-hostile bench:
+// roughly balanced random trees (a dense top, then leaves with fixed
+// probability, paths capped at maxDepth) whose split thresholds are
+// uniform in [0, 1) over random features — against uniform rows every
+// comparison is ~50/50, the branch pattern pure noise.
+func randomBalancedForest(trees, maxDepth int, seed int64) *rf.Forest {
+	const numFeatures = 16
+	const numClasses = 4
+	rng := mrand.New(mrand.NewSource(seed))
+	out := make([]rf.Tree, trees)
+	for t := range out {
+		var nodes []rf.Node
+		var grow func(d int) int32
+		grow = func(d int) int32 {
+			me := int32(len(nodes))
+			if d >= maxDepth || (d > 4 && rng.Float64() < 0.35) {
+				nodes = append(nodes, rf.Node{Feature: rf.LeafFeature, Class: int32(rng.Intn(numClasses))})
+				return me
+			}
+			nodes = append(nodes, rf.Node{
+				Feature: int32(rng.Intn(numFeatures)),
+				Split:   rng.Float32(),
+			})
+			l := grow(d + 1)
+			r := grow(d + 1)
+			nodes[me].Left, nodes[me].Right = l, r
+			return me
+		}
+		grow(0)
+		out[t] = rf.Tree{Nodes: nodes}
+	}
+	return &rf.Forest{NumFeatures: numFeatures, NumClasses: numClasses, Trees: out}
+}
+
+// uniformRows synthesizes n feature vectors uniform in [0, 1) — the
+// distribution randomBalancedForest's thresholds are drawn from.
+func uniformRows(n, numFeatures int, seed int64) [][]float32 {
+	rng := mrand.New(mrand.NewSource(seed))
+	rows := make([][]float32, n)
+	for i := range rows {
+		r := make([]float32, numFeatures)
+		for j := range r {
+			r[j] = rng.Float32()
+		}
+		rows[i] = r
+	}
+	return rows
 }
 
 // TestBenchInfraSanity keeps the sweep entry points compiling and honest:

@@ -17,7 +17,9 @@
 //	flintbench -grid quick -backends interp,cc
 //	flintbench -grid quick -backends sim -csv out/
 //	flintbench -batchjson BENCH_batch.json
+//	flintbench -batchjson BENCH_fused.json -kernel fused
 //	flintbench -trenddiff old/BENCH_batch.json BENCH_batch.json
+//	flintbench -trendhistory run4.json run3.json run2.json run1.json BENCH_batch.json
 package main
 
 import (
@@ -49,7 +51,9 @@ func main() {
 		verbose   = flag.Bool("v", false, "log every measured grid point")
 		batchJSON = flag.String("batchjson", "", "run the short batch-throughput bench (rows/s per arena variant per workload), write JSON to this path and exit")
 		batchRows = flag.Int("batchrows", 0, "dataset rows for -batchjson (0 = 1200)")
+		kernel    = flag.String("kernel", "auto", "compact walk kernel for -batchjson: auto lets calibration pick, branchy|fused pins it for A/B runs (the choice lands in the report's kernel column)")
 		trenddiff = flag.Bool("trenddiff", false, "diff two BENCH_batch.json reports (usage: flintbench -trenddiff old.json new.json), print per-(workload, variant) rows/s deltas and exit")
+		trendhist = flag.Bool("trendhistory", false, "walk a chronological sequence of BENCH_batch.json reports (usage: flintbench -trendhistory oldest.json ... newest.json), print each (workload, variant) cell's rows/s trajectory and exit")
 		gatesFile = flag.String("gates", "", "persist host-wide interleave gates: load and install the gate table from this JSON file when it exists, otherwise calibrate this host and write it")
 	)
 	flag.Parse()
@@ -75,8 +79,18 @@ func main() {
 		return
 	}
 
+	if *trendhist {
+		if flag.NArg() < 2 {
+			log.Fatal("usage: flintbench -trendhistory oldest.json [...] newest.json (at least two reports)")
+		}
+		if err := runTrendHistory(flag.Args()); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	if *batchJSON != "" {
-		if err := runBatchBench(*batchJSON, *batchRows); err != nil {
+		if err := runBatchBench(*batchJSON, *batchRows, *kernel); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -122,7 +136,7 @@ func main() {
 	// quantized 8-byte compact arena, normalized against the same naive
 	// baseline.
 	if rowsArena := bench.Table(res, bench.ImplNaive,
-		[]bench.Impl{bench.ImplFlat, bench.ImplFlatBatch, bench.ImplFlatCompact}); len(rowsArena) > 0 {
+		[]bench.Impl{bench.ImplFlat, bench.ImplFlatBatch, bench.ImplFlatCompact, bench.ImplFlatFused}); len(rowsArena) > 0 {
 		fmt.Println("=== Extension: forest-arena engine ===")
 		if err := bench.WriteTable(os.Stdout, "Arena", rowsArena); err != nil {
 			log.Fatal(err)
@@ -287,8 +301,8 @@ func filterSeries(series []bench.Series, impls ...bench.Impl) []bench.Series {
 // with the arena footprints (bytes/node) that motivate the compact
 // layout. Intended for CI trend tracking; numbers are wall-clock and
 // noisy, so nothing here fails on a slow run.
-func runBatchBench(path string, rows int) error {
-	rep, err := bench.BatchBench{Rows: rows}.Run()
+func runBatchBench(path string, rows int, kernel string) error {
+	rep, err := bench.BatchBench{Rows: rows, Kernel: kernel}.Run()
 	if err != nil {
 		return err
 	}
@@ -303,12 +317,12 @@ func runBatchBench(path string, rows int) error {
 	for _, r := range rep.Results {
 		switch {
 		case r.PrunedFeatures > 0:
-			fmt.Printf("%-12s %-13s %12.0f rows/s  %8d nodes  %4.1f B/node  x%d interleave (%s)  %d/%d split-on features\n",
-				r.Dataset, r.Variant, r.RowsPerSec, r.ArenaNodes, r.BytesPerNode, r.Interleave, r.CalibSource,
+			fmt.Printf("%-12s %-13s %12.0f rows/s  %8d nodes  %4.1f B/node  x%d %s (%s)  %d/%d split-on features\n",
+				r.Dataset, r.Variant, r.RowsPerSec, r.ArenaNodes, r.BytesPerNode, r.Interleave, r.Kernel, r.CalibSource,
 				r.PrunedFeatures, r.NumFeatures)
 		case r.ArenaNodes > 0:
-			fmt.Printf("%-12s %-13s %12.0f rows/s  %8d nodes  %4.1f B/node  x%d interleave (%s)\n",
-				r.Dataset, r.Variant, r.RowsPerSec, r.ArenaNodes, r.BytesPerNode, r.Interleave, r.CalibSource)
+			fmt.Printf("%-12s %-13s %12.0f rows/s  %8d nodes  %4.1f B/node  x%d %s (%s)\n",
+				r.Dataset, r.Variant, r.RowsPerSec, r.ArenaNodes, r.BytesPerNode, r.Interleave, r.Kernel, r.CalibSource)
 		default:
 			fmt.Printf("%-12s %-13s %12.0f rows/s\n", r.Dataset, r.Variant, r.RowsPerSec)
 		}
@@ -341,6 +355,39 @@ func runTrendDiff(oldPath, newPath string) error {
 	}
 	fmt.Printf("batch throughput trend: %s -> %s\n", oldPath, newPath)
 	return bench.WriteTrendDiff(os.Stdout, bench.TrendDiff(oldRep, newRep))
+}
+
+// runTrendHistory aligns a chronological sequence of BENCH_batch.json
+// reports (oldest first; typically the last few CI artifacts plus this
+// run's) and prints each (workload, variant) cell's rows/s trajectory,
+// so drift too slow for any single run-over-run diff is visible.
+// Report-only, like the diff: nothing exits non-zero on a regression.
+func runTrendHistory(paths []string) error {
+	reps := make([]*bench.BatchBenchReport, len(paths))
+	labels := make([]string, len(paths))
+	for i, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		rep, err := bench.ReadBatchBenchJSON(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", path, err)
+		}
+		reps[i] = rep
+		// Short column headers: run-1 is the newest preceding run,
+		// run-N the oldest; the final report is this run's.
+		labels[i] = fmt.Sprintf("run-%d", len(paths)-1-i)
+		if i == len(paths)-1 {
+			labels[i] = "current"
+		}
+	}
+	fmt.Printf("batch throughput trajectory over %d runs (oldest first):\n", len(paths))
+	for i, path := range paths {
+		fmt.Printf("  %s = %s\n", labels[i], path)
+	}
+	return bench.WriteTrendHistory(os.Stdout, labels, bench.TrendHistory(reps))
 }
 
 // printArenaFootprint trains one representative ensemble and prints the

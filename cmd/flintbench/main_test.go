@@ -102,6 +102,42 @@ func TestRunTrendDiff(t *testing.T) {
 	}
 }
 
+// TestRunTrendHistory smoke-tests the -trendhistory walk: a
+// chronological report sequence renders, and a missing or malformed
+// report in the sequence errors instead of printing a partial table.
+func TestRunTrendHistory(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for i, rps := range []float64{100, 105, 120} {
+		path := filepath.Join(dir, []string{"a.json", "b.json", "c.json"}[i])
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = bench.WriteBatchBenchJSON(f, &bench.BatchBenchReport{Results: []bench.BatchBenchRow{
+			{Dataset: "magic", Variant: "flat-compact", RowsPerSec: rps, Kernel: "fused"},
+		}})
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	if err := runTrendHistory(paths); err != nil {
+		t.Errorf("runTrendHistory: %v", err)
+	}
+	if err := runTrendHistory(append(paths, filepath.Join(dir, "missing.json"))); err == nil {
+		t.Error("missing report accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{oops"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTrendHistory([]string{bad, paths[0]}); err == nil {
+		t.Error("malformed report accepted")
+	}
+}
+
 // TestLoadOrCalibrateGates covers the -gates warm-start path: a missing
 // file triggers calibration and persists a loadable table, an existing
 // file installs without recalibrating, and a corrupt file errors

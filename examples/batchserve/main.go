@@ -76,12 +76,14 @@ func main() {
 		float64(engine.ArenaBytes())/float64(engine.ArenaNodes()),
 		engine.PrunedFeatures(), engine.NumFeatures(), engine.Interleave())
 
-	// Sharpen the width on this exact arena using real rows: sampled
+	// Sharpen the width — and, on the compact arena, the branchy-vs-
+	// fused walk kernel — on this exact arena using real rows: sampled
 	// production traffic walks the trained branches the host-wide
 	// synthetic ladder can only approximate. Here the training set
-	// stands in for a traffic sample.
+	// stands in for a traffic sample. The winning (width, kernel) pair
+	// installs as one atomic unit.
 	width := engine.CalibrateInterleaveRows(train.Features, 0)
-	fmt.Printf("row-calibrated interleave: x%d\n", width)
+	fmt.Printf("row-calibrated interleave: x%d, %s kernel\n", width, engine.Kernel())
 
 	workers := runtime.GOMAXPROCS(0)
 	// NewBatcher enables reservoir sampling by default; NewBatcherSampled
@@ -163,8 +165,8 @@ func main() {
 	batcher2 := flint.NewBatcher(engine2, workers)
 	defer batcher2.Close()
 	n := batcher2.SeedSample(rec.Rows)
-	fmt.Printf("warm start: x%d interleave from persisted record, reservoir seeded with %d rows\n",
-		engine2.Interleave(), n)
+	fmt.Printf("warm start: x%d interleave, %s kernel from persisted record, reservoir seeded with %d rows\n",
+		engine2.Interleave(), engine2.Kernel(), n)
 
 	// The arena engine agrees with the reference forest row by row,
 	// before and after the warm start.

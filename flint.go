@@ -86,6 +86,39 @@
 //     request traffic is at hand (the synthetic rows approximate range,
 //     not distribution).
 //
+// # Kernel selection: branchy vs fused on the compact arena
+//
+// The compact arena has two walk kernels producing bit-identical
+// predictions. The branchy kernel executes one data-dependent branch
+// per cursor per tree level (plus three slice loads per node); on deep
+// trained forests those branches are near 50/50 and the mispredict
+// flushes dominate. The fused kernel loads each node as a single
+// pre-packed 64-bit word (key | feature | children) and computes the
+// child index arithmetically — the same control-to-data-dependency
+// conversion FLInt performs on the comparison, applied to the child
+// select — so a walk mispredicts once per chain (the loop exit) instead
+// of once per level, at the price of a longer serial dependency per
+// step. Its quantizer is a branchless binary search. Which side of that
+// trade wins is a host and workload property, so the kernel is a
+// calibrated dimension exactly like the interleave width:
+//
+//   - At construction, engines pick the kernel from the gate table's
+//     CompactFusedMin byte threshold (zero — every pre-fused table —
+//     keeps branchy everywhere; Calibrate measures it).
+//   - Every calibration pass (CalibrateInterleave,
+//     CalibrateInterleaveRows, Batcher.Recalibrate) times each
+//     interleave width under both kernels and installs the winning
+//     (width, kernel) pair as one atomic unit, so recalibrating under
+//     live Batcher traffic can never mix a width measured under one
+//     kernel with the other.
+//   - engine.SetKernel forces and pins a kernel (subsequent calibration
+//     then times widths under it alone) — the A/B switch behind
+//     flintbench's -kernel flag; engine.Kernel reports the current one.
+//   - Persistence round-trips the pair: SaveCalibration records the
+//     kernel next to the width, LoadCalibration restores both (records
+//     written before the kernel axis existed load as branchy — the only
+//     kernel those deployments ever ran).
+//
 // # The adaptive serving lifecycle: reservoir → recalibrate → persist
 //
 // A serving deployment does not need to gather those production rows by
@@ -297,6 +330,27 @@ const (
 // Min8, the compact SoA arena reads CompactMin2/CompactMin4/
 // CompactMin8); see Calibrate.
 type InterleaveGates = treeexec.InterleaveGates
+
+// Kernel selects how the compact arena's batch kernel resolves each
+// node's child: KernelBranchy compares and branches per level,
+// KernelFused loads the node as one pre-packed word and computes the
+// child branch-free (see the package doc's kernel-selection section).
+// Both produce bit-identical predictions; calibration picks the faster
+// one alongside the interleave width, and FlatEngine.SetKernel pins a
+// choice for A/B measurement.
+type Kernel = treeexec.Kernel
+
+// The compact walk kernels, plus the KernelAuto sentinel that clears a
+// SetKernel pin (handing the choice back to calibration).
+const (
+	KernelBranchy = treeexec.KernelBranchy
+	KernelFused   = treeexec.KernelFused
+	KernelAuto    = treeexec.KernelAuto
+)
+
+// ParseKernel maps a kernel name ("branchy", "fused", or the legacy
+// empty string meaning branchy) to its constant.
+func ParseKernel(name string) (Kernel, error) { return treeexec.ParseKernel(name) }
 
 // Compactable reports whether a forest fits the compact SoA arena's
 // 8-byte node encoding; when it does not, reason names the limit

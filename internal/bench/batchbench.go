@@ -31,6 +31,11 @@ type BatchBench struct {
 	MinDuration time.Duration
 	// Seed drives dataset synthesis and training; 0 selects 1.
 	Seed int64
+	// Kernel forces the compact walk kernel for A/B runs: "branchy" or
+	// "fused" pins it (the interleave width is then calibrated under
+	// that kernel alone), "" or "auto" lets calibration pick the
+	// (width, kernel) pair.
+	Kernel string
 }
 
 // BatchBenchRow is one measured (workload, variant) cell.
@@ -45,6 +50,10 @@ type BatchBenchRow struct {
 	BytesPerNode float64 `json:"bytes_per_node,omitempty"`
 	// Interleave is the batch kernel's cursor count (arena variants).
 	Interleave int `json:"interleave,omitempty"`
+	// Kernel is the walk kernel the row was measured with ("branchy" or
+	// "fused") — chosen by calibration, or pinned by an A/B run's
+	// BatchBench.Kernel. Arena variants only.
+	Kernel string `json:"kernel,omitempty"`
 	// PrunedFeatures is the number of features the forest actually
 	// splits on — the compact arena's per-row quantization cost (one
 	// binary search each); NumFeatures is the input dimensionality it
@@ -125,11 +134,23 @@ func (c BatchBench) timeRows(fn func() (int, error)) (float64, error) {
 // Run trains one forest per workload and measures batch throughput for
 // the per-tree FLInt baseline (per-row goroutine batch) and the flat
 // and compact arenas (persistent Batcher). Each arena engine self-
-// calibrates its interleave width on its own arena before timing, so
-// the recorded Interleave field reflects this host, not the static
-// default gates.
+// calibrates its interleave width — and, on the compact arena, its
+// walk kernel, unless c.Kernel pins one — on its own arena before
+// timing, so the recorded Interleave/Kernel fields reflect this host,
+// not the static default gates.
 func (c BatchBench) Run() (*BatchBenchReport, error) {
 	c = c.withDefaults()
+	forceKernel := treeexec.KernelBranchy
+	forced := false
+	switch c.Kernel {
+	case "", "auto":
+	default:
+		k, err := treeexec.ParseKernel(c.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		forceKernel, forced = k, true
+	}
 	rep := &BatchBenchReport{}
 	rep.Config.Rows = c.Rows
 	rep.Config.Trees = c.Trees
@@ -184,6 +205,11 @@ func (c BatchBench) Run() (*BatchBenchReport, error) {
 			if err != nil {
 				return nil, err
 			}
+			if forced {
+				// Pin before calibrating: the width is then timed under
+				// the forced kernel, which is the pair an A/B run wants.
+				e.SetKernel(forceKernel)
+			}
 			e.CalibrateInterleaveRows(rows, 2*c.MinDuration)
 			pool := treeexec.NewBatcher(e, c.Workers, 0)
 			out := make([]int32, len(rows))
@@ -201,6 +227,7 @@ func (c BatchBench) Run() (*BatchBenchReport, error) {
 				Dataset: ds, Variant: e.Name(), RowsPerSec: rps,
 				ArenaNodes: nodes, ArenaBytes: bytes,
 				Interleave:  e.Interleave(),
+				Kernel:      e.Kernel().String(),
 				CalibSource: e.CalibrationSource(),
 			}
 			if nodes > 0 {

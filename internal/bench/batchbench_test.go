@@ -68,6 +68,14 @@ func TestBatchBenchRun(t *testing.T) {
 		if flat.PrunedFeatures != 0 {
 			t.Errorf("%s: flat row carries pruned features %d", ds, flat.PrunedFeatures)
 		}
+		// Every arena row records the kernel it was measured with; the
+		// AoS arena has no fused form, so its row is always branchy.
+		if flat.Kernel != "branchy" {
+			t.Errorf("%s: flat kernel = %q, want branchy", ds, flat.Kernel)
+		}
+		if compact.Kernel != "branchy" && compact.Kernel != "fused" {
+			t.Errorf("%s: compact kernel = %q", ds, compact.Kernel)
+		}
 	}
 	// The report carries the measured per-variant gate table (monotone
 	// per set, as Calibrate guarantees).
@@ -90,6 +98,39 @@ func TestBatchBenchRun(t *testing.T) {
 	}
 	if len(back.Results) != len(rep.Results) {
 		t.Errorf("round trip lost rows: %d vs %d", len(back.Results), len(rep.Results))
+	}
+}
+
+// TestBatchBenchForcedKernel pins the A/B switch: a forced kernel lands
+// in every compact row of the report (the AoS rows stay branchy — they
+// have no fused form), and an unknown kernel name errors out instead of
+// silently measuring the default.
+func TestBatchBenchForcedKernel(t *testing.T) {
+	for _, kernel := range []string{"branchy", "fused"} {
+		rep, err := BatchBench{
+			Rows: 300, Trees: 4, Depth: 6, Workers: 1,
+			MinDuration: time.Millisecond, Kernel: kernel,
+		}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rep.Results {
+			switch r.Variant {
+			case "flat-compact":
+				if r.Kernel != kernel {
+					t.Errorf("%s/%s: kernel = %q, want forced %q", r.Dataset, r.Variant, r.Kernel, kernel)
+				}
+			case "flat-flint":
+				if r.Kernel != "branchy" {
+					t.Errorf("%s/%s: kernel = %q, want branchy", r.Dataset, r.Variant, r.Kernel)
+				}
+			}
+		}
+	}
+	if _, err := (BatchBench{
+		Rows: 300, Trees: 4, Depth: 6, MinDuration: time.Millisecond, Kernel: "simd",
+	}).Run(); err == nil {
+		t.Error("unknown kernel name accepted")
 	}
 }
 

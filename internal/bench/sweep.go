@@ -42,6 +42,7 @@ const (
 	ImplFlat        Impl = "flat-flint"   // single-arena forest, FLInt compares
 	ImplFlatBatch   Impl = "flat-batch"   // arena + row-blocked batch kernel
 	ImplFlatCompact Impl = "flat-compact" // quantized 8-byte SoA arena, blocked kernel
+	ImplFlatFused   Impl = "flat-fused"   // compact arena, branch-free fused-node kernel
 )
 
 // SweepConfig selects the grid of Section V-A.

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Trend history generalizes the two-report diff to a walk over the last
+// N BENCH_batch.json artifacts: one row per (workload, variant) cell,
+// one column per run, oldest first, so slow drift that no single
+// run-over-run delta exposes is visible as a trajectory. Like the diff
+// it is report-only context — wall-clock numbers from shared runners
+// must never gate.
+
+// TrendSeries is one (workload, variant) cell's rows/s trajectory
+// across a chronological report sequence. Presence is explicit per run,
+// for the same reason TrendDelta tracks it: a measured 0 is not a
+// missing cell.
+type TrendSeries struct {
+	Dataset string
+	Variant string
+	Rows    []float64 // rows/s per report, oldest first
+	Has     []bool    // whether each report contains this cell
+}
+
+// Trend returns the overall relative change in percent between the
+// oldest and newest present points, and whether at least two points
+// exist to compare (the oldest also being non-zero).
+func (s TrendSeries) Trend() (pct float64, ok bool) {
+	first, last := -1, -1
+	for i, h := range s.Has {
+		if !h {
+			continue
+		}
+		if first < 0 {
+			first = i
+		}
+		last = i
+	}
+	if first < 0 || first == last || s.Rows[first] == 0 {
+		return 0, false
+	}
+	return (s.Rows[last] - s.Rows[first]) / s.Rows[first] * 100, true
+}
+
+// TrendHistory aligns a chronological sequence of batch reports (oldest
+// first) by (dataset, variant). Cell ordering follows the newest report
+// that mentions each cell pair, scanning newest to oldest, so current
+// cells lead and long-dropped ones trail. Duplicate cells within one
+// report keep the first occurrence, like TrendDiff.
+func TrendHistory(reps []*BatchBenchReport) []TrendSeries {
+	type key struct{ ds, v string }
+	index := make(map[key]int)
+	var out []TrendSeries
+	for ri := len(reps) - 1; ri >= 0; ri-- {
+		for _, r := range reps[ri].Results {
+			k := key{r.Dataset, r.Variant}
+			si, ok := index[k]
+			if !ok {
+				si = len(out)
+				index[k] = si
+				out = append(out, TrendSeries{
+					Dataset: r.Dataset, Variant: r.Variant,
+					Rows: make([]float64, len(reps)),
+					Has:  make([]bool, len(reps)),
+				})
+			}
+			if !out[si].Has[ri] {
+				out[si].Rows[ri], out[si].Has[ri] = r.RowsPerSec, true
+			}
+		}
+	}
+	return out
+}
+
+// WriteTrendHistory renders a trajectory table: one rows/s column per
+// label (chronological, oldest first; labels index the reports handed
+// to TrendHistory) and a trailing overall percentage where it is
+// defined. Absent cells print as "-".
+func WriteTrendHistory(w io.Writer, labels []string, series []TrendSeries) error {
+	if _, err := fmt.Fprintf(w, "%-12s %-13s", "dataset", "variant"); err != nil {
+		return err
+	}
+	for _, l := range labels {
+		if _, err := fmt.Fprintf(w, " %12s", l); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, " %9s\n", "trend"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if _, err := fmt.Fprintf(w, "%-12s %-13s", s.Dataset, s.Variant); err != nil {
+			return err
+		}
+		for i := range labels {
+			var err error
+			if i < len(s.Has) && s.Has[i] {
+				_, err = fmt.Fprintf(w, " %12.0f", s.Rows[i])
+			} else {
+				_, err = fmt.Fprintf(w, " %12s", "-")
+			}
+			if err != nil {
+				return err
+			}
+		}
+		var err error
+		if pct, ok := s.Trend(); ok {
+			_, err = fmt.Fprintf(w, " %+8.1f%%\n", pct)
+		} else {
+			_, err = fmt.Fprintf(w, " %9s\n", "-")
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func histReport(cells ...BatchBenchRow) *BatchBenchReport {
+	rep := &BatchBenchReport{}
+	rep.Results = cells
+	return rep
+}
+
+// TestTrendHistoryAlignment covers the trajectory alignment: cells
+// present in every run, a cell appearing mid-history, a dropped cell,
+// a measured zero (present, not missing), and duplicate cells keeping
+// the first occurrence.
+func TestTrendHistoryAlignment(t *testing.T) {
+	reps := []*BatchBenchReport{
+		histReport(
+			BatchBenchRow{Dataset: "magic", Variant: "flat-flint", RowsPerSec: 100},
+			BatchBenchRow{Dataset: "magic", Variant: "old-only", RowsPerSec: 7},
+		),
+		histReport(
+			BatchBenchRow{Dataset: "magic", Variant: "flat-flint", RowsPerSec: 110},
+			BatchBenchRow{Dataset: "magic", Variant: "flat-compact", RowsPerSec: 0}, // measured zero
+		),
+		histReport(
+			BatchBenchRow{Dataset: "magic", Variant: "flat-flint", RowsPerSec: 120},
+			BatchBenchRow{Dataset: "magic", Variant: "flat-flint", RowsPerSec: 999}, // duplicate, ignored
+			BatchBenchRow{Dataset: "magic", Variant: "flat-compact", RowsPerSec: 80},
+		),
+	}
+	series := TrendHistory(reps)
+	byVariant := map[string]TrendSeries{}
+	for _, s := range series {
+		byVariant[s.Variant] = s
+	}
+	if len(series) != 3 {
+		t.Fatalf("%d series, want 3: %+v", len(series), series)
+	}
+
+	ff := byVariant["flat-flint"]
+	if ff.Rows[0] != 100 || ff.Rows[1] != 110 || ff.Rows[2] != 120 {
+		t.Errorf("flat-flint trajectory = %v (duplicate must keep first occurrence)", ff.Rows)
+	}
+	if pct, ok := ff.Trend(); !ok || pct != 20 {
+		t.Errorf("flat-flint trend = (%v, %v), want (+20%%, true)", pct, ok)
+	}
+
+	fc := byVariant["flat-compact"]
+	if fc.Has[0] || !fc.Has[1] || !fc.Has[2] {
+		t.Errorf("flat-compact presence = %v, want absent/present/present", fc.Has)
+	}
+	if fc.Rows[1] != 0 || fc.Rows[2] != 80 {
+		t.Errorf("flat-compact trajectory = %v", fc.Rows)
+	}
+	// The first present point measured 0: no defined relative trend.
+	if _, ok := fc.Trend(); ok {
+		t.Error("trend defined over a zero-valued first point")
+	}
+
+	old := byVariant["old-only"]
+	if !old.Has[0] || old.Has[1] || old.Has[2] {
+		t.Errorf("old-only presence = %v, want present/absent/absent", old.Has)
+	}
+	if _, ok := old.Trend(); ok {
+		t.Error("trend defined over a single point")
+	}
+	// Current cells lead, long-dropped ones trail.
+	if series[len(series)-1].Variant != "old-only" {
+		t.Errorf("dropped cell not trailing: %+v", series)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTrendHistory(&buf, []string{"run-2", "run-1", "current"}, series); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"run-2", "run-1", "current", "trend", "+20.0%", "flat-compact", "old-only"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// The measured zero renders as a number, the absent cell as "-".
+	fcLine := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "flat-compact") {
+			fcLine = line
+		}
+	}
+	if !strings.Contains(fcLine, "-") || !strings.Contains(fcLine, "0") {
+		t.Errorf("flat-compact line = %q, want an absent marker and a measured 0", fcLine)
+	}
+}

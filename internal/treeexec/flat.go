@@ -90,6 +90,7 @@ type FlatForestEngine struct {
 	keys16     []uint16 // per-node split rank in the feature's cut table
 	feats16    []uint16 // per-node pruned feature index
 	kids       []int32  // packed child/leaf word: low int16 left, high int16 right
+	nodes64    []uint64 // same nodes fused: key16 | feat16<<16 | kids32<<32, one load per walk step
 	cuts       []uint32 // flattened pruned-feature sorted distinct split keys (total order)
 	cutLo      []int32  // numPruned+1 offsets into cuts
 	prunedOrig []int32  // pruned feature index -> original input column
@@ -97,16 +98,23 @@ type FlatForestEngine struct {
 
 	numClasses  int
 	numFeatures int
-	// interleave is the batch kernel's cursor count (1, 2, 4 or 8),
-	// selected at construction from the calibrated gates and the arena
-	// footprint; SetInterleave and CalibrateInterleave override it. It
-	// is atomic because recalibration (Batcher.Recalibrate on sampled
-	// traffic, or an explicit CalibrateInterleaveRows) may install a new
-	// width while Batcher workers are mid-batch: every width produces
-	// identical predictions, so a worker racing the store merely finishes
-	// its block at the old width.
-	interleave atomic.Int32
-	// calibSource records where the current width came from (see the
+	// mode packs the batch kernel's cursor count (1, 2, 4 or 8, low
+	// byte) together with the compact walk kernel (branchy or fused,
+	// next byte), selected at construction from the calibrated gates and
+	// the arena footprint; SetInterleave/SetKernel and the calibration
+	// passes override it. It is one atomic word because recalibration
+	// (Batcher.Recalibrate on sampled traffic, or an explicit
+	// CalibrateInterleaveRows) may install a new pair while Batcher
+	// workers are mid-batch: every (width, kernel) pair produces
+	// identical predictions, so a worker racing the store merely
+	// finishes its block at the old pair — and because the pair travels
+	// in one word, a worker can never observe a width measured under one
+	// kernel combined with the other.
+	mode atomic.Int32
+	// kernelPin, when non-zero, pins calibration to one kernel
+	// (SetKernel): 1 = branchy, 2 = fused.
+	kernelPin atomic.Int32
+	// calibSource records where the current mode came from (see the
 	// calibSource* constants); CalibrationSource decodes it for reports.
 	calibSource atomic.Int32
 }
@@ -133,7 +141,8 @@ func NewFlat(f *rf.Forest, v FlatVariant) (*FlatForestEngine, error) {
 			if err := e.buildCompact(f, cuts); err != nil {
 				return nil, err
 			}
-			e.interleave.Store(int32(CurrentInterleaveGates().widthFor(e.variant, e.ArenaBytes())))
+			g := CurrentInterleaveGates()
+			e.mode.Store(packMode(g.widthFor(e.variant, e.ArenaBytes()), g.kernelFor(e.variant, e.ArenaBytes())))
 			return e, nil
 		}
 	}
@@ -198,7 +207,7 @@ func NewFlat(f *rf.Forest, v FlatVariant) (*FlatForestEngine, error) {
 			})
 		}
 	}
-	e.interleave.Store(int32(CurrentInterleaveGates().widthFor(e.variant, e.ArenaBytes())))
+	e.mode.Store(packMode(CurrentInterleaveGates().widthFor(e.variant, e.ArenaBytes()), KernelBranchy))
 	return e, nil
 }
 
@@ -356,6 +365,12 @@ func (e *FlatForestEngine) voteEncoded(xi []int32, counts []int32) {
 			q = make([]uint16, e.numPruned)
 		}
 		e.quantizeBits(q, xi)
+		if modeKernel(e.mode.Load()) == KernelFused {
+			for _, root := range e.roots {
+				counts[e.classifyCompactFused(q, root)]++
+			}
+			break
+		}
 		for _, root := range e.roots {
 			counts[e.classifyCompact(q, root)]++
 		}
@@ -399,6 +414,13 @@ func (e *FlatForestEngine) PredictPrecoded(keys []uint32) int32 {
 			q = qstack[:e.numPruned]
 		} else {
 			q = make([]uint16, e.numPruned)
+		}
+		if modeKernel(e.mode.Load()) == KernelFused {
+			e.quantizeKeysFused(q, keys)
+			for _, root := range e.roots {
+				counts[e.classifyCompactFused(q, root)]++
+			}
+			return rf.Argmax(counts)
 		}
 		e.quantizeKeys(q, keys)
 		for _, root := range e.roots {
@@ -474,15 +496,17 @@ func (e *FlatForestEngine) newScratch() *flatScratch {
 // leaf-free arena already provides. See ROADMAP for the SIMD/lock-step
 // follow-on.
 func (e *FlatForestEngine) predictBlock(rows [][]float32, out []int32, s *flatScratch) {
-	e.predictBlockWidth(rows, out, s, int(e.interleave.Load()))
+	m := e.mode.Load()
+	e.predictBlockWidth(rows, out, s, modeWidth(m), modeKernel(m))
 }
 
-// predictBlockWidth is predictBlock at an explicit interleave width,
-// bypassing the engine's atomic width field. It exists so calibration
-// (timeWidths) can time every candidate width without mutating shared
-// engine state while Batcher workers are in flight; the serving path
-// loads the atomic once per block and funnels through here.
-func (e *FlatForestEngine) predictBlockWidth(rows [][]float32, out []int32, s *flatScratch, width int) {
+// predictBlockWidth is predictBlock at an explicit interleave width and
+// kernel, bypassing the engine's atomic mode field. It exists so
+// calibration (timeWidths) can time every candidate (width, kernel)
+// pair without mutating shared engine state while Batcher workers are
+// in flight; the serving path loads the atomic once per block and
+// funnels through here.
+func (e *FlatForestEngine) predictBlockWidth(rows [][]float32, out []int32, s *flatScratch, width int, k Kernel) {
 	nf := e.numFeatures
 	nc := e.numClasses
 	switch {
@@ -498,6 +522,8 @@ func (e *FlatForestEngine) predictBlockWidth(rows [][]float32, out []int32, s *f
 			}
 			out[b] = rf.Argmax(votes)
 		}
+	case e.variant == FlatCompact && k == KernelFused:
+		e.predictBlockCompactFused(rows, out, s, width)
 	case e.variant == FlatCompact:
 		e.predictBlockCompact(rows, out, s, width)
 	case e.variant == FlatFLInt && width >= 2:

@@ -18,6 +18,11 @@ import (
 //	                    the features the forest actually splits on)
 //	kids[i]   int32  — packed child/leaf word: low half left, high half right
 //
+// The same three fields are additionally mirrored fused into one word
+// per node, nodes64[i] = key16 | feat16<<16 | kids32<<32, so the
+// branch-free kernel (flat_fused.go) resolves a whole walk step from a
+// single load; a walk reads one encoding or the other, never both.
+//
 // The split key is not the float bit pattern but its *rank* among the
 // feature's distinct split values across the whole forest, taken in
 // FLInt total order (-0.0 rewritten to +0.0 first, exactly like the
@@ -188,6 +193,7 @@ func (e *FlatForestEngine) buildCompact(f *rf.Forest, cuts [][]uint32) error {
 	e.keys16 = make([]uint16, 0, inner)
 	e.feats16 = make([]uint16, 0, inner)
 	e.kids = make([]int32, 0, inner)
+	e.nodes64 = make([]uint64, 0, inner)
 	e.roots = make([]int32, len(f.Trees))
 
 	var remap []int32 // tree-relative: inner index or ^class
@@ -222,9 +228,11 @@ func (e *FlatForestEngine) buildCompact(f *rf.Forest, cuts [][]uint32) error {
 			fc := cuts[n.Feature]
 			key := core.PrecodeSplit32(n.Split)
 			rank := sort.Search(len(fc), func(i int) bool { return fc[i] >= key })
+			kids := packKids(remap[n.Left], remap[n.Right])
 			e.keys16 = append(e.keys16, uint16(rank))
 			e.feats16 = append(e.feats16, uint16(prunedIdx[n.Feature]))
-			e.kids = append(e.kids, packKids(remap[n.Left], remap[n.Right]))
+			e.kids = append(e.kids, kids)
+			e.nodes64 = append(e.nodes64, packNode64(uint16(rank), uint16(prunedIdx[n.Feature]), kids))
 		}
 	}
 	return nil

@@ -1,0 +1,292 @@
+package treeexec
+
+import (
+	"math"
+
+	"flint/internal/ieee754"
+	"flint/internal/rf"
+)
+
+// The fused kernel is the branch-free form of the compact walk. The
+// branchy kernel (flat_compact.go) executes, per cursor per level, one
+// data-dependent branch (`if q[feats[i]] <= keys[i]`) plus three
+// separate slice loads (keys16, feats16, kids). On deep forests those
+// branches are close to 50/50 — a trained split divides its reachable
+// inputs — so the predictor mispredicts near half of them and each
+// mispredict flushes the pipeline. FLInt's core move is converting a
+// control dependency (the float-compare branch structure) into integer
+// data flow; this kernel applies the same conversion to the *child
+// select*:
+//
+//	w := nodes64[base+rel]                               // one load: key | feat | kids
+//	b := (uint32(uint16(w)) - uint32(q[uint16(w>>16)])) >> 31
+//	rel = int(int16(uint32(w>>32) >> (b << 4)))          // shift-select the child half
+//
+// b is 1 exactly when q > key (the uint32 subtraction of two
+// zero-extended uint16s underflows, setting bit 31), so the shift picks
+// the right child's int16 half without a conditional: lanes never
+// diverge in code, only in data. The walk's sole branch is the loop
+// exit (`rel >= 0`), which mispredicts once per chain instead of once
+// per level. The price is a longer serial dependency per step — the
+// select now sits on the load's critical path — which is why neither
+// kernel dominates: calibration times both and the gates/mode decide.
+//
+// The quantizers get the same treatment: quantizeBlockFused and
+// quantizeKeysFused run a branchless binary search (fixed iteration
+// count, arithmetic select of the half to keep) over the same cut
+// tables, producing identical ranks.
+
+// packNode64 fuses one compact node into a single word: the split rank
+// in the low 16 bits, the pruned feature index in the next 16, and the
+// packed kids word (packKids) in the high 32.
+func packNode64(rank, feat uint16, kids int32) uint64 {
+	return uint64(rank) | uint64(feat)<<16 | uint64(uint32(kids))<<32
+}
+
+// fusedStep resolves one walk step from a fused node word: branch-free
+// child select as derived above. It must mirror the branchy step
+// exactly: q[feat] <= key picks the low (left) half, otherwise the
+// high (right) half.
+func fusedStep(w uint64, q []uint16) int {
+	b := (uint32(uint16(w)) - uint32(q[uint16(w>>16)])) >> 31
+	return int(int16(uint32(w>>32) >> (b << 4)))
+}
+
+// classifyCompactFused walks one tree of the compact arena for one
+// quantized row using the fused branch-free step.
+func (e *FlatForestEngine) classifyCompactFused(q []uint16, root int32) int32 {
+	if root < 0 {
+		return ^root
+	}
+	nodes := e.nodes64
+	base := int(root)
+	rel := 0
+	for rel >= 0 {
+		rel = fusedStep(nodes[base+rel], q)
+	}
+	return int32(^rel)
+}
+
+// classify2CompactFused walks one tree for two quantized rows with
+// register-resident cursors, each stepped branch-free.
+func (e *FlatForestEngine) classify2CompactFused(q0, q1 []uint16, root int32) (int32, int32) {
+	if root < 0 {
+		return ^root, ^root
+	}
+	nodes := e.nodes64
+	base := int(root)
+	r0, r1 := 0, 0
+	for r0 >= 0 && r1 >= 0 {
+		w0, w1 := nodes[base+r0], nodes[base+r1]
+		r0 = fusedStep(w0, q0)
+		r1 = fusedStep(w1, q1)
+	}
+	if r0 >= 0 {
+		return e.finishCompactFused(q0, base, r0), int32(^r1)
+	}
+	if r1 >= 0 {
+		return int32(^r0), e.finishCompactFused(q1, base, r1)
+	}
+	return int32(^r0), int32(^r1)
+}
+
+// classify4CompactFused is the 4-way interleaved fused walk.
+func (e *FlatForestEngine) classify4CompactFused(q0, q1, q2, q3 []uint16, root int32) (int32, int32, int32, int32) {
+	if root < 0 {
+		c := ^root
+		return c, c, c, c
+	}
+	nodes := e.nodes64
+	base := int(root)
+	r0, r1, r2, r3 := 0, 0, 0, 0
+	for r0 >= 0 && r1 >= 0 && r2 >= 0 && r3 >= 0 {
+		w0, w1, w2, w3 := nodes[base+r0], nodes[base+r1], nodes[base+r2], nodes[base+r3]
+		r0 = fusedStep(w0, q0)
+		r1 = fusedStep(w1, q1)
+		r2 = fusedStep(w2, q2)
+		r3 = fusedStep(w3, q3)
+	}
+	return e.finishCompactFused(q0, base, r0), e.finishCompactFused(q1, base, r1),
+		e.finishCompactFused(q2, base, r2), e.finishCompactFused(q3, base, r3)
+}
+
+// classify8CompactFused is the 8-way interleaved fused walk. Classes
+// are written into out to keep the signature manageable.
+func (e *FlatForestEngine) classify8CompactFused(q *[8][]uint16, root int32, out *[8]int32) {
+	if root < 0 {
+		for i := range out {
+			out[i] = ^root
+		}
+		return
+	}
+	nodes := e.nodes64
+	base := int(root)
+	r0, r1, r2, r3 := 0, 0, 0, 0
+	r4, r5, r6, r7 := 0, 0, 0, 0
+	q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+	q4, q5, q6, q7 := q[4], q[5], q[6], q[7]
+	for r0 >= 0 && r1 >= 0 && r2 >= 0 && r3 >= 0 && r4 >= 0 && r5 >= 0 && r6 >= 0 && r7 >= 0 {
+		w0, w1, w2, w3 := nodes[base+r0], nodes[base+r1], nodes[base+r2], nodes[base+r3]
+		w4, w5, w6, w7 := nodes[base+r4], nodes[base+r5], nodes[base+r6], nodes[base+r7]
+		r0 = fusedStep(w0, q0)
+		r1 = fusedStep(w1, q1)
+		r2 = fusedStep(w2, q2)
+		r3 = fusedStep(w3, q3)
+		r4 = fusedStep(w4, q4)
+		r5 = fusedStep(w5, q5)
+		r6 = fusedStep(w6, q6)
+		r7 = fusedStep(w7, q7)
+	}
+	out[0] = e.finishCompactFused(q0, base, r0)
+	out[1] = e.finishCompactFused(q1, base, r1)
+	out[2] = e.finishCompactFused(q2, base, r2)
+	out[3] = e.finishCompactFused(q3, base, r3)
+	out[4] = e.finishCompactFused(q4, base, r4)
+	out[5] = e.finishCompactFused(q5, base, r5)
+	out[6] = e.finishCompactFused(q6, base, r6)
+	out[7] = e.finishCompactFused(q7, base, r7)
+}
+
+// finishCompactFused completes one chain after the interleaved fused
+// loop exits with this cursor still on an inner node.
+func (e *FlatForestEngine) finishCompactFused(q []uint16, base, rel int) int32 {
+	if rel < 0 {
+		return int32(^rel)
+	}
+	nodes := e.nodes64
+	for rel >= 0 {
+		rel = fusedStep(nodes[base+rel], q)
+	}
+	return int32(^rel)
+}
+
+// branchlessRank counts the cuts in cuts[lo:hi] strictly below key —
+// the same rank the branchy binary search in quantizeBits produces —
+// without a data-dependent branch: each halving keeps the upper half by
+// adding half*m where m in {0, 1} is computed arithmetically from the
+// probe (the uint64 subtraction of two zero-extended uint32 keys
+// underflows, setting bit 63, exactly when the probe is below key). The
+// iteration count depends only on the segment length, so a whole
+// quantization pass runs the same instruction stream for every row.
+func branchlessRank(cuts []uint32, lo, hi int32, key uint32) uint16 {
+	base := int(lo)
+	n := int(hi - lo)
+	if n == 0 {
+		return 0
+	}
+	for n > 1 {
+		half := n >> 1
+		// m = 1 when cuts[base+half-1] < key: at least base+half cuts
+		// are below key, keep the upper half.
+		m := int((uint64(cuts[base+half-1]) - uint64(key)) >> 63)
+		base += half * m
+		n -= half
+	}
+	return uint16(base - int(lo) + int((uint64(cuts[base])-uint64(key))>>63))
+}
+
+// quantizeBlockFused is quantizeBlock with the branchless search: it
+// quantizes a group of up to 8 float rows feature-major into
+// consecutive numPruned-wide lanes of dst, each rank computed by
+// branchlessRank so the group's searches retire without mispredicts.
+func (e *FlatForestEngine) quantizeBlockFused(rows [][]float32, dst []uint16) {
+	cuts, cutLo := e.cuts, e.cutLo
+	nq := e.numPruned
+	for p, f := range e.prunedOrig {
+		lo, hi := cutLo[p], cutLo[p+1]
+		for i, x := range rows {
+			key := ieee754.TotalOrderKey32(math.Float32bits(x[f]))
+			dst[i*nq+p] = branchlessRank(cuts, lo, hi, key)
+		}
+	}
+}
+
+// quantizeKeysFused is quantizeKeys with the branchless search, for
+// inputs already in total-order key space (core.PrecodeFeatures32
+// output).
+func (e *FlatForestEngine) quantizeKeysFused(dst []uint16, keys []uint32) {
+	cuts, cutLo := e.cuts, e.cutLo
+	for p, f := range e.prunedOrig {
+		dst[p] = branchlessRank(cuts, cutLo[p], cutLo[p+1], keys[f])
+	}
+}
+
+// predictBlockCompactFused is predictBlockCompact on the fused kernel:
+// identical group structure and scratch layout, with the branchless
+// quantizer and the branch-free interleaved walks.
+func (e *FlatForestEngine) predictBlockCompactFused(rows [][]float32, out []int32, s *flatScratch, width int) {
+	nq := e.numPruned
+	nc := e.numClasses
+	b := 0
+	if width >= 8 {
+		var q8 [8][]uint16
+		for i := range q8 {
+			q8[i] = s.q[i*nq : (i+1)*nq]
+		}
+		var cls [8]int32
+		for ; b+8 <= len(rows); b += 8 {
+			e.quantizeBlockFused(rows[b:b+8], s.q)
+			var stack [8][maxStackClasses]int32
+			lanes := voteLanes(&stack, s.votes, nc, 8)
+			for _, root := range e.roots {
+				e.classify8CompactFused(&q8, root, &cls)
+				lanes[0][cls[0]]++
+				lanes[1][cls[1]]++
+				lanes[2][cls[2]]++
+				lanes[3][cls[3]]++
+				lanes[4][cls[4]]++
+				lanes[5][cls[5]]++
+				lanes[6][cls[6]]++
+				lanes[7][cls[7]]++
+			}
+			for i := 0; i < 8; i++ {
+				out[b+i] = rf.Argmax(lanes[i])
+			}
+		}
+	}
+	if width >= 4 {
+		q0, q1 := s.q[0*nq:1*nq], s.q[1*nq:2*nq]
+		q2, q3 := s.q[2*nq:3*nq], s.q[3*nq:4*nq]
+		for ; b+4 <= len(rows); b += 4 {
+			e.quantizeBlockFused(rows[b:b+4], s.q)
+			var stack [8][maxStackClasses]int32
+			lanes := voteLanes(&stack, s.votes, nc, 4)
+			for _, root := range e.roots {
+				c0, c1, c2, c3 := e.classify4CompactFused(q0, q1, q2, q3, root)
+				lanes[0][c0]++
+				lanes[1][c1]++
+				lanes[2][c2]++
+				lanes[3][c3]++
+			}
+			out[b] = rf.Argmax(lanes[0])
+			out[b+1] = rf.Argmax(lanes[1])
+			out[b+2] = rf.Argmax(lanes[2])
+			out[b+3] = rf.Argmax(lanes[3])
+		}
+	}
+	if width >= 2 {
+		q0, q1 := s.q[0*nq:1*nq], s.q[1*nq:2*nq]
+		for ; b+2 <= len(rows); b += 2 {
+			e.quantizeBlockFused(rows[b:b+2], s.q)
+			var stack [8][maxStackClasses]int32
+			lanes := voteLanes(&stack, s.votes, nc, 2)
+			for _, root := range e.roots {
+				c0, c1 := e.classify2CompactFused(q0, q1, root)
+				lanes[0][c0]++
+				lanes[1][c1]++
+			}
+			out[b] = rf.Argmax(lanes[0])
+			out[b+1] = rf.Argmax(lanes[1])
+		}
+	}
+	q := s.q[:nq]
+	for ; b < len(rows); b++ {
+		e.quantizeBlockFused(rows[b:b+1], q)
+		var stack [8][maxStackClasses]int32
+		lanes := voteLanes(&stack, s.votes, nc, 1)
+		for _, root := range e.roots {
+			lanes[0][e.classifyCompactFused(q, root)]++
+		}
+		out[b] = rf.Argmax(lanes[0])
+	}
+}

@@ -1,0 +1,550 @@
+package treeexec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"flint/internal/core"
+	"flint/internal/dataset"
+	"flint/internal/rf"
+)
+
+// TestFusedNodeMirror pins the nodes64 encoding: every compact node's
+// fused word must be exactly its three parallel-slice fields packed as
+// key16 | feat16<<16 | kids32<<32, on a trained forest and on the
+// synthetic calibration arena.
+func TestFusedNodeMirror(t *testing.T) {
+	f, _ := trainedForest(t, "magic", 6, 6)
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Variant() != FlatCompact {
+		t.Fatalf("fell back to %v", e.Variant())
+	}
+	for _, eng := range []*FlatForestEngine{e, syntheticCompactEngine(64 << 10)} {
+		if len(eng.nodes64) != len(eng.kids) {
+			t.Fatalf("nodes64 holds %d words for %d nodes", len(eng.nodes64), len(eng.kids))
+		}
+		for i := range eng.kids {
+			want := uint64(eng.keys16[i]) | uint64(eng.feats16[i])<<16 | uint64(uint32(eng.kids[i]))<<32
+			if eng.nodes64[i] != want {
+				t.Fatalf("node %d fused word = %#x, want %#x", i, eng.nodes64[i], want)
+			}
+		}
+	}
+}
+
+// TestBranchlessRankMatchesBranchy drives the branchless binary search
+// against the branchy one over random cut tables, covering the edges
+// rank arithmetic gets wrong first: keys below every cut, above every
+// cut, exact hits, immediate neighbors of hits, and empty/1-element
+// segments.
+func TestBranchlessRankMatchesBranchy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	branchy := func(cuts []uint32, lo, hi int32, key uint32) uint16 {
+		l, h := lo, hi
+		for l < h {
+			mid := l + (h-l)/2
+			if cuts[mid] >= key {
+				h = mid
+			} else {
+				l = mid + 1
+			}
+		}
+		return uint16(l - lo)
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40) // including 0- and 1-element tables
+		cuts := make([]uint32, 0, n)
+		v := uint32(rng.Intn(10))
+		for len(cuts) < n {
+			cuts = append(cuts, v)
+			v += 1 + uint32(rng.Intn(1<<20))
+		}
+		probes := []uint32{0, 1, math.MaxUint32, math.MaxUint32 - 1}
+		for _, c := range cuts {
+			probes = append(probes, c, c-1, c+1)
+		}
+		for i := 0; i < 20; i++ {
+			probes = append(probes, rng.Uint32())
+		}
+		for _, key := range probes {
+			got := branchlessRank(cuts, 0, int32(len(cuts)), key)
+			want := branchy(cuts, 0, int32(len(cuts)), key)
+			if got != want {
+				t.Fatalf("trial %d: rank(%d over %v) = %d, want %d", trial, key, cuts, got, want)
+			}
+		}
+	}
+}
+
+// TestFusedBitIdenticalAllWorkloads is the tentpole acceptance test:
+// on every bundled workload the fused kernel must match the FLInt arena
+// prediction-for-prediction — single-row encoded and precoded paths
+// under an installed fused kernel, and the batch kernel at every
+// interleave width.
+func TestFusedBitIdenticalAllWorkloads(t *testing.T) {
+	for _, ds := range dataset.Names() {
+		ds := ds
+		t.Run(ds, func(t *testing.T) {
+			f, d := trainedForest(t, ds, 8, 6)
+			ref, err := NewFlat(f, FlatFLInt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := NewFlat(f, FlatCompact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Variant() != FlatCompact {
+				t.Fatalf("fell back to %v", e.Variant())
+			}
+			e.SetKernel(KernelFused)
+			want := make([]int32, d.Len())
+			for i, x := range d.Features {
+				want[i] = ref.Predict(x)
+				if got := e.Predict(x); got != want[i] {
+					t.Fatalf("row %d: fused single-row got %d want %d", i, got, want[i])
+				}
+				if got := e.PredictEncoded(core.EncodeFeatures32(nil, x)); got != want[i] {
+					t.Fatalf("row %d: fused encoded got %d want %d", i, got, want[i])
+				}
+				if got := e.PredictPrecoded(core.PrecodeFeatures32(nil, x)); got != want[i] {
+					t.Fatalf("row %d: fused precoded got %d want %d", i, got, want[i])
+				}
+			}
+			for _, width := range []int{1, 2, 4, 8} {
+				e.SetInterleave(width)
+				if e.Kernel() != KernelFused {
+					t.Fatalf("SetInterleave(%d) dropped the fused kernel", width)
+				}
+				got := e.PredictBatch(d.Features, nil, 2, 13)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("width %d row %d: fused batch got %d want %d", width, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFusedAdversarialRandomForests cross-checks the fused kernel on
+// randomly grown trees over the extreme split-value pool (signed zeros,
+// subnormals, extremes) at every width — the same gauntlet the branchy
+// compact kernel passes, now through the shift-select step and the
+// branchless quantizer.
+func TestFusedAdversarialRandomForests(t *testing.T) {
+	rng := rand.New(rand.NewSource(654))
+	splitPool := []float32{
+		0, float32(math.Copysign(0, -1)), 1.5, -1.5,
+		math.SmallestNonzeroFloat32, -math.SmallestNonzeroFloat32,
+		math.MaxFloat32, -math.MaxFloat32, 3.25e-20, -7.5e12,
+	}
+	randTree := func(depth int) rf.Tree {
+		var nodes []rf.Node
+		var grow func(d int) int32
+		grow = func(d int) int32 {
+			me := int32(len(nodes))
+			if d == 0 || rng.Float64() < 0.3 {
+				nodes = append(nodes, rf.Node{Feature: rf.LeafFeature, Class: int32(rng.Intn(3))})
+				return me
+			}
+			nodes = append(nodes, rf.Node{
+				Feature: int32(rng.Intn(4)),
+				Split:   splitPool[rng.Intn(len(splitPool))],
+			})
+			l := grow(d - 1)
+			r := grow(d - 1)
+			nodes[me].Left = l
+			nodes[me].Right = r
+			return me
+		}
+		grow(depth)
+		return rf.Tree{Nodes: nodes}
+	}
+	for trial := 0; trial < 20; trial++ {
+		f := &rf.Forest{NumFeatures: 4, NumClasses: 3,
+			Trees: []rf.Tree{randTree(6), randTree(6), randTree(6)}}
+		ref, err := NewFlat(f, FlatFLInt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewFlat(f, FlatCompact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetKernel(KernelFused)
+		rows := make([][]float32, 0, 64)
+		for probe := 0; probe < 64; probe++ {
+			x := make([]float32, 4)
+			for j := range x {
+				if rng.Intn(2) == 0 {
+					x[j] = splitPool[rng.Intn(len(splitPool))]
+				} else {
+					x[j] = splitPool[rng.Intn(len(splitPool))] * float32(rng.NormFloat64())
+				}
+			}
+			rows = append(rows, x)
+		}
+		for _, width := range []int{1, 2, 4, 8} {
+			e.SetInterleave(width)
+			got := e.PredictBatch(rows, nil, 1, 16)
+			for i := range rows {
+				if want := ref.Predict(rows[i]); got[i] != want {
+					t.Fatalf("trial %d width %d row %d: fused got %d want %d for %v",
+						trial, width, i, got[i], want, rows[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCompactPrecodedDifferentialBothKernels covers quantizeKeys and
+// PredictPrecoded on the compact variant directly (they were only
+// exercised incidentally before): for every workload, the precoded path
+// must match the float path row for row under both kernels, and the
+// batch kernel must agree at every width. A feature-pruned forest
+// (prunedOrig non-identity) rides along via the wide sparse-split
+// construction below.
+func TestCompactPrecodedDifferentialBothKernels(t *testing.T) {
+	for _, ds := range dataset.Names() {
+		ds := ds
+		t.Run(ds, func(t *testing.T) {
+			f, d := trainedForest(t, ds, 6, 5)
+			float, err := NewFlat(f, FlatFloat32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := NewFlat(f, FlatCompact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Variant() != FlatCompact {
+				t.Fatalf("fell back to %v", e.Variant())
+			}
+			for _, k := range []Kernel{KernelBranchy, KernelFused} {
+				e.SetKernel(k)
+				for i, x := range d.Features {
+					want := float.Predict(x)
+					if got := e.PredictPrecoded(core.PrecodeFeatures32(nil, x)); got != want {
+						t.Fatalf("%v row %d: precoded got %d, float path wants %d", k, i, got, want)
+					}
+				}
+				for _, width := range []int{1, 2, 4, 8} {
+					e.SetInterleave(width)
+					got := e.PredictBatch(d.Features, nil, 1, 16)
+					for i, x := range d.Features {
+						if want := float.Predict(x); got[i] != want {
+							t.Fatalf("%v width %d row %d: batch got %d, float path wants %d", k, width, i, got[i], want)
+						}
+					}
+				}
+			}
+		})
+	}
+	// The pruned-gap shape: splits on a scattered handful of 30 columns,
+	// so quantizeKeys translates through a non-identity prunedOrig.
+	rng := rand.New(rand.NewSource(31))
+	splitFeats := []int32{2, 11, 28}
+	var nodes []rf.Node
+	var grow func(d int) int32
+	grow = func(d int) int32 {
+		me := int32(len(nodes))
+		if d == 0 || rng.Float64() < 0.25 {
+			nodes = append(nodes, rf.Node{Feature: rf.LeafFeature, Class: int32(rng.Intn(3))})
+			return me
+		}
+		nodes = append(nodes, rf.Node{
+			Feature: splitFeats[rng.Intn(len(splitFeats))],
+			Split:   float32(rng.NormFloat64()),
+		})
+		l := grow(d - 1)
+		r := grow(d - 1)
+		nodes[me].Left = l
+		nodes[me].Right = r
+		return me
+	}
+	grow(7)
+	f := &rf.Forest{NumFeatures: 30, NumClasses: 3, Trees: []rf.Tree{{Nodes: nodes}}}
+	float, err := NewFlat(f, FlatFloat32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []Kernel{KernelBranchy, KernelFused} {
+		e.SetKernel(k)
+		for i := 0; i < 64; i++ {
+			x := make([]float32, 30)
+			for j := range x {
+				x[j] = float32(rng.NormFloat64())
+			}
+			want := float.Predict(x)
+			if got := e.PredictPrecoded(core.PrecodeFeatures32(nil, x)); got != want {
+				t.Fatalf("%v pruned row %d: precoded got %d, float path wants %d", k, i, got, want)
+			}
+		}
+	}
+}
+
+// skewTree returns a right-spine chain of depth inner nodes on feature
+// feat: a row exits at depth min(floor(value)+1, depth) for values in
+// [0, depth), at depth 1 for negative values, and walks the whole chain
+// for values past the last split — so rows control exactly how deep
+// each lane survives.
+func skewTree(depth int, feat int32) rf.Tree {
+	nodes := make([]rf.Node, 0, 2*depth+1)
+	for k := 0; k < depth; k++ {
+		me := int32(len(nodes))
+		nodes = append(nodes, rf.Node{Feature: feat, Split: float32(k), Left: me + 1, Right: me + 2})
+		nodes = append(nodes, rf.Node{Feature: rf.LeafFeature, Class: int32(k % 3)})
+	}
+	nodes = append(nodes, rf.Node{Feature: rf.LeafFeature, Class: 2})
+	return rf.Tree{Nodes: nodes}
+}
+
+// TestSkewedDepthFinishDrains pins the finishCompact/finishCompactFused
+// drains of the 2/4/8-way walks: an adversarial chain forest where each
+// lane of an interleaved group leafs at a controlled depth — one lane
+// surviving to depth 48 while the rest exit immediately, rotated
+// through every lane position, plus staircase and uniform patterns —
+// must stay bit-identical to the FLInt arena under both kernels.
+func TestSkewedDepthFinishDrains(t *testing.T) {
+	const depth = 48
+	f := &rf.Forest{NumFeatures: 2, NumClasses: 3, Trees: []rf.Tree{
+		skewTree(depth, 0),
+		skewTree(depth, 1),
+	}}
+	ref, err := NewFlat(f, FlatFLInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Variant() != FlatCompact {
+		t.Fatalf("fell back to %v", e.Variant())
+	}
+	depthVal := func(d int) float32 {
+		// A value leafing at depth d+1 on the chain; d >= depth walks
+		// the whole spine.
+		if d >= depth {
+			return depth + 1
+		}
+		return float32(d) + 0.5
+	}
+	var rows [][]float32
+	// One deep lane rotated through every position of a group of 8,
+	// shallow everywhere else — each rotation pins a different drain.
+	for pos := 0; pos < 8; pos++ {
+		for lane := 0; lane < 8; lane++ {
+			d0, d1 := 0, 0
+			if lane == pos {
+				d0, d1 = depth, depth/2
+			}
+			rows = append(rows, []float32{depthVal(d0), depthVal(d1)})
+		}
+	}
+	// Staircases (every lane a different depth, ascending and
+	// descending across the two features) and uniform extremes.
+	for lane := 0; lane < 8; lane++ {
+		rows = append(rows, []float32{depthVal(lane * 6), depthVal((7 - lane) * 6)})
+	}
+	for lane := 0; lane < 8; lane++ {
+		rows = append(rows, []float32{depthVal(depth), depthVal(depth)})
+	}
+	for lane := 0; lane < 8; lane++ {
+		rows = append(rows, []float32{-1, -1})
+	}
+	want := make([]int32, len(rows))
+	for i, x := range rows {
+		want[i] = ref.Predict(x)
+	}
+	for _, k := range []Kernel{KernelBranchy, KernelFused} {
+		e.SetKernel(k)
+		for _, width := range []int{2, 4, 8} {
+			e.SetInterleave(width)
+			got := e.PredictBatch(rows, nil, 1, 8)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%v width %d row %d: got %d want %d (lanes %v)", k, width, i, got[i], want[i], rows[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFusedZeroAllocSteadyState extends the zero-alloc acceptance
+// criterion to the fused kernel: steady-state Batcher prediction with
+// the fused kernel installed allocates nothing at any interleave width.
+func TestFusedZeroAllocSteadyState(t *testing.T) {
+	f, d := trainedForest(t, "magic", 6, 8)
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Variant() != FlatCompact {
+		t.Fatalf("fell back to %v", e.Variant())
+	}
+	e.SetKernel(KernelFused)
+	for _, width := range []int{1, 2, 4, 8} {
+		e.SetInterleave(width)
+		b := NewBatcher(e, 2, 7)
+		out := make([]int32, d.Len())
+		b.Predict(d.Features, out) // warm up
+		if avg := testing.AllocsPerRun(20, func() {
+			b.Predict(d.Features, out)
+		}); avg != 0 {
+			t.Errorf("width=%d: fused Batcher.Predict allocates %.1f objects per batch, want 0", width, avg)
+		}
+		b.Close()
+	}
+}
+
+// TestSetKernelSemantics pins the knob's contract: non-compact engines
+// have no fused kernel (the call is a no-op), SetInterleave preserves
+// the kernel, SetKernel preserves the width and marks the source
+// manual, and a pinned kernel survives calibration — under the pin,
+// calibration times widths but never flips the kernel.
+func TestSetKernelSemantics(t *testing.T) {
+	f, d := trainedForest(t, "wine", 5, 4)
+	flat, err := NewFlat(f, FlatFLInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := flat.SetKernel(KernelFused); got != KernelBranchy {
+		t.Errorf("SetKernel on FlatFLInt adopted %v, want branchy no-op", got)
+	}
+	if flat.Kernel() != KernelBranchy {
+		t.Errorf("FlatFLInt kernel = %v after no-op", flat.Kernel())
+	}
+
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kernel() != KernelBranchy {
+		t.Fatalf("fresh compact engine kernel = %v, want branchy (zero CompactFusedMin)", e.Kernel())
+	}
+	e.SetInterleave(4)
+	if got := e.SetKernel(KernelFused); got != KernelFused {
+		t.Fatalf("SetKernel(fused) adopted %v", got)
+	}
+	if e.Interleave() != 4 {
+		t.Errorf("SetKernel changed the width to %d", e.Interleave())
+	}
+	if src := e.CalibrationSource(); src != "manual" {
+		t.Errorf("source = %q after SetKernel, want \"manual\"", src)
+	}
+	e.SetInterleave(2)
+	if e.Kernel() != KernelFused {
+		t.Errorf("SetInterleave dropped the kernel to %v", e.Kernel())
+	}
+	for _, k := range []Kernel{KernelFused, KernelBranchy} {
+		e.SetKernel(k)
+		e.CalibrateInterleaveRows(d.Features, 4*time.Millisecond)
+		if e.Kernel() != k {
+			t.Errorf("calibration flipped the pinned kernel %v to %v", k, e.Kernel())
+		}
+	}
+	// KernelAuto clears the pin without touching the installed kernel;
+	// the next calibration is free to choose either.
+	e.SetKernel(KernelFused)
+	if got := e.SetKernel(KernelAuto); got != KernelFused {
+		t.Errorf("SetKernel(auto) returned %v, want the untouched fused kernel", got)
+	}
+	if e.kernelPin.Load() != 0 {
+		t.Error("SetKernel(auto) left the pin set")
+	}
+	e.CalibrateInterleaveRows(d.Features, 4*time.Millisecond)
+	if k := e.Kernel(); k != KernelBranchy && k != KernelFused {
+		t.Errorf("unpinned calibration installed %v", k)
+	}
+}
+
+// TestKernelForBoundaries covers the gate-side kernel selection: the
+// CompactFusedMin byte threshold applies to compact arenas only, and
+// the zero (legacy) and MaxInt (fused-never-won) values both keep the
+// branchy kernel.
+func TestKernelForBoundaries(t *testing.T) {
+	g := InterleaveGates{CompactFusedMin: 1000}
+	for _, tc := range []struct {
+		bytes int
+		want  Kernel
+	}{{0, KernelBranchy}, {999, KernelBranchy}, {1000, KernelFused}, {1 << 30, KernelFused}} {
+		if got := g.kernelFor(FlatCompact, tc.bytes); got != tc.want {
+			t.Errorf("kernelFor(FlatCompact, %d) = %v, want %v", tc.bytes, got, tc.want)
+		}
+		if got := g.kernelFor(FlatFLInt, tc.bytes); got != KernelBranchy {
+			t.Errorf("kernelFor(FlatFLInt, %d) = %v, want branchy", tc.bytes, got)
+		}
+	}
+	for _, min := range []int{0, math.MaxInt} {
+		g := InterleaveGates{CompactFusedMin: min}
+		if got := g.kernelFor(FlatCompact, 1<<30); got != KernelBranchy {
+			t.Errorf("kernelFor with CompactFusedMin=%d = %v, want branchy", min, got)
+		}
+	}
+	// Engines read the threshold at construction.
+	defer SetInterleaveGates(DefaultInterleaveGates())
+	f, _ := trainedForest(t, "wine", 5, 4)
+	SetInterleaveGates(InterleaveGates{Min2: math.MaxInt, Min4: math.MaxInt, Min8: math.MaxInt,
+		CompactMin2: math.MaxInt, CompactMin4: math.MaxInt, CompactMin8: math.MaxInt, CompactFusedMin: 1})
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kernel() != KernelFused {
+		t.Errorf("construction-time kernel = %v under a 1-byte fused gate, want fused", e.Kernel())
+	}
+}
+
+// TestFusedGateFromLadder checks the monotone threshold derivation: a
+// branchy win above a fused win is noise and must not split the fused
+// region.
+func TestFusedGateFromLadder(t *testing.T) {
+	sizes := []int{10, 20, 40, 80}
+	for _, tc := range []struct {
+		bestAt []Kernel
+		want   int
+	}{
+		{[]Kernel{KernelBranchy, KernelBranchy, KernelBranchy, KernelBranchy}, math.MaxInt},
+		{[]Kernel{KernelFused, KernelFused, KernelFused, KernelFused}, 10},
+		{[]Kernel{KernelBranchy, KernelBranchy, KernelFused, KernelFused}, 40},
+		{[]Kernel{KernelBranchy, KernelFused, KernelBranchy, KernelFused}, 20}, // noise forced monotone
+	} {
+		if got := fusedGateFromLadder(sizes, append([]Kernel(nil), tc.bestAt...)); got != tc.want {
+			t.Errorf("fusedGateFromLadder(%v) = %d, want %d", tc.bestAt, got, tc.want)
+		}
+	}
+}
+
+// TestParseKernel pins the name mapping, including the legacy empty
+// string.
+func TestParseKernel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kernel
+		ok   bool
+	}{
+		{"", KernelBranchy, true},
+		{"branchy", KernelBranchy, true},
+		{"fused", KernelFused, true},
+		{"simd", KernelBranchy, false},
+	} {
+		got, err := ParseKernel(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseKernel(%q) = (%v, %v), want (%v, ok=%v)", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	if KernelBranchy.String() != "branchy" || KernelFused.String() != "fused" {
+		t.Errorf("kernel names = %q/%q", KernelBranchy.String(), KernelFused.String())
+	}
+}

@@ -1,6 +1,7 @@
 package treeexec
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync/atomic"
@@ -27,6 +28,69 @@ import (
 // interleaveWidths are the supported cursor counts, in ascending order.
 var interleaveWidths = [4]int{1, 2, 4, 8}
 
+// Kernel selects how the compact batch kernel resolves each node's
+// child: the branchy kernel executes one data-dependent branch per
+// cursor per level (three slice loads per node), the fused kernel loads
+// the node as a single pre-packed uint64 word and computes the child
+// with shifts — a data dependency instead of a control dependency, so a
+// deep walk mispredicts once per chain (the loop exit) rather than once
+// per level. Both kernels produce bit-identical predictions; which one
+// is faster is a host property (mispredict penalty vs. dependent-chain
+// latency) that calibration measures alongside the interleave width.
+// Only the compact SoA arena has a fused form; other variants always
+// run branchy.
+type Kernel int32
+
+const (
+	// KernelBranchy is the per-level compare-and-branch walk over the
+	// parallel keys16/feats16/kids slices.
+	KernelBranchy Kernel = iota
+	// KernelFused is the branch-free walk over the packed nodes64 words
+	// (compact arenas only), with branchless binary-search quantization.
+	KernelFused
+	// KernelAuto is not a kernel an engine can run: passing it to
+	// SetKernel clears a previous pin, so subsequent calibration passes
+	// compete both kernels again. The installed kernel is unchanged.
+	KernelAuto Kernel = -1
+)
+
+// String names the kernel in benchmark and persistence output.
+func (k Kernel) String() string {
+	if k == KernelFused {
+		return "fused"
+	}
+	return "branchy"
+}
+
+// ParseKernel maps a kernel name from a flag or persisted record back
+// to the constant; the empty string is the legacy (pre-kernel) spelling
+// of branchy.
+func ParseKernel(name string) (Kernel, error) {
+	switch name {
+	case "", "branchy":
+		return KernelBranchy, nil
+	case "fused":
+		return KernelFused, nil
+	}
+	return KernelBranchy, fmt.Errorf("treeexec: unknown kernel %q (branchy|fused)", name)
+}
+
+// The engine's width and kernel travel together in one atomic int32
+// ("mode") so recalibration installs the (width, kernel) pair as a
+// single unit: a Batcher worker racing the store sees either the old
+// pair or the new one, never a half-installed mix of a width measured
+// under one kernel with the other kernel.
+
+// packMode packs an interleave width (low byte) and a kernel (next
+// byte) into one mode word.
+func packMode(width int, k Kernel) int32 { return int32(width) | int32(k)<<8 }
+
+// modeWidth extracts the interleave width from a mode word.
+func modeWidth(m int32) int { return int(m & 0xff) }
+
+// modeKernel extracts the kernel from a mode word.
+func modeKernel(m int32) Kernel { return Kernel(m >> 8) }
+
 // InterleaveGates holds the arena byte-size thresholds from which each
 // wider interleaved walk wins on this host, one set per interleaving
 // arena layout. A threshold of math.MaxInt disables that width. The zero
@@ -50,6 +114,15 @@ type InterleaveGates struct {
 	CompactMin2 int `json:"compact_min2"`
 	CompactMin4 int `json:"compact_min4"`
 	CompactMin8 int `json:"compact_min8"`
+	// CompactFusedMin is the smallest compact arena footprint (bytes) at
+	// which the fused branch-free kernel outperforms the branchy one on
+	// this host. Zero — the value in every gate table from before the
+	// fused kernel existed, and the uncalibrated default — selects the
+	// branchy kernel everywhere; math.MaxInt records a measurement where
+	// fused never won. Like the width gates it only seeds engines at
+	// construction: per-engine calibration times both kernels on the
+	// actual arena.
+	CompactFusedMin int `json:"compact_fused_min,omitempty"`
 }
 
 // DefaultInterleaveGates are the static thresholds used until Calibrate
@@ -114,10 +187,26 @@ func (g InterleaveGates) widthFor(v FlatVariant, arenaBytes int) int {
 	return 1
 }
 
-// ArenaBytes returns the engine's node storage footprint: 16 bytes per
+// kernelFor selects the construction-time kernel for an arena
+// footprint: fused once a compact arena crosses the measured
+// CompactFusedMin threshold, branchy everywhere else (including every
+// non-compact variant, which has no fused form, and every legacy gate
+// table, whose zero threshold disables the fused kernel).
+func (g InterleaveGates) kernelFor(v FlatVariant, arenaBytes int) Kernel {
+	if v == FlatCompact && g.CompactFusedMin > 0 && arenaBytes >= g.CompactFusedMin {
+		return KernelFused
+	}
+	return KernelBranchy
+}
+
+// ArenaBytes returns the engine's walked node footprint: 16 bytes per
 // node for the AoS arenas, 8 bytes per node plus the pruned per-feature
 // cut tables for the compact SoA arena. This is the quantity the
-// interleave gates are measured against.
+// interleave gates are measured against — the bytes one walk actually
+// touches — so the compact arena's fused-kernel mirror (nodes64, the
+// same 8 bytes per node re-packed into one word; a walk reads either
+// encoding, never both) is not counted, though it does double the
+// resident node storage.
 func (e *FlatForestEngine) ArenaBytes() int {
 	if e.variant == FlatCompact {
 		return 2*len(e.keys16) + 2*len(e.feats16) + 4*len(e.kids) +
@@ -136,14 +225,19 @@ func (e *FlatForestEngine) ArenaNodes() int {
 
 // Interleave returns the batch kernel's current cursor count (1, 2, 4
 // or 8).
-func (e *FlatForestEngine) Interleave() int { return int(e.interleave.Load()) }
+func (e *FlatForestEngine) Interleave() int { return modeWidth(e.mode.Load()) }
+
+// Kernel returns the compact batch kernel's current child-select
+// strategy (always KernelBranchy for non-compact variants).
+func (e *FlatForestEngine) Kernel() Kernel { return modeKernel(e.mode.Load()) }
 
 // SetInterleave forces the batch kernel's cursor count, bypassing the
 // calibrated gates; the requested width is rounded down to the nearest
 // supported one (1, 2, 4, 8) and returned. Only the FLInt and compact
 // kernels interleave; other variants ignore the setting. The width is
-// installed atomically, so calling while Batcher workers are in flight
-// is safe (in-flight blocks finish at the old width).
+// installed atomically and the current kernel is preserved, so calling
+// while Batcher workers are in flight is safe (in-flight blocks finish
+// at the old width).
 func (e *FlatForestEngine) SetInterleave(width int) int {
 	w := 1
 	for _, c := range interleaveWidths {
@@ -151,12 +245,60 @@ func (e *FlatForestEngine) SetInterleave(width int) int {
 			w = c
 		}
 	}
-	e.interleave.Store(int32(w))
+	for {
+		old := e.mode.Load()
+		if e.mode.CompareAndSwap(old, packMode(w, modeKernel(old))) {
+			break
+		}
+	}
 	// A forced width is an operator decision, not measurement; without
 	// this the engine would keep reporting whatever evidence backed the
 	// previous width.
 	e.calibSource.Store(calibSourceManual)
 	return w
+}
+
+// SetKernel forces the compact walk kernel and pins it: subsequent
+// calibration passes (CalibrateInterleave and friends) time interleave
+// widths under the pinned kernel only, instead of competing both — the
+// contract an A/B measurement needs. The current width is preserved and
+// the pair is installed atomically. KernelAuto clears the pin without
+// touching the installed kernel, handing the choice back to the next
+// calibration pass. Non-compact variants have no fused kernel; for them
+// the call is a no-op returning KernelBranchy.
+func (e *FlatForestEngine) SetKernel(k Kernel) Kernel {
+	if e.variant != FlatCompact {
+		return KernelBranchy
+	}
+	if k == KernelAuto {
+		e.kernelPin.Store(0)
+		return e.Kernel()
+	}
+	if k != KernelFused {
+		k = KernelBranchy
+	}
+	e.kernelPin.Store(int32(k) + 1)
+	for {
+		old := e.mode.Load()
+		if e.mode.CompareAndSwap(old, packMode(modeWidth(old), k)) {
+			break
+		}
+	}
+	e.calibSource.Store(calibSourceManual)
+	return k
+}
+
+// candidateKernels returns the kernels calibration competes for this
+// engine: the pinned one after SetKernel, both for an unpinned compact
+// arena, branchy alone for everything else.
+func (e *FlatForestEngine) candidateKernels() []Kernel {
+	if pin := e.kernelPin.Load(); pin != 0 {
+		return []Kernel{Kernel(pin - 1)}
+	}
+	if e.variant == FlatCompact {
+		return []Kernel{KernelBranchy, KernelFused}
+	}
+	return []Kernel{KernelBranchy}
 }
 
 // Calibration sources for CalibrationSource: where the engine's current
@@ -217,7 +359,7 @@ func (e *FlatForestEngine) CalibrateInterleave(budget time.Duration) int {
 // unchanged.
 func (e *FlatForestEngine) CalibrateInterleaveRows(rows [][]float32, budget time.Duration) int {
 	if e.variant != FlatFLInt && e.variant != FlatCompact {
-		return int(e.interleave.Load())
+		return modeWidth(e.mode.Load())
 	}
 	if budget <= 0 {
 		budget = 40 * time.Millisecond
@@ -242,8 +384,11 @@ func (e *FlatForestEngine) CalibrateInterleaveRows(rows [][]float32, budget time
 	// single width is measured; decimate evenly down to a bounded block,
 	// which preserves the sample's distribution.
 	sample = capRows(replicateRows(sample, minTimingRows), maxTimingRows)
-	w, measured := e.timeWidths(sample, budget)
-	e.interleave.Store(int32(w))
+	w, k, measured := e.timeWidths(sample, budget)
+	// One store installs the (width, kernel) pair as a unit: an
+	// in-flight Batcher worker never observes a width measured under
+	// one kernel paired with the other.
+	e.mode.Store(packMode(w, k))
 	if measured {
 		// A budget too small to time even one width returns the
 		// incumbent; recording a source for it would claim evidence
@@ -291,52 +436,59 @@ func capRows(sample [][]float32, max int) [][]float32 {
 }
 
 // timeWidths times the block kernel over rows at every supported
-// interleave width, spending roughly budget wall time in total, and
-// returns the fastest width (on an exact tie the first-measured width
-// wins; the incumbent is returned only when nothing was measured) plus
-// whether any width actually completed a measured run (false means the
-// result is just the incumbent and no timing evidence exists). It never touches
-// the engine's live interleave field — every candidate runs through
+// interleave width — and, for an unpinned compact engine, under both
+// the branchy and fused kernels — spending roughly budget wall time in
+// total, and returns the fastest (width, kernel) pair (on an exact tie
+// the first-measured candidate wins; the incumbent pair is returned
+// only when nothing was measured) plus whether any candidate actually
+// completed a measured run (false means the result is just the
+// incumbent and no timing evidence exists). It never touches the
+// engine's live mode field — every candidate runs through
 // predictBlockWidth — so timing is safe while Batcher workers serve
-// concurrently. The warm-up run of each width is counted against that
-// width's budget slice (it used to be untimed, so the real cost of a
-// calibration pass could far exceed the caller's budget on arenas where
-// a single block walk is expensive), and once the whole budget is spent
-// no further width even warms up, so the total wall time is bounded by
-// budget plus at most one block pass. A width whose slice the warm-up
-// alone exhausts does not compete: its only sample is cache-cold, and
-// widths time in ascending order, so cold samples systematically favor
-// the later (wider) walks — an undersized budget keeps the incumbent
-// instead of installing a width chosen by cache state.
-func (e *FlatForestEngine) timeWidths(rows [][]float32, budget time.Duration) (width int, measured bool) {
+// concurrently. The warm-up run of each candidate is counted against
+// that candidate's budget slice (it used to be untimed, so the real
+// cost of a calibration pass could far exceed the caller's budget on
+// arenas where a single block walk is expensive), and once the whole
+// budget is spent no further candidate even warms up, so the total wall
+// time is bounded by budget plus at most one block pass. A candidate
+// whose slice the warm-up alone exhausts does not compete: its only
+// sample is cache-cold, and candidates time in ascending width order,
+// so cold samples systematically favor the later (wider) walks — an
+// undersized budget keeps the incumbent instead of installing a mode
+// chosen by cache state.
+func (e *FlatForestEngine) timeWidths(rows [][]float32, budget time.Duration) (width int, kernel Kernel, measured bool) {
 	out := make([]int32, len(rows))
 	s := e.newScratch()
-	per := budget / time.Duration(len(interleaveWidths))
-	best, bestNs := int(e.interleave.Load()), math.MaxFloat64
+	kernels := e.candidateKernels()
+	per := budget / time.Duration(len(interleaveWidths)*len(kernels))
+	m := e.mode.Load()
+	best, bestK, bestNs := modeWidth(m), modeKernel(m), math.MaxFloat64
 	tstart := time.Now()
 	for _, w := range interleaveWidths {
-		if time.Since(tstart) >= budget {
-			break
-		}
-		start := time.Now()
-		e.predictBlockWidth(rows, out, s, w) // warm up, counted
-		warm := time.Since(start)
-		var runs int
-		mstart := time.Now()
-		for time.Since(mstart) < per-warm {
-			e.predictBlockWidth(rows, out, s, w)
-			runs++
-		}
-		if runs == 0 {
-			continue
-		}
-		measured = true
-		ns := float64(time.Since(mstart).Nanoseconds()) / float64(runs)
-		if ns < bestNs {
-			best, bestNs = w, ns
+		for _, k := range kernels {
+			if time.Since(tstart) >= budget {
+				break
+			}
+			start := time.Now()
+			e.predictBlockWidth(rows, out, s, w, k) // warm up, counted
+			warm := time.Since(start)
+			var runs int
+			mstart := time.Now()
+			for time.Since(mstart) < per-warm {
+				e.predictBlockWidth(rows, out, s, w, k)
+				runs++
+			}
+			if runs == 0 {
+				continue
+			}
+			measured = true
+			ns := float64(time.Since(mstart).Nanoseconds()) / float64(runs)
+			if ns < bestNs {
+				best, bestK, bestNs = w, k, ns
+			}
 		}
 	}
-	return best, measured
+	return best, bestK, measured
 }
 
 // Calibrate measures the interleave crossover points on this host, one
@@ -355,20 +507,53 @@ func Calibrate(budget time.Duration) InterleaveGates {
 	// Depth-9 synthetic trees stacked to the ladder's target footprints,
 	// bracketing the L2/L3/DRAM regimes where the crossovers live.
 	sizes := []int{256 << 10, 1 << 20, 4 << 20, 16 << 20}
-	perEngine := budget / time.Duration(2*len(sizes))
+	// The FLInt ladder times one candidate per width; the compact ladder
+	// times each width under both kernels, twice as many. Split the
+	// budget so every candidate gets an equal slice — an even per-engine
+	// split would halve each compact candidate's slice and raise the
+	// odds that budget starvation skips fused at exactly the sizes where
+	// it wins (a skipped candidate never competes, and the MaxInt gate
+	// that falls out would persist as "fused never won").
+	flintCands := len(interleaveWidths)
+	compactCands := 2 * len(interleaveWidths)
+	perCand := budget / time.Duration(len(sizes)*(flintCands+compactCands))
 	flintBest := make([]int, len(sizes))
 	compactBest := make([]int, len(sizes))
+	compactKernel := make([]Kernel, len(sizes))
 	for si, bytes := range sizes {
 		fe := syntheticFLIntEngine(bytes)
-		flintBest[si], _ = fe.timeWidths(fe.representativeRows(64, uint32(0xB5297A4D+si)), perEngine)
+		flintBest[si], _, _ = fe.timeWidths(fe.representativeRows(64, uint32(0xB5297A4D+si)), perCand*time.Duration(flintCands))
 		ce := syntheticCompactEngine(bytes)
-		compactBest[si], _ = ce.timeWidths(ce.representativeRows(64, uint32(0x68E31DA4+si)), perEngine)
+		compactBest[si], compactKernel[si], _ = ce.timeWidths(ce.representativeRows(64, uint32(0x68E31DA4+si)), perCand*time.Duration(compactCands))
 	}
 	g := InterleaveGates{}
 	g.Min2, g.Min4, g.Min8 = gatesFromLadder(sizes, flintBest)
 	g.CompactMin2, g.CompactMin4, g.CompactMin8 = gatesFromLadder(sizes, compactBest)
+	g.CompactFusedMin = fusedGateFromLadder(sizes, compactKernel)
 	SetInterleaveGates(g)
 	return g
+}
+
+// fusedGateFromLadder turns per-size winning kernels into the byte
+// threshold from which the fused kernel wins: kernels are first forced
+// monotone over the size ladder (a branchy win above a fused win is
+// measurement noise — the fused kernel's advantage, hiding mispredict
+// stalls behind data dependencies, only grows with walk depth and fetch
+// latency), then the threshold is the smallest size preferring fused,
+// or math.MaxInt when no size did.
+func fusedGateFromLadder(sizes []int, bestAt []Kernel) int {
+	for i := 1; i < len(bestAt); i++ {
+		if bestAt[i] < bestAt[i-1] {
+			bestAt[i] = bestAt[i-1]
+		}
+	}
+	min := math.MaxInt
+	for i := len(sizes) - 1; i >= 0; i-- {
+		if bestAt[i] == KernelFused {
+			min = sizes[i]
+		}
+	}
+	return min
 }
 
 // gatesFromLadder turns per-size fastest widths into monotone byte
@@ -440,7 +625,7 @@ func syntheticFLIntEngine(arenaBytes int) *FlatForestEngine {
 		numClasses:  4,
 		numFeatures: numFeatures,
 	}
-	e.interleave.Store(1)
+	e.mode.Store(packMode(1, KernelBranchy))
 	next := xorshift32(0x2545F491)
 	for t := 0; t < trees; t++ {
 		base := int32(len(e.arena))
@@ -484,7 +669,7 @@ func syntheticCompactEngine(arenaBytes int) *FlatForestEngine {
 		numFeatures: numFeatures,
 		numPruned:   numFeatures,
 	}
-	e.interleave.Store(1)
+	e.mode.Store(packMode(1, KernelBranchy))
 	next := xorshift32(0x9E3779B1)
 	e.prunedOrig = make([]int32, numFeatures)
 	e.cutLo = make([]int32, numFeatures+1)
@@ -511,6 +696,7 @@ func syntheticCompactEngine(arenaBytes int) *FlatForestEngine {
 	e.keys16 = make([]uint16, 0, trees*perTree)
 	e.feats16 = make([]uint16, 0, trees*perTree)
 	e.kids = make([]int32, 0, trees*perTree)
+	e.nodes64 = make([]uint64, 0, trees*perTree)
 	for t := 0; t < trees; t++ {
 		e.roots[t] = int32(len(e.kids))
 		for i := 0; i < perTree; i++ {
@@ -522,9 +708,12 @@ func syntheticCompactEngine(arenaBytes int) *FlatForestEngine {
 			}
 			f := next() % numFeatures
 			nc := e.cutLo[f+1] - e.cutLo[f]
+			kids := packKids(left, right)
+			rank := uint16(next() % uint32(nc))
 			e.feats16 = append(e.feats16, uint16(f))
-			e.keys16 = append(e.keys16, uint16(next()%uint32(nc)))
-			e.kids = append(e.kids, packKids(left, right))
+			e.keys16 = append(e.keys16, rank)
+			e.kids = append(e.kids, kids)
+			e.nodes64 = append(e.nodes64, packNode64(rank, uint16(f), kids))
 		}
 	}
 	return e

@@ -375,7 +375,7 @@ func TestCalibrateTinyBudgetBound(t *testing.T) {
 	out := make([]int32, len(rows))
 	s := e.newScratch()
 	start := time.Now()
-	e.predictBlockWidth(rows, out, s, 1)
+	e.predictBlockWidth(rows, out, s, 1, KernelBranchy)
 	onePass := time.Since(start)
 
 	budget := onePass / 8 // guaranteed smaller than any single pass
@@ -429,19 +429,22 @@ func TestCalibrationSourceTransitions(t *testing.T) {
 
 // TestSyntheticCompactEngineConsistent guards the Calibrate ladder's
 // compact half: the synthetic SoA arena must be structurally sound —
-// identical predictions at every interleave width.
+// identical predictions at every interleave width and under both walk
+// kernels, since the ladder times the fused kernel on it too.
 func TestSyntheticCompactEngineConsistent(t *testing.T) {
 	e := syntheticCompactEngine(64 << 10)
 	rows := e.representativeRows(48, 0x42)
 	s := e.newScratch()
 	want := make([]int32, len(rows))
-	e.predictBlockWidth(rows, want, s, 1)
+	e.predictBlockWidth(rows, want, s, 1, KernelBranchy)
 	got := make([]int32, len(rows))
-	for _, w := range []int{2, 4, 8} {
-		e.predictBlockWidth(rows, got, s, w)
-		for i := range got {
-			if got[i] != want[i] {
-				t.Fatalf("width %d row %d: got %d want %d", w, i, got[i], want[i])
+	for _, k := range []Kernel{KernelBranchy, KernelFused} {
+		for _, w := range []int{1, 2, 4, 8} {
+			e.predictBlockWidth(rows, got, s, w, k)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%v width %d row %d: got %d want %d", k, w, i, got[i], want[i])
+				}
 			}
 		}
 	}

@@ -40,13 +40,17 @@ func (e *FlatForestEngine) Fingerprint() ArenaFingerprint {
 
 // CalibrationRecord is the persisted calibration state of one engine:
 // the arena fingerprint it was measured on, the host-wide interleave
-// gate table, the engine's chosen width, and optionally a sample of the
-// traffic that width was measured against (a Batcher.SampleSnapshot),
-// so the next deployment can seed its reservoir with real rows.
+// gate table, the engine's chosen width and walk kernel, and optionally
+// a sample of the traffic that mode was measured against (a
+// Batcher.SampleSnapshot), so the next deployment can seed its
+// reservoir with real rows. Kernel is "branchy" or "fused"; records
+// written before the kernel axis existed carry no field and load as
+// branchy — the only kernel those deployments ever ran.
 type CalibrationRecord struct {
 	Fingerprint ArenaFingerprint `json:"fingerprint"`
 	Gates       InterleaveGates  `json:"gates"`
 	Width       int              `json:"width"`
+	Kernel      string           `json:"kernel,omitempty"`
 	Rows        [][]float32      `json:"rows,omitempty"`
 }
 
@@ -70,10 +74,12 @@ func finiteRow(row []float32) bool {
 // length is not the engine's feature width, or that contain non-finite
 // values (JSON cannot carry NaN or infinities), are skipped.
 func (e *FlatForestEngine) SaveCalibration(w io.Writer, rows [][]float32) error {
+	m := e.mode.Load() // one load, so width and kernel are a consistent pair
 	rec := CalibrationRecord{
 		Fingerprint: e.Fingerprint(),
 		Gates:       CurrentInterleaveGates(),
-		Width:       int(e.interleave.Load()),
+		Width:       modeWidth(m),
+		Kernel:      modeKernel(m).String(),
 	}
 	for _, r := range rows {
 		if len(r) == e.numFeatures && finiteRow(r) {
@@ -89,7 +95,7 @@ func (e *FlatForestEngine) SaveCalibration(w io.Writer, rows [][]float32) error 
 // sane: no negative thresholds (math.MaxInt — "width disabled" — is
 // valid).
 func validGates(g InterleaveGates) bool {
-	for _, v := range []int{g.Min2, g.Min4, g.Min8, g.CompactMin2, g.CompactMin4, g.CompactMin8} {
+	for _, v := range []int{g.Min2, g.Min4, g.Min8, g.CompactMin2, g.CompactMin4, g.CompactMin8, g.CompactFusedMin} {
 		if v < 0 {
 			return false
 		}
@@ -99,8 +105,8 @@ func validGates(g InterleaveGates) bool {
 
 // LoadCalibration reads a CalibrationRecord written by SaveCalibration,
 // validates it against this engine's arena fingerprint, and installs
-// the persisted width on the engine (atomically, so loading while a
-// Batcher serves is safe). The record is returned so the caller can
+// the persisted width and walk kernel on the engine (as one atomic
+// pair, so loading while a Batcher serves is safe). The record is returned so the caller can
 // seed a Batcher's reservoir with its Rows (Batcher.SeedSample) and —
 // when the record was measured on this same hardware — install its
 // gate table host-wide with SetInterleaveGates(rec.Gates). That last
@@ -124,6 +130,13 @@ func (e *FlatForestEngine) LoadCalibration(r io.Reader) (*CalibrationRecord, err
 	default:
 		return nil, fmt.Errorf("treeexec: persisted interleave width %d is not a supported width (1, 2, 4, 8)", rec.Width)
 	}
+	kernel, err := ParseKernel(rec.Kernel) // "" (a pre-kernel record) parses as branchy
+	if err != nil {
+		return nil, fmt.Errorf("treeexec: persisted record: %w", err)
+	}
+	if kernel == KernelFused && e.variant != FlatCompact {
+		return nil, fmt.Errorf("treeexec: persisted fused kernel is only valid for the compact arena, engine is %v", e.variant)
+	}
 	if !validGates(rec.Gates) {
 		return nil, fmt.Errorf("treeexec: persisted gate table has negative thresholds: %+v", rec.Gates)
 	}
@@ -134,7 +147,7 @@ func (e *FlatForestEngine) LoadCalibration(r io.Reader) (*CalibrationRecord, err
 		// persist as math.MaxInt, not 0).
 		return nil, fmt.Errorf("treeexec: persisted record carries no gate table")
 	}
-	e.interleave.Store(int32(rec.Width))
+	e.mode.Store(packMode(rec.Width, kernel))
 	e.calibSource.Store(calibSourcePersisted)
 	return &rec, nil
 }

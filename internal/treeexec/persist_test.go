@@ -25,6 +25,7 @@ func TestSaveLoadCalibrationRoundTrip(t *testing.T) {
 	gates := InterleaveGates{
 		Min2: 123456, Min4: 4 << 20, Min8: math.MaxInt,
 		CompactMin2: 1 << 10, CompactMin4: math.MaxInt, CompactMin8: math.MaxInt,
+		CompactFusedMin: 2 << 20,
 	}
 	SetInterleaveGates(gates)
 	e.SetInterleave(4)
@@ -169,6 +170,95 @@ func itoa(v int) string {
 	return "8"
 }
 
+// TestCalibrationKernelRoundTrip covers the kernel half of the
+// persisted mode: a fused record round-trips onto a fresh engine as the
+// (width, kernel) pair, a record from before the kernel axis existed
+// (no kernel field) loads as branchy, an unknown kernel name is
+// rejected, and a fused record is rejected by every arena variant that
+// has no fused kernel.
+func TestCalibrationKernelRoundTrip(t *testing.T) {
+	f, _ := trainedForest(t, "magic", 6, 5)
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetInterleave(4)
+	e.SetKernel(KernelFused)
+	var buf bytes.Buffer
+	if err := e.SaveCalibration(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"kernel": "fused"`) {
+		t.Fatalf("record does not carry the kernel: %s", buf.String())
+	}
+
+	e2, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := e2.LoadCalibration(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kernel != "fused" || e2.Kernel() != KernelFused || e2.Interleave() != 4 {
+		t.Errorf("loaded mode = (x%d, %v) from record kernel %q, want (x4, fused)",
+			e2.Interleave(), e2.Kernel(), rec.Kernel)
+	}
+
+	// A pre-kernel record: re-marshal without the field. Legacy
+	// deployments only ever ran branchy, so that is what the absent
+	// field must mean.
+	var stripped struct {
+		Fingerprint ArenaFingerprint `json:"fingerprint"`
+		Gates       InterleaveGates  `json:"gates"`
+		Width       int              `json:"width"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &stripped); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := json.Marshal(stripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3.SetKernel(KernelFused) // must be overwritten by the load
+	rec, err = e3.LoadCalibration(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kernel != "" || e3.Kernel() != KernelBranchy {
+		t.Errorf("legacy record loaded kernel %v (field %q), want branchy", e3.Kernel(), rec.Kernel)
+	}
+
+	bad := strings.Replace(buf.String(), `"kernel": "fused"`, `"kernel": "simd"`, 1)
+	before := e2.Kernel()
+	if _, err := e2.LoadCalibration(strings.NewReader(bad)); err == nil {
+		t.Error("unknown kernel name accepted")
+	}
+	if e2.Kernel() != before {
+		t.Error("rejected load still changed the kernel")
+	}
+
+	// A fused record against a non-compact arena: the fingerprint check
+	// already rejects cross-variant loads, so forge a matching flat
+	// fingerprint to reach the kernel check.
+	fe, err := NewFlat(f, FlatFLInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flatRec bytes.Buffer
+	if err := fe.SaveCalibration(&flatRec, nil); err != nil {
+		t.Fatal(err)
+	}
+	forged := strings.Replace(flatRec.String(), `"kernel": "branchy"`, `"kernel": "fused"`, 1)
+	if _, err := fe.LoadCalibration(strings.NewReader(forged)); err == nil {
+		t.Error("fused kernel accepted for a non-compact arena")
+	}
+}
+
 // TestSaveCalibrationFiltersRows pins the save-side row filter: rows of
 // the wrong width and rows carrying NaN/Inf (unrepresentable in JSON)
 // are dropped instead of failing the whole save.
@@ -204,6 +294,7 @@ func TestGatesJSONRoundTrip(t *testing.T) {
 	g := InterleaveGates{
 		Min2: 1 << 20, Min4: math.MaxInt, Min8: math.MaxInt,
 		CompactMin2: 256 << 10, CompactMin4: 4 << 20, CompactMin8: 16 << 20,
+		CompactFusedMin: math.MaxInt, // measured, fused never won
 	}
 	var buf bytes.Buffer
 	if err := WriteGatesJSON(&buf, g); err != nil {

@@ -149,10 +149,12 @@ func TestBatcherSamplingZeroAlloc(t *testing.T) {
 }
 
 // TestBatcherRecalibrateUnderTraffic recalibrates repeatedly while
-// Predict callers hammer the pool: the winning width must install
-// atomically (run under -race to pin the data-race half of the
-// contract), predictions must stay correct throughout, and the adopted
-// width must be a supported one sourced from the reservoir's rows.
+// Predict callers hammer the pool: the winning (width, kernel) pair
+// must install atomically (run under -race to pin the data-race half
+// of the contract — on this compact engine each pass times both the
+// branchy and fused kernels and may flip between them mid-traffic),
+// predictions must stay correct throughout, and the adopted width must
+// be a supported one sourced from the reservoir's rows.
 func TestBatcherRecalibrateUnderTraffic(t *testing.T) {
 	f, d := trainedForest(t, "magic", 7, 6)
 	e, err := NewFlat(f, FlatCompact)
@@ -203,6 +205,9 @@ func TestBatcherRecalibrateUnderTraffic(t *testing.T) {
 		}
 		if w != e.Interleave() {
 			t.Errorf("Recalibrate returned %d but engine holds %d", w, e.Interleave())
+		}
+		if k := e.Kernel(); k != KernelBranchy && k != KernelFused {
+			t.Errorf("Recalibrate installed unsupported kernel %d", k)
 		}
 	}
 	close(stop)
