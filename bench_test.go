@@ -646,13 +646,15 @@ func BenchmarkBatchThroughput(b *testing.B) {
 				{"blocked", flat, treeexec.KernelBranchy},
 				{"compact", compact, treeexec.KernelBranchy},
 				{"compact-fused", compact, treeexec.KernelFused},
+				{"compact-simd", compact, treeexec.KernelSIMD},
 			} {
 				arena := arena
 				// Forced interleave widths and kernels expose the
-				// 2/4/8-way walks and the branchy-vs-fused gap
-				// individually; serving code normally leaves the
-				// calibrated gate in charge. (SetKernel is a no-op on
-				// the AoS arena, which has no fused form.)
+				// 2/4/8-way walks and the kernel gaps individually;
+				// serving code normally leaves the calibrated gate in
+				// charge. (SetKernel is a no-op on the AoS arena, which
+				// has no fused or SIMD form; compact-simd runs the
+				// portable fallback on hosts without the vector ISA.)
 				for _, width := range []int{1, 2, 4, 8} {
 					width := width
 					b.Run(fmt.Sprintf("%s/%s/x%d/w%d", ds, arena.tag, width, w), func(b *testing.B) {
@@ -723,6 +725,7 @@ func BenchmarkBatchThroughput(b *testing.B) {
 		{"blocked", hflat, treeexec.KernelBranchy},
 		{"compact", hcompact, treeexec.KernelBranchy},
 		{"compact-fused", hcompact, treeexec.KernelFused},
+		{"compact-simd", hcompact, treeexec.KernelSIMD},
 	} {
 		arena := arena
 		for _, width := range []int{1, 2, 4, 8} {

@@ -18,6 +18,7 @@
 //	flintbench -grid quick -backends sim -csv out/
 //	flintbench -batchjson BENCH_batch.json
 //	flintbench -batchjson BENCH_fused.json -kernel fused
+//	flintbench -batchjson BENCH_simd.json -kernel simd
 //	flintbench -trenddiff old/BENCH_batch.json BENCH_batch.json
 //	flintbench -trendhistory run4.json run3.json run2.json run1.json BENCH_batch.json
 package main
@@ -51,7 +52,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "log every measured grid point")
 		batchJSON = flag.String("batchjson", "", "run the short batch-throughput bench (rows/s per arena variant per workload), write JSON to this path and exit")
 		batchRows = flag.Int("batchrows", 0, "dataset rows for -batchjson (0 = 1200)")
-		kernel    = flag.String("kernel", "auto", "compact walk kernel for -batchjson: auto lets calibration pick, branchy|fused pins it for A/B runs (the choice lands in the report's kernel column)")
+		kernel    = flag.String("kernel", "auto", "compact walk kernel for -batchjson: auto lets calibration pick, branchy|fused|simd pins it for A/B runs (the choice lands in the report's kernel column; simd runs the portable fallback where the host ISA lacks it)")
 		trenddiff = flag.Bool("trenddiff", false, "diff two BENCH_batch.json reports (usage: flintbench -trenddiff old.json new.json), print per-(workload, variant) rows/s deltas and exit")
 		trendhist = flag.Bool("trendhistory", false, "walk a chronological sequence of BENCH_batch.json reports (usage: flintbench -trendhistory oldest.json ... newest.json), print each (workload, variant) cell's rows/s trajectory and exit")
 		gatesFile = flag.String("gates", "", "persist host-wide interleave gates: load and install the gate table from this JSON file when it exists, otherwise calibrate this host and write it")
@@ -305,6 +306,11 @@ func runBatchBench(path string, rows int, kernel string) error {
 	rep, err := bench.BatchBench{Rows: rows, Kernel: kernel}.Run()
 	if err != nil {
 		return err
+	}
+	if isa := treeexec.DetectedISA(); isa != "" {
+		fmt.Printf("vector ISA: %s\n", isa)
+	} else {
+		fmt.Printf("vector ISA: none (simd kernel runs the portable fallback)\n")
 	}
 	// The Close error matters here: BENCH_batch.json is the CI trend
 	// artifact, and a full disk surfacing only at the final flush used

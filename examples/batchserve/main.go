@@ -54,6 +54,15 @@ func main() {
 	// layout, because the compact arena's quantization overhead shifts
 	// its crossovers; engines built afterwards pick their width from
 	// the result.
+	// The SIMD kernel only competes where the host runs it natively;
+	// everywhere else the scalar kernels carry the load and pinned simd
+	// modes fall back to a portable form.
+	if isa := flint.DetectedISA(); isa != "" {
+		fmt.Printf("vector ISA: %s (simd kernel competes in calibration)\n", isa)
+	} else {
+		fmt.Println("vector ISA: none (scalar kernels only)")
+	}
+
 	gates := flint.Calibrate(0)
 	fmt.Printf("calibrated interleave gates (bytes): flint x2>=%d x4>=%d x8>=%d | compact x2>=%d x4>=%d x8>=%d\n",
 		gates.Min2, gates.Min4, gates.Min8,
@@ -76,14 +85,15 @@ func main() {
 		float64(engine.ArenaBytes())/float64(engine.ArenaNodes()),
 		engine.PrunedFeatures(), engine.NumFeatures(), engine.Interleave())
 
-	// Sharpen the width — and, on the compact arena, the branchy-vs-
-	// fused walk kernel — on this exact arena using real rows: sampled
-	// production traffic walks the trained branches the host-wide
-	// synthetic ladder can only approximate. Here the training set
-	// stands in for a traffic sample. The winning (width, kernel) pair
-	// installs as one atomic unit.
+	// Sharpen the width — and, on the compact arena, the walk kernel
+	// (branchy, fused, and simd where the ISA runs it) — on this exact
+	// arena using real rows: sampled production traffic walks the
+	// trained branches the host-wide synthetic ladder can only
+	// approximate. Here the training set stands in for a traffic
+	// sample. The winning (width, kernel) pair installs as one atomic
+	// unit.
 	width := engine.CalibrateInterleaveRows(train.Features, 0)
-	fmt.Printf("row-calibrated interleave: x%d, %s kernel\n", width, engine.Kernel())
+	fmt.Printf("row-calibrated mode: x%d interleave, %s kernel\n", width, engine.Kernel())
 
 	workers := runtime.GOMAXPROCS(0)
 	// NewBatcher enables reservoir sampling by default; NewBatcherSampled

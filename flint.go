@@ -86,9 +86,9 @@
 //     request traffic is at hand (the synthetic rows approximate range,
 //     not distribution).
 //
-// # Kernel selection: branchy vs fused on the compact arena
+// # Kernel selection: branchy, fused and SIMD on the compact arena
 //
-// The compact arena has two walk kernels producing bit-identical
+// The compact arena has three walk kernels producing bit-identical
 // predictions. The branchy kernel executes one data-dependent branch
 // per cursor per tree level (plus three slice loads per node); on deep
 // trained forests those branches are near 50/50 and the mispredict
@@ -98,19 +98,25 @@
 // conversion FLInt performs on the comparison, applied to the child
 // select — so a walk mispredicts once per chain (the loop exit) instead
 // of once per level, at the price of a longer serial dependency per
-// step. Its quantizer is a branchless binary search. Which side of that
-// trade wins is a host and workload property, so the kernel is a
-// calibrated dimension exactly like the interleave width:
+// step. Its quantizer is a branchless binary search. The SIMD kernel is
+// the fused step's vector form: on hosts with AVX2 it gathers 8
+// cursors' node words and 8 quantized keys per instruction and runs the
+// branch-free child select in vector registers, with a lockstep 8-lane
+// vector quantizer to match — 8 lanes per instruction instead of 8
+// instructions per group. Which kernel wins is a host and workload
+// property, so the kernel is a calibrated dimension exactly like the
+// interleave width:
 //
 //   - At construction, engines pick the kernel from the gate table's
-//     CompactFusedMin byte threshold (zero — every pre-fused table —
-//     keeps branchy everywhere; Calibrate measures it).
+//     CompactFusedMin/CompactSIMDMin byte thresholds (zero — every
+//     older table — keeps the kernel off; Calibrate measures them, and
+//     the SIMD gate outranks the fused gate where both apply).
 //   - Every calibration pass (CalibrateInterleave,
 //     CalibrateInterleaveRows, Batcher.Recalibrate) times each
-//     interleave width under both kernels and installs the winning
-//     (width, kernel) pair as one atomic unit, so recalibrating under
-//     live Batcher traffic can never mix a width measured under one
-//     kernel with the other.
+//     interleave width under every competing kernel and installs the
+//     winning (width, kernel) pair as one atomic unit, so recalibrating
+//     under live Batcher traffic can never mix a width measured under
+//     one kernel with another.
 //   - engine.SetKernel forces and pins a kernel (subsequent calibration
 //     then times widths under it alone) — the A/B switch behind
 //     flintbench's -kernel flag; engine.Kernel reports the current one.
@@ -118,6 +124,18 @@
 //     kernel next to the width, LoadCalibration restores both (records
 //     written before the kernel axis existed load as branchy — the only
 //     kernel those deployments ever ran).
+//
+// ISA gating and the portable fallback: DetectedISA reports the vector
+// instruction set the SIMD kernel runs natively here ("avx2", or ""
+// where there is none — non-amd64 builds, the noasm build tag, or
+// amd64 hosts without AVX2). Calibration only competes the SIMD kernel
+// where DetectedISA is non-empty; elsewhere it never volunteers it,
+// and a persisted "simd" calibration record loads as branchy with
+// CalibrationSource reporting "persisted-degraded". Pinning KernelSIMD
+// by hand still works on every host — it runs a portable lane-parallel
+// Go form with identical predictions (the differential-test contract),
+// it just stops being fast — so A/B tooling behaves the same
+// everywhere.
 //
 // # The adaptive serving lifecycle: reservoir → recalibrate → persist
 //
@@ -334,10 +352,11 @@ type InterleaveGates = treeexec.InterleaveGates
 // Kernel selects how the compact arena's batch kernel resolves each
 // node's child: KernelBranchy compares and branches per level,
 // KernelFused loads the node as one pre-packed word and computes the
-// child branch-free (see the package doc's kernel-selection section).
-// Both produce bit-identical predictions; calibration picks the faster
-// one alongside the interleave width, and FlatEngine.SetKernel pins a
-// choice for A/B measurement.
+// child branch-free, KernelSIMD runs that branch-free step 8 lanes per
+// instruction in vector registers where the host ISA allows (see the
+// package doc's kernel-selection section). All produce bit-identical
+// predictions; calibration picks the fastest alongside the interleave
+// width, and FlatEngine.SetKernel pins a choice for A/B measurement.
 type Kernel = treeexec.Kernel
 
 // The compact walk kernels, plus the KernelAuto sentinel that clears a
@@ -345,12 +364,19 @@ type Kernel = treeexec.Kernel
 const (
 	KernelBranchy = treeexec.KernelBranchy
 	KernelFused   = treeexec.KernelFused
+	KernelSIMD    = treeexec.KernelSIMD
 	KernelAuto    = treeexec.KernelAuto
 )
 
-// ParseKernel maps a kernel name ("branchy", "fused", or the legacy
-// empty string meaning branchy) to its constant.
+// ParseKernel maps a kernel name ("branchy", "fused", "simd", or the
+// legacy empty string meaning branchy) to its constant.
 func ParseKernel(name string) (Kernel, error) { return treeexec.ParseKernel(name) }
+
+// DetectedISA reports the vector instruction set the SIMD kernel
+// executes natively on this host ("avx2"), or "" where only its
+// portable fallback is available and calibration therefore never
+// selects it.
+func DetectedISA() string { return treeexec.DetectedISA() }
 
 // Compactable reports whether a forest fits the compact SoA arena's
 // 8-byte node encoding; when it does not, reason names the limit

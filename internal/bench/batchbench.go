@@ -31,9 +31,9 @@ type BatchBench struct {
 	MinDuration time.Duration
 	// Seed drives dataset synthesis and training; 0 selects 1.
 	Seed int64
-	// Kernel forces the compact walk kernel for A/B runs: "branchy" or
-	// "fused" pins it (the interleave width is then calibrated under
-	// that kernel alone), "" or "auto" lets calibration pick the
+	// Kernel forces the compact walk kernel for A/B runs: "branchy",
+	// "fused" or "simd" pins it (the interleave width is then calibrated
+	// under that kernel alone), "" or "auto" lets calibration pick the
 	// (width, kernel) pair.
 	Kernel string
 }
@@ -50,10 +50,16 @@ type BatchBenchRow struct {
 	BytesPerNode float64 `json:"bytes_per_node,omitempty"`
 	// Interleave is the batch kernel's cursor count (arena variants).
 	Interleave int `json:"interleave,omitempty"`
-	// Kernel is the walk kernel the row was measured with ("branchy" or
-	// "fused") — chosen by calibration, or pinned by an A/B run's
-	// BatchBench.Kernel. Arena variants only.
+	// Kernel is the walk kernel the row was measured with ("branchy",
+	// "fused" or "simd") — chosen by calibration, or pinned by an A/B
+	// run's BatchBench.Kernel. Arena variants only.
 	Kernel string `json:"kernel,omitempty"`
+	// ISA is the vector instruction set the SIMD kernel runs natively on
+	// the measuring host (treeexec.DetectedISA, e.g. "avx2"; empty where
+	// only the portable fallback exists). Recorded on every arena row —
+	// not just simd ones — so cross-host rows/s trajectories in the CI
+	// trend history stay interpretable. Arena variants only.
+	ISA string `json:"isa,omitempty"`
 	// PrunedFeatures is the number of features the forest actually
 	// splits on — the compact arena's per-row quantization cost (one
 	// binary search each); NumFeatures is the input dimensionality it
@@ -228,6 +234,7 @@ func (c BatchBench) Run() (*BatchBenchReport, error) {
 				ArenaNodes: nodes, ArenaBytes: bytes,
 				Interleave:  e.Interleave(),
 				Kernel:      e.Kernel().String(),
+				ISA:         treeexec.DetectedISA(),
 				CalibSource: e.CalibrationSource(),
 			}
 			if nodes > 0 {

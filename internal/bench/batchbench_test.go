@@ -106,7 +106,7 @@ func TestBatchBenchRun(t *testing.T) {
 // have no fused form), and an unknown kernel name errors out instead of
 // silently measuring the default.
 func TestBatchBenchForcedKernel(t *testing.T) {
-	for _, kernel := range []string{"branchy", "fused"} {
+	for _, kernel := range []string{"branchy", "fused", "simd"} {
 		rep, err := BatchBench{
 			Rows: 300, Trees: 4, Depth: 6, Workers: 1,
 			MinDuration: time.Millisecond, Kernel: kernel,
@@ -120,6 +120,9 @@ func TestBatchBenchForcedKernel(t *testing.T) {
 				if r.Kernel != kernel {
 					t.Errorf("%s/%s: kernel = %q, want forced %q", r.Dataset, r.Variant, r.Kernel, kernel)
 				}
+				if r.ISA != treeexec.DetectedISA() {
+					t.Errorf("%s/%s: isa = %q, want %q", r.Dataset, r.Variant, r.ISA, treeexec.DetectedISA())
+				}
 			case "flat-flint":
 				if r.Kernel != "branchy" {
 					t.Errorf("%s/%s: kernel = %q, want branchy", r.Dataset, r.Variant, r.Kernel)
@@ -128,7 +131,7 @@ func TestBatchBenchForcedKernel(t *testing.T) {
 		}
 	}
 	if _, err := (BatchBench{
-		Rows: 300, Trees: 4, Depth: 6, MinDuration: time.Millisecond, Kernel: "simd",
+		Rows: 300, Trees: 4, Depth: 6, MinDuration: time.Millisecond, Kernel: "turbo",
 	}).Run(); err == nil {
 		t.Error("unknown kernel name accepted")
 	}

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"strings"
 )
 
 // Trend history generalizes the two-report diff to a walk over the last
@@ -43,6 +44,44 @@ func (s TrendSeries) Trend() (pct float64, ok bool) {
 	return (s.Rows[last] - s.Rows[first]) / s.Rows[first] * 100, true
 }
 
+// sparkRunes are the eight block heights a sparkline quantizes into.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders the trajectory as one rune per report: block
+// heights min-max scaled within this series (each cell's drift is its
+// own story — absolute rows/s differ by orders of magnitude across
+// variants), '·' for runs the cell is absent from, and the middle
+// block for a flat series, which has no range to scale into.
+func (s TrendSeries) Sparkline() string {
+	min, max := 0.0, 0.0
+	seen := false
+	for i, h := range s.Has {
+		if !h {
+			continue
+		}
+		if !seen || s.Rows[i] < min {
+			min = s.Rows[i]
+		}
+		if !seen || s.Rows[i] > max {
+			max = s.Rows[i]
+		}
+		seen = true
+	}
+	var b strings.Builder
+	for i, h := range s.Has {
+		switch {
+		case !h:
+			b.WriteRune('·')
+		case max == min:
+			b.WriteRune(sparkRunes[len(sparkRunes)/2])
+		default:
+			idx := int((s.Rows[i]-min)/(max-min)*float64(len(sparkRunes)-1) + 0.5)
+			b.WriteRune(sparkRunes[idx])
+		}
+	}
+	return b.String()
+}
+
 // TrendHistory aligns a chronological sequence of batch reports (oldest
 // first) by (dataset, variant). Cell ordering follows the newest report
 // that mentions each cell pair, scanning newest to oldest, so current
@@ -73,27 +112,50 @@ func TrendHistory(reps []*BatchBenchReport) []TrendSeries {
 	return out
 }
 
+// maxTrendCols caps the numeric rows/s columns WriteTrendHistory prints
+// — beyond it the oldest runs collapse into a "..." column. The
+// sparkline always spans the full history, so a long artifact walk
+// stays one readable line per cell rather than a 30-column table.
+const maxTrendCols = 6
+
 // WriteTrendHistory renders a trajectory table: one rows/s column per
 // label (chronological, oldest first; labels index the reports handed
-// to TrendHistory) and a trailing overall percentage where it is
-// defined. Absent cells print as "-".
+// to TrendHistory), a trailing overall percentage where it is defined,
+// and a per-cell sparkline over the full history. When the history is
+// longer than maxTrendCols, numeric columns cover only the newest runs
+// (the sparkline still shows all of them). Absent cells print as "-"
+// in the columns and '·' in the sparkline.
 func WriteTrendHistory(w io.Writer, labels []string, series []TrendSeries) error {
+	start := 0
+	if len(labels) > maxTrendCols {
+		start = len(labels) - maxTrendCols
+	}
 	if _, err := fmt.Fprintf(w, "%-12s %-13s", "dataset", "variant"); err != nil {
 		return err
 	}
-	for _, l := range labels {
+	if start > 0 {
+		if _, err := fmt.Fprintf(w, " %12s", "..."); err != nil {
+			return err
+		}
+	}
+	for _, l := range labels[start:] {
 		if _, err := fmt.Fprintf(w, " %12s", l); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, " %9s\n", "trend"); err != nil {
+	if _, err := fmt.Fprintf(w, " %9s  %s\n", "trend", "history"); err != nil {
 		return err
 	}
 	for _, s := range series {
 		if _, err := fmt.Fprintf(w, "%-12s %-13s", s.Dataset, s.Variant); err != nil {
 			return err
 		}
-		for i := range labels {
+		if start > 0 {
+			if _, err := fmt.Fprintf(w, " %12s", "..."); err != nil {
+				return err
+			}
+		}
+		for i := start; i < len(labels); i++ {
 			var err error
 			if i < len(s.Has) && s.Has[i] {
 				_, err = fmt.Fprintf(w, " %12.0f", s.Rows[i])
@@ -106,11 +168,14 @@ func WriteTrendHistory(w io.Writer, labels []string, series []TrendSeries) error
 		}
 		var err error
 		if pct, ok := s.Trend(); ok {
-			_, err = fmt.Fprintf(w, " %+8.1f%%\n", pct)
+			_, err = fmt.Fprintf(w, " %+8.1f%%", pct)
 		} else {
-			_, err = fmt.Fprintf(w, " %9s\n", "-")
+			_, err = fmt.Fprintf(w, " %9s", "-")
 		}
 		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  %s\n", s.Sparkline()); err != nil {
 			return err
 		}
 	}

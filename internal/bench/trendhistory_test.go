@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -92,5 +93,54 @@ func TestTrendHistoryAlignment(t *testing.T) {
 	}
 	if !strings.Contains(fcLine, "-") || !strings.Contains(fcLine, "0") {
 		t.Errorf("flat-compact line = %q, want an absent marker and a measured 0", fcLine)
+	}
+}
+
+// TestTrendSparkline covers the sparkline rendering: min-max scaling
+// within a series, absent runs as middots, a flat series as the middle
+// block, and — for histories longer than the numeric-column cap — the
+// collapsed "..." column with a sparkline still spanning every run.
+func TestTrendSparkline(t *testing.T) {
+	s := TrendSeries{
+		Rows: []float64{100, 0, 150, 200},
+		Has:  []bool{true, false, true, true},
+	}
+	if got := s.Sparkline(); got != "▁·▅█" {
+		t.Errorf("sparkline = %q, want %q", got, "▁·▅█")
+	}
+	flat := TrendSeries{Rows: []float64{50, 50}, Has: []bool{true, true}}
+	if got := flat.Sparkline(); got != "▅▅" {
+		t.Errorf("flat sparkline = %q, want %q", got, "▅▅")
+	}
+	empty := TrendSeries{Rows: make([]float64, 3), Has: make([]bool, 3)}
+	if got := empty.Sparkline(); got != "···" {
+		t.Errorf("empty sparkline = %q, want %q", got, "···")
+	}
+
+	// A 9-run history: numeric columns collapse to the newest
+	// maxTrendCols, the sparkline keeps the full ramp.
+	reps := make([]*BatchBenchReport, 9)
+	labels := make([]string, 9)
+	for i := range reps {
+		reps[i] = histReport(BatchBenchRow{Dataset: "magic", Variant: "flat-flint", RowsPerSec: float64(100 + i)})
+		labels[i] = fmt.Sprintf("run-%d", 8-i)
+	}
+	labels[8] = "current"
+	var buf bytes.Buffer
+	if err := WriteTrendHistory(&buf, labels, TrendHistory(reps)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "...") {
+		t.Error("long history missing the collapsed-columns marker")
+	}
+	if strings.Contains(out, "run-8") || !strings.Contains(out, "current") {
+		t.Errorf("column window wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "▁▂▃▄▅▅▆▇█") {
+		t.Errorf("sparkline does not span the full history:\n%s", out)
+	}
+	if !strings.Contains(out, "history") {
+		t.Errorf("missing sparkline column header:\n%s", out)
 	}
 }

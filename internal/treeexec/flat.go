@@ -112,7 +112,7 @@ type FlatForestEngine struct {
 	// kernel combined with the other.
 	mode atomic.Int32
 	// kernelPin, when non-zero, pins calibration to one kernel
-	// (SetKernel): 1 = branchy, 2 = fused.
+	// (SetKernel): 1 = branchy, 2 = fused, 3 = simd.
 	kernelPin atomic.Int32
 	// calibSource records where the current mode came from (see the
 	// calibSource* constants); CalibrationSource decodes it for reports.
@@ -365,7 +365,10 @@ func (e *FlatForestEngine) voteEncoded(xi []int32, counts []int32) {
 			q = make([]uint16, e.numPruned)
 		}
 		e.quantizeBits(q, xi)
-		if modeKernel(e.mode.Load()) == KernelFused {
+		// A single row offers the SIMD kernel no group to vectorize, so
+		// simd mode serves one-row calls through the scalar fused form —
+		// the same branch-free step, bit-identical predictions.
+		if modeKernel(e.mode.Load()) != KernelBranchy {
 			for _, root := range e.roots {
 				counts[e.classifyCompactFused(q, root)]++
 			}
@@ -415,7 +418,9 @@ func (e *FlatForestEngine) PredictPrecoded(keys []uint32) int32 {
 		} else {
 			q = make([]uint16, e.numPruned)
 		}
-		if modeKernel(e.mode.Load()) == KernelFused {
+		// As in voteEncoded, simd mode's single-row path runs the scalar
+		// fused form: no group, no vector, identical predictions.
+		if modeKernel(e.mode.Load()) != KernelBranchy {
 			e.quantizeKeysFused(q, keys)
 			for _, root := range e.roots {
 				counts[e.classifyCompactFused(q, root)]++
@@ -477,7 +482,10 @@ func (e *FlatForestEngine) newScratch() *flatScratch {
 	case FlatPrecoded:
 		s.keys = make([]uint32, e.numFeatures)
 	case FlatCompact:
-		s.q = make([]uint16, 8*e.numPruned)
+		// Two padding elements past the 8 rank lanes: the SIMD kernel's
+		// key gathers load 32 bits per 16-bit rank, so the last lane's
+		// last element would otherwise read past the allocation.
+		s.q = make([]uint16, 8*e.numPruned+2)
 	default:
 		s.enc = make([]int32, 8*e.numFeatures)
 	}
@@ -522,6 +530,8 @@ func (e *FlatForestEngine) predictBlockWidth(rows [][]float32, out []int32, s *f
 			}
 			out[b] = rf.Argmax(votes)
 		}
+	case e.variant == FlatCompact && k == KernelSIMD:
+		e.predictBlockCompactSIMD(rows, out, s, width)
 	case e.variant == FlatCompact && k == KernelFused:
 		e.predictBlockCompactFused(rows, out, s, width)
 	case e.variant == FlatCompact:

@@ -1,0 +1,78 @@
+//go:build amd64 && !noasm
+
+package treeexec
+
+// AVX2 feature detection, done once at init the same way
+// golang.org/x/sys/cpu does it but without the dependency: CPUID for
+// the AVX/AVX2 feature bits, XGETBV to confirm the OS actually saves
+// the YMM register state on context switch (a kernel that doesn't
+// would corrupt vector registers across preemption — the CPUID bits
+// alone do not promise the ISA is usable).
+
+// cpuid executes CPUID with the given leaf and subleaf.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0).
+func xgetbv() (eax, edx uint32)
+
+var hasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsaveAVX = 1<<27 | 1<<28 // OSXSAVE (XGETBV usable) + AVX
+	if ecx1&osxsaveAVX != osxsaveAVX {
+		return false
+	}
+	if xlo, _ := xgetbv(); xlo&0x6 != 0x6 { // OS saves XMM and YMM state
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}
+
+func simdKernelAvailable() bool { return hasAVX2 }
+
+func detectedISA() string {
+	if hasAVX2 {
+		return "avx2"
+	}
+	return ""
+}
+
+// fusedWalk8 and fusedRank8 branch on the detected ISA at runtime
+// rather than trusting the build target: an amd64 binary can land on a
+// pre-AVX2 host, where calling the assembly would be an illegal
+// instruction. There the portable forms serve — SetKernel(KernelSIMD)
+// stays safe everywhere, it just stops being fast.
+
+func fusedWalk8(nodes []uint64, base int32, q []uint16, nq int32, cur *[8]int32) {
+	if hasAVX2 {
+		fusedWalk8AVX2(nodes, base, q, nq, cur)
+		return
+	}
+	fusedWalk8Go(nodes, base, q, nq, cur)
+}
+
+func fusedRank8(cuts []uint32, lo, n int32, keys *[8]uint32, ranks *[8]uint16) {
+	if n <= 0 {
+		// branchlessRank's empty-segment answer, without the assembly's
+		// unconditional final probe reading cuts[lo] out of bounds.
+		*ranks = [8]uint16{}
+		return
+	}
+	if hasAVX2 {
+		fusedRank8AVX2(cuts, lo, n, keys, ranks)
+		return
+	}
+	fusedRank8Go(cuts, lo, n, keys, ranks)
+}
+
+//go:noescape
+func fusedWalk8AVX2(nodes []uint64, base int32, q []uint16, nq int32, cur *[8]int32)
+
+//go:noescape
+func fusedRank8AVX2(cuts []uint32, lo, n int32, keys *[8]uint32, ranks *[8]uint16)

@@ -1,0 +1,196 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// Lane indices 0..7, multiplied by nq at entry to form each lane's
+// offset into the contiguous quantized-rank scratch.
+DATA laneidx<>+0(SB)/4, $0
+DATA laneidx<>+4(SB)/4, $1
+DATA laneidx<>+8(SB)/4, $2
+DATA laneidx<>+12(SB)/4, $3
+DATA laneidx<>+16(SB)/4, $4
+DATA laneidx<>+20(SB)/4, $5
+DATA laneidx<>+24(SB)/4, $6
+DATA laneidx<>+28(SB)/4, $7
+GLOBL laneidx<>(SB), RODATA|NOPTR, $32
+
+// func fusedWalk8AVX2(nodes []uint64, base int32, q []uint16, nq int32, cur *[8]int32)
+//
+// Eight fused-walk cursors stepped per vector iteration until every
+// lane holds a leaf (^class, negative). Per step, for the active lanes:
+//
+//	w    = nodes[base+cur]                  (VPGATHERDQ ×2)
+//	key  = w & 0xffff; feat = (w>>16)&0xffff
+//	qv   = q[lane*nq + feat]                (VPGATHERDD, scale 2)
+//	b    = (key - qv) >> 31
+//	cur  = int16(kids >> (b<<4))            (VPSRLVD + sign-extend)
+//
+// Inactive lanes are masked out of every gather (VPGATHER* suppresses
+// masked element loads entirely, so a finished lane's ^class cursor is
+// never used as an address) and excluded from the cursor blend. The
+// rank gather loads 32 bits per 16-bit element; the caller pads the
+// scratch so the last element's overread stays in bounds.
+//
+// Register plan — persistent: Y0 cur, Y1 lane*nq offsets, Y2 base,
+// Y13 all-ones, Y14 0xffff. Scratch: Y3..Y12.
+TEXT ·fusedWalk8AVX2(SB), NOSPLIT, $0-72
+	MOVQ nodes_base+0(FP), DI
+	MOVQ q_base+32(FP), SI
+	MOVQ cur+64(FP), R8
+
+	MOVL         nq+56(FP), AX
+	MOVL         AX, X1
+	VPBROADCASTD X1, Y1
+	VMOVDQU      laneidx<>(SB), Y2
+	VPMULLD      Y2, Y1, Y1            // Y1 = {0..7} * nq
+	MOVL         base+24(FP), AX
+	MOVL         AX, X2
+	VPBROADCASTD X2, Y2
+
+	VPCMPEQD Y13, Y13, Y13             // all ones (-1 dwords)
+	VPSRLD   $16, Y13, Y14             // 0x0000ffff
+
+	VMOVDQU (R8), Y0                   // cursors
+
+walkloop:
+	VPCMPGTD  Y13, Y0, Y3              // active: cur > -1
+	VPMOVMSKB Y3, AX
+	TESTL     AX, AX
+	JZ        walkdone
+
+	VPADDD Y2, Y0, Y4                  // node index = base + cur
+
+	// Two 4-qword gathers of the fused node words. Masks are the
+	// active-lane dwords sign-extended to qwords; gathers clobber
+	// their mask, so each gets its own copy.
+	VPMOVSXDQ    X3, Y5
+	VEXTRACTI128 $1, Y3, X6
+	VPMOVSXDQ    X6, Y6
+	VPXOR        Y7, Y7, Y7
+	VPXOR        Y8, Y8, Y8
+	VPGATHERDQ   Y5, (DI)(X4*8), Y7    // words, lanes 0..3
+	VEXTRACTI128 $1, Y4, X9
+	VPGATHERDQ   Y6, (DI)(X9*8), Y8    // words, lanes 4..7
+
+	// Compress the qword pairs: low dwords -> key|feat, high -> kids.
+	// VSHUFPS interleaves as 0 1 4 5 / 2 3 6 7; VPERMQ restores lane
+	// order.
+	VSHUFPS $0x88, Y8, Y7, Y9
+	VPERMQ  $0xD8, Y9, Y9              // Y9 = key | feat<<16 per lane
+	VSHUFPS $0xDD, Y8, Y7, Y10
+	VPERMQ  $0xD8, Y10, Y10            // Y10 = kids32 per lane
+
+	VPAND  Y14, Y9, Y11                // key
+	VPSRLD $16, Y9, Y12
+	VPADDD Y1, Y12, Y12                // rank index = lane*nq + feat
+
+	// Gather the 8 quantized ranks (16-bit elements, scale 2).
+	VMOVDQA    Y3, Y5
+	VPXOR      Y6, Y6, Y6
+	VPGATHERDD Y5, (SI)(Y12*2), Y6
+	VPAND      Y14, Y6, Y6             // qv
+
+	VPSUBD Y6, Y11, Y11                // key - qv
+	VPSRLD $31, Y11, Y11               // b: 1 iff qv > key
+	VPSLLD $4, Y11, Y11                // shift = b * 16
+
+	VPSRLVD Y11, Y10, Y4               // kids >> shift
+	VPSLLD  $16, Y4, Y4
+	VPSRAD  $16, Y4, Y4                // sign-extend the int16 child
+
+	VPBLENDVB Y3, Y4, Y0, Y0           // step active lanes only
+	JMP       walkloop
+
+walkdone:
+	VMOVDQU Y0, (R8)
+	VZEROUPPER
+	RET
+
+// func fusedRank8AVX2(cuts []uint32, lo, n int32, keys *[8]uint32, ranks *[8]uint16)
+//
+// branchlessRank for 8 keys against one cut segment cuts[lo:lo+n],
+// n >= 1. All lanes halve in lockstep — the segment length is shared,
+// so half/n live in scalar registers while base diverges per lane:
+//
+//	m    = cuts[base+half-1] < key          (unsigned)
+//	base += half & m; n -= half             (until n == 1)
+//	rank = base - lo + (cuts[base] < key)
+//
+// Unsigned compares are VPCMPGTD after flipping sign bits on both
+// sides. Results are < 65536 by construction, packed to 8 words.
+TEXT ·fusedRank8AVX2(SB), NOSPLIT, $0-48
+	MOVQ cuts_base+0(FP), DI
+	MOVQ keys+32(FP), SI
+	MOVQ ranks+40(FP), R8
+	MOVL n+28(FP), CX
+
+	VPCMPEQD Y13, Y13, Y13             // all ones
+	VPSLLD   $31, Y13, Y15             // 0x80000000 sign-flip bias
+
+	VMOVDQU      (SI), Y0
+	VPXOR        Y15, Y0, Y0           // biased keys
+	MOVL         lo+24(FP), AX
+	MOVL         AX, X1
+	VPBROADCASTD X1, Y1                // per-lane base, all start at lo
+
+rankloop:
+	CMPL CX, $1
+	JLE  rankfinal
+
+	MOVL CX, DX
+	SHRL $1, DX                        // half = n >> 1
+	MOVL DX, X2
+	VPBROADCASTD X2, Y2
+
+	VPADDD Y2, Y1, Y3
+	VPADDD Y13, Y3, Y3                 // probe = base + half - 1
+
+	VMOVDQA    Y13, Y5                 // every lane probes
+	VPXOR      Y6, Y6, Y6
+	VPGATHERDD Y5, (DI)(Y3*4), Y6
+	VPXOR      Y15, Y6, Y6             // biased cuts[probe]
+
+	VPCMPGTD Y6, Y0, Y7                // m: key > cuts[probe]
+	VPAND    Y2, Y7, Y7                // half & m
+	VPADDD   Y7, Y1, Y1                // base += half where advancing
+	SUBL     DX, CX                    // n -= half
+	JMP      rankloop
+
+rankfinal:
+	VMOVDQA    Y13, Y5
+	VPXOR      Y6, Y6, Y6
+	VPGATHERDD Y5, (DI)(Y1*4), Y6
+	VPXOR      Y15, Y6, Y6
+	VPCMPGTD   Y6, Y0, Y7              // -1 where cuts[base] < key
+
+	MOVL         lo+24(FP), AX
+	MOVL         AX, X8
+	VPBROADCASTD X8, Y8
+	VPSUBD       Y8, Y1, Y1            // base - lo
+	VPSUBD       Y7, Y1, Y1            // + (cuts[base] < key)
+
+	VPXOR     Y2, Y2, Y2
+	VPACKUSDW Y2, Y1, Y1               // dwords -> words (per 128 lane)
+	VPERMQ    $0x08, Y1, Y1            // gather the two word quads
+	VMOVDQU   X1, (R8)
+	VZEROUPPER
+	RET
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,21 @@
+//go:build !amd64 || noasm
+
+package treeexec
+
+// Portable build: no native vector ISA. The SIMD kernel remains fully
+// functional through the Go lane-parallel forms — pinning it with
+// SetKernel works and produces bit-identical predictions — but
+// simdKernelAvailable reports false, so calibration never competes it
+// and persisted simd records downgrade on load.
+
+func simdKernelAvailable() bool { return false }
+
+func detectedISA() string { return "" }
+
+func fusedWalk8(nodes []uint64, base int32, q []uint16, nq int32, cur *[8]int32) {
+	fusedWalk8Go(nodes, base, q, nq, cur)
+}
+
+func fusedRank8(cuts []uint32, lo, n int32, keys *[8]uint32, ranks *[8]uint16) {
+	fusedRank8Go(cuts, lo, n, keys, ranks)
+}

@@ -226,7 +226,7 @@ func TestCompactPrecodedDifferentialBothKernels(t *testing.T) {
 			if e.Variant() != FlatCompact {
 				t.Fatalf("fell back to %v", e.Variant())
 			}
-			for _, k := range []Kernel{KernelBranchy, KernelFused} {
+			for _, k := range []Kernel{KernelBranchy, KernelFused, KernelSIMD} {
 				e.SetKernel(k)
 				for i, x := range d.Features {
 					want := float.Predict(x)
@@ -278,7 +278,7 @@ func TestCompactPrecodedDifferentialBothKernels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, k := range []Kernel{KernelBranchy, KernelFused} {
+	for _, k := range []Kernel{KernelBranchy, KernelFused, KernelSIMD} {
 		e.SetKernel(k)
 		for i := 0; i < 64; i++ {
 			x := make([]float32, 30)
@@ -367,7 +367,7 @@ func TestSkewedDepthFinishDrains(t *testing.T) {
 	for i, x := range rows {
 		want[i] = ref.Predict(x)
 	}
-	for _, k := range []Kernel{KernelBranchy, KernelFused} {
+	for _, k := range []Kernel{KernelBranchy, KernelFused, KernelSIMD} {
 		e.SetKernel(k)
 		for _, width := range []int{2, 4, 8} {
 			e.SetInterleave(width)
@@ -506,22 +506,30 @@ func TestKernelForBoundaries(t *testing.T) {
 	}
 }
 
-// TestFusedGateFromLadder checks the monotone threshold derivation: a
-// branchy win above a fused win is noise and must not split the fused
-// region.
-func TestFusedGateFromLadder(t *testing.T) {
+// TestKernelGatesFromLadder checks the monotone two-threshold
+// derivation: a less aggressive kernel winning above a more aggressive
+// one is noise and must not split either region, and each gate is the
+// smallest ladder size at or above which its kernel (or a more
+// aggressive one) won.
+func TestKernelGatesFromLadder(t *testing.T) {
 	sizes := []int{10, 20, 40, 80}
 	for _, tc := range []struct {
-		bestAt []Kernel
-		want   int
+		bestAt              []Kernel
+		wantFused, wantSIMD int
 	}{
-		{[]Kernel{KernelBranchy, KernelBranchy, KernelBranchy, KernelBranchy}, math.MaxInt},
-		{[]Kernel{KernelFused, KernelFused, KernelFused, KernelFused}, 10},
-		{[]Kernel{KernelBranchy, KernelBranchy, KernelFused, KernelFused}, 40},
-		{[]Kernel{KernelBranchy, KernelFused, KernelBranchy, KernelFused}, 20}, // noise forced monotone
+		{[]Kernel{KernelBranchy, KernelBranchy, KernelBranchy, KernelBranchy}, math.MaxInt, math.MaxInt},
+		{[]Kernel{KernelFused, KernelFused, KernelFused, KernelFused}, 10, math.MaxInt},
+		{[]Kernel{KernelBranchy, KernelBranchy, KernelFused, KernelFused}, 40, math.MaxInt},
+		{[]Kernel{KernelBranchy, KernelFused, KernelBranchy, KernelFused}, 20, math.MaxInt}, // noise forced monotone
+		{[]Kernel{KernelSIMD, KernelSIMD, KernelSIMD, KernelSIMD}, 10, 10},
+		{[]Kernel{KernelBranchy, KernelFused, KernelSIMD, KernelSIMD}, 20, 40},
+		{[]Kernel{KernelBranchy, KernelSIMD, KernelFused, KernelSIMD}, 20, 20}, // fused dip is noise
+		{[]Kernel{KernelFused, KernelBranchy, KernelSIMD, KernelBranchy}, 10, 40},
 	} {
-		if got := fusedGateFromLadder(sizes, append([]Kernel(nil), tc.bestAt...)); got != tc.want {
-			t.Errorf("fusedGateFromLadder(%v) = %d, want %d", tc.bestAt, got, tc.want)
+		gotFused, gotSIMD := kernelGatesFromLadder(sizes, append([]Kernel(nil), tc.bestAt...))
+		if gotFused != tc.wantFused || gotSIMD != tc.wantSIMD {
+			t.Errorf("kernelGatesFromLadder(%v) = (%d, %d), want (%d, %d)",
+				tc.bestAt, gotFused, gotSIMD, tc.wantFused, tc.wantSIMD)
 		}
 	}
 }
@@ -537,14 +545,15 @@ func TestParseKernel(t *testing.T) {
 		{"", KernelBranchy, true},
 		{"branchy", KernelBranchy, true},
 		{"fused", KernelFused, true},
-		{"simd", KernelBranchy, false},
+		{"simd", KernelSIMD, true},
+		{"avx2", KernelBranchy, false},
 	} {
 		got, err := ParseKernel(tc.in)
 		if (err == nil) != tc.ok || got != tc.want {
 			t.Errorf("ParseKernel(%q) = (%v, %v), want (%v, ok=%v)", tc.in, got, err, tc.want, tc.ok)
 		}
 	}
-	if KernelBranchy.String() != "branchy" || KernelFused.String() != "fused" {
-		t.Errorf("kernel names = %q/%q", KernelBranchy.String(), KernelFused.String())
+	if KernelBranchy.String() != "branchy" || KernelFused.String() != "fused" || KernelSIMD.String() != "simd" {
+		t.Errorf("kernel names = %q/%q/%q", KernelBranchy.String(), KernelFused.String(), KernelSIMD.String())
 	}
 }

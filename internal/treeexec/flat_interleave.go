@@ -34,11 +34,17 @@ var interleaveWidths = [4]int{1, 2, 4, 8}
 // the node as a single pre-packed uint64 word and computes the child
 // with shifts — a data dependency instead of a control dependency, so a
 // deep walk mispredicts once per chain (the loop exit) rather than once
-// per level. Both kernels produce bit-identical predictions; which one
-// is faster is a host property (mispredict penalty vs. dependent-chain
-// latency) that calibration measures alongside the interleave width.
-// Only the compact SoA arena has a fused form; other variants always
-// run branchy.
+// per level — and the SIMD kernel executes that same fused step for
+// eight lanes per instruction in vector registers (AVX2 gathers; see
+// flat_fused_amd64.s and the portable form in flat_simd.go). All
+// kernels produce bit-identical predictions; which one is faster is a
+// host property (mispredict penalty vs. dependent-chain latency vs.
+// gather throughput) that calibration measures alongside the interleave
+// width. Only the compact SoA arena has fused and SIMD forms; other
+// variants always run branchy. The constants are ordered by how
+// aggressively each kernel converts control flow into data flow —
+// kernelGatesFromLadder relies on that order when forcing a measured
+// ladder monotone.
 type Kernel int32
 
 const (
@@ -48,16 +54,26 @@ const (
 	// KernelFused is the branch-free walk over the packed nodes64 words
 	// (compact arenas only), with branchless binary-search quantization.
 	KernelFused
+	// KernelSIMD is the 8-lane vector form of the fused walk: one AVX2
+	// gather step advances all eight cursors of an interleaved group at
+	// once (compact arenas only). Calibration offers it only on hosts
+	// whose ISA runs it natively (SIMDAvailable); everywhere else a
+	// portable lane-parallel fallback keeps it runnable — and therefore
+	// testable — but never competitive.
+	KernelSIMD
 	// KernelAuto is not a kernel an engine can run: passing it to
 	// SetKernel clears a previous pin, so subsequent calibration passes
-	// compete both kernels again. The installed kernel is unchanged.
+	// compete every kernel again. The installed kernel is unchanged.
 	KernelAuto Kernel = -1
 )
 
 // String names the kernel in benchmark and persistence output.
 func (k Kernel) String() string {
-	if k == KernelFused {
+	switch k {
+	case KernelFused:
 		return "fused"
+	case KernelSIMD:
+		return "simd"
 	}
 	return "branchy"
 }
@@ -71,8 +87,10 @@ func ParseKernel(name string) (Kernel, error) {
 		return KernelBranchy, nil
 	case "fused":
 		return KernelFused, nil
+	case "simd":
+		return KernelSIMD, nil
 	}
-	return KernelBranchy, fmt.Errorf("treeexec: unknown kernel %q (branchy|fused)", name)
+	return KernelBranchy, fmt.Errorf("treeexec: unknown kernel %q (branchy|fused|simd)", name)
 }
 
 // The engine's width and kernel travel together in one atomic int32
@@ -120,9 +138,17 @@ type InterleaveGates struct {
 	// fused kernel existed, and the uncalibrated default — selects the
 	// branchy kernel everywhere; math.MaxInt records a measurement where
 	// fused never won. Like the width gates it only seeds engines at
-	// construction: per-engine calibration times both kernels on the
+	// construction: per-engine calibration times every kernel on the
 	// actual arena.
 	CompactFusedMin int `json:"compact_fused_min,omitempty"`
+	// CompactSIMDMin is the same crossover for the 8-lane SIMD kernel:
+	// the smallest compact arena footprint from which it beats both
+	// scalar kernels on this host. Zero (every pre-SIMD table) and
+	// math.MaxInt (measured, never won) both keep the scalar choice. The
+	// threshold only applies on hosts whose ISA runs the kernel natively
+	// (SIMDAvailable) — a gate table measured on an AVX2 box and carried
+	// to a host without it must not install the emulated fallback.
+	CompactSIMDMin int `json:"compact_simd_min,omitempty"`
 }
 
 // DefaultInterleaveGates are the static thresholds used until Calibrate
@@ -188,12 +214,19 @@ func (g InterleaveGates) widthFor(v FlatVariant, arenaBytes int) int {
 }
 
 // kernelFor selects the construction-time kernel for an arena
-// footprint: fused once a compact arena crosses the measured
-// CompactFusedMin threshold, branchy everywhere else (including every
-// non-compact variant, which has no fused form, and every legacy gate
-// table, whose zero threshold disables the fused kernel).
+// footprint: SIMD once a compact arena crosses the measured
+// CompactSIMDMin threshold on a host whose ISA runs it, fused past
+// CompactFusedMin, branchy everywhere else (including every non-compact
+// variant, which has neither form, and every legacy gate table, whose
+// zero thresholds disable both).
 func (g InterleaveGates) kernelFor(v FlatVariant, arenaBytes int) Kernel {
-	if v == FlatCompact && g.CompactFusedMin > 0 && arenaBytes >= g.CompactFusedMin {
+	if v != FlatCompact {
+		return KernelBranchy
+	}
+	if simdKernelAvailable() && g.CompactSIMDMin > 0 && arenaBytes >= g.CompactSIMDMin {
+		return KernelSIMD
+	}
+	if g.CompactFusedMin > 0 && arenaBytes >= g.CompactFusedMin {
 		return KernelFused
 	}
 	return KernelBranchy
@@ -260,12 +293,15 @@ func (e *FlatForestEngine) SetInterleave(width int) int {
 
 // SetKernel forces the compact walk kernel and pins it: subsequent
 // calibration passes (CalibrateInterleave and friends) time interleave
-// widths under the pinned kernel only, instead of competing both — the
+// widths under the pinned kernel only, instead of competing all — the
 // contract an A/B measurement needs. The current width is preserved and
 // the pair is installed atomically. KernelAuto clears the pin without
 // touching the installed kernel, handing the choice back to the next
-// calibration pass. Non-compact variants have no fused kernel; for them
-// the call is a no-op returning KernelBranchy.
+// calibration pass. Non-compact variants have only the branchy kernel;
+// for them the call is a no-op returning KernelBranchy. Pinning
+// KernelSIMD works on every host — on ISAs without the native kernel it
+// runs the portable lane-parallel fallback (the A/B and differential-
+// test contract) — but calibration never volunteers it there.
 func (e *FlatForestEngine) SetKernel(k Kernel) Kernel {
 	if e.variant != FlatCompact {
 		return KernelBranchy
@@ -274,7 +310,7 @@ func (e *FlatForestEngine) SetKernel(k Kernel) Kernel {
 		e.kernelPin.Store(0)
 		return e.Kernel()
 	}
-	if k != KernelFused {
+	if k != KernelFused && k != KernelSIMD {
 		k = KernelBranchy
 	}
 	e.kernelPin.Store(int32(k) + 1)
@@ -289,13 +325,18 @@ func (e *FlatForestEngine) SetKernel(k Kernel) Kernel {
 }
 
 // candidateKernels returns the kernels calibration competes for this
-// engine: the pinned one after SetKernel, both for an unpinned compact
-// arena, branchy alone for everything else.
+// engine: the pinned one after SetKernel, every runnable kernel for an
+// unpinned compact arena (SIMD joins the slate only where the ISA runs
+// it natively — timing the emulated fallback would just burn budget),
+// branchy alone for everything else.
 func (e *FlatForestEngine) candidateKernels() []Kernel {
 	if pin := e.kernelPin.Load(); pin != 0 {
 		return []Kernel{Kernel(pin - 1)}
 	}
 	if e.variant == FlatCompact {
+		if simdKernelAvailable() {
+			return []Kernel{KernelBranchy, KernelFused, KernelSIMD}
+		}
 		return []Kernel{KernelBranchy, KernelFused}
 	}
 	return []Kernel{KernelBranchy}
@@ -309,15 +350,19 @@ const (
 	calibSourceRows                   // caller-supplied sampled rows
 	calibSourcePersisted              // LoadCalibration record
 	calibSourceManual                 // SetInterleave override
+	calibSourceDegraded               // LoadCalibration record whose kernel this host cannot run
 )
 
 // CalibrationSource names where the engine's current interleave width
 // came from: "default" (the construction-time gate table), "synthetic"
 // (rows synthesized from the engine's own split tables), "rows"
 // (caller-supplied sampled traffic, e.g. a Batcher reservoir),
-// "persisted" (a LoadCalibration record) or "manual" (a SetInterleave
-// override). Benchmark reports record it so a recorded width can be
-// traced to its evidence — or to the lack of it.
+// "persisted" (a LoadCalibration record), "persisted-degraded" (a
+// record whose kernel this host's ISA cannot run natively — the width
+// was installed but the kernel was downgraded, so the mode has lost its
+// measurement evidence and deserves a recalibration pass) or "manual"
+// (a SetInterleave override). Benchmark reports record it so a recorded
+// width can be traced to its evidence — or to the lack of it.
 func (e *FlatForestEngine) CalibrationSource() string {
 	switch e.calibSource.Load() {
 	case calibSourceSynthetic:
@@ -328,6 +373,8 @@ func (e *FlatForestEngine) CalibrationSource() string {
 		return "persisted"
 	case calibSourceManual:
 		return "manual"
+	case calibSourceDegraded:
+		return "persisted-degraded"
 	}
 	return "default"
 }
@@ -508,14 +555,19 @@ func Calibrate(budget time.Duration) InterleaveGates {
 	// bracketing the L2/L3/DRAM regimes where the crossovers live.
 	sizes := []int{256 << 10, 1 << 20, 4 << 20, 16 << 20}
 	// The FLInt ladder times one candidate per width; the compact ladder
-	// times each width under both kernels, twice as many. Split the
-	// budget so every candidate gets an equal slice — an even per-engine
-	// split would halve each compact candidate's slice and raise the
-	// odds that budget starvation skips fused at exactly the sizes where
-	// it wins (a skipped candidate never competes, and the MaxInt gate
-	// that falls out would persist as "fused never won").
+	// times each width under every competing kernel — two on scalar-only
+	// hosts, three where the SIMD kernel is native. Split the budget so
+	// every candidate gets an equal slice — an even per-engine split
+	// would shrink each compact candidate's slice and raise the odds
+	// that budget starvation skips fused or SIMD at exactly the sizes
+	// where they win (a skipped candidate never competes, and the MaxInt
+	// gate that falls out would persist as "never won").
+	compactKernels := 2
+	if simdKernelAvailable() {
+		compactKernels = 3
+	}
 	flintCands := len(interleaveWidths)
-	compactCands := 2 * len(interleaveWidths)
+	compactCands := compactKernels * len(interleaveWidths)
 	perCand := budget / time.Duration(len(sizes)*(flintCands+compactCands))
 	flintBest := make([]int, len(sizes))
 	compactBest := make([]int, len(sizes))
@@ -529,31 +581,38 @@ func Calibrate(budget time.Duration) InterleaveGates {
 	g := InterleaveGates{}
 	g.Min2, g.Min4, g.Min8 = gatesFromLadder(sizes, flintBest)
 	g.CompactMin2, g.CompactMin4, g.CompactMin8 = gatesFromLadder(sizes, compactBest)
-	g.CompactFusedMin = fusedGateFromLadder(sizes, compactKernel)
+	g.CompactFusedMin, g.CompactSIMDMin = kernelGatesFromLadder(sizes, compactKernel)
 	SetInterleaveGates(g)
 	return g
 }
 
-// fusedGateFromLadder turns per-size winning kernels into the byte
-// threshold from which the fused kernel wins: kernels are first forced
-// monotone over the size ladder (a branchy win above a fused win is
-// measurement noise — the fused kernel's advantage, hiding mispredict
-// stalls behind data dependencies, only grows with walk depth and fetch
-// latency), then the threshold is the smallest size preferring fused,
-// or math.MaxInt when no size did.
-func fusedGateFromLadder(sizes []int, bestAt []Kernel) int {
+// kernelGatesFromLadder turns per-size winning kernels into the byte
+// thresholds from which the fused and SIMD kernels win: kernels are
+// first forced monotone over the size ladder in branchy < fused < simd
+// order (a less aggressive kernel winning above a more aggressive one
+// is measurement noise — each step up the order hides more stall time
+// behind data flow, an advantage that only grows with walk depth and
+// fetch latency), then each threshold is the smallest size preferring
+// at least that kernel, or math.MaxInt when no size did. The SIMD
+// threshold is derived even on hosts where only two kernels competed:
+// with no size ever won by SIMD it lands on MaxInt, the recorded form
+// of "never won".
+func kernelGatesFromLadder(sizes []int, bestAt []Kernel) (fusedMin, simdMin int) {
 	for i := 1; i < len(bestAt); i++ {
 		if bestAt[i] < bestAt[i-1] {
 			bestAt[i] = bestAt[i-1]
 		}
 	}
-	min := math.MaxInt
+	fusedMin, simdMin = math.MaxInt, math.MaxInt
 	for i := len(sizes) - 1; i >= 0; i-- {
-		if bestAt[i] == KernelFused {
-			min = sizes[i]
+		if bestAt[i] >= KernelFused {
+			fusedMin = sizes[i]
+		}
+		if bestAt[i] >= KernelSIMD {
+			simdMin = sizes[i]
 		}
 	}
-	return min
+	return fusedMin, simdMin
 }
 
 // gatesFromLadder turns per-size fastest widths into monotone byte

@@ -429,8 +429,9 @@ func TestCalibrationSourceTransitions(t *testing.T) {
 
 // TestSyntheticCompactEngineConsistent guards the Calibrate ladder's
 // compact half: the synthetic SoA arena must be structurally sound —
-// identical predictions at every interleave width and under both walk
-// kernels, since the ladder times the fused kernel on it too.
+// identical predictions at every interleave width and under all three
+// walk kernels, since the ladder times the fused and SIMD kernels on
+// it too.
 func TestSyntheticCompactEngineConsistent(t *testing.T) {
 	e := syntheticCompactEngine(64 << 10)
 	rows := e.representativeRows(48, 0x42)
@@ -438,7 +439,7 @@ func TestSyntheticCompactEngineConsistent(t *testing.T) {
 	want := make([]int32, len(rows))
 	e.predictBlockWidth(rows, want, s, 1, KernelBranchy)
 	got := make([]int32, len(rows))
-	for _, k := range []Kernel{KernelBranchy, KernelFused} {
+	for _, k := range []Kernel{KernelBranchy, KernelFused, KernelSIMD} {
 		for _, w := range []int{1, 2, 4, 8} {
 			e.predictBlockWidth(rows, got, s, w, k)
 			for i := range got {

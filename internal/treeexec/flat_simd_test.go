@@ -1,0 +1,353 @@
+package treeexec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flint/internal/core"
+	"flint/internal/dataset"
+	"flint/internal/rf"
+)
+
+// These tests run the same way under the default build (where
+// fusedWalk8/fusedRank8 dispatch to the AVX2 assembly when the host has
+// it) and under -tags noasm or on non-amd64 (where they are the
+// portable Go forms) — the differential contract is identical, only the
+// instructions differ.
+
+// TestDetectedISA pins the availability/name coupling: a host that
+// reports the SIMD kernel available must name its ISA, and one that
+// does not must report none.
+func TestDetectedISA(t *testing.T) {
+	if simdKernelAvailable() {
+		if DetectedISA() != "avx2" {
+			t.Errorf("SIMD kernel available but DetectedISA() = %q, want \"avx2\"", DetectedISA())
+		}
+	} else if DetectedISA() != "" {
+		t.Errorf("SIMD kernel unavailable but DetectedISA() = %q, want \"\"", DetectedISA())
+	}
+}
+
+// TestSIMDBitIdenticalAllWorkloads is the tentpole acceptance test for
+// the vector kernel: on every bundled workload the SIMD kernel must
+// match the FLInt arena prediction-for-prediction — the single-row
+// paths under an installed simd mode (which serve through the scalar
+// fused step), and the vector batch kernel at every interleave width,
+// with 13-row batches so every group shape including partial lanes is
+// exercised.
+func TestSIMDBitIdenticalAllWorkloads(t *testing.T) {
+	for _, ds := range dataset.Names() {
+		ds := ds
+		t.Run(ds, func(t *testing.T) {
+			f, d := trainedForest(t, ds, 8, 6)
+			ref, err := NewFlat(f, FlatFLInt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := NewFlat(f, FlatCompact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Variant() != FlatCompact {
+				t.Fatalf("fell back to %v", e.Variant())
+			}
+			e.SetKernel(KernelSIMD)
+			want := make([]int32, d.Len())
+			for i, x := range d.Features {
+				want[i] = ref.Predict(x)
+				if got := e.Predict(x); got != want[i] {
+					t.Fatalf("row %d: simd single-row got %d want %d", i, got, want[i])
+				}
+				if got := e.PredictEncoded(core.EncodeFeatures32(nil, x)); got != want[i] {
+					t.Fatalf("row %d: simd encoded got %d want %d", i, got, want[i])
+				}
+				if got := e.PredictPrecoded(core.PrecodeFeatures32(nil, x)); got != want[i] {
+					t.Fatalf("row %d: simd precoded got %d want %d", i, got, want[i])
+				}
+			}
+			for _, width := range []int{1, 2, 4, 8} {
+				e.SetInterleave(width)
+				if e.Kernel() != KernelSIMD {
+					t.Fatalf("SetInterleave(%d) dropped the simd kernel", width)
+				}
+				got := e.PredictBatch(d.Features, nil, 2, 13)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("width %d row %d: simd batch got %d want %d", width, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSIMDAdversarialRandomForests cross-checks the vector kernel on
+// randomly grown trees over the extreme split-value pool (signed zeros,
+// subnormals, extremes) at every width — the same gauntlet both scalar
+// kernels pass, now through the gathered vector step and the lockstep
+// vector quantizer.
+func TestSIMDAdversarialRandomForests(t *testing.T) {
+	rng := rand.New(rand.NewSource(913))
+	splitPool := []float32{
+		0, float32(math.Copysign(0, -1)), 1.5, -1.5,
+		math.SmallestNonzeroFloat32, -math.SmallestNonzeroFloat32,
+		math.MaxFloat32, -math.MaxFloat32, 3.25e-20, -7.5e12,
+	}
+	randTree := func(depth int) rf.Tree {
+		var nodes []rf.Node
+		var grow func(d int) int32
+		grow = func(d int) int32 {
+			me := int32(len(nodes))
+			if d == 0 || rng.Float64() < 0.3 {
+				nodes = append(nodes, rf.Node{Feature: rf.LeafFeature, Class: int32(rng.Intn(3))})
+				return me
+			}
+			nodes = append(nodes, rf.Node{
+				Feature: int32(rng.Intn(4)),
+				Split:   splitPool[rng.Intn(len(splitPool))],
+			})
+			l := grow(d - 1)
+			r := grow(d - 1)
+			nodes[me].Left = l
+			nodes[me].Right = r
+			return me
+		}
+		grow(depth)
+		return rf.Tree{Nodes: nodes}
+	}
+	for trial := 0; trial < 20; trial++ {
+		f := &rf.Forest{NumFeatures: 4, NumClasses: 3,
+			Trees: []rf.Tree{randTree(6), randTree(6), randTree(6)}}
+		ref, err := NewFlat(f, FlatFLInt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewFlat(f, FlatCompact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetKernel(KernelSIMD)
+		rows := make([][]float32, 0, 64)
+		for probe := 0; probe < 64; probe++ {
+			x := make([]float32, 4)
+			for j := range x {
+				if rng.Intn(2) == 0 {
+					x[j] = splitPool[rng.Intn(len(splitPool))]
+				} else {
+					x[j] = splitPool[rng.Intn(len(splitPool))] * float32(rng.NormFloat64())
+				}
+			}
+			rows = append(rows, x)
+		}
+		for _, width := range []int{1, 2, 4, 8} {
+			e.SetInterleave(width)
+			got := e.PredictBatch(rows, nil, 1, 16)
+			for i := range rows {
+				if want := ref.Predict(rows[i]); got[i] != want {
+					t.Fatalf("trial %d width %d row %d: simd got %d want %d for %v",
+						trial, width, i, got[i], want, rows[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFusedRank8MatchesBranchlessRank is the vector-quantizer property
+// test: 8-lane segment ranks must agree with branchlessRank over random
+// multi-segment cut tables probed at non-zero offsets (as cutLo slicing
+// does), including wraparound probes (c-1 of a zero cut, MaxUint32
+// edges) and 1-cut segments. Both the dispatched form and the portable
+// form are checked against the scalar reference.
+func TestFusedRank8MatchesBranchlessRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 60; trial++ {
+		pre := rng.Intn(10)
+		n := 1 + rng.Intn(30) // segments of 1..30 cuts, incl. single-cut
+		post := rng.Intn(10)
+		total := pre + n + post
+		cuts := make([]uint32, 0, total)
+		v := uint32(rng.Intn(5))
+		for len(cuts) < total {
+			cuts = append(cuts, v)
+			v += 1 + uint32(rng.Intn(1<<25))
+		}
+		lo := int32(pre)
+		probes := []uint32{0, 1, math.MaxUint32, math.MaxUint32 - 1}
+		for _, c := range cuts[pre : pre+n] {
+			probes = append(probes, c, c-1, c+1)
+		}
+		for i := 0; i < 16; i++ {
+			probes = append(probes, rng.Uint32())
+		}
+		for len(probes)%8 != 0 {
+			probes = append(probes, probes[0])
+		}
+		var keys [8]uint32
+		var got, gotGo [8]uint16
+		for at := 0; at < len(probes); at += 8 {
+			copy(keys[:], probes[at:at+8])
+			fusedRank8(cuts, lo, int32(n), &keys, &got)
+			fusedRank8Go(cuts, lo, int32(n), &keys, &gotGo)
+			for i := range keys {
+				want := branchlessRank(cuts, lo, lo+int32(n), keys[i])
+				if got[i] != want || gotGo[i] != want {
+					t.Fatalf("trial %d key %d over cuts[%d:%d] of %v: dispatched %d, portable %d, want %d",
+						trial, keys[i], lo, lo+int32(n), cuts, got[i], gotGo[i], want)
+				}
+			}
+		}
+	}
+	// The empty segment through the wrapper: rank 0 everywhere, with no
+	// probe into the table.
+	cuts := []uint32{5, 10}
+	keys := [8]uint32{0, 1, 6, 11, math.MaxUint32, 5, 10, 7}
+	ranks := [8]uint16{9, 9, 9, 9, 9, 9, 9, 9}
+	fusedRank8(cuts, 1, 0, &keys, &ranks)
+	if ranks != [8]uint16{} {
+		t.Errorf("empty segment ranks = %v, want zeros", ranks)
+	}
+}
+
+// TestFusedWalk8MatchesGo pins the dispatched walk against the portable
+// form directly, including the lane protocol the engine relies on:
+// lanes starting at -1 (or any ^class) are inactive and must ride
+// through the walk untouched, never used as gather addresses.
+func TestFusedWalk8MatchesGo(t *testing.T) {
+	e := syntheticCompactEngine(64 << 10)
+	rows := e.representativeRows(64, 0x99)
+	nq := e.numPruned
+	q := make([]uint16, 8*nq+2)
+	rng := rand.New(rand.NewSource(11))
+	for at := 0; at+8 <= len(rows); at += 8 {
+		e.quantizeBlockFused(rows[at:at+8], q)
+		for _, root := range e.roots {
+			if root < 0 {
+				continue
+			}
+			var cur [8]int32
+			for i := range cur {
+				if rng.Intn(4) == 0 {
+					cur[i] = ^int32(rng.Intn(3)) // pre-finished lane
+				}
+			}
+			curGo := cur
+			fusedWalk8(e.nodes64, root, q, int32(nq), &cur)
+			fusedWalk8Go(e.nodes64, root, q, int32(nq), &curGo)
+			if cur != curGo {
+				t.Fatalf("root %d: dispatched walk %v, portable %v", root, cur, curGo)
+			}
+			for i := range cur {
+				if cur[i] >= 0 {
+					t.Fatalf("root %d lane %d: walk left an active cursor %d", root, i, cur[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSIMDZeroAllocSteadyState extends the zero-alloc acceptance
+// criterion to the SIMD kernel: steady-state Batcher prediction with
+// the vector kernel installed allocates nothing at any interleave
+// width.
+func TestSIMDZeroAllocSteadyState(t *testing.T) {
+	f, d := trainedForest(t, "magic", 6, 8)
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Variant() != FlatCompact {
+		t.Fatalf("fell back to %v", e.Variant())
+	}
+	e.SetKernel(KernelSIMD)
+	for _, width := range []int{1, 2, 4, 8} {
+		e.SetInterleave(width)
+		b := NewBatcher(e, 2, 7)
+		out := make([]int32, d.Len())
+		b.Predict(d.Features, out) // warm up
+		if avg := testing.AllocsPerRun(20, func() {
+			b.Predict(d.Features, out)
+		}); avg != 0 {
+			t.Errorf("width=%d: simd Batcher.Predict allocates %.1f objects per batch, want 0", width, avg)
+		}
+		b.Close()
+	}
+}
+
+// TestKernelForSIMDGate pins the three-kernel gate ladder: the SIMD
+// gate outranks the fused gate on hosts with the native ISA and is
+// inert everywhere else, and the zero/MaxInt conventions keep the
+// kernel off.
+func TestKernelForSIMDGate(t *testing.T) {
+	native := simdKernelAvailable()
+	simdOr := func(fallback Kernel) Kernel {
+		if native {
+			return KernelSIMD
+		}
+		return fallback
+	}
+	g := InterleaveGates{CompactFusedMin: 1000, CompactSIMDMin: 4000}
+	for _, tc := range []struct {
+		bytes int
+		want  Kernel
+	}{
+		{0, KernelBranchy},
+		{999, KernelBranchy},
+		{1000, KernelFused},
+		{3999, KernelFused},
+		{4000, simdOr(KernelFused)},
+		{1 << 30, simdOr(KernelFused)},
+	} {
+		if got := g.kernelFor(FlatCompact, tc.bytes); got != tc.want {
+			t.Errorf("kernelFor(FlatCompact, %d) = %v, want %v", tc.bytes, got, tc.want)
+		}
+		if got := g.kernelFor(FlatFLInt, tc.bytes); got != KernelBranchy {
+			t.Errorf("kernelFor(FlatFLInt, %d) = %v, want branchy", tc.bytes, got)
+		}
+	}
+	// A SIMD gate below the fused gate still selects SIMD (the more
+	// aggressive kernel wins the overlap)...
+	g = InterleaveGates{CompactFusedMin: 4000, CompactSIMDMin: 1000}
+	if got := g.kernelFor(FlatCompact, 2000); got != simdOr(KernelBranchy) {
+		t.Errorf("kernelFor with inverted gates = %v, want %v", got, simdOr(KernelBranchy))
+	}
+	// ...and zero or MaxInt keep it off regardless of arena size.
+	for _, min := range []int{0, math.MaxInt} {
+		g := InterleaveGates{CompactFusedMin: math.MaxInt, CompactSIMDMin: min}
+		if got := g.kernelFor(FlatCompact, 1<<30); got != KernelBranchy {
+			t.Errorf("kernelFor with CompactSIMDMin=%d = %v, want branchy", min, got)
+		}
+	}
+}
+
+// TestSIMDGroupPartialLanes drives classifySIMDGroup at every group
+// width k against the scalar fused classifier, pinning that inactive
+// lanes neither contribute nor interfere.
+func TestSIMDGroupPartialLanes(t *testing.T) {
+	f, d := trainedForest(t, "wine", 6, 5)
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Variant() != FlatCompact {
+		t.Fatalf("fell back to %v", e.Variant())
+	}
+	nq := e.numPruned
+	q := make([]uint16, 8*nq+2)
+	for k := 1; k <= 8; k++ {
+		rows := d.Features[:k]
+		e.quantizeBlockSIMD(rows, q)
+		var cls [8]int32
+		for _, root := range e.roots {
+			e.classifySIMDGroup(root, k, q, &cls)
+			for i := 0; i < k; i++ {
+				var lane [64]uint16
+				qi := lane[:nq]
+				e.quantizeBlockFused(rows[i:i+1], qi)
+				if want := e.classifyCompactFused(qi, root); cls[i] != want {
+					t.Fatalf("k=%d lane %d root %d: got class %d want %d", k, i, root, cls[i], want)
+				}
+			}
+		}
+	}
+}

@@ -43,9 +43,11 @@ func (e *FlatForestEngine) Fingerprint() ArenaFingerprint {
 // gate table, the engine's chosen width and walk kernel, and optionally
 // a sample of the traffic that mode was measured against (a
 // Batcher.SampleSnapshot), so the next deployment can seed its
-// reservoir with real rows. Kernel is "branchy" or "fused"; records
-// written before the kernel axis existed carry no field and load as
-// branchy — the only kernel those deployments ever ran.
+// reservoir with real rows. Kernel is "branchy", "fused" or "simd";
+// records written before the kernel axis existed carry no field and
+// load as branchy — the only kernel those deployments ever ran. A
+// "simd" record loaded on a host without the vector ISA installs as
+// branchy instead (see LoadCalibration).
 type CalibrationRecord struct {
 	Fingerprint ArenaFingerprint `json:"fingerprint"`
 	Gates       InterleaveGates  `json:"gates"`
@@ -95,7 +97,7 @@ func (e *FlatForestEngine) SaveCalibration(w io.Writer, rows [][]float32) error 
 // sane: no negative thresholds (math.MaxInt — "width disabled" — is
 // valid).
 func validGates(g InterleaveGates) bool {
-	for _, v := range []int{g.Min2, g.Min4, g.Min8, g.CompactMin2, g.CompactMin4, g.CompactMin8, g.CompactFusedMin} {
+	for _, v := range []int{g.Min2, g.Min4, g.Min8, g.CompactMin2, g.CompactMin4, g.CompactMin8, g.CompactFusedMin, g.CompactSIMDMin} {
 		if v < 0 {
 			return false
 		}
@@ -134,8 +136,8 @@ func (e *FlatForestEngine) LoadCalibration(r io.Reader) (*CalibrationRecord, err
 	if err != nil {
 		return nil, fmt.Errorf("treeexec: persisted record: %w", err)
 	}
-	if kernel == KernelFused && e.variant != FlatCompact {
-		return nil, fmt.Errorf("treeexec: persisted fused kernel is only valid for the compact arena, engine is %v", e.variant)
+	if kernel != KernelBranchy && e.variant != FlatCompact {
+		return nil, fmt.Errorf("treeexec: persisted %v kernel is only valid for the compact arena, engine is %v", kernel, e.variant)
 	}
 	if !validGates(rec.Gates) {
 		return nil, fmt.Errorf("treeexec: persisted gate table has negative thresholds: %+v", rec.Gates)
@@ -147,8 +149,19 @@ func (e *FlatForestEngine) LoadCalibration(r io.Reader) (*CalibrationRecord, err
 		// persist as math.MaxInt, not 0).
 		return nil, fmt.Errorf("treeexec: persisted record carries no gate table")
 	}
+	source := int32(calibSourcePersisted)
+	if kernel == KernelSIMD && !simdKernelAvailable() {
+		// The record was measured on a host whose vector ISA this one
+		// lacks. Installing simd anyway would serve through the portable
+		// fallback — correct, but slower than the scalar kernels the
+		// calibration ladder rejected in its favor on the other machine.
+		// Downgrade to branchy (the kernel every host runs natively) and
+		// surface the downgrade via CalibrationSource.
+		kernel = KernelBranchy
+		source = calibSourceDegraded
+	}
 	e.mode.Store(packMode(rec.Width, kernel))
-	e.calibSource.Store(calibSourcePersisted)
+	e.calibSource.Store(source)
 	return &rec, nil
 }
 

@@ -233,7 +233,26 @@ func TestCalibrationKernelRoundTrip(t *testing.T) {
 		t.Errorf("legacy record loaded kernel %v (field %q), want branchy", e3.Kernel(), rec.Kernel)
 	}
 
-	bad := strings.Replace(buf.String(), `"kernel": "fused"`, `"kernel": "simd"`, 1)
+	// A "simd" record: installs as simd where the vector ISA is native,
+	// downgrades to branchy everywhere else — and the source says which
+	// happened.
+	simdRec := strings.Replace(buf.String(), `"kernel": "fused"`, `"kernel": "simd"`, 1)
+	if _, err := e2.LoadCalibration(strings.NewReader(simdRec)); err != nil {
+		t.Fatal(err)
+	}
+	if simdKernelAvailable() {
+		if e2.Kernel() != KernelSIMD || e2.CalibrationSource() != "persisted" {
+			t.Errorf("simd record on a native host loaded (%v, %q), want (simd, persisted)",
+				e2.Kernel(), e2.CalibrationSource())
+		}
+	} else {
+		if e2.Kernel() != KernelBranchy || e2.CalibrationSource() != "persisted-degraded" {
+			t.Errorf("simd record without the ISA loaded (%v, %q), want (branchy, persisted-degraded)",
+				e2.Kernel(), e2.CalibrationSource())
+		}
+	}
+
+	bad := strings.Replace(buf.String(), `"kernel": "fused"`, `"kernel": "turbo"`, 1)
 	before := e2.Kernel()
 	if _, err := e2.LoadCalibration(strings.NewReader(bad)); err == nil {
 		t.Error("unknown kernel name accepted")
