@@ -743,6 +743,56 @@ func BenchmarkBatchThroughput(b *testing.B) {
 			})
 		}
 	}
+
+	// Adversarially-generated workload: the decision-path attack
+	// (internal/robust) perturbs trained magic rows until they sit
+	// exactly on — or one float past — the thresholds their original
+	// walk brushed closest. Unlike the synthetic hostile forest above,
+	// this keeps the trained arena and measures the trained workload's
+	// own worst case: tie-heavy comparisons with the least learnable
+	// branch history the real decision boundary admits.
+	advForest, advData := getForest(b, "magic", 30, 20)
+	advCompact, err := treeexec.NewFlat(advForest, treeexec.FlatCompact)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if advCompact.Variant() != treeexec.FlatCompact {
+		b.Fatalf("magic forest fell back to %v", advCompact.Variant())
+	}
+	advFlat, err := treeexec.NewFlat(advForest, treeexec.FlatFLInt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	advRows := flint.AdversarialRows(advCompact, advData.Features[:512], flint.AttackConfig{})
+	reportAdvRows := func(b *testing.B) {
+		b.ReportMetric(float64(len(advRows))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	}
+	for _, arena := range []struct {
+		tag string
+		e   *treeexec.FlatForestEngine
+		k   treeexec.Kernel
+	}{
+		{"blocked", advFlat, treeexec.KernelBranchy},
+		{"compact", advCompact, treeexec.KernelBranchy},
+		{"compact-fused", advCompact, treeexec.KernelFused},
+		{"compact-simd", advCompact, treeexec.KernelSIMD},
+	} {
+		arena := arena
+		for _, width := range []int{1, 2, 4, 8} {
+			width := width
+			b.Run(fmt.Sprintf("adversarial/magic/%s/x%d/w1", arena.tag, width), func(b *testing.B) {
+				arena.e.SetInterleave(width)
+				arena.e.SetKernel(arena.k)
+				b.ReportAllocs()
+				out := make([]int32, len(advRows))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out = arena.e.PredictBatch(advRows, out, 1, 0)
+				}
+				reportAdvRows(b)
+			})
+		}
+	}
 }
 
 // randomBalancedForest grows a forest for the mispredict-hostile bench:

@@ -51,7 +51,9 @@ func main() {
 		machines  = flag.Bool("machines", false, "print the Table I machine profiles and exit")
 		verbose   = flag.Bool("v", false, "log every measured grid point")
 		batchJSON = flag.String("batchjson", "", "run the short batch-throughput bench (rows/s per arena variant per workload), write JSON to this path and exit")
-		batchRows = flag.Int("batchrows", 0, "dataset rows for -batchjson (0 = 1200)")
+		batchRows = flag.Int("batchrows", 0, "dataset rows for -batchjson and -audit (0 = 1200)")
+		auditJSON = flag.String("audit", "", "run the adversarial robustness audit (decision-path attack flip rate vs perturbation budget per workload), write JSON to this path and exit")
+		auditRows = flag.Int("auditrows", 0, "test rows attacked per workload for -audit (0 = 150)")
 		kernel    = flag.String("kernel", "auto", "compact walk kernel for -batchjson: auto lets calibration pick, branchy|fused|simd pins it for A/B runs (the choice lands in the report's kernel column; simd runs the portable fallback where the host ISA lacks it)")
 		trenddiff = flag.Bool("trenddiff", false, "diff two BENCH_batch.json reports (usage: flintbench -trenddiff old.json new.json), print per-(workload, variant) rows/s deltas and exit")
 		trendhist = flag.Bool("trendhistory", false, "walk a chronological sequence of BENCH_batch.json reports (usage: flintbench -trendhistory oldest.json ... newest.json), print each (workload, variant) cell's rows/s trajectory and exit")
@@ -92,6 +94,13 @@ func main() {
 
 	if *batchJSON != "" {
 		if err := runBatchBench(*batchJSON, *batchRows, *kernel); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *auditJSON != "" {
+		if err := runRobustAudit(*auditJSON, *batchRows, *auditRows); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -331,6 +340,32 @@ func runBatchBench(path string, rows int, kernel string) error {
 				r.Dataset, r.Variant, r.RowsPerSec, r.ArenaNodes, r.BytesPerNode, r.Interleave, r.Kernel, r.CalibSource)
 		default:
 			fmt.Printf("%-12s %-13s %12.0f rows/s\n", r.Dataset, r.Variant, r.RowsPerSec)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// runRobustAudit runs the per-workload adversarial robustness audit
+// (decision-path attack, internal/robust) and writes BENCH_robust.json.
+// Report-only: the flip-rate curve characterizes the trained models'
+// boundary geometry, not the engine's performance, so nothing here
+// gates.
+func runRobustAudit(path string, rows, auditRows int) error {
+	rep, err := bench.RobustBench{Rows: rows, AuditRows: auditRows}.Run()
+	if err != nil {
+		return err
+	}
+	if err := writeFile(path, func(w io.Writer) error {
+		return bench.WriteRobustBenchJSON(w, rep)
+	}); err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-12s %8d nodes  %3d rows audited  %3d flipped  mean cost %.4f\n",
+			r.Dataset, r.ArenaNodes, r.Report.Rows, r.Report.Flipped, r.Report.MeanCost)
+		for i, b := range r.Report.Budgets {
+			fmt.Printf("               budget %6.3f: flip rate %.3f\n", b, r.Report.FlipRate[i])
 		}
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)

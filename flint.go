@@ -161,6 +161,49 @@
 //     after one Recalibrate) never falls back to synthetic
 //     approximations. See examples/batchserve for the whole loop.
 //
+// # Drift-aware serving: detect distribution shift, recalibrate automatically
+//
+// The reservoir → Recalibrate loop above still needs something to decide
+// when to recalibrate. A Batcher can make that call itself: arm it with
+// EnableDriftDetection and it compares the live traffic reservoir
+// against the calibration baseline on a served-row cadence — per-feature
+// histograms over the engine's own quantized split ranks, scored with a
+// population-stability-index distance — and when the distance crosses
+// the configured threshold it runs the Recalibrate path on its own,
+// installing the re-timed (width, kernel) mode through the same atomic
+// gate every manual recalibration uses:
+//
+//	b := flint.NewBatcher(engine, 0)
+//	defer b.Close()
+//	b.EnableDriftDetection(flint.DriftConfig{}, calibrationRows)
+//	...            // serve; a shifted distribution triggers recalibration
+//	b.DriftStats() // distance trajectory, trigger/suppression counters
+//
+// The Predict hot path pays one atomic load and counter bump per batch —
+// the zero-alloc steady state is untouched — while histogram scoring and
+// the triggered recalibration run on a dedicated watcher goroutine.
+// After any trigger the baseline rebases to the traffic just timed
+// (manual Recalibrate rebases it too), so the detector tracks the newest
+// accepted distribution instead of re-firing on the same shift, and a
+// cooldown suppresses trigger storms while a shift is still settling
+// (suppressed checks are counted, not lost). Batcher.SaveCalibration
+// persists the armed DriftConfig inside the calibration record, so the
+// next deployment restores detection together with the width, kernel and
+// seeded reservoir. See examples/sensordrift for the loop closing on the
+// gas workload's drifting batches.
+//
+// # Decision paths and robustness auditing
+//
+// FlatEngine.DecisionPath traces the exact per-tree comparison sequence
+// behind a prediction — node, feature, threshold (and its quantized rank
+// on the compact arena), direction — bit-consistent with Predict across
+// every kernel and interleave width. On top of it, the robustness audit
+// attacks rows the way an adversary would (greedy minimal threshold
+// crossings in FLInt total order): RobustnessAudit reports the flip rate
+// as a function of perturbation budget, AdversarialRow/AdversarialRows
+// produce boundary-hugging worst-case serving workloads, and flintbench
+// -audit emits the per-workload report CI archives as BENCH_robust.json.
+//
 // Malformed input fails fast on every batch entry: rows whose length is
 // not the engine's NumFeatures panic in the caller's goroutine
 // (Batcher.Predict, PredictBatch) or return an error (Batch,
@@ -179,6 +222,7 @@ import (
 	"flint/internal/flintsort"
 	"flint/internal/ieee754"
 	"flint/internal/rf"
+	"flint/internal/robust"
 	"flint/internal/softfloat"
 	"flint/internal/treeexec"
 )
@@ -468,6 +512,65 @@ func NewBatcher(e *FlatEngine, workers int) *Batcher {
 // for admission (<= 0 selects the default).
 func NewBatcherSampled(e *FlatEngine, workers, block, capacity, stride int) *Batcher {
 	return treeexec.NewBatcherSampled(e, workers, block, capacity, stride)
+}
+
+// ---- Drift detection and decision-path robustness auditing ----
+
+// DriftConfig parameterizes a Batcher's drift detector (check cadence,
+// PSI trigger threshold, recalibration cooldown, evidence floor,
+// histogram bins, recalibration budget); the zero value selects the
+// defaults. Arm it with Batcher.EnableDriftDetection.
+type DriftConfig = treeexec.DriftConfig
+
+// DriftStats is a snapshot of a Batcher's drift detector: the latest
+// PSI distance, check/trigger/suppression counters and timestamps. Read
+// it with Batcher.DriftStats; Batcher.CheckDrift forces a synchronous
+// check.
+type DriftStats = treeexec.DriftStats
+
+// PathStep is one comparison on a row's decision path, as traced by
+// FlatEngine.DecisionPath: the tree and arena node, the feature and
+// threshold compared (with the compact arena's quantized rank), and the
+// direction taken. The trace is bit-consistent with Predict on every
+// kernel and interleave width.
+type PathStep = treeexec.PathStep
+
+// AttackConfig parameterizes the decision-path attack (iteration cap,
+// normalized perturbation budget, per-feature cost scale); the zero
+// value selects the defaults.
+type AttackConfig = robust.Config
+
+// AttackResult is the outcome of attacking one row: the perturbed copy,
+// whether the prediction flipped, and the normalized cost and number of
+// threshold crossings spent.
+type AttackResult = robust.Result
+
+// RobustnessReport is a robustness audit over a row set: the attack's
+// flip rate as a function of perturbation budget.
+type RobustnessReport = robust.Report
+
+// AdversarialRow attacks one row with the greedy decision-path attack:
+// it returns a minimally perturbed copy (each changed feature lands
+// exactly on a trained threshold or its immediate float successor in
+// FLInt total order) whose prediction flips when the search succeeds
+// within the configured caps. The input row is not modified.
+func AdversarialRow(e *FlatEngine, x []float32, cfg AttackConfig) AttackResult {
+	return robust.Perturb(e, x, cfg)
+}
+
+// AdversarialRows attacks every row and returns the perturbed copies —
+// a boundary-hugging worst-case serving workload for benchmarks and
+// differential tests.
+func AdversarialRows(e *FlatEngine, rows [][]float32, cfg AttackConfig) [][]float32 {
+	return robust.AdversarialRows(e, rows, cfg)
+}
+
+// RobustnessAudit attacks every row and reports the flip-rate curve
+// over the budget ladder (nil selects the default ladder; budgets read
+// as fractions of the rows' per-feature value spread unless cfg.Scale
+// overrides the normalization).
+func RobustnessAudit(e *FlatEngine, rows [][]float32, budgets []float64, cfg AttackConfig) RobustnessReport {
+	return robust.Audit(e, rows, budgets, cfg)
 }
 
 // ---- CAGS (Chen et al. [6]) ----

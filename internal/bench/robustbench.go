@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"flint/internal/cart"
+	"flint/internal/dataset"
+	"flint/internal/robust"
+	"flint/internal/treeexec"
+)
+
+// RobustBench runs the decision-path adversarial audit (internal/robust)
+// per workload — the BENCH_robust.json artifact CI uploads next to
+// BENCH_batch.json. It reports how much of each workload's test
+// distribution the attack can flip as a function of perturbation
+// budget: a robustness trajectory of the trained configurations, not a
+// performance gate. Report-only by design — flip rates depend on the
+// synthetic data generators and training hyperparameters, so deltas
+// across PRs flag modelling changes to investigate rather than failures.
+type RobustBench struct {
+	// Rows is the synthetic dataset size (train + test); <= 0 selects
+	// 1200, matching BatchBench's quick-grid size.
+	Rows int
+	// Trees and Depth shape the trained ensemble; <= 0 selects 20 / 12.
+	Trees, Depth int
+	// AuditRows caps how many test rows are attacked per workload;
+	// <= 0 selects 150 (the audit walks the full forest per attack
+	// iteration, so it is the expensive half of the artifact).
+	AuditRows int
+	// MaxIter caps attack iterations per row; <= 0 selects the robust
+	// package default.
+	MaxIter int
+	// Budgets is the flip-rate ladder; nil selects robust.DefaultBudgets.
+	Budgets []float64
+	// Seed drives dataset synthesis and training; 0 selects 1.
+	Seed int64
+}
+
+// RobustBenchRow is one workload's audit outcome.
+type RobustBenchRow struct {
+	Dataset string `json:"dataset"`
+	// ArenaNodes sizes the audited compact engine, tying a flip-rate
+	// shift to a structural change in the trained forest.
+	ArenaNodes int           `json:"arena_nodes"`
+	Report     robust.Report `json:"report"`
+}
+
+// RobustBenchReport is the BENCH_robust.json document.
+type RobustBenchReport struct {
+	Config struct {
+		Rows, Trees, Depth, AuditRows, MaxIter int
+	} `json:"config"`
+	Results []RobustBenchRow `json:"results"`
+}
+
+func (c RobustBench) withDefaults() RobustBench {
+	if c.Rows <= 0 {
+		c.Rows = 1200
+	}
+	if c.Trees <= 0 {
+		c.Trees = 20
+	}
+	if c.Depth <= 0 {
+		c.Depth = 12
+	}
+	if c.AuditRows <= 0 {
+		c.AuditRows = 150
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Run trains one forest per workload (the same configuration BatchBench
+// times) and audits the compact serving engine against the test rows.
+func (c RobustBench) Run() (*RobustBenchReport, error) {
+	c = c.withDefaults()
+	rep := &RobustBenchReport{}
+	rep.Config.Rows = c.Rows
+	rep.Config.Trees = c.Trees
+	rep.Config.Depth = c.Depth
+	rep.Config.AuditRows = c.AuditRows
+	rep.Config.MaxIter = c.MaxIter
+	for _, ds := range dataset.Names() {
+		full, err := dataset.Generate(ds, c.Rows, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		train, test := full.Split(0.75, c.Seed)
+		forest, err := cart.TrainForest(train, cart.Config{
+			NumTrees: c.Trees, MaxDepth: c.Depth, Seed: c.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: training %s: %w", ds, err)
+		}
+		e, err := treeexec.NewFlat(forest, treeexec.FlatCompact)
+		if err != nil {
+			return nil, err
+		}
+		rows := test.Features
+		if len(rows) > c.AuditRows {
+			rows = rows[:c.AuditRows]
+		}
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("bench: empty test set for %s", ds)
+		}
+		rep.Results = append(rep.Results, RobustBenchRow{
+			Dataset:    ds,
+			ArenaNodes: e.ArenaNodes(),
+			Report:     robust.Audit(e, rows, c.Budgets, robust.Config{MaxIter: c.MaxIter}),
+		})
+	}
+	return rep, nil
+}
+
+// WriteRobustBenchJSON writes the report as indented JSON.
+func WriteRobustBenchJSON(w io.Writer, rep *RobustBenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

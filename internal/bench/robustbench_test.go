@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"flint/internal/dataset"
+)
+
+// TestRobustBenchRun runs the CI robustness-audit harness at a tiny
+// configuration and checks the report's shape: one audited row per
+// workload, flip-rate curves over the budget ladder, and a JSON
+// round-trip of the artifact.
+func TestRobustBenchRun(t *testing.T) {
+	rep, err := RobustBench{
+		Rows: 300, Trees: 6, Depth: 8, AuditRows: 20, MaxIter: 40,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(rep.Results), len(dataset.Names()); got != want {
+		t.Fatalf("%d result rows, want %d", got, want)
+	}
+	if rep.Config.AuditRows != 20 || rep.Config.MaxIter != 40 {
+		t.Fatalf("config not echoed: %+v", rep.Config)
+	}
+	anyFlip := false
+	for _, r := range rep.Results {
+		if r.ArenaNodes <= 0 {
+			t.Errorf("%s: arena nodes %d", r.Dataset, r.ArenaNodes)
+		}
+		if r.Report.Rows != 20 {
+			t.Errorf("%s: audited %d rows, want 20", r.Dataset, r.Report.Rows)
+		}
+		if len(r.Report.Budgets) != len(r.Report.FlipRate) {
+			t.Errorf("%s: %d budgets, %d flip rates", r.Dataset, len(r.Report.Budgets), len(r.Report.FlipRate))
+		}
+		prev := -1.0
+		for i, fr := range r.Report.FlipRate {
+			if fr < prev {
+				t.Errorf("%s: flip rate not monotone at budget %v", r.Dataset, r.Report.Budgets[i])
+			}
+			prev = fr
+		}
+		if r.Report.Flipped > 0 {
+			anyFlip = true
+		}
+	}
+	if !anyFlip {
+		t.Error("audit flipped nothing on any workload; the artifact is vacuous")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteRobustBenchJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back RobustBenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(rep.Results) || back.Results[0].Dataset != rep.Results[0].Dataset {
+		t.Fatalf("JSON round-trip mismatch: %+v", back.Results)
+	}
+}

@@ -698,6 +698,11 @@ type Batcher struct {
 	sample  *rowReservoir // nil when sampling is disabled
 	jobs    chan batchJob
 
+	// drift holds the armed drift detector (EnableDriftDetection), or
+	// nil. An atomic pointer so the Predict path reads it with one load
+	// and arming mid-serve is race-free.
+	drift atomic.Pointer[driftDetector]
+
 	// tokens recycles per-call completion WaitGroups so concurrent
 	// Predict calls track their own blocks without allocating. A
 	// buffered channel rather than a sync.Pool: the pool is emptied on
@@ -801,6 +806,9 @@ func (b *Batcher) Predict(rows [][]float32, out []int32) []int32 {
 		return out
 	}
 	b.sample.observe(rows)
+	if d := b.drift.Load(); d != nil {
+		d.offer(b.sample.seen.Load())
+	}
 	var done *sync.WaitGroup
 	select {
 	case done = <-b.tokens:
@@ -831,6 +839,10 @@ func (b *Batcher) Close() {
 	if !b.closed {
 		b.closed = true
 		close(b.jobs)
+		if d := b.drift.Load(); d != nil {
+			close(d.stop)
+			<-d.done // a mid-check watcher finishes before the pool dies
+		}
 	}
 }
 
@@ -866,7 +878,18 @@ func (b *Batcher) SeedSample(rows [][]float32) int { return b.sample.seedRows(ro
 // state, and the winner lands in one atomic store — workers racing the
 // store finish their current block at the old width and pick up the new
 // one on the next. Call it periodically (or after traffic shifts) to
-// keep the width matched to the distribution actually served.
+// keep the width matched to the distribution actually served — or arm
+// EnableDriftDetection to have the Batcher call it for you when the
+// served distribution measurably moves.
+//
+// When a drift detector is armed, the sample this pass timed becomes
+// its new baseline: drift is henceforth measured against the
+// distribution the current mode was actually chosen on.
 func (b *Batcher) Recalibrate(budget time.Duration) int {
-	return b.e.CalibrateInterleaveRows(b.sample.snapshot(), budget)
+	rows := b.sample.snapshot()
+	w := b.e.CalibrateInterleaveRows(rows, budget)
+	if d := b.drift.Load(); d != nil {
+		d.rebase(rows)
+	}
+	return w
 }

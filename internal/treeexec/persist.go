@@ -48,12 +48,19 @@ func (e *FlatForestEngine) Fingerprint() ArenaFingerprint {
 // load as branchy — the only kernel those deployments ever ran. A
 // "simd" record loaded on a host without the vector ISA installs as
 // branchy instead (see LoadCalibration).
+// Records written by a Batcher with drift detection armed additionally
+// carry the detection policy (Drift), so the redeployment that seeds
+// its reservoir from Rows can re-arm the same detector with
+// EnableDriftDetection(*rec.Drift, rec.Rows); records from before the
+// drift axis existed (or from engines persisted without a Batcher)
+// carry no field and load with Drift nil.
 type CalibrationRecord struct {
 	Fingerprint ArenaFingerprint `json:"fingerprint"`
 	Gates       InterleaveGates  `json:"gates"`
 	Width       int              `json:"width"`
 	Kernel      string           `json:"kernel,omitempty"`
 	Rows        [][]float32      `json:"rows,omitempty"`
+	Drift       *DriftConfig     `json:"drift,omitempty"`
 }
 
 // finiteRow reports whether every value in the row is representable in
@@ -76,6 +83,15 @@ func finiteRow(row []float32) bool {
 // length is not the engine's feature width, or that contain non-finite
 // values (JSON cannot carry NaN or infinities), are skipped.
 func (e *FlatForestEngine) SaveCalibration(w io.Writer, rows [][]float32) error {
+	rec := e.calibrationRecord(rows)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rec)
+}
+
+// calibrationRecord builds the engine's persistable state; the filtered
+// row handling is shared between engine- and Batcher-level saves.
+func (e *FlatForestEngine) calibrationRecord(rows [][]float32) CalibrationRecord {
 	m := e.mode.Load() // one load, so width and kernel are a consistent pair
 	rec := CalibrationRecord{
 		Fingerprint: e.Fingerprint(),
@@ -87,6 +103,21 @@ func (e *FlatForestEngine) SaveCalibration(w io.Writer, rows [][]float32) error 
 		if len(r) == e.numFeatures && finiteRow(r) {
 			rec.Rows = append(rec.Rows, r)
 		}
+	}
+	return rec
+}
+
+// SaveCalibration persists the Batcher's full serving state: the
+// engine's calibration record, the reservoir's current traffic sample,
+// and — when drift detection is armed — the detection policy, so the
+// next deployment can LoadCalibration, SeedSample(rec.Rows) and
+// EnableDriftDetection(*rec.Drift, rec.Rows) to resume the whole
+// adaptive loop where this one left off.
+func (b *Batcher) SaveCalibration(w io.Writer) error {
+	rec := b.e.calibrationRecord(b.SampleSnapshot())
+	if d := b.drift.Load(); d != nil {
+		cfg := d.cfg // the resolved configuration, defaults applied
+		rec.Drift = &cfg
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -148,6 +179,11 @@ func (e *FlatForestEngine) LoadCalibration(r io.Reader) (*CalibrationRecord, err
 		// SaveCalibration output ever carries one (disabled widths
 		// persist as math.MaxInt, not 0).
 		return nil, fmt.Errorf("treeexec: persisted record carries no gate table")
+	}
+	if rec.Drift != nil {
+		if err := rec.Drift.validate(); err != nil {
+			return nil, fmt.Errorf("treeexec: persisted drift config: %w", err)
+		}
 	}
 	source := int32(calibSourcePersisted)
 	if kernel == KernelSIMD && !simdKernelAvailable() {

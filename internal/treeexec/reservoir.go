@@ -115,9 +115,15 @@ func (r *rowReservoir) admit(row []float32) {
 	r.mu.Unlock()
 }
 
-// snapshot returns a deep copy of the sampled rows, safe to read while
-// sampling continues. It allocates; callers are off the serving path
-// (recalibration, persistence).
+// snapshot returns a deep copy of the sampled rows: fresh backing
+// storage, nothing aliased to the reservoir's slots. That copy is a
+// contract, not an implementation detail — the drift detector holds a
+// snapshot as its baseline for arbitrarily many later fill cycles, and
+// persistence serializes one asynchronously — so a returned row can
+// never be mutated by subsequent admissions (and, symmetrically,
+// callers writing into a snapshot cannot corrupt the sample). Pinned by
+// TestReservoirSnapshotIsDeepCopy. It allocates; callers are off the
+// serving path (recalibration, drift checks, persistence).
 func (r *rowReservoir) snapshot() [][]float32 {
 	if r == nil {
 		return nil
