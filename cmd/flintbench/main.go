@@ -21,9 +21,18 @@
 //	flintbench -batchjson BENCH_simd.json -kernel simd
 //	flintbench -trenddiff old/BENCH_batch.json BENCH_batch.json
 //	flintbench -trendhistory run4.json run3.json run2.json run1.json BENCH_batch.json
+//	flintbench -emit out/ -emitdataset magic
+//
+// -emit trains a forest on one workload and dumps every C and Go
+// realization codegen can produce for it — the branchy if-else FLInt
+// form and the integer-only table-driven form (ModeTable: static cut
+// tables + fused node words + the branch-free walk) — into the given
+// directory, printing a code-size versus table-size comparison.
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +44,7 @@ import (
 	"flint/internal/asmsim"
 	"flint/internal/bench"
 	"flint/internal/cart"
+	"flint/internal/codegen"
 	"flint/internal/dataset"
 	"flint/internal/treeexec"
 )
@@ -58,6 +68,8 @@ func main() {
 		trenddiff = flag.Bool("trenddiff", false, "diff two BENCH_batch.json reports (usage: flintbench -trenddiff old.json new.json), print per-(workload, variant) rows/s deltas and exit")
 		trendhist = flag.Bool("trendhistory", false, "walk a chronological sequence of BENCH_batch.json reports (usage: flintbench -trendhistory oldest.json ... newest.json), print each (workload, variant) cell's rows/s trajectory and exit")
 		gatesFile = flag.String("gates", "", "persist host-wide interleave gates: load and install the gate table from this JSON file when it exists, otherwise calibrate this host and write it")
+		emitDir   = flag.String("emit", "", "dump generated C/Go sources (if-else and integer-only table realizations) for a trained workload into this directory and exit")
+		emitDS    = flag.String("emitdataset", "magic", "workload to train for -emit (eye|gas|magic|sensorless|wine)")
 	)
 	flag.Parse()
 
@@ -69,6 +81,13 @@ func main() {
 
 	if *machines {
 		printMachines()
+		return
+	}
+
+	if *emitDir != "" {
+		if err := runEmit(*emitDir, *emitDS); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -141,6 +160,17 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Extension row (cc backend only): the table-driven integer-only
+	// realization (codegen ModeTable — the compact fused arena as static
+	// tables plus a fixed walk loop), timed next to the if-else forms.
+	if rowsTable := bench.Table(res, bench.ImplNaive,
+		[]bench.Impl{bench.ImplTableC}); len(rowsTable) > 0 {
+		fmt.Println("=== Extension: table-driven integer-only C (compact fused arena) ===")
+		if err := bench.WriteTable(os.Stdout, "Table codegen", rowsTable); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	// Extension rows (interp backend only): the forest-arena engine,
 	// single-row, through the row-blocked batch kernel, and over the
 	// quantized 8-byte compact arena, normalized against the same naive
@@ -203,6 +233,62 @@ func writeFile(path string, write func(io.Writer) error) error {
 	}
 	if cerr != nil {
 		return fmt.Errorf("closing %s: %w", path, cerr)
+	}
+	return nil
+}
+
+// runEmit implements -emit: train a forest on the named workload and
+// dump the generated sources for both realization shapes — if-else
+// FLInt (code grows with the forest) and the integer-only table form
+// (fixed walk loop, model as static data) — in C and Go. The closing
+// line compares the two budgets: emitted if-else source versus the
+// table form's data footprint. Forests past the compact encoding skip
+// the table files with the reason instead of failing the dump.
+func runEmit(dir, dsName string) error {
+	full, err := dataset.Generate(dsName, 1200, 1)
+	if err != nil {
+		return err
+	}
+	train, _ := full.Split(0.75, 1)
+	forest, err := cart.TrainForest(train, cart.Config{NumTrees: 10, MaxDepth: 10, Seed: 1})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	specs := []struct {
+		file string
+		opts codegen.Options
+	}{
+		{dsName + "_ifelse.c", codegen.Options{Language: codegen.LangC, Variant: codegen.VariantFLInt}},
+		{dsName + "_table.c", codegen.Options{Language: codegen.LangC, Mode: codegen.ModeTable}},
+		{dsName + "_ifelse.go", codegen.Options{Language: codegen.LangGo, Variant: codegen.VariantFLInt}},
+		{dsName + "_table.go", codegen.Options{Language: codegen.LangGo, Mode: codegen.ModeTable}},
+	}
+	sizes := make(map[string]int, len(specs))
+	for _, s := range specs {
+		var buf bytes.Buffer
+		if err := codegen.Forest(&buf, forest, s.opts); err != nil {
+			var nce *codegen.NotCompactableError
+			if errors.As(err, &nce) {
+				fmt.Fprintf(os.Stderr, "skipping %s: %v\n", s.file, err)
+				continue
+			}
+			return err
+		}
+		path := filepath.Join(dir, s.file)
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		sizes[s.file] = buf.Len()
+		fmt.Printf("wrote %s (%d bytes)\n", path, buf.Len())
+	}
+	if e, err := treeexec.NewFlat(forest, treeexec.FlatCompact); err == nil && e.Variant() == treeexec.FlatCompact {
+		if m, err := e.ExportCompact(); err == nil {
+			fmt.Printf("table data footprint: %d bytes (if-else C source: %d bytes)\n",
+				m.TableBytes(), sizes[dsName+"_ifelse.c"])
+		}
 	}
 	return nil
 }

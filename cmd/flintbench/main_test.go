@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"flint/internal/bench"
@@ -135,6 +136,31 @@ func TestRunTrendHistory(t *testing.T) {
 	}
 	if err := runTrendHistory([]string{bad, paths[0]}); err == nil {
 		t.Error("malformed report accepted")
+	}
+}
+
+// TestRunEmit covers the -emit dump: all four realizations land in the
+// target directory (if-else and table, C and Go), the table files carry
+// integer-only content, and an unknown workload errors.
+func TestRunEmit(t *testing.T) {
+	dir := t.TempDir()
+	if err := runEmit(dir, "magic"); err != nil {
+		t.Fatalf("runEmit: %v", err)
+	}
+	for _, name := range []string{"magic_ifelse.c", "magic_table.c", "magic_ifelse.go", "magic_table.go"} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("-emit did not write %s: %v", name, err)
+		}
+		if len(b) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+		if strings.Contains(name, "table") && !strings.Contains(string(b), "table). DO NOT EDIT") {
+			t.Errorf("%s is not table-mode output", name)
+		}
+	}
+	if err := runEmit(t.TempDir(), "mnist"); err == nil {
+		t.Error("unknown workload accepted")
 	}
 }
 

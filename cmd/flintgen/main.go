@@ -8,6 +8,7 @@
 // Examples:
 //
 //	flintgen -dataset magic -trees 5 -depth 8 -lang c -variant flint
+//	flintgen -dataset magic -lang c -mode table   # integer-only table form
 //	flintgen -model forest.json -lang armv8 -variant flint -flavor hand
 //	flintgen -pregen        # regenerate internal/generated
 package main
@@ -41,7 +42,8 @@ func main() {
 		depth   = flag.Int("depth", 8, "maximal tree depth (0 = unlimited)")
 		model   = flag.String("model", "", "load forest from JSON instead of training")
 		lang    = flag.String("lang", "c", "output language: c|go|armv8|x86")
-		variant = flag.String("variant", "flint", "comparison variant: float|flint")
+		mode    = flag.String("mode", "ifelse", "realization shape: ifelse|table (table: the integer-only compact fused arena as static data + walk loop; c/go only)")
+		variant = flag.String("variant", "flint", "comparison variant: float|flint (ignored by -mode table)")
 		flavor  = flag.String("flavor", "hand", "assembly constant flavor: hand|cc")
 		useCAGS = flag.Bool("cags", false, "apply CAGS branch swapping")
 		double  = flag.Bool("double", false, "emit double precision trees (c/go)")
@@ -64,7 +66,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts, err := parseOptions(*lang, *variant, *flavor, *useCAGS, *prefix)
+	opts, err := parseOptions(*lang, *mode, *variant, *flavor, *useCAGS, *prefix)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,7 +103,7 @@ func obtainForest(model, dsName string, rows int, seed int64, trees, depth int) 
 	return cart.TrainForest(d, cart.Config{NumTrees: trees, MaxDepth: depth, Seed: seed})
 }
 
-func parseOptions(lang, variant, flavor string, useCAGS bool, prefix string) (codegen.Options, error) {
+func parseOptions(lang, mode, variant, flavor string, useCAGS bool, prefix string) (codegen.Options, error) {
 	opts := codegen.Options{CAGS: useCAGS, Prefix: prefix}
 	switch lang {
 	case "c":
@@ -114,6 +116,14 @@ func parseOptions(lang, variant, flavor string, useCAGS bool, prefix string) (co
 		opts.Language = codegen.LangX86
 	default:
 		return opts, fmt.Errorf("unknown language %q", lang)
+	}
+	switch mode {
+	case "ifelse", "":
+		opts.Mode = codegen.ModeIfElse
+	case "table":
+		opts.Mode = codegen.ModeTable
+	default:
+		return opts, fmt.Errorf("unknown mode %q (ifelse|table)", mode)
 	}
 	switch variant {
 	case "float":

@@ -12,40 +12,45 @@ import (
 
 func TestParseOptions(t *testing.T) {
 	cases := []struct {
-		lang, variant, flavor string
-		cags                  bool
-		ok                    bool
-		want                  codegen.Options
+		lang, mode, variant, flavor string
+		cags                        bool
+		ok                          bool
+		want                        codegen.Options
 	}{
-		{"c", "flint", "hand", false, true,
+		{"c", "ifelse", "flint", "hand", false, true,
 			codegen.Options{Language: codegen.LangC, Variant: codegen.VariantFLInt}},
-		{"go", "float", "hand", true, true,
+		{"go", "ifelse", "float", "hand", true, true,
 			codegen.Options{Language: codegen.LangGo, Variant: codegen.VariantFloat, CAGS: true}},
-		{"armv8", "flint", "cc", false, true,
+		{"armv8", "ifelse", "flint", "cc", false, true,
 			codegen.Options{Language: codegen.LangARMv8, Variant: codegen.VariantFLInt, Flavor: codegen.FlavorCC}},
-		{"arm", "flint", "hand", false, true,
+		{"arm", "ifelse", "flint", "hand", false, true,
 			codegen.Options{Language: codegen.LangARMv8, Variant: codegen.VariantFLInt}},
-		{"x86", "float", "cc", false, true,
+		{"x86", "ifelse", "float", "cc", false, true,
 			codegen.Options{Language: codegen.LangX86, Variant: codegen.VariantFloat, Flavor: codegen.FlavorCC}},
-		{"cobol", "flint", "hand", false, false, codegen.Options{}},
-		{"c", "double", "hand", false, false, codegen.Options{}},
-		{"c", "flint", "inline", false, false, codegen.Options{}},
+		{"c", "table", "flint", "hand", false, true,
+			codegen.Options{Language: codegen.LangC, Mode: codegen.ModeTable, Variant: codegen.VariantFLInt}},
+		{"go", "table", "flint", "hand", false, true,
+			codegen.Options{Language: codegen.LangGo, Mode: codegen.ModeTable, Variant: codegen.VariantFLInt}},
+		{"cobol", "ifelse", "flint", "hand", false, false, codegen.Options{}},
+		{"c", "branchless", "flint", "hand", false, false, codegen.Options{}},
+		{"c", "ifelse", "double", "hand", false, false, codegen.Options{}},
+		{"c", "ifelse", "flint", "inline", false, false, codegen.Options{}},
 	}
 	for _, c := range cases {
-		got, err := parseOptions(c.lang, c.variant, c.flavor, c.cags, "p")
+		got, err := parseOptions(c.lang, c.mode, c.variant, c.flavor, c.cags, "p")
 		if c.ok && err != nil {
-			t.Errorf("parseOptions(%s,%s,%s): %v", c.lang, c.variant, c.flavor, err)
+			t.Errorf("parseOptions(%s,%s,%s,%s): %v", c.lang, c.mode, c.variant, c.flavor, err)
 			continue
 		}
 		if !c.ok {
 			if err == nil {
-				t.Errorf("parseOptions(%s,%s,%s): expected error", c.lang, c.variant, c.flavor)
+				t.Errorf("parseOptions(%s,%s,%s,%s): expected error", c.lang, c.mode, c.variant, c.flavor)
 			}
 			continue
 		}
 		c.want.Prefix = "p"
 		if got != c.want {
-			t.Errorf("parseOptions(%s,%s,%s) = %+v, want %+v", c.lang, c.variant, c.flavor, got, c.want)
+			t.Errorf("parseOptions(%s,%s,%s,%s) = %+v, want %+v", c.lang, c.mode, c.variant, c.flavor, got, c.want)
 		}
 	}
 }

@@ -1,11 +1,16 @@
-// Codegen: reproduce the paper's Listings 1-5 on a freshly trained tree.
-// The example trains a small forest on the EEG eye-state stand-in (which
-// yields both positive and negative split values), then emits the naive
-// C realization (Listing 1), the FLInt C realization (Listings 2 and 4),
-// and the direct ARMv8 assembly (Listing 5).
+// Codegen: reproduce the paper's Listings 1-5 on a freshly trained tree,
+// then emit the same forest in the integer-only table-driven form. The
+// example trains a small forest on the EEG eye-state stand-in (which
+// yields both positive and negative split values), emits the naive C
+// realization (Listing 1), the FLInt C realization (Listings 2 and 4),
+// the direct ARMv8 assembly (Listing 5), and finally the ModeTable
+// realization — the runtime's compact fused arena as static data plus a
+// fixed walk loop — with a code-bytes versus table-bytes comparison
+// showing where each shape's budget goes.
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"os"
@@ -39,12 +44,39 @@ func main() {
 			Language: flint.LangARMv8, Variant: flint.VariantFLInt, Flavor: flint.FlavorHand}},
 		{"FLInt x86-64 assembly", flint.CodegenOptions{
 			Language: flint.LangX86, Variant: flint.VariantFLInt, Flavor: flint.FlavorHand}},
+		{"ModeTable — the compact fused arena as integer-only C", flint.CodegenOptions{
+			Language: flint.LangC, Mode: flint.ModeTable}},
 	}
+	var ifElseC, tableC bytes.Buffer
 	for _, s := range sections {
 		fmt.Printf("// ======== %s ========\n", s.title)
 		if err := flint.GenerateCode(os.Stdout, forest, s.opts); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println()
+		// Keep the two C realizations for the size comparison below.
+		switch {
+		case s.opts.Mode == flint.ModeTable:
+			flint.GenerateCode(&tableC, forest, s.opts)
+		case s.opts.Language == flint.LangC && s.opts.Variant == flint.VariantFLInt && !s.opts.CAGS:
+			flint.GenerateCode(&ifElseC, forest, s.opts)
+		}
 	}
+
+	// Where the bytes live: if-else trees are code (they grow with depth
+	// and node count), the table form is a fixed loop over static data
+	// (the model costs ~8 bytes per node regardless of shape).
+	eng, err := flint.NewFlatEngineVariant(forest, flint.FlatCompact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := eng.ExportCompact()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("// ======== Size comparison: code bytes vs table bytes ========")
+	fmt.Printf("// if-else FLInt C source: %5d bytes (all of it code; grows with the forest)\n", ifElseC.Len())
+	fmt.Printf("// table C source:         %5d bytes, of which static tables: %d bytes\n", tableC.Len(), model.TableBytes())
+	fmt.Printf("// table data footprint:   %d nodes x 8 B + %d cut keys x 4 B + maps = %d bytes\n",
+		len(model.Nodes64), len(model.Cuts), model.TableBytes())
 }

@@ -204,6 +204,39 @@
 // produce boundary-hugging worst-case serving workloads, and flintbench
 // -audit emits the per-workload report CI archives as BENCH_robust.json.
 //
+// # Code generation: if-else listings and the integer-only table form
+//
+// GenerateCode emits a trained forest as source code, in one of two
+// realization shapes (CodegenOptions.Mode):
+//
+//   - ModeIfElse (the default) — the paper's Listings 1-4: every tree
+//     as nested branches in C or Go (plus ARMv8 and x86-64 assembly),
+//     with float comparisons (VariantFloat) or the offline-encoded
+//     integer comparisons (VariantFLInt), optional CAGS branch swapping
+//     and double precision. Code size grows with the node count and
+//     each node costs one comparison against an inline constant. Wins
+//     on small forests whose hot paths fit the instruction cache, and
+//     it is the only shape with assembly backends.
+//
+//   - ModeTable — the serving runtime's compact fused arena
+//     (FlatCompact) as emittable source: static per-feature cut tables,
+//     one uint64 word per node, a branchless binary-search quantizer
+//     and the (key - rank) >> 31 shift-select walk loop. Integer-only
+//     end to end — no float comparison, no FPU — and code size is
+//     constant per forest: the model lives in data memory at ~8 bytes
+//     per node (CompactModel.TableBytes reports the exact footprint),
+//     the natural shape for flash-constrained FPU-less targets and for
+//     forests deep enough that if-else code outgrows the instruction
+//     cache. Supported for C and Go; predictions are bit-identical to
+//     the FlatCompact engine (the Go form takes EncodeFeatures32
+//     input). Forests exceeding the compact encoding return a
+//     *CodegenNotCompactableError — probe Compactable first.
+//
+// flintbench -emit dumps both shapes for a trained workload side by
+// side, and the cc bench backend times the table-driven C next to the
+// if-else realizations. The tables themselves are available
+// programmatically via FlatEngine.ExportCompact.
+//
 // Malformed input fails fast on every batch entry: rows whose length is
 // not the engine's NumFeatures panic in the caller's goroutine
 // (Batcher.Predict, PredictBatch) or return an error (Batch,
@@ -585,13 +618,23 @@ func Reorder(f *Forest) (*Forest, error) { return cags.ReorderForest(f) }
 // CodegenOptions configures source emission.
 type CodegenOptions = codegen.Options
 
-// Code generation languages, comparison variants and assembly constant
-// flavors (re-exported from internal/codegen).
+// CodegenNotCompactableError reports a ModeTable request for a forest
+// that exceeds the compact encoding; its Reason names the limit.
+type CodegenNotCompactableError = codegen.NotCompactableError
+
+// CompactModel is the compact fused arena as an exported value — the
+// tables ModeTable emits and FlatEngine.ExportCompact returns.
+type CompactModel = treeexec.CompactModel
+
+// Code generation languages, realization modes, comparison variants and
+// assembly constant flavors (re-exported from internal/codegen).
 const (
 	LangC        = codegen.LangC
 	LangGo       = codegen.LangGo
 	LangARMv8    = codegen.LangARMv8
 	LangX86      = codegen.LangX86
+	ModeIfElse   = codegen.ModeIfElse
+	ModeTable    = codegen.ModeTable
 	VariantFloat = codegen.VariantFloat
 	VariantFLInt = codegen.VariantFLInt
 	FlavorHand   = codegen.FlavorHand

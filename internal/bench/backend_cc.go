@@ -10,7 +10,9 @@ import (
 	"strconv"
 	"strings"
 
+	"flint/internal/cctool"
 	"flint/internal/codegen"
+	"flint/internal/treeexec"
 )
 
 // CCBackend reproduces the paper's actual toolchain: it generates the
@@ -43,13 +45,21 @@ func (b *CCBackend) cc() string {
 	if b.CC != "" {
 		return b.CC
 	}
+	if p, ok := cctool.Path(); ok {
+		return p
+	}
 	return "cc"
 }
 
-// Available reports whether the configured C compiler can be found.
+// Available reports whether a C compiler can be found: the explicitly
+// configured CC if set, otherwise whatever internal/cctool detects.
 func (b *CCBackend) Available() bool {
-	_, err := exec.LookPath(b.cc())
-	return err == nil
+	if b.CC != "" {
+		_, err := exec.LookPath(b.CC)
+		return err == nil
+	}
+	_, ok := cctool.Path()
+	return ok
 }
 
 // Measure implements Backend.
@@ -83,19 +93,26 @@ func (b *CCBackend) Measure(w *Workload) (map[Impl]float64, error) {
 		prefix  string
 		variant codegen.Variant
 		cags    bool
+		mode    codegen.Mode
 	}
 	impls := []ccImpl{
-		{ImplNaive, "naive", codegen.VariantFloat, false},
-		{ImplCAGS, "cags", codegen.VariantFloat, true},
-		{ImplFLInt, "flint", codegen.VariantFLInt, false},
-		{ImplCAGSFLInt, "cagsflint", codegen.VariantFLInt, true},
+		{ImplNaive, "naive", codegen.VariantFloat, false, codegen.ModeIfElse},
+		{ImplCAGS, "cags", codegen.VariantFloat, true, codegen.ModeIfElse},
+		{ImplFLInt, "flint", codegen.VariantFLInt, false, codegen.ModeIfElse},
+		{ImplCAGSFLInt, "cagsflint", codegen.VariantFLInt, true, codegen.ModeIfElse},
+	}
+	// The table-driven integer-only realization rides along whenever the
+	// forest fits the compact encoding, so its row lands next to the
+	// if-else realizations in every cc sweep.
+	if ok, _ := treeexec.Compactable(w.Forest); ok {
+		impls = append(impls, ccImpl{ImplTableC, "table", codegen.VariantFLInt, false, codegen.ModeTable})
 	}
 
 	var src bytes.Buffer
 	src.WriteString("#include <stdio.h>\n#include <time.h>\n\n")
 	for _, im := range impls {
 		err := codegen.Forest(&src, w.Forest, codegen.Options{
-			Language: codegen.LangC, Variant: im.variant, CAGS: im.cags, Prefix: im.prefix,
+			Language: codegen.LangC, Variant: im.variant, CAGS: im.cags, Mode: im.mode, Prefix: im.prefix,
 		})
 		if err != nil {
 			return nil, err

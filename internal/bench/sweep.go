@@ -43,6 +43,8 @@ const (
 	ImplFlatBatch   Impl = "flat-batch"   // arena + row-blocked batch kernel
 	ImplFlatCompact Impl = "flat-compact" // quantized 8-byte SoA arena, blocked kernel
 	ImplFlatFused   Impl = "flat-fused"   // compact arena, branch-free fused-node kernel
+	ImplTableC      Impl = "table-c"      // codegen ModeTable: compact arena as compiled C
+
 )
 
 // SweepConfig selects the grid of Section V-A.

@@ -196,13 +196,22 @@ func TestRunSweepCC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Cells) != 4 {
-		t.Fatalf("got %d cells, want 4", len(res.Cells))
+	// Four if-else realizations plus the table-driven form (the trained
+	// forest fits the compact encoding, so its row must be measured).
+	if len(res.Cells) != 5 {
+		t.Fatalf("got %d cells, want 5", len(res.Cells))
 	}
+	seenTable := false
 	for _, c := range res.Cells {
 		if c.Cost <= 0 {
 			t.Errorf("non-positive cost: %+v", c)
 		}
+		if c.Impl == ImplTableC {
+			seenTable = true
+		}
+	}
+	if !seenTable {
+		t.Error("cc sweep produced no measured row for the table-driven realization")
 	}
 }
 

@@ -1,0 +1,26 @@
+// Package cctool centralizes host C compiler detection for everything
+// that compiles generated code: the cc bench backend and the gcc-backed
+// differential tests. One probe, one skip message — instead of each
+// caller growing its own LookPath loop with slightly different wording.
+package cctool
+
+import "os/exec"
+
+// candidates is the PATH probe order: prefer gcc (the toolchain the
+// paper benchmarks and CI installs), fall back to the system cc alias.
+var candidates = [...]string{"gcc", "cc"}
+
+// SkipMessage is the single sentence cc-backed tests and benches use
+// when no compiler is found, so every skip in a test log reads the same.
+const SkipMessage = "no C compiler available (install gcc to run compiled-code differentials)"
+
+// Path returns the first C compiler found on PATH (gcc preferred, cc
+// fallback) and whether one was found at all.
+func Path() (string, bool) {
+	for _, cc := range candidates {
+		if p, err := exec.LookPath(cc); err == nil {
+			return p, true
+		}
+	}
+	return "", false
+}

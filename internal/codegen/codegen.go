@@ -56,6 +56,51 @@ func (l Language) String() string {
 	return fmt.Sprintf("Language(%d)", int(l))
 }
 
+// Mode selects the realization shape of the emitted forest.
+type Mode int
+
+// Emission modes.
+const (
+	// ModeIfElse compiles every tree into nested branches — the paper's
+	// Listings 1-4 shapes. Code size grows with node count; each node
+	// costs one comparison against an inline constant.
+	ModeIfElse Mode = iota
+	// ModeTable emits the quantized compact fused arena (the runtime's
+	// FlatCompact representation, PRs 2/5) as static data walked by a
+	// fixed loop: per-feature sorted cut tables, one uint64 word per
+	// node, a branchless binary-search quantizer and the
+	// (key - q[f]) >> 31 shift-select step. Integer-only end to end —
+	// no float compares, no FPU — and code size is constant per forest:
+	// the model lives in data memory. Supported for LangC and LangGo;
+	// requires the forest to fit the compact encoding (probe
+	// treeexec.Compactable), otherwise Forest returns a
+	// *NotCompactableError.
+	ModeTable
+)
+
+// String returns the lower-case mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeIfElse:
+		return "ifelse"
+	case ModeTable:
+		return "table"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// NotCompactableError reports that ModeTable was requested for a forest
+// that exceeds the compact arena's narrow encoding (too many nodes,
+// classes, features or distinct cuts per feature). Reason carries the
+// specific limit, phrased by treeexec.Compactable.
+type NotCompactableError struct {
+	Reason string
+}
+
+func (e *NotCompactableError) Error() string {
+	return "codegen: forest does not fit the table encoding: " + e.Reason
+}
+
 // Variant selects the comparison implementation.
 type Variant int
 
@@ -105,7 +150,11 @@ func (f Flavor) String() string {
 type Options struct {
 	// Language is the output language. Default LangC.
 	Language Language
+	// Mode is the realization shape. Default ModeIfElse (branchy trees);
+	// ModeTable emits the integer-only quantized table form instead.
+	Mode Mode
 	// Variant is the comparison implementation. Default VariantFloat.
+	// Ignored by ModeTable, which is inherently integer-only.
 	Variant Variant
 	// CAGS emits the more probable branch of every node as the
 	// fall-through path (branch swapping).
@@ -152,6 +201,9 @@ func Forest(w io.Writer, f *rf.Forest, opts Options) error {
 	opts = opts.withDefaults()
 	if err := f.Validate(); err != nil {
 		return err
+	}
+	if opts.Mode == ModeTable {
+		return emitTable(w, f, opts)
 	}
 	plans := make([][]bool, len(f.Trees))
 	for i := range f.Trees {

@@ -12,22 +12,23 @@ import (
 	"testing"
 
 	"flint/internal/cart"
+	"flint/internal/cctool"
 	"flint/internal/dataset"
 	"flint/internal/rf"
 )
 
 // gccPath returns the C compiler, skipping the test when none is
 // installed (the generated-code semantics are still covered by the golden
-// tests and the asmsim executor).
+// tests and the asmsim executor). Detection and the skip wording live in
+// internal/cctool so the cc bench backend and every compiled-code test
+// agree on both.
 func gccPath(t *testing.T) string {
 	t.Helper()
-	for _, cc := range []string{"gcc", "cc"} {
-		if p, err := exec.LookPath(cc); err == nil {
-			return p
-		}
+	p, ok := cctool.Path()
+	if !ok {
+		t.Skip(cctool.SkipMessage)
 	}
-	t.Skip("no C compiler available")
-	return ""
+	return p
 }
 
 // trainIntegrationForest trains a small forest with both positive and

@@ -1,0 +1,400 @@
+package codegen
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flint/internal/cart"
+	"flint/internal/core"
+	"flint/internal/dataset"
+	"flint/internal/rf"
+	"flint/internal/treeexec"
+)
+
+// compactReference builds the FlatCompact engine the table emitters
+// export from and returns its per-row predictions — the exact values
+// the emitted C and Go must reproduce bit for bit.
+func compactReference(t *testing.T, f *rf.Forest, rows [][]float32) []int32 {
+	t.Helper()
+	e, err := treeexec.NewFlat(f, treeexec.FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Variant() != treeexec.FlatCompact {
+		t.Fatalf("reference engine fell back to %v", e.Variant())
+	}
+	want := make([]int32, len(rows))
+	var enc []int32
+	for i, x := range rows {
+		enc = core.EncodeFeatures32(enc, x)
+		want[i] = e.PredictEncoded(enc)
+	}
+	return want
+}
+
+// trainWorkloadForest trains a moderately deep forest on one of the
+// bundled workloads.
+func trainWorkloadForest(t *testing.T, name string) (*rf.Forest, [][]float32) {
+	t.Helper()
+	d, err := dataset.Generate(name, 200, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := cart.TrainForest(d, cart.Config{NumTrees: 6, MaxDepth: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, d.Features
+}
+
+// adversarialTableForests grows random extreme-value forests (signed
+// zeros, subnormals, float extremes, negative splits, leaf-only trees)
+// plus probe rows mixing pool values verbatim with scaled
+// perturbations — the regime where the total-order rank encoding and
+// its emitted reproductions have to agree on exact ties.
+func adversarialTableForests(n int) ([]*rf.Forest, [][][]float32) {
+	rng := rand.New(rand.NewSource(99))
+	splitPool := []float32{
+		0, float32(math.Copysign(0, -1)), 1.5, -1.5,
+		math.SmallestNonzeroFloat32, -math.SmallestNonzeroFloat32,
+		math.MaxFloat32, -math.MaxFloat32, 3.25e-20, -7.5e12,
+	}
+	randTree := func(depth int) rf.Tree {
+		var nodes []rf.Node
+		var grow func(d int) int32
+		grow = func(d int) int32 {
+			me := int32(len(nodes))
+			if d == 0 || rng.Float64() < 0.3 {
+				nodes = append(nodes, rf.Node{Feature: rf.LeafFeature, Class: int32(rng.Intn(3))})
+				return me
+			}
+			nodes = append(nodes, rf.Node{
+				Feature: int32(rng.Intn(4)),
+				Split:   splitPool[rng.Intn(len(splitPool))],
+			})
+			l := grow(d - 1)
+			r := grow(d - 1)
+			nodes[me].Left = l
+			nodes[me].Right = r
+			return me
+		}
+		grow(depth)
+		return rf.Tree{Nodes: nodes}
+	}
+	var forests []*rf.Forest
+	var rowSets [][][]float32
+	for trial := 0; trial < n; trial++ {
+		f := &rf.Forest{NumFeatures: 4, NumClasses: 3,
+			Trees: []rf.Tree{randTree(6), randTree(6), randTree(6)}}
+		if trial == 0 {
+			// Force the degenerate shape: every tree a bare leaf, so the
+			// emitted tables are empty (padded in C) and prediction is a
+			// constant vote.
+			leaf := rf.Tree{Nodes: []rf.Node{{Feature: rf.LeafFeature, Class: 2}}}
+			f.Trees = []rf.Tree{leaf, leaf, {Nodes: []rf.Node{{Feature: rf.LeafFeature, Class: 1}}}}
+		}
+		rows := make([][]float32, 48)
+		for i := range rows {
+			row := make([]float32, 4)
+			for j := range row {
+				if rng.Intn(2) == 0 {
+					row[j] = splitPool[rng.Intn(len(splitPool))]
+				} else {
+					row[j] = splitPool[rng.Intn(len(splitPool))] * float32(rng.NormFloat64())
+				}
+			}
+			rows[i] = row
+		}
+		forests = append(forests, f)
+		rowSets = append(rowSets, rows)
+	}
+	return forests, rowSets
+}
+
+// compileAndRunC writes src to a temp dir, compiles it at -O2 and
+// returns the binary's stdout lines.
+func compileAndRunC(t *testing.T, gcc string, src []byte) []string {
+	t.Helper()
+	dir := t.TempDir()
+	cPath := filepath.Join(dir, "table.c")
+	binPath := filepath.Join(dir, "table")
+	if err := os.WriteFile(cPath, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(gcc, "-O2", "-o", binPath, cPath).CombinedOutput(); err != nil {
+		t.Fatalf("gcc failed: %v\n%s", err, out)
+	}
+	out, err := exec.Command(binPath).Output()
+	if err != nil {
+		t.Fatalf("compiled table program failed: %v", err)
+	}
+	var lines []string
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		lines = append(lines, strings.TrimSpace(sc.Text()))
+	}
+	return lines
+}
+
+// TestTableCDifferentialWorkloads pins the emitted table-driven C
+// bit-identical to FlatCompact.PredictEncoded on every bundled
+// workload — the ModeTable acceptance criterion.
+func TestTableCDifferentialWorkloads(t *testing.T) {
+	gcc := gccPath(t)
+	for _, ds := range dataset.Names() {
+		ds := ds
+		t.Run(ds, func(t *testing.T) {
+			f, rows := trainWorkloadForest(t, ds)
+			want := compactReference(t, f, rows)
+
+			var src bytes.Buffer
+			src.WriteString("#include <stdio.h>\n\n")
+			if err := Forest(&src, f, Options{Mode: ModeTable, Language: LangC}); err != nil {
+				t.Fatal(err)
+			}
+			writeRowsAsCBits(&src, rows)
+			src.WriteString(`
+int main(void) {
+	for (int i = 0; i < sizeof(data)/sizeof(data[0]); i++)
+		printf("%d\n", forest_predict((const float *)data[i]));
+	return 0;
+}
+`)
+			lines := compileAndRunC(t, gcc, src.Bytes())
+			if len(lines) != len(rows) {
+				t.Fatalf("compiled table program printed %d rows, want %d", len(lines), len(rows))
+			}
+			for i, line := range lines {
+				if line != fmt.Sprint(want[i]) {
+					t.Fatalf("row %d: table C predicts %s, FlatCompact says %d", i, line, want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestTableCDifferentialAdversarial cross-checks the emitted C on
+// random extreme-value forests (one translation unit, one prefix per
+// forest) including the all-leaf degenerate shape.
+func TestTableCDifferentialAdversarial(t *testing.T) {
+	gcc := gccPath(t)
+	forests, rowSets := adversarialTableForests(8)
+
+	var src bytes.Buffer
+	src.WriteString("#include <stdio.h>\n\n")
+	for i, f := range forests {
+		if err := Forest(&src, f, Options{
+			Mode: ModeTable, Language: LangC, Prefix: fmt.Sprintf("adv%d", i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		src.WriteString("\n")
+		fmt.Fprintf(&src, "static const unsigned int rows%d[%d][%d] = {\n", i, len(rowSets[i]), 4)
+		for _, row := range rowSets[i] {
+			src.WriteString("\t{")
+			for j, v := range row {
+				if j > 0 {
+					src.WriteString(", ")
+				}
+				fmt.Fprintf(&src, "0x%08xu", math.Float32bits(v))
+			}
+			src.WriteString("},\n")
+		}
+		src.WriteString("};\n\n")
+	}
+	src.WriteString("int main(void) {\n")
+	for i := range forests {
+		fmt.Fprintf(&src, "\tfor (int i = 0; i < %d; i++) printf(\"%%d\\n\", adv%d_predict((const float *)rows%d[i]));\n",
+			len(rowSets[i]), i, i)
+	}
+	src.WriteString("\treturn 0;\n}\n")
+
+	lines := compileAndRunC(t, gcc, src.Bytes())
+	k := 0
+	for i, f := range forests {
+		want := compactReference(t, f, rowSets[i])
+		for r := range rowSets[i] {
+			if k >= len(lines) {
+				t.Fatalf("compiled program printed only %d lines", len(lines))
+			}
+			if lines[k] != fmt.Sprint(want[r]) {
+				t.Fatalf("forest %d row %d: table C predicts %s, FlatCompact says %d (row %v)",
+					i, r, lines[k], want[r], rowSets[i][r])
+			}
+			k++
+		}
+	}
+	if k != len(lines) {
+		t.Fatalf("compiled program printed %d extra lines", len(lines)-k)
+	}
+}
+
+// goToolPath returns the go tool, skipping when unavailable (the
+// generated-Go semantics are still pinned by the golden and structure
+// tests; this differential compiles and executes the emitted source).
+func goToolPath(t *testing.T) string {
+	t.Helper()
+	p, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	return p
+}
+
+// writeRowsAsGoBits renders rows as a [][]int32 of raw float32 bit
+// patterns — the input convention of the emitted table predictor.
+func writeRowsAsGoBits(buf *bytes.Buffer, name string, rows [][]float32) {
+	fmt.Fprintf(buf, "var %s = [][]int32{\n", name)
+	for _, row := range rows {
+		buf.WriteString("\t{")
+		for j, v := range row {
+			if j > 0 {
+				buf.WriteString(", ")
+			}
+			fmt.Fprintf(buf, "%d", int32(math.Float32bits(v)))
+		}
+		buf.WriteString("},\n")
+	}
+	buf.WriteString("}\n")
+}
+
+// runGoFiles runs `go run` over the given sources and returns stdout
+// lines.
+func runGoFiles(t *testing.T, goTool string, files ...string) []string {
+	t.Helper()
+	args := append([]string{"run"}, files...)
+	cmd := exec.Command(goTool, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go run failed: %v\n%s", err, stderr.String())
+	}
+	var lines []string
+	sc := bufio.NewScanner(&stdout)
+	for sc.Scan() {
+		lines = append(lines, strings.TrimSpace(sc.Text()))
+	}
+	return lines
+}
+
+// TestTableGoDifferential compiles and runs the emitted table-driven Go
+// for every bundled workload plus the adversarial forests in two `go
+// run` invocations, pinning the output bit-identical to
+// FlatCompact.PredictEncoded.
+func TestTableGoDifferential(t *testing.T) {
+	goTool := goToolPath(t)
+	dir := t.TempDir()
+
+	// One program for the five workloads: a generated file per dataset
+	// (distinct prefixes) plus a driver printing predictions in order.
+	var files []string
+	var driver bytes.Buffer
+	driver.WriteString("package main\n\nimport \"fmt\"\n\n")
+	var wants [][]int32
+	names := dataset.Names()
+	for i, ds := range names {
+		f, rows := trainWorkloadForest(t, ds)
+		wants = append(wants, compactReference(t, f, rows))
+		var gen bytes.Buffer
+		if err := Forest(&gen, f, Options{
+			Mode: ModeTable, Language: LangGo, GoPackage: "main", Prefix: ds,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		genPath := filepath.Join(dir, fmt.Sprintf("gen%d.go", i))
+		if err := os.WriteFile(genPath, gen.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, genPath)
+		writeRowsAsGoBits(&driver, "rows_"+ds, rows)
+	}
+	driver.WriteString("\nfunc main() {\n")
+	for _, ds := range names {
+		fmt.Fprintf(&driver, "\tfor _, r := range rows_%s {\n\t\tfmt.Println(%s_predict(r))\n\t}\n", ds, ds)
+	}
+	driver.WriteString("}\n")
+	driverPath := filepath.Join(dir, "main.go")
+	if err := os.WriteFile(driverPath, driver.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := runGoFiles(t, goTool, append([]string{driverPath}, files...)...)
+	k := 0
+	for i, ds := range names {
+		for r, want := range wants[i] {
+			if k >= len(lines) {
+				t.Fatalf("go program printed only %d lines", len(lines))
+			}
+			if lines[k] != fmt.Sprint(want) {
+				t.Fatalf("%s row %d: table Go predicts %s, FlatCompact says %d", ds, r, lines[k], want)
+			}
+			k++
+		}
+	}
+	if k != len(lines) {
+		t.Fatalf("go program printed %d extra lines", len(lines)-k)
+	}
+}
+
+// TestTableGoDifferentialAdversarial runs the emitted Go over the
+// extreme-value forests (including the all-leaf degenerate shape).
+func TestTableGoDifferentialAdversarial(t *testing.T) {
+	goTool := goToolPath(t)
+	dir := t.TempDir()
+	forests, rowSets := adversarialTableForests(8)
+
+	var files []string
+	var driver bytes.Buffer
+	driver.WriteString("package main\n\nimport \"fmt\"\n\n")
+	for i, f := range forests {
+		var gen bytes.Buffer
+		if err := Forest(&gen, f, Options{
+			Mode: ModeTable, Language: LangGo, GoPackage: "main", Prefix: fmt.Sprintf("adv%d", i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		genPath := filepath.Join(dir, fmt.Sprintf("gen%d.go", i))
+		if err := os.WriteFile(genPath, gen.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, genPath)
+		writeRowsAsGoBits(&driver, fmt.Sprintf("rows%d", i), rowSets[i])
+	}
+	driver.WriteString("\nfunc main() {\n")
+	for i := range forests {
+		fmt.Fprintf(&driver, "\tfor _, r := range rows%d {\n\t\tfmt.Println(adv%d_predict(r))\n\t}\n", i, i)
+	}
+	driver.WriteString("}\n")
+	driverPath := filepath.Join(dir, "main.go")
+	if err := os.WriteFile(driverPath, driver.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := runGoFiles(t, goTool, append([]string{driverPath}, files...)...)
+	k := 0
+	for i, f := range forests {
+		want := compactReference(t, f, rowSets[i])
+		for r := range rowSets[i] {
+			if k >= len(lines) {
+				t.Fatalf("go program printed only %d lines", len(lines))
+			}
+			if lines[k] != fmt.Sprint(want[r]) {
+				t.Fatalf("forest %d row %d: table Go predicts %s, FlatCompact says %d",
+					i, r, lines[k], want[r])
+			}
+			k++
+		}
+	}
+	if k != len(lines) {
+		t.Fatalf("go program printed %d extra lines", len(lines)-k)
+	}
+}

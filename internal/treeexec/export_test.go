@@ -1,0 +1,151 @@
+package treeexec
+
+import (
+	"strings"
+	"testing"
+
+	"flint/internal/core"
+	"flint/internal/ieee754"
+	"flint/internal/rf"
+)
+
+// exportFixture is the hand-built forest from TestCompactArenaStructure:
+// two features, three classes, one real tree plus a leaf-only tree.
+func exportFixture() *rf.Forest {
+	return &rf.Forest{NumFeatures: 2, NumClasses: 3, Trees: []rf.Tree{
+		{Nodes: []rf.Node{
+			{Feature: 0, Split: 1.5, Left: 1, Right: 2},
+			{Feature: rf.LeafFeature, Class: 1},
+			{Feature: 1, Split: -2, Left: 3, Right: 4},
+			{Feature: rf.LeafFeature, Class: 0},
+			{Feature: rf.LeafFeature, Class: 2},
+		}},
+		{Nodes: []rf.Node{{Feature: rf.LeafFeature, Class: 2}}},
+	}}
+}
+
+func TestExportCompactRequiresCompactVariant(t *testing.T) {
+	f := exportFixture()
+	for _, v := range []FlatVariant{FlatFLInt, FlatFloat32, FlatPrecoded} {
+		e, err := NewFlat(f, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.ExportCompact(); err == nil {
+			t.Errorf("ExportCompact on %v: want error, got nil", v)
+		} else if !strings.Contains(err.Error(), v.String()) {
+			t.Errorf("ExportCompact error %q does not name the variant %v", err, v)
+		}
+	}
+}
+
+func TestExportCompactTables(t *testing.T) {
+	f := exportFixture()
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.ExportCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumFeatures != 2 || m.NumClasses != 3 {
+		t.Errorf("dims = (%d, %d), want (2, 3)", m.NumFeatures, m.NumClasses)
+	}
+	if m.NumPruned() != 2 || m.NumTrees() != 2 {
+		t.Errorf("NumPruned/NumTrees = %d/%d, want 2/2", m.NumPruned(), m.NumTrees())
+	}
+	if len(m.Nodes64) != 2 || m.Nodes64[0] != e.nodes64[0] || m.Nodes64[1] != e.nodes64[1] {
+		t.Errorf("Nodes64 = %#x, want the engine's fused words %#x", m.Nodes64, e.nodes64)
+	}
+	if m.Roots[0] != 0 || m.Roots[1] != ^int32(2) {
+		t.Errorf("Roots = %v, want [0 %d]", m.Roots, ^int32(2))
+	}
+	if len(m.Cuts) != 2 || len(m.CutLo) != 3 || len(m.PrunedOrig) != 2 {
+		t.Errorf("cut tables = %v / %v / %v, want one cut per feature over 2 pruned columns",
+			m.Cuts, m.CutLo, m.PrunedOrig)
+	}
+	// 2 nodes * 8 + 2 cuts * 4 + 3 offsets * 4 + 2 pruned * 4 + 2 roots * 4.
+	if got, want := m.TableBytes(), 16+8+12+8+8; got != want {
+		t.Errorf("TableBytes = %d, want %d", got, want)
+	}
+
+	// The export is a snapshot: corrupting it must not reach the arena.
+	before := e.Predict([]float32{2, 5})
+	m.Nodes64[0] = 0
+	m.Cuts[0] = 0xffffffff
+	m.Roots[0] = ^int32(0)
+	if got := e.Predict([]float32{2, 5}); got != before {
+		t.Fatalf("mutating the exported model changed the engine: %d -> %d", before, got)
+	}
+}
+
+// replayModel is an independent realization of the CompactModel contract
+// documented on the type: quantize via binary search over the cut
+// tables, walk via the shift-select step, majority vote. It shares no
+// code with the fused kernel, so agreement here means the exported
+// tables plus the documented semantics are sufficient to reproduce the
+// engine — exactly what an emitter relies on.
+func replayModel(m *CompactModel, xi []int32) int32 {
+	q := make([]uint16, m.NumPruned())
+	for p := range q {
+		key := ieee754.TotalOrderKey32(uint32(xi[m.PrunedOrig[p]]))
+		lo, hi := int(m.CutLo[p]), int(m.CutLo[p+1])
+		n := 0
+		for lo < hi { // count cuts strictly below key
+			mid := (lo + hi) / 2
+			if m.Cuts[mid] < key {
+				n = mid - int(m.CutLo[p]) + 1
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		q[p] = uint16(n)
+	}
+	counts := make([]int32, m.NumClasses)
+	for _, root := range m.Roots {
+		rel := 0
+		if root >= 0 {
+			base := int(root)
+			for rel >= 0 {
+				w := m.Nodes64[base+rel]
+				b := (uint32(uint16(w)) - uint32(q[uint16(w>>16)])) >> 31
+				rel = int(int16(uint32(w>>32) >> (b << 4)))
+			}
+			counts[^rel]++
+		} else {
+			counts[^root]++
+		}
+	}
+	best := int32(0)
+	for c := 1; c < len(counts); c++ {
+		if counts[c] > counts[best] {
+			best = int32(c)
+		}
+	}
+	return best
+}
+
+func TestExportCompactReplayMatchesEngine(t *testing.T) {
+	f, d := trainedForest(t, "magic", 8, 6)
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Variant() != FlatCompact {
+		t.Fatalf("fell back to %v on a compactable forest", e.Variant())
+	}
+	m, err := e.ExportCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc []int32
+	for i, x := range d.Features {
+		enc = core.EncodeFeatures32(enc, x)
+		want := e.PredictEncoded(enc)
+		if got := replayModel(m, enc); got != want {
+			t.Fatalf("row %d: replayed model got %d, engine got %d", i, got, want)
+		}
+	}
+}
