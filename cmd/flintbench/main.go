@@ -61,8 +61,9 @@ func main() {
 		machines  = flag.Bool("machines", false, "print the Table I machine profiles and exit")
 		verbose   = flag.Bool("v", false, "log every measured grid point")
 		batchJSON = flag.String("batchjson", "", "run the short batch-throughput bench (rows/s per arena variant per workload), write JSON to this path and exit")
-		batchRows = flag.Int("batchrows", 0, "dataset rows for -batchjson and -audit (0 = 1200)")
+		batchRows = flag.Int("batchrows", 0, "dataset rows for -batchjson, -audit and -servebench (0 = 1200)")
 		auditJSON = flag.String("audit", "", "run the adversarial robustness audit (decision-path attack flip rate vs perturbation budget per workload), write JSON to this path and exit")
+		serveJSON = flag.String("servebench", "", "run the HTTP serving bench (coalesced rows/s + p50/p99 latency per workload through internal/serve, every response verified against in-process Predict), write JSON to this path and exit")
 		auditRows = flag.Int("auditrows", 0, "test rows attacked per workload for -audit (0 = 150)")
 		kernel    = flag.String("kernel", "auto", "compact walk kernel for -batchjson: auto lets calibration pick, branchy|fused|simd pins it for A/B runs (the choice lands in the report's kernel column; simd runs the portable fallback where the host ISA lacks it)")
 		trenddiff = flag.Bool("trenddiff", false, "diff two BENCH_batch.json reports (usage: flintbench -trenddiff old.json new.json), print per-(workload, variant) rows/s deltas and exit")
@@ -120,6 +121,13 @@ func main() {
 
 	if *auditJSON != "" {
 		if err := runRobustAudit(*auditJSON, *batchRows, *auditRows); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *serveJSON != "" {
+		if err := runServeBench(*serveJSON, *batchRows); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -427,6 +435,29 @@ func runBatchBench(path string, rows int, kernel string) error {
 		default:
 			fmt.Printf("%-12s %-13s %12.0f rows/s\n", r.Dataset, r.Variant, r.RowsPerSec)
 		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// runServeBench measures the HTTP front-end — cross-request coalescing
+// through internal/serve over a registry-backed model per workload —
+// and writes BENCH_serve.json. Every response is verified against the
+// in-process engine before any number is reported, so this doubles as
+// the wire-correctness smoke the CI serve job runs.
+func runServeBench(path string, rows int) error {
+	rep, err := bench.ServeBench{Rows: rows}.Run()
+	if err != nil {
+		return err
+	}
+	if err := writeFile(path, func(w io.Writer) error {
+		return bench.WriteServeBenchJSON(w, rep)
+	}); err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-12s %-13s %12.0f rows/s %9.0f req/s  p50 %6.2fms  p99 %6.2fms  %5.1f rows/batch  %d verified\n",
+			r.Dataset, r.Variant, r.RowsPerSec, r.RequestsPerSec, r.P50Ms, r.P99Ms, r.CoalesceFill, r.Verified)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	return nil

@@ -1,27 +1,33 @@
 // Command batchserve demonstrates the serving configuration of the
-// forest-arena engine: the batch kernel calibrated once at startup, one
-// engine per arena layout (16-byte FLInt and, when the forest fits it,
-// the quantized 8-byte compact SoA) compiled from a CAGS-reordered
-// forest, one persistent Batcher held for the process lifetime, and a
-// reused output slice, so the steady state classifies request batches
-// with zero allocations. Concurrent Predict calls interleave over the
-// shared pool, so one Batcher serves many request goroutines.
+// forest-arena engine on the registry API: the batch kernel calibrated
+// once at startup, one engine per arena layout (16-byte FLInt and, when
+// the forest fits it, the quantized 8-byte compact SoA) compiled from a
+// CAGS-reordered forest, and one ServedModel — engine, Batcher worker
+// pool, traffic reservoir and calibration record as a single unit —
+// registered in a ModelRegistry for the process lifetime. Predictions
+// reuse one output slice, so the steady state classifies request
+// batches with zero allocations; concurrent Predict calls interleave
+// over the model's shared pool.
 //
 // It also walks the adaptive serving lifecycle end to end:
 //
 //	serve → reservoir sample → Recalibrate → SaveCalibration
 //	                                              │
-//	restart: LoadCalibration → SeedSample → serve ┘  (warm start)
+//	Swap in a fresh model → LoadCalibration → serve ┘  (warm start)
 //
-// The Batcher samples served rows into a fixed-capacity reservoir as a
+// The model samples served rows into a fixed-capacity reservoir as a
 // side effect of Predict (allocation-free; Vitter's Algorithm R over a
 // stride-decimated view of the stream). Recalibrate re-times the
 // interleave width on that sample — real traffic, not synthetic
 // approximations — and installs the winner atomically, so it is safe
 // while requests are in flight; call it periodically in a real server.
-// SaveCalibration persists gates + width + sample, and the "restarted"
-// engine warm-starts from the record (fingerprint-checked) instead of
-// re-paying any calibration ladder.
+// SaveCalibration persists gates + width + sample stamped with the
+// model's registry name, and the restart is a registry hot swap: the
+// replacement model builds off-line, Swap flips the slot's pointer and
+// drains the old model without dropping traffic, and LoadCalibration
+// warm-starts the replacement from the record (fingerprint- and
+// name-checked) instead of re-paying any calibration ladder. See
+// cmd/flintserve for the same registry behind a network front-end.
 package main
 
 import (
@@ -96,25 +102,25 @@ func main() {
 	fmt.Printf("row-calibrated mode: x%d interleave, %s kernel\n", width, engine.Kernel())
 
 	workers := runtime.GOMAXPROCS(0)
-	// NewBatcher enables reservoir sampling by default; NewBatcherSampled
-	// tunes capacity/stride (or disables it with a negative capacity).
-	batcher := flint.NewBatcher(engine, workers)
-	defer batcher.Close()
+	// A ServedModel owns the Batcher (reservoir sampling on by default;
+	// NewServedModelSampled tunes capacity/stride) and registers under
+	// its serving name. Registry lookups, stats, persistence and the
+	// hot swap below all key on that name.
+	registry := flint.NewModelRegistry()
+	defer registry.Close()
+	if err := registry.Register(flint.NewServedModel("magic", engine, workers)); err != nil {
+		log.Fatal(err)
+	}
 
-	// Malformed requests fail fast in the caller's goroutine — a short
-	// row is a recoverable panic here, not a dead worker taking the
-	// process down. A real server would recover per request.
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				fmt.Printf("short row rejected in the caller: %v\n", r)
-			}
-		}()
-		batcher.Predict([][]float32{{1, 2, 3}}, nil)
-	}()
+	// Malformed requests fail in the caller as ordinary errors — the
+	// registry Predict path reports a short row instead of panicking, so
+	// a network front-end turns it into a 400, not a dead worker.
+	if _, err := registry.Predict("magic", [][]float32{{1, 2, 3}}, nil); err != nil {
+		fmt.Printf("short row rejected in the caller: %v\n", err)
+	}
 
 	// Serve the test set as a stream of fixed-size request batches,
-	// reusing one output slice across requests. The Batcher samples the
+	// reusing one output slice across requests. The model samples the
 	// served rows into its reservoir as a side effect.
 	const batchSize = 256
 	out := make([]int32, batchSize)
@@ -125,7 +131,10 @@ func main() {
 		if hi > len(test.Features) {
 			hi = len(test.Features)
 		}
-		out = batcher.Predict(test.Features[lo:hi], out)
+		out, err = registry.Predict("magic", test.Features[lo:hi], out)
+		if err != nil {
+			log.Fatal(err)
+		}
 		for i, class := range out[:hi-lo] {
 			if class == test.Labels[lo+i] {
 				correct++
@@ -142,51 +151,58 @@ func main() {
 	// Periodic online recalibration: re-time the interleave width on the
 	// reservoir's sample of real served traffic. Safe while other
 	// goroutines keep calling Predict — the winner installs atomically.
-	sampled, seen := batcher.SampleStats()
-	rw := batcher.Recalibrate(0)
-	fmt.Printf("recalibrated on %d reservoir rows (of %d served): x%d interleave\n", sampled, seen, rw)
+	model, _ := registry.Get("magic")
+	st := model.Stats()
+	rw := model.Recalibrate(0)
+	fmt.Printf("recalibrated on %d reservoir rows (of %d served): x%d interleave\n", st.SampleRows, st.SampleSeen, rw)
 
 	// Persist the measured calibration — gates, width and the traffic
-	// sample — so the next deployment warm-starts from evidence. A file
-	// in a real deployment; a buffer here.
+	// sample, stamped with the model's registry name so it can never be
+	// mistaken for another model's record — so the next deployment
+	// warm-starts from evidence. A file in a real deployment; a buffer
+	// here.
 	var record bytes.Buffer
-	if err := engine.SaveCalibration(&record, batcher.SampleSnapshot()); err != nil {
+	if err := registry.SaveCalibration("magic", &record); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("persisted calibration record (%d bytes)\n", record.Len())
 
-	// "Restart": compile the arena again and warm-start it from the
-	// record. LoadCalibration validates the arena fingerprint (a record
-	// measured on a different forest or variant is rejected), installs
-	// the width, and hands back the persisted rows to seed the new
-	// Batcher's reservoir — recalibration keeps working on real traffic
-	// from the first second. Installing the record's gate table is a
-	// separate, explicit step because it is only valid on the hardware
-	// it was measured on (this process, here).
+	// "Restart" as a hot swap: compile the arena again into a fresh
+	// model off-line, flip it into the slot — Swap drains the old model
+	// after the pointer flip, so concurrent Predict calls never drop —
+	// and warm-start it from the record. LoadCalibration validates the
+	// model stamp and the arena fingerprint (a record measured on a
+	// different forest, variant or registered model is rejected),
+	// installs the width, seeds the new reservoir with the persisted
+	// rows, and re-arms drift detection when the record carries a
+	// policy — recalibration keeps working on real traffic from the
+	// first second. Installing the record's gate table is a separate,
+	// explicit step because it is only valid on the hardware it was
+	// measured on (this process, here).
 	engine2, err := flint.NewFlatEngineVariant(grouped, variant)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rec, err := engine2.LoadCalibration(&record)
+	if err := registry.Swap("magic", flint.NewServedModel("magic", engine2, workers)); err != nil {
+		log.Fatal(err)
+	}
+	rec, err := registry.LoadCalibration("magic", &record)
 	if err != nil {
 		log.Fatal(err)
 	}
 	flint.SetInterleaveGates(rec.Gates)
-	batcher2 := flint.NewBatcher(engine2, workers)
-	defer batcher2.Close()
-	n := batcher2.SeedSample(rec.Rows)
-	fmt.Printf("warm start: x%d interleave, %s kernel from persisted record, reservoir seeded with %d rows\n",
-		engine2.Interleave(), engine2.Kernel(), n)
+	fmt.Printf("hot swap + warm start: x%d interleave, %s kernel from persisted record, reservoir seeded with %d rows\n",
+		engine2.Interleave(), engine2.Kernel(), len(rec.Rows))
 
 	// The arena engine agrees with the reference forest row by row,
-	// before and after the warm start.
+	// before and after the swap.
 	for i, x := range test.Features[:10] {
 		want := forest.Predict(x)
 		if got := engine.Predict(x); got != want {
 			log.Fatalf("row %d: arena %d != reference %d", i, got, want)
 		}
 		if got := engine2.Predict(x); got != want {
-			log.Fatalf("row %d: warm-started arena %d != reference %d", i, got, want)
+			log.Fatalf("row %d: swapped-in arena %d != reference %d", i, got, want)
 		}
 	}
 	fmt.Println("arena predictions match the reference forest")

@@ -192,6 +192,44 @@
 // seeded reservoir. See examples/sensordrift for the loop closing on the
 // gas workload's drifting batches.
 //
+// # Model registry and network serving
+//
+// One engine wired to one Batcher is the in-process special case of the
+// registry-backed serving stack. A ServedModel owns the whole per-model
+// serving state — engine, Batcher, traffic reservoir, drift detector,
+// calibration record — with a documented lifecycle (build →
+// calibrate-or-load → serve → recalibrate → save → drain/close) and an
+// error-returning Predict (a malformed row or a retired model comes
+// back as an error a front-end can map to a status code, never a
+// panic). A ModelRegistry serves many ServedModels side by side, keyed
+// by name, and hot-swaps them: Registry.Swap(name, newModel) flips an
+// atomic pointer and drains the old model — in-flight predictions
+// complete, the worker pool and drift watcher stop — while
+// Registry.Predict retries the flip invisibly, so a model upgrade
+// drops zero requests. Calibration persistence routes through the
+// registry too (Registry.SaveCalibration stamps the model name;
+// Registry.LoadCalibration rejects a record that belongs to a
+// different registered model, even when two arenas share a
+// fingerprint).
+//
+//	reg := flint.NewModelRegistry()
+//	reg.Register(flint.NewServedModel("magic", engine, 0))
+//	out, err := reg.Predict("magic", rows, nil)
+//	...
+//	reg.Swap("magic", rebuiltModel) // zero dropped requests
+//
+// The network boundary is the serve layer (NewServer): an HTTP/JSON
+// front-end (POST /v1/models/{name}:predict) that coalesces single-row
+// and batch requests from many connections into Batcher-sized blocks
+// under a latency budget (cross-request batching), applies per-model
+// admission control (bounded queue, 429 on overflow), and reports
+// per-model counters, latency quantiles and drift state on GET
+// /v1/models and /metrics. cmd/flintserve wraps it into a binary:
+// manifest-driven model sets, SIGHUP or POST /v1/reload hot reload
+// through Swap, and a -selfcheck smoke mode CI runs against all five
+// workloads. flintbench -servebench measures the wire path (rows/s,
+// p50/p99) as BENCH_serve.json next to BENCH_batch.json.
+//
 // # Decision paths and robustness auditing
 //
 // FlatEngine.DecisionPath traces the exact per-tree comparison sequence
@@ -256,6 +294,7 @@ import (
 	"flint/internal/ieee754"
 	"flint/internal/rf"
 	"flint/internal/robust"
+	"flint/internal/serve"
 	"flint/internal/softfloat"
 	"flint/internal/treeexec"
 )
@@ -546,6 +585,57 @@ func NewBatcher(e *FlatEngine, workers int) *Batcher {
 func NewBatcherSampled(e *FlatEngine, workers, block, capacity, stride int) *Batcher {
 	return treeexec.NewBatcherSampled(e, workers, block, capacity, stride)
 }
+
+// ---- Model registry and network serving ----
+
+// ServedModel is one model's complete serving state — engine, Batcher,
+// traffic reservoir, drift detector, calibration record — as a single
+// swappable unit with an error-returning Predict. See the "Model
+// registry and network serving" section of the package documentation.
+type ServedModel = treeexec.ServedModel
+
+// ModelRegistry serves a set of ServedModels by name and hot-swaps
+// them without dropping requests (Swap flips an atomic pointer and
+// drains the old model; Predict retries across the flip).
+type ModelRegistry = treeexec.ModelRegistry
+
+// ModelStats is a point-in-time snapshot of one served model's engine
+// mode, counters and drift state (ServedModel.Stats, Registry.Stats).
+type ModelStats = treeexec.ModelStats
+
+// ErrModelRetired is returned by ServedModel.Predict after Close (or a
+// registry Swap) retired the model; ModelRegistry.Predict absorbs it by
+// retrying against the replacement.
+var ErrModelRetired = treeexec.ErrModelRetired
+
+// NewModelRegistry returns an empty model registry.
+func NewModelRegistry() *ModelRegistry { return treeexec.NewModelRegistry() }
+
+// NewServedModel wraps an engine as a registry-servable model with a
+// default-sampled Batcher of the given pool size (0 selects
+// GOMAXPROCS).
+func NewServedModel(name string, e *FlatEngine, workers int) *ServedModel {
+	return treeexec.NewServedModel(name, e, workers, 0)
+}
+
+// NewServedModelSampled is NewServedModel with the Batcher's row-block
+// size and reservoir parameters explicit (NewBatcherSampled semantics).
+func NewServedModelSampled(name string, e *FlatEngine, workers, block, capacity, stride int) *ServedModel {
+	return treeexec.NewServedModelSampled(name, e, workers, block, capacity, stride)
+}
+
+// Server is the HTTP/JSON front-end over a ModelRegistry: cross-request
+// batching under a latency budget, per-model admission control and
+// metrics. Mount Server.Handler on an http.Server; see cmd/flintserve
+// for the packaged binary.
+type Server = serve.Server
+
+// ServeConfig tunes the front-end (coalescing row cap, latency budget,
+// admission queue bound); the zero value selects the defaults.
+type ServeConfig = serve.Config
+
+// NewServer builds the HTTP front-end over a registry.
+func NewServer(reg *ModelRegistry, cfg ServeConfig) *Server { return serve.New(reg, cfg) }
 
 // ---- Drift detection and decision-path robustness auditing ----
 

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestServeBenchRuns is a correctness smoke for the serving benchmark:
+// a quick configuration must produce one verified row per workload with
+// coherent counters, and the JSON document must round-trip.
+func TestServeBenchRuns(t *testing.T) {
+	rep, err := ServeBench{
+		Rows: 400, Trees: 5, Depth: 7, Workers: 2, Clients: 4,
+		MinDuration: 30 * time.Millisecond, Seed: 9,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) == 0 {
+		t.Fatal("no results")
+	}
+	for _, r := range rep.Results {
+		if r.Verified == 0 || r.Requests == 0 || r.RowsServed == 0 {
+			t.Fatalf("%s: empty measurement: %+v", r.Dataset, r)
+		}
+		if r.RowsPerSec <= 0 || r.P99Ms <= 0 {
+			t.Fatalf("%s: missing derived numbers: %+v", r.Dataset, r)
+		}
+		if r.CoalescedBatches > r.Requests {
+			t.Fatalf("%s: more batches than requests (%d > %d) — coalescing backwards", r.Dataset, r.CoalescedBatches, r.Requests)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteServeBenchJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back ServeBenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(rep.Results) {
+		t.Fatalf("JSON round-trip lost rows: %d != %d", len(back.Results), len(rep.Results))
+	}
+}

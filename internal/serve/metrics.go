@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"flint/internal/treeexec"
+)
+
+// latencyRingSize bounds the latency sample each lane keeps: large
+// enough for stable tail quantiles, small enough to sort on demand off
+// the hot path.
+const latencyRingSize = 2048
+
+// latencyRing is a fixed-size ring of recent request latencies;
+// quantiles are computed over whatever the ring currently holds, so
+// p50/p99 track the live traffic rather than the process lifetime.
+type latencyRing struct {
+	mu  sync.Mutex
+	buf [latencyRingSize]time.Duration
+	n   uint64 // total observations; buf[n % size] is the next slot
+}
+
+func (r *latencyRing) observe(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.n%latencyRingSize] = d
+	r.n++
+	r.mu.Unlock()
+}
+
+// quantiles returns the requested quantiles (0..1) over the ring's
+// current contents, or nil when nothing has been observed.
+func (r *latencyRing) quantiles(qs ...float64) []time.Duration {
+	r.mu.Lock()
+	n := r.n
+	if n > latencyRingSize {
+		n = latencyRingSize
+	}
+	sample := append([]time.Duration(nil), r.buf[:n]...)
+	r.mu.Unlock()
+	if len(sample) == 0 {
+		return nil
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	out := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		idx := int(q * float64(len(sample)-1))
+		out[i] = sample[idx]
+	}
+	return out
+}
+
+// ModelStatus is one model's combined registry and front-end state, as
+// served on GET /v1/models.
+type ModelStatus struct {
+	treeexec.ModelStats
+	Requests         uint64  `json:"requests"`
+	Rejected         uint64  `json:"rejected"`
+	Errors           uint64  `json:"errors"`
+	CoalescedBatches uint64  `json:"coalesced_batches"`
+	CoalescedRows    uint64  `json:"coalesced_rows"`
+	CoalesceFill     float64 `json:"coalesce_rows_per_batch"`
+	QueueDepth       int     `json:"queue_depth"`
+	LatencyP50Ms     float64 `json:"latency_p50_ms"`
+	LatencyP99Ms     float64 `json:"latency_p99_ms"`
+}
+
+// Status snapshots every registered model plus its lane counters,
+// sorted by name. Models without traffic yet report zero lane state.
+func (s *Server) Status() []ModelStatus {
+	stats := s.reg.Stats()
+	out := make([]ModelStatus, 0, len(stats))
+	s.mu.Lock()
+	lanes := make(map[string]*lane, len(s.lanes))
+	for n, l := range s.lanes {
+		lanes[n] = l
+	}
+	s.mu.Unlock()
+	for _, st := range stats {
+		ms := ModelStatus{ModelStats: st}
+		if l, ok := lanes[st.Name]; ok {
+			ms.Requests = l.requests.Load()
+			ms.Rejected = l.rejected.Load()
+			ms.Errors = l.errors.Load()
+			ms.CoalescedBatches = l.batches.Load()
+			ms.CoalescedRows = l.rows.Load()
+			if ms.CoalescedBatches > 0 {
+				ms.CoalesceFill = float64(ms.CoalescedRows) / float64(ms.CoalescedBatches)
+			}
+			ms.QueueDepth = len(l.queue)
+			if q := l.lat.quantiles(0.50, 0.99); q != nil {
+				ms.LatencyP50Ms = float64(q[0]) / float64(time.Millisecond)
+				ms.LatencyP99Ms = float64(q[1]) / float64(time.Millisecond)
+			}
+		}
+		out = append(out, ms)
+	}
+	return out
+}
+
+// handleMetrics renders Status in the Prometheus text exposition
+// format — hand-rolled, since the repo deliberately has no dependency
+// on a client library.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	type row struct {
+		metric string
+		help   string
+		typ    string
+		lines  []string
+	}
+	statuses := s.Status()
+	line := func(metric, name string, v any, extra ...string) string {
+		labels := fmt.Sprintf("model=%q", name)
+		for _, e := range extra {
+			labels += "," + e
+		}
+		return fmt.Sprintf("%s{%s} %v", metric, labels, v)
+	}
+	rows := []row{
+		{"flint_requests_total", "Predict requests admitted per model.", "counter", nil},
+		{"flint_rejected_total", "Predict requests rejected by admission control (429).", "counter", nil},
+		{"flint_errors_total", "Predict requests completed with an error.", "counter", nil},
+		{"flint_rows_total", "Rows classified per model.", "counter", nil},
+		{"flint_batches_total", "Coalesced predict batches per model.", "counter", nil},
+		{"flint_coalesce_rows_per_batch", "Mean rows per coalesced batch.", "gauge", nil},
+		{"flint_queue_depth", "Requests currently queued per model.", "gauge", nil},
+		{"flint_latency_ms", "Request latency quantiles over recent traffic.", "gauge", nil},
+		{"flint_drift_distance", "Last measured drift distance (PSI) per model.", "gauge", nil},
+		{"flint_drift_triggers_total", "Drift-triggered recalibrations per model.", "counter", nil},
+		{"flint_arena_bytes", "Arena footprint per model.", "gauge", nil},
+	}
+	for _, st := range statuses {
+		rows[0].lines = append(rows[0].lines, line("flint_requests_total", st.Name, st.Requests))
+		rows[1].lines = append(rows[1].lines, line("flint_rejected_total", st.Name, st.Rejected))
+		rows[2].lines = append(rows[2].lines, line("flint_errors_total", st.Name, st.Errors))
+		rows[3].lines = append(rows[3].lines, line("flint_rows_total", st.Name, st.CoalescedRows))
+		rows[4].lines = append(rows[4].lines, line("flint_batches_total", st.Name, st.CoalescedBatches))
+		rows[5].lines = append(rows[5].lines, line("flint_coalesce_rows_per_batch", st.Name, st.CoalesceFill))
+		rows[6].lines = append(rows[6].lines, line("flint_queue_depth", st.Name, st.QueueDepth))
+		rows[7].lines = append(rows[7].lines,
+			line("flint_latency_ms", st.Name, st.LatencyP50Ms, `quantile="0.5"`),
+			line("flint_latency_ms", st.Name, st.LatencyP99Ms, `quantile="0.99"`))
+		rows[8].lines = append(rows[8].lines, line("flint_drift_distance", st.Name, st.DriftDist))
+		rows[9].lines = append(rows[9].lines, line("flint_drift_triggers_total", st.Name, st.DriftTrigs))
+		rows[10].lines = append(rows[10].lines, line("flint_arena_bytes", st.Name, st.ArenaBytes))
+	}
+	for _, m := range rows {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.metric, m.help, m.metric, m.typ)
+		for _, l := range m.lines {
+			fmt.Fprintln(w, l)
+		}
+	}
+}

@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"flint/internal/cart"
+	"flint/internal/dataset"
+	"flint/internal/treeexec"
+)
+
+// testModel trains a small forest on the named workload and wraps it as
+// a calibrated ServedModel plus the rows it was trained on.
+func testModel(t *testing.T, name, workload string) (*treeexec.ServedModel, [][]float32) {
+	t.Helper()
+	d, err := dataset.Generate(workload, 400, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := cart.TrainForest(d, cart.Config{NumTrees: 5, MaxDepth: 7, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := treeexec.NewFlat(f, treeexec.FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.CalibrateInterleaveRows(d.Features, 5*time.Millisecond)
+	return treeexec.NewServedModelSampled(name, e, 2, 32, 128, 1), d.Features
+}
+
+// postPredict fires one predict request and decodes the response.
+func postPredict(t *testing.T, url, model string, body any) (int, predictResponse, string) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/models/"+model+":predict", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var pr predictResponse
+	_ = json.Unmarshal(raw, &pr)
+	return resp.StatusCode, pr, string(raw)
+}
+
+// TestServePredictSingleAndBatch pins the wire contract: single rows
+// and batches answer exactly what the in-process engine answers, and
+// malformed requests map to the right status codes.
+func TestServePredictSingleAndBatch(t *testing.T) {
+	m, rows := testModel(t, "magic", "magic")
+	reg := treeexec.NewModelRegistry()
+	if err := reg.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	s := New(reg, Config{MaxDelay: 500 * time.Microsecond})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	want := m.Engine().PredictBatch(rows, nil, 1, 0)
+
+	// Single row, canonical :predict action form.
+	code, pr, raw := postPredict(t, ts.URL, "magic", predictRequest{Row: rows[0]})
+	if code != http.StatusOK || len(pr.Classes) != 1 || pr.Classes[0] != want[0] {
+		t.Fatalf("single-row predict: code %d, %+v (%s), want class %d", code, pr, raw, want[0])
+	}
+
+	// Batch of rows, bare-name form.
+	code, pr, raw = postPredict(t, ts.URL, "magic", predictRequest{Rows: rows[:64]})
+	if code != http.StatusOK || len(pr.Classes) != 64 {
+		t.Fatalf("batch predict: code %d (%s)", code, raw)
+	}
+	for i, c := range pr.Classes {
+		if c != want[i] {
+			t.Fatalf("batch row %d: HTTP answer %d, engine %d", i, c, want[i])
+		}
+	}
+
+	// Error mapping.
+	if code, _, raw = postPredict(t, ts.URL, "ghost", predictRequest{Row: rows[0]}); code != http.StatusNotFound {
+		t.Fatalf("unknown model: code %d (%s), want 404", code, raw)
+	}
+	if code, _, raw = postPredict(t, ts.URL, "magic", predictRequest{Row: []float32{1}}); code != http.StatusBadRequest {
+		t.Fatalf("narrow row: code %d (%s), want 400", code, raw)
+	}
+	if code, _, raw = postPredict(t, ts.URL, "magic", predictRequest{}); code != http.StatusBadRequest {
+		t.Fatalf("empty request: code %d (%s), want 400", code, raw)
+	}
+	if code, _, raw = postPredict(t, ts.URL, "magic", predictRequest{Row: rows[0], Rows: rows[:2]}); code != http.StatusBadRequest {
+		t.Fatalf("row+rows request: code %d (%s), want 400", code, raw)
+	}
+	resp, err := http.Post(ts.URL+"/v1/models/magic:predict", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: code %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServeStatusAndMetrics exercises the observability surface after
+// real traffic: per-model counters on /v1/models and the Prometheus
+// text form on /metrics.
+func TestServeStatusAndMetrics(t *testing.T) {
+	m, rows := testModel(t, "magic", "magic")
+	reg := treeexec.NewModelRegistry()
+	if err := reg.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	s := New(reg, Config{MaxDelay: 200 * time.Microsecond})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 10; i++ {
+		if code, _, raw := postPredict(t, ts.URL, "magic", predictRequest{Rows: rows[:16]}); code != http.StatusOK {
+			t.Fatalf("warm-up predict %d: code %d (%s)", i, code, raw)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Models []ModelStatus `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Models) != 1 {
+		t.Fatalf("GET /v1/models returned %d models, want 1", len(list.Models))
+	}
+	st := list.Models[0]
+	if st.Name != "magic" || st.Requests != 10 || st.CoalescedRows != 160 || st.CoalescedBatches == 0 {
+		t.Fatalf("status counters wrong: %+v", st)
+	}
+	if st.CoalesceFill <= 0 || st.LatencyP99Ms <= 0 {
+		t.Fatalf("derived metrics missing: fill %v p99 %v", st.CoalesceFill, st.LatencyP99Ms)
+	}
+
+	// Single-model endpoint agrees.
+	resp, err = http.Get(ts.URL + "/v1/models/magic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one ModelStatus
+	if err := json.NewDecoder(resp.Body).Decode(&one); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if one.Name != "magic" || one.Requests != 10 {
+		t.Fatalf("GET /v1/models/magic = %+v", one)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(raw)
+	for _, want := range []string{
+		`flint_requests_total{model="magic"} 10`,
+		`flint_rows_total{model="magic"} 160`,
+		`flint_latency_ms{model="magic",quantile="0.99"}`,
+		`flint_drift_distance{model="magic"}`,
+		"# TYPE flint_batches_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestServeCoalescesAcrossRequests pins the cross-request batching
+// claim: many concurrent single-row requests land in fewer coalesced
+// registry batches than requests.
+func TestServeCoalescesAcrossRequests(t *testing.T) {
+	m, rows := testModel(t, "magic", "magic")
+	reg := treeexec.NewModelRegistry()
+	if err := reg.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	// A generous budget so slow CI schedulers still gather.
+	s := New(reg, Config{MaxDelay: 20 * time.Millisecond})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 64
+	errc := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			code, _, raw := postPredict(t, ts.URL, "magic", predictRequest{Row: rows[i]})
+			if code != http.StatusOK {
+				errc <- fmt.Errorf("request %d: code %d (%s)", i, code, raw)
+				return
+			}
+			errc <- nil
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Status()[0]
+	if st.CoalescedBatches >= n {
+		t.Fatalf("no cross-request coalescing: %d requests became %d batches", n, st.CoalescedBatches)
+	}
+	t.Logf("%d single-row requests coalesced into %d batches (fill %.1f rows/batch)",
+		n, st.CoalescedBatches, st.CoalesceFill)
+}
+
+// TestServeAdmissionControl pins the 429 path deterministically: the
+// lane is installed with its dispatcher deliberately not running, so
+// the one-slot queue genuinely wedges — the first request parks in the
+// queue, the second is rejected immediately with 429 instead of
+// queueing into unbounded latency. Starting the dispatcher afterwards
+// releases the parked request with a real answer.
+func TestServeAdmissionControl(t *testing.T) {
+	m, rows := testModel(t, "magic", "magic")
+	reg := treeexec.NewModelRegistry()
+	if err := reg.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	s := New(reg, Config{MaxQueue: 1, MaxDelay: time.Millisecond})
+	defer s.Close()
+	// Install the lane by hand, dispatcher not yet started.
+	l := newLane("magic", s.cfg.MaxQueue)
+	s.mu.Lock()
+	s.lanes["magic"] = l
+	s.mu.Unlock()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	parked := make(chan int, 1)
+	go func() {
+		code, _, _ := postPredict(t, ts.URL, "magic", predictRequest{Row: rows[0]})
+		parked <- code
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(l.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	code, _, raw := postPredict(t, ts.URL, "magic", predictRequest{Row: rows[1]})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("second request on a full queue: code %d (%s), want 429", code, raw)
+	}
+	if got := s.Status()[0].Rejected; got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+
+	go l.run(s) // release the parked request
+	if code := <-parked; code != http.StatusOK {
+		t.Fatalf("parked request finished with %d once the dispatcher ran, want 200", code)
+	}
+}
+
+// TestServeCloseFailsPending pins the shutdown contract: Close drains
+// the lanes, parked requests fail with 503 instead of hanging, and new
+// requests are turned away.
+func TestServeCloseFailsPending(t *testing.T) {
+	m, rows := testModel(t, "magic", "magic")
+	reg := treeexec.NewModelRegistry()
+	if err := reg.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	s := New(reg, Config{MaxDelay: time.Hour}) // park the dispatcher in gather
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	codes := make(chan int, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			code, _, _ := postPredict(t, ts.URL, "magic", predictRequest{Row: rows[0]})
+			codes <- code
+		}()
+	}
+	// Wait until the requests are inside the lane, then shut down.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Status()[0].Requests < 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("requests never reached the lane")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+	for i := 0; i < 4; i++ {
+		// The first gathered request rides the shutdown batch to a real
+		// answer; later ones fail 503. Either way nobody hangs.
+		if c := <-codes; c != http.StatusOK && c != http.StatusServiceUnavailable {
+			t.Fatalf("post-Close status %d, want 200 or 503", c)
+		}
+	}
+	if code, _, _ := postPredict(t, ts.URL, "magic", predictRequest{Row: rows[0]}); code != http.StatusServiceUnavailable {
+		t.Fatalf("predict after Close: %d, want 503", code)
+	}
+}
+
+// TestServeReloadHook pins POST /v1/reload: wired hook fires, missing
+// hook reports 501.
+func TestServeReloadHook(t *testing.T) {
+	m, _ := testModel(t, "magic", "magic")
+	reg := treeexec.NewModelRegistry()
+	if err := reg.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	s := New(reg, Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("reload without hook: %d, want 501", resp.StatusCode)
+	}
+	fired := 0
+	s.SetReload(func() error { fired++; return nil })
+	resp, err = http.Post(ts.URL+"/v1/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || fired != 1 {
+		t.Fatalf("reload with hook: %d (fired %d): %s", resp.StatusCode, fired, raw)
+	}
+	if !strings.Contains(string(raw), `"magic"`) {
+		t.Fatalf("reload response does not list models: %s", raw)
+	}
+}

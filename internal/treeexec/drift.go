@@ -273,7 +273,10 @@ func (d *driftDetector) offer(seen uint64) {
 	}
 }
 
-// watch services check wakes until the Batcher closes.
+// watch services check wakes until the Batcher closes. Close blocks on
+// d.done, so this goroutine can never outlive its Batcher — a ServedModel
+// drain (registry Swap, Close) inherits watcher termination by routing
+// through Batcher.Close.
 func (d *driftDetector) watch(b *Batcher) {
 	defer close(d.done)
 	for {
@@ -281,6 +284,14 @@ func (d *driftDetector) watch(b *Batcher) {
 		case <-d.stop:
 			return
 		case <-d.kick:
+			// select chooses randomly among ready cases: when a stop
+			// races a pending wake, prefer exiting over burning a
+			// recalibration pass on a pool that is shutting down.
+			select {
+			case <-d.stop:
+				return
+			default:
+			}
 			d.check(b)
 		}
 	}

@@ -833,16 +833,23 @@ func (b *Batcher) Predict(rows [][]float32, out []int32) []int32 {
 }
 
 // Close shuts the worker pool down after in-flight Predict calls drain.
+// The drift-watcher goroutine (EnableDriftDetection) is stopped first
+// and Close waits for it to exit, so no goroutine armed on this Batcher
+// survives the call — the guarantee a ModelRegistry swap's drain path
+// relies on.
 func (b *Batcher) Close() {
 	b.closeMu.Lock()
 	defer b.closeMu.Unlock()
 	if !b.closed {
 		b.closed = true
-		close(b.jobs)
 		if d := b.drift.Load(); d != nil {
+			// Stop the watcher before the pool: a drift-triggered
+			// recalibration that races Close then completes against a
+			// still-live engine instead of a dying pool.
 			close(d.stop)
-			<-d.done // a mid-check watcher finishes before the pool dies
+			<-d.done
 		}
+		close(b.jobs)
 	}
 }
 

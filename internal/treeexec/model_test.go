@@ -1,0 +1,396 @@
+package treeexec
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// servedModel builds a compact-arena ServedModel over a small trained
+// forest, returning the model and the dataset it was trained on.
+func servedModel(t *testing.T, name, workload string, depth, trees int) (*ServedModel, [][]float32) {
+	t.Helper()
+	f, d := trainedForest(t, workload, depth, trees)
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewServedModelSampled(name, e, 2, 16, 128, 1), d.Features
+}
+
+// TestServedModelLifecycle walks one model through the documented
+// lifecycle — build, calibrate, serve, recalibrate, save, drain/close —
+// pinning the error-based misuse contract the network front-end needs:
+// malformed rows and post-retirement calls come back as errors in the
+// caller's goroutine, never as panics or dropped work.
+func TestServedModelLifecycle(t *testing.T) {
+	m, rows := servedModel(t, "magic", "magic", 7, 6)
+	m.Engine().CalibrateInterleaveRows(rows, 10*time.Millisecond)
+
+	want := m.Engine().PredictBatch(rows, nil, 1, 0)
+	got, err := m.Predict(rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: ServedModel.Predict = %d, engine = %d", i, got[i], want[i])
+		}
+	}
+
+	if _, err := m.Predict([][]float32{{1, 2}}, nil); err == nil {
+		t.Fatal("Predict accepted a row narrower than the feature width")
+	} else if !strings.Contains(err.Error(), "features") {
+		t.Fatalf("row-width error = %v, want a feature-width complaint", err)
+	}
+
+	if w := m.Recalibrate(5 * time.Millisecond); w != m.Engine().Interleave() {
+		t.Fatalf("Recalibrate returned %d but engine width is %d", w, m.Engine().Interleave())
+	}
+
+	var buf bytes.Buffer
+	if err := m.SaveCalibration(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"model": "magic"`) {
+		t.Fatalf("ServedModel.SaveCalibration did not stamp the model name:\n%s", buf.String())
+	}
+
+	st := m.Stats()
+	if st.Name != "magic" || st.Rows == 0 || st.Batches == 0 || st.Retired {
+		t.Fatalf("pre-close stats look wrong: %+v", st)
+	}
+
+	m.Close()
+	m.Close() // idempotent
+	if !m.Retired() {
+		t.Fatal("Retired() = false after Close")
+	}
+	if _, err := m.Predict(rows[:1], nil); err != ErrModelRetired {
+		t.Fatalf("Predict after Close = %v, want ErrModelRetired", err)
+	}
+}
+
+// TestDriftWatcherTerminatesOnClose is the goroutine-leak test for the
+// serving teardown: arm drift detection, serve traffic, close, and
+// assert the watcher goroutine from EnableDriftDetection has exited —
+// both via its done channel (the authoritative signal Close waits on)
+// and via the process goroutine count settling back to its baseline.
+func TestDriftWatcherTerminatesOnClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	m, rows := servedModel(t, "magic", "magic", 6, 5)
+	if err := m.EnableDriftDetection(DriftConfig{CheckEvery: 64, MinRows: 16}, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int32, len(rows))
+	for i := 0; i < 8; i++ { // cross the check cadence several times
+		if _, err := m.Predict(rows, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := m.Batcher().drift.Load()
+	if d == nil {
+		t.Fatal("no drift detector armed")
+	}
+	m.Close()
+
+	select {
+	case <-d.done:
+	default:
+		t.Fatal("drift watcher still running after Close")
+	}
+
+	// The workers exit asynchronously after close(jobs); poll until the
+	// goroutine count settles back to (at most) the pre-model baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before model, %d after Close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRegistryRegisterValidation pins the registration contract: names
+// must be path-safe and unique, models must be live.
+func TestRegistryRegisterValidation(t *testing.T) {
+	r := NewModelRegistry()
+	if err := r.Register(nil); err == nil {
+		t.Fatal("Register(nil) succeeded")
+	}
+	m, _ := servedModel(t, "a/b", "magic", 5, 3)
+	defer m.b.Close()
+	if err := r.Register(m); err == nil {
+		t.Fatal("Register accepted a name with '/'")
+	}
+	ok, _ := servedModel(t, "magic", "magic", 5, 3)
+	if err := r.Register(ok); err != nil {
+		t.Fatal(err)
+	}
+	dup, _ := servedModel(t, "magic", "magic", 5, 3)
+	defer dup.b.Close()
+	if err := r.Register(dup); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("duplicate Register = %v, want already-registered error", err)
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "magic" {
+		t.Fatalf("Names = %v", names)
+	}
+	r.Close()
+	if _, found := r.Get("magic"); found {
+		t.Fatal("model still registered after registry Close")
+	}
+}
+
+// TestRegistrySwapDrains pins Swap's teardown half: after the pointer
+// flip the old model is retired, its in-flight work has completed, and
+// its drift watcher has exited — while the registry answers identically
+// for unchanged rows through the replacement.
+func TestRegistrySwapDrains(t *testing.T) {
+	f, d := trainedForest(t, "magic", 7, 6)
+	build := func() *ServedModel {
+		e, err := NewFlat(f, FlatCompact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewServedModelSampled("magic", e, 2, 16, 128, 1)
+	}
+	old := build()
+	if err := old.EnableDriftDetection(DriftConfig{CheckEvery: 64, MinRows: 16}, d.Features); err != nil {
+		t.Fatal(err)
+	}
+	r := NewModelRegistry()
+	if err := r.Register(old); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	before, err := r.Predict("magic", d.Features, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd := old.Batcher().drift.Load()
+
+	if err := r.Swap("magic", build()); err != nil {
+		t.Fatal(err)
+	}
+	if !old.Retired() {
+		t.Fatal("old model not retired after Swap")
+	}
+	select {
+	case <-wd.done:
+	default:
+		t.Fatal("old model's drift watcher survived the Swap drain")
+	}
+
+	after, err := r.Predict("magic", d.Features, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("row %d: answer changed across Swap: %d -> %d", i, before[i], after[i])
+		}
+	}
+
+	// Swap error paths.
+	if err := r.Swap("magic", nil); err == nil {
+		t.Fatal("Swap to nil model succeeded")
+	}
+	wrong, _ := servedModel(t, "other", "magic", 5, 3)
+	defer wrong.b.Close()
+	if err := r.Swap("magic", wrong); err == nil {
+		t.Fatal("Swap accepted a model with a different name")
+	}
+	missing, _ := servedModel(t, "ghost", "magic", 5, 3)
+	defer missing.b.Close()
+	if err := r.Swap("ghost", missing); err == nil {
+		t.Fatal("Swap on an unregistered name succeeded")
+	}
+}
+
+// TestRegistryPredictAcrossSwap is the registry half of the hot-swap
+// guarantee (the HTTP half lives in internal/serve): concurrent
+// registry.Predict callers ride through repeated Swaps with zero errors
+// and bit-identical answers for unchanged rows. Run under -race in CI.
+func TestRegistryPredictAcrossSwap(t *testing.T) {
+	f, d := trainedForest(t, "magic", 7, 6)
+	build := func() *ServedModel {
+		e, err := NewFlat(f, FlatCompact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewServedModelSampled("magic", e, 2, 16, 128, 1)
+	}
+	r := NewModelRegistry()
+	if err := r.Register(build()); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	want, err := r.Predict("magic", d.Features, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var served atomic.Uint64
+	errs := make(chan error, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]int32, len(d.Features))
+			for !stop.Load() {
+				got, err := r.Predict("magic", d.Features, out)
+				if err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						select {
+						case errs <- &UnknownModelError{Name: "answer drift"}:
+						default:
+						}
+						return
+					}
+				}
+				served.Add(1)
+			}
+		}()
+	}
+	for i := 0; i < 5; i++ {
+		time.Sleep(10 * time.Millisecond)
+		if err := r.Swap("magic", build()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent Predict across Swap: %v", err)
+	}
+	if served.Load() == 0 {
+		t.Fatal("no Predict calls completed during the swap storm")
+	}
+}
+
+// TestRegistryCalibrationRoundTrip saves through the registry and
+// warm-starts a replacement from the record: mode installed as
+// persisted, reservoir seeded, drift re-armed.
+func TestRegistryCalibrationRoundTrip(t *testing.T) {
+	f, d := trainedForest(t, "magic", 7, 6)
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewServedModelSampled("magic", e, 2, 16, 128, 1)
+	r := NewModelRegistry()
+	if err := r.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := m.EnableDriftDetection(DriftConfig{CheckEvery: 256, MinRows: 16}, d.Features); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Predict("magic", d.Features, nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.SaveCalibration("magic", &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewServedModelSampled("magic", e2, 2, 16, 128, 1)
+	if err := r.Swap("magic", m2); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r.LoadCalibration("magic", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Model != "magic" {
+		t.Fatalf("persisted record carries model %q, want %q", rec.Model, "magic")
+	}
+	if src := e2.CalibrationSource(); src != "persisted" {
+		t.Fatalf("CalibrationSource after registry load = %q, want persisted", src)
+	}
+	if sampled, _ := m2.Batcher().SampleStats(); sampled == 0 {
+		t.Fatal("registry load did not seed the reservoir")
+	}
+	if !m2.DriftStats().Enabled {
+		t.Fatal("registry load did not re-arm drift detection")
+	}
+	if _, err := r.LoadCalibration("ghost", bytes.NewReader(nil)); err == nil {
+		t.Fatal("LoadCalibration on unknown model succeeded")
+	}
+}
+
+// TestRegistryCrossModelCalibrationMixup pins the satellite fix: a
+// record that demonstrably belongs to a different registered model is
+// rejected by name — whether it is stamped with that model's name or
+// merely fingerprints its arena — instead of surfacing as a bare
+// fingerprint mismatch (or, for coincidentally equal arenas, silently
+// installing another model's mode).
+func TestRegistryCrossModelCalibrationMixup(t *testing.T) {
+	r := NewModelRegistry()
+	defer r.Close()
+	a, _ := servedModel(t, "alpha", "magic", 7, 6)
+	b, _ := servedModel(t, "beta", "wine", 5, 4)
+	if err := r.Register(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Engine().Fingerprint() == b.Engine().Fingerprint() {
+		t.Fatal("test needs two models with distinct arena fingerprints")
+	}
+
+	// A record stamped for alpha must not load into beta.
+	var stamped bytes.Buffer
+	if err := r.SaveCalibration("alpha", &stamped); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.LoadCalibration("beta", &stamped); err == nil {
+		t.Fatal("beta accepted alpha's stamped record")
+	} else if !strings.Contains(err.Error(), `"alpha"`) {
+		t.Fatalf("mix-up error does not name the owning model: %v", err)
+	}
+
+	// An unstamped record (engine-level save) whose fingerprint matches
+	// alpha's arena must be rejected on beta *by alpha's name*, not as
+	// an anonymous fingerprint mismatch.
+	var unstamped bytes.Buffer
+	if err := a.Engine().SaveCalibration(&unstamped, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.LoadCalibration("beta", &unstamped); err == nil {
+		t.Fatal("beta accepted a record fingerprinting alpha's arena")
+	} else if !strings.Contains(err.Error(), `registered model "alpha"`) {
+		t.Fatalf("cross-model error does not identify the matching model: %v", err)
+	}
+
+	// The same record still loads fine into its rightful owner.
+	unstamped.Reset()
+	if err := r.SaveCalibration("alpha", &unstamped); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.LoadCalibration("alpha", &unstamped); err != nil {
+		t.Fatalf("alpha rejected its own record: %v", err)
+	}
+}

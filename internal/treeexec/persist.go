@@ -54,7 +54,13 @@ func (e *FlatForestEngine) Fingerprint() ArenaFingerprint {
 // EnableDriftDetection(*rec.Drift, rec.Rows); records from before the
 // drift axis existed (or from engines persisted without a Batcher)
 // carry no field and load with Drift nil.
+// Records saved through a ModelRegistry additionally carry the model
+// name they belong to (Model), so a registry load can reject a record
+// that was saved for a different registered model even when the two
+// arenas happen to share a fingerprint; engine- and Batcher-level saves
+// leave the field empty and load anywhere the fingerprint matches.
 type CalibrationRecord struct {
+	Model       string           `json:"model,omitempty"`
 	Fingerprint ArenaFingerprint `json:"fingerprint"`
 	Gates       InterleaveGates  `json:"gates"`
 	Width       int              `json:"width"`
@@ -84,9 +90,15 @@ func finiteRow(row []float32) bool {
 // values (JSON cannot carry NaN or infinities), are skipped.
 func (e *FlatForestEngine) SaveCalibration(w io.Writer, rows [][]float32) error {
 	rec := e.calibrationRecord(rows)
+	return encodeCalibrationRecord(w, &rec)
+}
+
+// encodeCalibrationRecord writes a record in the indented-JSON form all
+// three save paths (engine, Batcher, ServedModel) share.
+func encodeCalibrationRecord(w io.Writer, rec *CalibrationRecord) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(&rec)
+	return enc.Encode(rec)
 }
 
 // calibrationRecord builds the engine's persistable state; the filtered
@@ -114,14 +126,21 @@ func (e *FlatForestEngine) calibrationRecord(rows [][]float32) CalibrationRecord
 // EnableDriftDetection(*rec.Drift, rec.Rows) to resume the whole
 // adaptive loop where this one left off.
 func (b *Batcher) SaveCalibration(w io.Writer) error {
+	rec := b.servingRecord()
+	return encodeCalibrationRecord(w, &rec)
+}
+
+// servingRecord assembles the Batcher's full persistable serving state
+// (engine calibration + traffic sample + drift policy); shared between
+// the Batcher-level save and the registry-level save, which stamps the
+// owning model's name on top.
+func (b *Batcher) servingRecord() CalibrationRecord {
 	rec := b.e.calibrationRecord(b.SampleSnapshot())
 	if d := b.drift.Load(); d != nil {
 		cfg := d.cfg // the resolved configuration, defaults applied
 		rec.Drift = &cfg
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(&rec)
+	return rec
 }
 
 // validGates reports whether a persisted gate table is structurally
@@ -151,38 +170,60 @@ func validGates(g InterleaveGates) bool {
 // unsupported width, or a malformed gate table is rejected without
 // installing anything.
 func (e *FlatForestEngine) LoadCalibration(r io.Reader) (*CalibrationRecord, error) {
+	rec, err := decodeCalibrationRecord(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.installCalibration(rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// decodeCalibrationRecord reads a CalibrationRecord without validating
+// it against any engine — the registry load path decodes first so it
+// can route the record's fingerprint check across every registered
+// model before installing anything.
+func decodeCalibrationRecord(r io.Reader) (*CalibrationRecord, error) {
 	var rec CalibrationRecord
 	if err := json.NewDecoder(r).Decode(&rec); err != nil {
 		return nil, fmt.Errorf("treeexec: malformed calibration record: %w", err)
 	}
+	return &rec, nil
+}
+
+// installCalibration validates a decoded record against this engine's
+// arena and installs its (width, kernel) mode — the second half of
+// LoadCalibration.
+func (e *FlatForestEngine) installCalibration(rec *CalibrationRecord) error {
 	if got, want := rec.Fingerprint, e.Fingerprint(); got != want {
-		return nil, fmt.Errorf("treeexec: calibration fingerprint %+v does not match engine arena %+v", got, want)
+		return fmt.Errorf("treeexec: calibration fingerprint %+v does not match engine arena %+v", got, want)
 	}
 	switch rec.Width {
 	case 1, 2, 4, 8:
 	default:
-		return nil, fmt.Errorf("treeexec: persisted interleave width %d is not a supported width (1, 2, 4, 8)", rec.Width)
+		return fmt.Errorf("treeexec: persisted interleave width %d is not a supported width (1, 2, 4, 8)", rec.Width)
 	}
 	kernel, err := ParseKernel(rec.Kernel) // "" (a pre-kernel record) parses as branchy
 	if err != nil {
-		return nil, fmt.Errorf("treeexec: persisted record: %w", err)
+		return fmt.Errorf("treeexec: persisted record: %w", err)
 	}
 	if kernel != KernelBranchy && e.variant != FlatCompact {
-		return nil, fmt.Errorf("treeexec: persisted %v kernel is only valid for the compact arena, engine is %v", kernel, e.variant)
+		return fmt.Errorf("treeexec: persisted %v kernel is only valid for the compact arena, engine is %v", kernel, e.variant)
 	}
 	if !validGates(rec.Gates) {
-		return nil, fmt.Errorf("treeexec: persisted gate table has negative thresholds: %+v", rec.Gates)
+		return fmt.Errorf("treeexec: persisted gate table has negative thresholds: %+v", rec.Gates)
 	}
 	if (rec.Gates == InterleaveGates{}) {
 		// A missing or zeroed gates field would, if ever installed,
 		// disable interleaving for every engine built afterwards; no
 		// SaveCalibration output ever carries one (disabled widths
 		// persist as math.MaxInt, not 0).
-		return nil, fmt.Errorf("treeexec: persisted record carries no gate table")
+		return fmt.Errorf("treeexec: persisted record carries no gate table")
 	}
 	if rec.Drift != nil {
 		if err := rec.Drift.validate(); err != nil {
-			return nil, fmt.Errorf("treeexec: persisted drift config: %w", err)
+			return fmt.Errorf("treeexec: persisted drift config: %w", err)
 		}
 	}
 	source := int32(calibSourcePersisted)
@@ -198,7 +239,7 @@ func (e *FlatForestEngine) LoadCalibration(r io.Reader) (*CalibrationRecord, err
 	}
 	e.mode.Store(packMode(rec.Width, kernel))
 	e.calibSource.Store(source)
-	return &rec, nil
+	return nil
 }
 
 // WriteGatesJSON persists a host-wide gate table alone (no engine
