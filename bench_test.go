@@ -639,14 +639,19 @@ func BenchmarkBatchThroughput(b *testing.B) {
 				reportRows(b)
 			})
 			for _, arena := range []struct {
-				tag string
-				e   *treeexec.FlatForestEngine
-				k   treeexec.Kernel
+				tag    string
+				e      *treeexec.FlatForestEngine
+				k      treeexec.Kernel
+				widths []int
 			}{
-				{"blocked", flat, treeexec.KernelBranchy},
-				{"compact", compact, treeexec.KernelBranchy},
-				{"compact-fused", compact, treeexec.KernelFused},
-				{"compact-simd", compact, treeexec.KernelSIMD},
+				{"blocked", flat, treeexec.KernelBranchy, nil},
+				{"compact", compact, treeexec.KernelBranchy, nil},
+				{"compact-fused", compact, treeexec.KernelFused, nil},
+				{"compact-simd", compact, treeexec.KernelSIMD, nil},
+				// The dual-group walk exists only at width 16; the hybrid
+				// quantizer-only kernel shares the scalar fused widths.
+				{"compact-simd16", compact, treeexec.KernelSIMD, []int{16}},
+				{"compact-simdquant", compact, treeexec.KernelSIMDQuant, []int{4, 8}},
 			} {
 				arena := arena
 				// Forced interleave widths and kernels expose the
@@ -655,7 +660,11 @@ func BenchmarkBatchThroughput(b *testing.B) {
 				// charge. (SetKernel is a no-op on the AoS arena, which
 				// has no fused or SIMD form; compact-simd runs the
 				// portable fallback on hosts without the vector ISA.)
-				for _, width := range []int{1, 2, 4, 8} {
+				widths := arena.widths
+				if widths == nil {
+					widths = []int{1, 2, 4, 8}
+				}
+				for _, width := range widths {
 					width := width
 					b.Run(fmt.Sprintf("%s/%s/x%d/w%d", ds, arena.tag, width, w), func(b *testing.B) {
 						arena.e.SetInterleave(width)
@@ -718,17 +727,24 @@ func BenchmarkBatchThroughput(b *testing.B) {
 		b.ReportMetric(float64(len(hostileRows))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 	}
 	for _, arena := range []struct {
-		tag string
-		e   *treeexec.FlatForestEngine
-		k   treeexec.Kernel
+		tag    string
+		e      *treeexec.FlatForestEngine
+		k      treeexec.Kernel
+		widths []int
 	}{
-		{"blocked", hflat, treeexec.KernelBranchy},
-		{"compact", hcompact, treeexec.KernelBranchy},
-		{"compact-fused", hcompact, treeexec.KernelFused},
-		{"compact-simd", hcompact, treeexec.KernelSIMD},
+		{"blocked", hflat, treeexec.KernelBranchy, nil},
+		{"compact", hcompact, treeexec.KernelBranchy, nil},
+		{"compact-fused", hcompact, treeexec.KernelFused, nil},
+		{"compact-simd", hcompact, treeexec.KernelSIMD, nil},
+		{"compact-simd16", hcompact, treeexec.KernelSIMD, []int{16}},
+		{"compact-simdquant", hcompact, treeexec.KernelSIMDQuant, []int{4, 8}},
 	} {
 		arena := arena
-		for _, width := range []int{1, 2, 4, 8} {
+		widths := arena.widths
+		if widths == nil {
+			widths = []int{1, 2, 4, 8}
+		}
+		for _, width := range widths {
 			width := width
 			b.Run(fmt.Sprintf("hostile/%s/x%d/w1", arena.tag, width), func(b *testing.B) {
 				arena.e.SetInterleave(width)
@@ -768,17 +784,24 @@ func BenchmarkBatchThroughput(b *testing.B) {
 		b.ReportMetric(float64(len(advRows))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 	}
 	for _, arena := range []struct {
-		tag string
-		e   *treeexec.FlatForestEngine
-		k   treeexec.Kernel
+		tag    string
+		e      *treeexec.FlatForestEngine
+		k      treeexec.Kernel
+		widths []int
 	}{
-		{"blocked", advFlat, treeexec.KernelBranchy},
-		{"compact", advCompact, treeexec.KernelBranchy},
-		{"compact-fused", advCompact, treeexec.KernelFused},
-		{"compact-simd", advCompact, treeexec.KernelSIMD},
+		{"blocked", advFlat, treeexec.KernelBranchy, nil},
+		{"compact", advCompact, treeexec.KernelBranchy, nil},
+		{"compact-fused", advCompact, treeexec.KernelFused, nil},
+		{"compact-simd", advCompact, treeexec.KernelSIMD, nil},
+		{"compact-simd16", advCompact, treeexec.KernelSIMD, []int{16}},
+		{"compact-simdquant", advCompact, treeexec.KernelSIMDQuant, []int{4, 8}},
 	} {
 		arena := arena
-		for _, width := range []int{1, 2, 4, 8} {
+		widths := arena.widths
+		if widths == nil {
+			widths = []int{1, 2, 4, 8}
+		}
+		for _, width := range widths {
 			width := width
 			b.Run(fmt.Sprintf("adversarial/magic/%s/x%d/w1", arena.tag, width), func(b *testing.B) {
 				arena.e.SetInterleave(width)

@@ -19,6 +19,7 @@
 //	flintbench -batchjson BENCH_batch.json
 //	flintbench -batchjson BENCH_fused.json -kernel fused
 //	flintbench -batchjson BENCH_simd.json -kernel simd
+//	flintbench -laddermd BENCH_batch.json
 //	flintbench -trenddiff old/BENCH_batch.json BENCH_batch.json
 //	flintbench -trendhistory run4.json run3.json run2.json run1.json BENCH_batch.json
 //	flintbench -emit out/ -emitdataset magic
@@ -65,7 +66,9 @@ func main() {
 		auditJSON = flag.String("audit", "", "run the adversarial robustness audit (decision-path attack flip rate vs perturbation budget per workload), write JSON to this path and exit")
 		serveJSON = flag.String("servebench", "", "run the HTTP serving bench (coalesced rows/s + p50/p99 latency per workload through internal/serve, every response verified against in-process Predict), write JSON to this path and exit")
 		auditRows = flag.Int("auditrows", 0, "test rows attacked per workload for -audit (0 = 150)")
-		kernel    = flag.String("kernel", "auto", "compact walk kernel for -batchjson: auto lets calibration pick, branchy|fused|simd pins it for A/B runs (the choice lands in the report's kernel column; simd runs the portable fallback where the host ISA lacks it)")
+		kernel    = flag.String("kernel", "auto", "compact walk kernel for -batchjson: auto lets calibration pick, branchy|fused|simd-quant|simd pins it for A/B runs (the choice lands in the report's kernel column; the simd kernels run the portable fallback where the host ISA lacks them)")
+		printISA  = flag.Bool("printisa", false, "print the vector ISA the SIMD kernels run natively on this host (treeexec.DetectedISA; \"none\" where only the portable fallback exists) and exit — CI uses it to decide whether the simd differential tests were required to execute")
+		laddermd  = flag.Bool("laddermd", false, "render a BENCH_batch.json report's per-candidate calibration ladders as a GitHub-markdown table (usage: flintbench -laddermd BENCH_batch.json) for the CI job summary and exit")
 		trenddiff = flag.Bool("trenddiff", false, "diff two BENCH_batch.json reports (usage: flintbench -trenddiff old.json new.json), print per-(workload, variant) rows/s deltas and exit")
 		trendhist = flag.Bool("trendhistory", false, "walk a chronological sequence of BENCH_batch.json reports (usage: flintbench -trendhistory oldest.json ... newest.json), print each (workload, variant) cell's rows/s trajectory and exit")
 		gatesFile = flag.String("gates", "", "persist host-wide interleave gates: load and install the gate table from this JSON file when it exists, otherwise calibrate this host and write it")
@@ -80,6 +83,15 @@ func main() {
 		}
 	}
 
+	if *printISA {
+		if isa := treeexec.DetectedISA(); isa != "" {
+			fmt.Println(isa)
+		} else {
+			fmt.Println("none")
+		}
+		return
+	}
+
 	if *machines {
 		printMachines()
 		return
@@ -87,6 +99,16 @@ func main() {
 
 	if *emitDir != "" {
 		if err := runEmit(*emitDir, *emitDS); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *laddermd {
+		if flag.NArg() != 1 {
+			log.Fatal("usage: flintbench -laddermd BENCH_batch.json")
+		}
+		if err := runLadderMarkdown(flag.Arg(0)); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -487,6 +509,24 @@ func runRobustAudit(path string, rows, auditRows int) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	return nil
+}
+
+// runLadderMarkdown reads a BENCH_batch.json report and prints its
+// per-candidate calibration ladders as one markdown table — the CI job
+// summary's view of every (width, kernel, refill) mode's measured
+// rows/s, winners starred, so losing kernels' trajectories stay
+// visible across PRs.
+func runLadderMarkdown(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep, err := bench.ReadBatchBenchJSON(f)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", path, err)
+	}
+	return bench.WriteLadderMarkdown(os.Stdout, rep)
 }
 
 // runTrendDiff aligns two BENCH_batch.json reports (typically the

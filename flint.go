@@ -86,56 +86,78 @@
 //     request traffic is at hand (the synthetic rows approximate range,
 //     not distribution).
 //
-// # Kernel selection: branchy, fused and SIMD on the compact arena
+// # Kernel selection: the four-kernel family on the compact arena
 //
-// The compact arena has three walk kernels producing bit-identical
-// predictions. The branchy kernel executes one data-dependent branch
-// per cursor per tree level (plus three slice loads per node); on deep
-// trained forests those branches are near 50/50 and the mispredict
-// flushes dominate. The fused kernel loads each node as a single
-// pre-packed 64-bit word (key | feature | children) and computes the
-// child index arithmetically — the same control-to-data-dependency
-// conversion FLInt performs on the comparison, applied to the child
-// select — so a walk mispredicts once per chain (the loop exit) instead
-// of once per level, at the price of a longer serial dependency per
-// step. Its quantizer is a branchless binary search. The SIMD kernel is
-// the fused step's vector form: on hosts with AVX2 it gathers 8
-// cursors' node words and 8 quantized keys per instruction and runs the
-// branch-free child select in vector registers, with a lockstep 8-lane
-// vector quantizer to match — 8 lanes per instruction instead of 8
-// instructions per group. Which kernel wins is a host and workload
+// The compact arena has four walk kernels producing bit-identical
+// predictions, ordered by how much of the walk they vectorize. The
+// branchy kernel executes one data-dependent branch per cursor per tree
+// level (plus three slice loads per node); on deep trained forests
+// those branches are near 50/50 and the mispredict flushes dominate.
+// The fused kernel loads each node as a single pre-packed 64-bit word
+// (key | feature | children) and computes the child index
+// arithmetically — the same control-to-data-dependency conversion FLInt
+// performs on the comparison, applied to the child select — so a walk
+// mispredicts once per chain (the loop exit) instead of once per level,
+// at the price of a longer serial dependency per step. Its quantizer is
+// a branchless binary search.
+//
+// The two SIMD kernels split the fused walk at its memory boundary. The
+// walk has two phases with opposite vector economics: quantization
+// (binary-search each feature value against its cut table) is lockstep
+// halving with no gathers on its critical path and one cut segment
+// shared by the whole group — it vectorizes cleanly — while the tree
+// walk itself needs one node-word gather per lane per level, and a
+// gather's latency is the latency of its slowest lane. KernelSIMDQuant
+// takes only the clean half: the 8-lane vector quantizer feeds the
+// scalar fused cascade, so it inherits the fused walk's gather-free
+// inner loop and wins wherever quantization (cost scaling with
+// features) is a large share of the row. KernelSIMD vectorizes both
+// phases: 8 cursors' node words and 8 quantized keys per gather, the
+// branch-free child select in vector registers. At width 16 it walks
+// two independent 8-lane groups software-pipelined — group A's gathers
+// issue, then group B's field-extract/compare/select executes while
+// A's loads are in flight, and vice versa — so every gather round-trip
+// overlaps a full level of independent ALU work, and a calibrated
+// lane-compaction threshold returns the walk to the driver when
+// occupancy drops, which retires finished lanes' votes and refills them
+// from the pending (tree, row) queue instead of walking a nearly-empty
+// group to its deepest lane. Which kernel wins is a host and workload
 // property, so the kernel is a calibrated dimension exactly like the
 // interleave width:
 //
 //   - At construction, engines pick the kernel from the gate table's
-//     CompactFusedMin/CompactSIMDMin byte thresholds (zero — every
-//     older table — keeps the kernel off; Calibrate measures them, and
-//     the SIMD gate outranks the fused gate where both apply).
+//     CompactFusedMin/CompactSIMDQuantMin/CompactSIMDMin byte
+//     thresholds (zero — every older table — keeps the kernel off;
+//     Calibrate measures them, and more aggressive kernels' gates
+//     outrank less aggressive ones where both apply; CompactSIMD16Min
+//     gates the dual-group width within the SIMD kernel).
 //   - Every calibration pass (CalibrateInterleave,
 //     CalibrateInterleaveRows, Batcher.Recalibrate) times each
-//     interleave width under every competing kernel and installs the
-//     winning (width, kernel) pair as one atomic unit, so recalibrating
-//     under live Batcher traffic can never mix a width measured under
-//     one kernel with another.
+//     interleave width under every competing kernel — plus the width-16
+//     dual-group walk with lane compaction off and on — and installs
+//     the winning (width, kernel, compaction) triple as one atomic
+//     unit, so recalibrating under live Batcher traffic can never mix a
+//     width measured under one kernel with another.
 //   - engine.SetKernel forces and pins a kernel (subsequent calibration
 //     then times widths under it alone) — the A/B switch behind
 //     flintbench's -kernel flag; engine.Kernel reports the current one.
-//   - Persistence round-trips the pair: SaveCalibration records the
-//     kernel next to the width, LoadCalibration restores both (records
-//     written before the kernel axis existed load as branchy — the only
-//     kernel those deployments ever ran).
+//   - Persistence round-trips the triple: SaveCalibration records the
+//     kernel and compaction threshold next to the width, LoadCalibration
+//     restores them (records written before the kernel axis existed
+//     load as branchy — the only kernel those deployments ever ran).
 //
 // ISA gating and the portable fallback: DetectedISA reports the vector
-// instruction set the SIMD kernel runs natively here ("avx2", or ""
+// instruction set the SIMD kernels run natively here ("avx2", or ""
 // where there is none — non-amd64 builds, the noasm build tag, or
-// amd64 hosts without AVX2). Calibration only competes the SIMD kernel
-// where DetectedISA is non-empty; elsewhere it never volunteers it,
-// and a persisted "simd" calibration record loads as branchy with
+// amd64 hosts without AVX2). Calibration only competes the SIMD
+// kernels where DetectedISA is non-empty; elsewhere it never
+// volunteers them, and a persisted "simd" or "simd-quant" calibration
+// record loads as branchy (a width-16 record narrows to 8) with
 // CalibrationSource reporting "persisted-degraded". Pinning KernelSIMD
-// by hand still works on every host — it runs a portable lane-parallel
-// Go form with identical predictions (the differential-test contract),
-// it just stops being fast — so A/B tooling behaves the same
-// everywhere.
+// or KernelSIMDQuant by hand still works on every host — they run
+// portable lane-parallel Go forms with identical predictions (the
+// differential-test contract), they just stop being fast — so A/B
+// tooling behaves the same everywhere.
 //
 // # The adaptive serving lifecycle: reservoir → recalibrate → persist
 //
@@ -468,8 +490,11 @@ type InterleaveGates = treeexec.InterleaveGates
 // Kernel selects how the compact arena's batch kernel resolves each
 // node's child: KernelBranchy compares and branches per level,
 // KernelFused loads the node as one pre-packed word and computes the
-// child branch-free, KernelSIMD runs that branch-free step 8 lanes per
-// instruction in vector registers where the host ISA allows (see the
+// child branch-free, KernelSIMDQuant vectorizes only the quantizer (the
+// gather-free half of the walk) and runs the fused cascade scalar, and
+// KernelSIMD runs the branch-free step 8 lanes per instruction in
+// vector registers where the host ISA allows — two software-pipelined
+// 8-lane groups with lane compaction at interleave width 16 (see the
 // package doc's kernel-selection section). All produce bit-identical
 // predictions; calibration picks the fastest alongside the interleave
 // width, and FlatEngine.SetKernel pins a choice for A/B measurement.
@@ -478,20 +503,21 @@ type Kernel = treeexec.Kernel
 // The compact walk kernels, plus the KernelAuto sentinel that clears a
 // SetKernel pin (handing the choice back to calibration).
 const (
-	KernelBranchy = treeexec.KernelBranchy
-	KernelFused   = treeexec.KernelFused
-	KernelSIMD    = treeexec.KernelSIMD
-	KernelAuto    = treeexec.KernelAuto
+	KernelBranchy   = treeexec.KernelBranchy
+	KernelFused     = treeexec.KernelFused
+	KernelSIMDQuant = treeexec.KernelSIMDQuant
+	KernelSIMD      = treeexec.KernelSIMD
+	KernelAuto      = treeexec.KernelAuto
 )
 
-// ParseKernel maps a kernel name ("branchy", "fused", "simd", or the
-// legacy empty string meaning branchy) to its constant.
+// ParseKernel maps a kernel name ("branchy", "fused", "simd-quant",
+// "simd", or the legacy empty string meaning branchy) to its constant.
 func ParseKernel(name string) (Kernel, error) { return treeexec.ParseKernel(name) }
 
-// DetectedISA reports the vector instruction set the SIMD kernel
-// executes natively on this host ("avx2"), or "" where only its
-// portable fallback is available and calibration therefore never
-// selects it.
+// DetectedISA reports the vector instruction set the SIMD kernels
+// execute natively on this host ("avx2"), or "" where only their
+// portable fallbacks are available and calibration therefore never
+// selects them.
 func DetectedISA() string { return treeexec.DetectedISA() }
 
 // Compactable reports whether a forest fits the compact SoA arena's

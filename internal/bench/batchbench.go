@@ -32,9 +32,9 @@ type BatchBench struct {
 	// Seed drives dataset synthesis and training; 0 selects 1.
 	Seed int64
 	// Kernel forces the compact walk kernel for A/B runs: "branchy",
-	// "fused" or "simd" pins it (the interleave width is then calibrated
-	// under that kernel alone), "" or "auto" lets calibration pick the
-	// (width, kernel) pair.
+	// "fused", "simd-quant" or "simd" pins it (the interleave width is
+	// then calibrated under that kernel alone), "" or "auto" lets
+	// calibration pick the (width, kernel) pair.
 	Kernel string
 }
 
@@ -51,8 +51,8 @@ type BatchBenchRow struct {
 	// Interleave is the batch kernel's cursor count (arena variants).
 	Interleave int `json:"interleave,omitempty"`
 	// Kernel is the walk kernel the row was measured with ("branchy",
-	// "fused" or "simd") — chosen by calibration, or pinned by an A/B
-	// run's BatchBench.Kernel. Arena variants only.
+	// "fused", "simd-quant" or "simd") — chosen by calibration, or pinned
+	// by an A/B run's BatchBench.Kernel. Arena variants only.
 	Kernel string `json:"kernel,omitempty"`
 	// ISA is the vector instruction set the SIMD kernel runs natively on
 	// the measuring host (treeexec.DetectedISA, e.g. "avx2"; empty where
@@ -73,6 +73,12 @@ type BatchBenchRow struct {
 	// construction-time gates), so a recorded width can be traced to its
 	// evidence. Arena variants only.
 	CalibSource string `json:"calib_source,omitempty"`
+	// Ladder is the full per-candidate calibration timing table — rows/s
+	// for every (width, kernel, refill) mode the ladder measured, winner
+	// flagged — so losing kernels' trajectories stay visible across PRs
+	// instead of disappearing behind the winner's gate. Arena variants
+	// only; absent on rows recorded before it existed.
+	Ladder []treeexec.ModeTiming `json:"ladder,omitempty"`
 }
 
 // BatchBenchReport is the BENCH_batch.json document.
@@ -216,7 +222,12 @@ func (c BatchBench) Run() (*BatchBenchReport, error) {
 				// the forced kernel, which is the pair an A/B run wants.
 				e.SetKernel(forceKernel)
 			}
-			e.CalibrateInterleaveRows(rows, 2*c.MinDuration)
+			// 4x the per-variant budget: the compact slate is up to 18
+			// candidates (four kernels x four widths plus the width-16
+			// walk's compaction pair), and the report's whole point is
+			// the full ladder — a starved budget drops exactly the
+			// trailing (newest) candidates from the record.
+			_, ladder := e.CalibrateInterleaveRowsLadder(rows, 4*c.MinDuration)
 			pool := treeexec.NewBatcher(e, c.Workers, 0)
 			out := make([]int32, len(rows))
 			rps, err := c.timeRows(func() (int, error) {
@@ -236,6 +247,7 @@ func (c BatchBench) Run() (*BatchBenchReport, error) {
 				Kernel:      e.Kernel().String(),
 				ISA:         treeexec.DetectedISA(),
 				CalibSource: e.CalibrationSource(),
+				Ladder:      ladder,
 			}
 			if nodes > 0 {
 				row.BytesPerNode = float64(bytes) / float64(nodes)

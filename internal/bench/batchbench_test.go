@@ -73,8 +73,31 @@ func TestBatchBenchRun(t *testing.T) {
 		if flat.Kernel != "branchy" {
 			t.Errorf("%s: flat kernel = %q, want branchy", ds, flat.Kernel)
 		}
-		if compact.Kernel != "branchy" && compact.Kernel != "fused" {
+		switch compact.Kernel {
+		case "branchy", "fused", "simd-quant", "simd":
+		default:
 			t.Errorf("%s: compact kernel = %q", ds, compact.Kernel)
+		}
+		// The compact row carries the full calibration ladder — losing
+		// candidates included, exactly one flagged winner — while the
+		// per-tree baseline (which never calibrates) carries none.
+		if len(compact.Ladder) == 0 {
+			t.Errorf("%s: compact row has no calibration ladder", ds)
+		}
+		winners := 0
+		for _, mt := range compact.Ladder {
+			if mt.RowsPerSec <= 0 {
+				t.Errorf("%s: ladder entry %+v has non-positive rows/s", ds, mt)
+			}
+			if mt.Winner {
+				winners++
+			}
+		}
+		if len(compact.Ladder) > 0 && winners != 1 {
+			t.Errorf("%s: ladder has %d winners, want 1", ds, winners)
+		}
+		if base, ok := perDS[ds]["flint"]; ok && len(base.Ladder) != 0 {
+			t.Errorf("%s: per-tree baseline row carries a ladder", ds)
 		}
 	}
 	// The report carries the measured per-variant gate table (monotone
@@ -106,7 +129,7 @@ func TestBatchBenchRun(t *testing.T) {
 // have no fused form), and an unknown kernel name errors out instead of
 // silently measuring the default.
 func TestBatchBenchForcedKernel(t *testing.T) {
-	for _, kernel := range []string{"branchy", "fused", "simd"} {
+	for _, kernel := range []string{"branchy", "fused", "simd-quant", "simd"} {
 		rep, err := BatchBench{
 			Rows: 300, Trees: 4, Depth: 6, Workers: 1,
 			MinDuration: time.Millisecond, Kernel: kernel,
@@ -122,6 +145,14 @@ func TestBatchBenchForcedKernel(t *testing.T) {
 				}
 				if r.ISA != treeexec.DetectedISA() {
 					t.Errorf("%s/%s: isa = %q, want %q", r.Dataset, r.Variant, r.ISA, treeexec.DetectedISA())
+				}
+				// A pinned kernel restricts the whole ladder to that
+				// kernel's candidates: the width is timed under the pair
+				// an A/B run asked for.
+				for _, mt := range r.Ladder {
+					if mt.Kernel != kernel {
+						t.Errorf("%s/%s: forced %q but ladder times %q", r.Dataset, r.Variant, kernel, mt.Kernel)
+					}
 				}
 			case "flat-flint":
 				if r.Kernel != "branchy" {

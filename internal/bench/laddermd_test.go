@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"flint/internal/treeexec"
+)
+
+// TestWriteLadderMarkdown pins the job-summary table's shape: one row
+// per ladder candidate with the winner starred, refill rendered only
+// where the candidate has one, ladder-less rows contributing nothing,
+// and a ladder-less report degrading to a note rather than a header
+// with no body.
+func TestWriteLadderMarkdown(t *testing.T) {
+	rep := trendReport(
+		BatchBenchRow{Dataset: "magic", Variant: "flint", RowsPerSec: 100},
+		BatchBenchRow{
+			Dataset: "magic", Variant: "flat-compact", RowsPerSec: 900,
+			Ladder: []treeexec.ModeTiming{
+				{Width: 8, Kernel: "fused", RowsPerSec: 900, Winner: true},
+				{Width: 16, Kernel: "simd", Refill: 6, RowsPerSec: 450},
+			},
+		},
+	)
+	var buf bytes.Buffer
+	if err := WriteLadderMarkdown(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"| workload | variant | mode | rows/s | winner |",
+		"| magic | flat-compact | x8 fused | 900 | ★ |",
+		"| magic | flat-compact | x16 simd refill=6 | 450 |  |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "★"); got != 1 {
+		t.Errorf("%d winners starred, want 1:\n%s", got, out)
+	}
+	if strings.Contains(out, "| magic | flint |") {
+		t.Errorf("ladder-less baseline row rendered:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := WriteLadderMarkdown(&buf, trendReport(
+		BatchBenchRow{Dataset: "wine", Variant: "flat-compact", RowsPerSec: 1},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no calibration ladders") {
+		t.Errorf("ladder-less report did not degrade to the note:\n%s", buf.String())
+	}
+}

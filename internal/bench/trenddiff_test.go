@@ -2,8 +2,11 @@ package bench
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
+
+	"flint/internal/treeexec"
 )
 
 func trendReport(rows ...BatchBenchRow) *BatchBenchReport {
@@ -132,6 +135,10 @@ func TestReadBatchBenchJSONRoundTrip(t *testing.T) {
 	rep := trendReport(BatchBenchRow{
 		Dataset: "gas", Variant: "flat-compact", RowsPerSec: 12345,
 		ArenaNodes: 10, ArenaBytes: 160, PrunedFeatures: 37, NumFeatures: 128,
+		Ladder: []treeexec.ModeTiming{
+			{Width: 8, Kernel: "fused", RowsPerSec: 12345, Winner: true},
+			{Width: 16, Kernel: "simd", Refill: 6, RowsPerSec: 9000},
+		},
 	})
 	rep.Config.Rows = 600
 	var buf bytes.Buffer
@@ -142,7 +149,7 @@ func TestReadBatchBenchJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(back.Results) != 1 || back.Results[0] != rep.Results[0] || back.Config.Rows != 600 {
+	if len(back.Results) != 1 || !reflect.DeepEqual(back.Results[0], rep.Results[0]) || back.Config.Rows != 600 {
 		t.Errorf("round trip = %+v", back)
 	}
 	if _, err := ReadBatchBenchJSON(strings.NewReader("{not json")); err == nil {

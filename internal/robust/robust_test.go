@@ -182,9 +182,14 @@ func TestAdversarialRowsServeBitConsistently(t *testing.T) {
 		want[i] = ref.Predict(x)
 	}
 	out := make([]int32, len(adv))
-	for _, k := range []treeexec.Kernel{treeexec.KernelBranchy, treeexec.KernelFused, treeexec.KernelSIMD} {
+	for _, k := range []treeexec.Kernel{treeexec.KernelBranchy, treeexec.KernelFused, treeexec.KernelSIMDQuant, treeexec.KernelSIMD} {
 		e.SetKernel(k)
-		for _, width := range []int{1, 2, 4, 8} {
+		widths := []int{1, 2, 4, 8}
+		if k == treeexec.KernelSIMD {
+			// The dual-group streaming walk exists only under simd.
+			widths = append(widths, 16)
+		}
+		for _, width := range widths {
 			e.SetInterleave(width)
 			e.PredictBatch(adv, out, 2, 16)
 			for i := range adv {

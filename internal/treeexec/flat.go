@@ -98,21 +98,23 @@ type FlatForestEngine struct {
 
 	numClasses  int
 	numFeatures int
-	// mode packs the batch kernel's cursor count (1, 2, 4 or 8, low
-	// byte) together with the compact walk kernel (branchy or fused,
-	// next byte), selected at construction from the calibrated gates and
-	// the arena footprint; SetInterleave/SetKernel and the calibration
-	// passes override it. It is one atomic word because recalibration
-	// (Batcher.Recalibrate on sampled traffic, or an explicit
-	// CalibrateInterleaveRows) may install a new pair while Batcher
-	// workers are mid-batch: every (width, kernel) pair produces
-	// identical predictions, so a worker racing the store merely
-	// finishes its block at the old pair — and because the pair travels
-	// in one word, a worker can never observe a width measured under one
-	// kernel combined with the other.
+	// mode packs the batch kernel's cursor count (1, 2, 4, 8 — or 16
+	// for the dual-group SIMD walk; low byte) together with the compact
+	// walk kernel (branchy, fused, simd-quant or simd; next byte) and
+	// the width-16 walk's lane compaction threshold (third byte, 0 =
+	// kernel default), selected at construction from the calibrated
+	// gates and the arena footprint; SetInterleave/SetKernel and the
+	// calibration passes override it. It is one atomic word because
+	// recalibration (Batcher.Recalibrate on sampled traffic, or an
+	// explicit CalibrateInterleaveRows) may install a new tuple while
+	// Batcher workers are mid-batch: every mode produces identical
+	// predictions, so a worker racing the store merely finishes its
+	// block at the old tuple — and because the tuple travels in one
+	// word, a worker can never observe a width measured under one kernel
+	// combined with the other.
 	mode atomic.Int32
 	// kernelPin, when non-zero, pins calibration to one kernel
-	// (SetKernel): 1 = branchy, 2 = fused, 3 = simd.
+	// (SetKernel): 1 = branchy, 2 = fused, 3 = simd-quant, 4 = simd.
 	kernelPin atomic.Int32
 	// calibSource records where the current mode came from (see the
 	// calibSource* constants); CalibrationSource decodes it for reports.
@@ -142,7 +144,8 @@ func NewFlat(f *rf.Forest, v FlatVariant) (*FlatForestEngine, error) {
 				return nil, err
 			}
 			g := CurrentInterleaveGates()
-			e.mode.Store(packMode(g.widthFor(e.variant, e.ArenaBytes()), g.kernelFor(e.variant, e.ArenaBytes())))
+			w, k := g.modeFor(e.variant, e.ArenaBytes())
+			e.mode.Store(packMode(w, k))
 			return e, nil
 		}
 	}
@@ -466,27 +469,35 @@ const DefaultBlockRows = 16
 // flatScratch is the per-worker working set of the batch kernel: encode
 // or quantize buffers for one interleaved group of rows and the group's
 // vote-count tallies, allocated once at pool construction so the steady
-// state allocates nothing. Buffers are sized for the widest (8-way)
-// interleave so a later SetInterleave/CalibrateInterleave never forces
-// a reallocation.
+// state allocates nothing. Buffers are sized for the widest interleave
+// the variant supports (8-way scalar, 16-lane dual-group SIMD on the
+// compact arena) so a later SetInterleave/CalibrateInterleave never
+// forces a reallocation.
 type flatScratch struct {
 	enc   []int32  // 8*numFeatures raw bit patterns (FLInt/Float32)
 	keys  []uint32 // numFeatures precoded keys (FlatPrecoded only)
-	q     []uint16 // 8*numPruned quantized ranks (FlatCompact only)
-	votes []int32  // 8*numClasses vote counts (spilled when classes > 8)
+	q     []uint16 // 16*numPruned quantized ranks + pad (FlatCompact only)
+	votes []int32  // vote counts (spilled when classes > maxStackClasses)
 }
 
 func (e *FlatForestEngine) newScratch() *flatScratch {
-	s := &flatScratch{votes: make([]int32, 8*e.numClasses)}
+	s := &flatScratch{}
 	switch e.variant {
 	case FlatPrecoded:
+		s.votes = make([]int32, 8*e.numClasses)
 		s.keys = make([]uint32, e.numFeatures)
 	case FlatCompact:
-		// Two padding elements past the 8 rank lanes: the SIMD kernel's
-		// key gathers load 32 bits per 16-bit rank, so the last lane's
-		// last element would otherwise read past the allocation.
-		s.q = make([]uint16, 8*e.numPruned+2)
+		// 16 rank lanes for the dual-group SIMD walk (the scalar kernels
+		// use the first 8), plus two padding elements past the last
+		// lane: the SIMD kernel's key gathers load 32 bits per 16-bit
+		// rank, so the last lane's last element would otherwise read
+		// past the allocation. TestSIMDScratchOverreadPad places a
+		// buffer of exactly this size flush against an unmapped guard
+		// page, so silently shrinking the pad faults the test.
+		s.votes = make([]int32, 16*e.numClasses)
+		s.q = make([]uint16, 16*e.numPruned+2)
 	default:
+		s.votes = make([]int32, 8*e.numClasses)
 		s.enc = make([]int32, 8*e.numFeatures)
 	}
 	return s
@@ -505,16 +516,23 @@ func (e *FlatForestEngine) newScratch() *flatScratch {
 // follow-on.
 func (e *FlatForestEngine) predictBlock(rows [][]float32, out []int32, s *flatScratch) {
 	m := e.mode.Load()
-	e.predictBlockWidth(rows, out, s, modeWidth(m), modeKernel(m))
+	e.predictBlockMode(rows, out, s, modeWidth(m), modeKernel(m), modeRefill(m))
 }
 
-// predictBlockWidth is predictBlock at an explicit interleave width and
-// kernel, bypassing the engine's atomic mode field. It exists so
-// calibration (timeWidths) can time every candidate (width, kernel)
-// pair without mutating shared engine state while Batcher workers are
+// predictBlockWidth is predictBlockMode with the kernel-default lane
+// compaction policy — the form differential tests exercise, since the
+// compaction threshold changes scheduling, never answers.
+func (e *FlatForestEngine) predictBlockWidth(rows [][]float32, out []int32, s *flatScratch, width int, k Kernel) {
+	e.predictBlockMode(rows, out, s, width, k, 0)
+}
+
+// predictBlockMode is predictBlock at an explicit interleave width,
+// kernel and compaction threshold, bypassing the engine's atomic mode
+// field. It exists so calibration (timeModes) can time every candidate
+// mode without mutating shared engine state while Batcher workers are
 // in flight; the serving path loads the atomic once per block and
 // funnels through here.
-func (e *FlatForestEngine) predictBlockWidth(rows [][]float32, out []int32, s *flatScratch, width int, k Kernel) {
+func (e *FlatForestEngine) predictBlockMode(rows [][]float32, out []int32, s *flatScratch, width int, k Kernel, refill int32) {
 	nf := e.numFeatures
 	nc := e.numClasses
 	switch {
@@ -530,8 +548,12 @@ func (e *FlatForestEngine) predictBlockWidth(rows [][]float32, out []int32, s *f
 			}
 			out[b] = rf.Argmax(votes)
 		}
+	case e.variant == FlatCompact && k == KernelSIMD && width >= simdWidth16:
+		e.predictBlockCompactSIMD16(rows, out, s, refill)
 	case e.variant == FlatCompact && k == KernelSIMD:
 		e.predictBlockCompactSIMD(rows, out, s, width)
+	case e.variant == FlatCompact && k == KernelSIMDQuant:
+		e.predictBlockCompactSIMDQuant(rows, out, s, width)
 	case e.variant == FlatCompact && k == KernelFused:
 		e.predictBlockCompactFused(rows, out, s, width)
 	case e.variant == FlatCompact:

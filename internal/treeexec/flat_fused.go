@@ -215,6 +215,15 @@ func (e *FlatForestEngine) quantizeKeysFused(dst []uint16, keys []uint32) {
 // identical group structure and scratch layout, with the branchless
 // quantizer and the branch-free interleaved walks.
 func (e *FlatForestEngine) predictBlockCompactFused(rows [][]float32, out []int32, s *flatScratch, width int) {
+	e.predictBlockCompactFusedQ(rows, out, s, width, false)
+}
+
+// predictBlockCompactFusedQ is the fused block loop with a selectable
+// quantizer: simdQ false runs the scalar branchless search per (row,
+// feature); simdQ true ranks each feature's whole group in one 8-lane
+// vector search (the KernelSIMDQuant hybrid — see flat_simd16.go).
+// Both produce identical ranks, so the walks downstream are untouched.
+func (e *FlatForestEngine) predictBlockCompactFusedQ(rows [][]float32, out []int32, s *flatScratch, width int, simdQ bool) {
 	nq := e.numPruned
 	nc := e.numClasses
 	b := 0
@@ -225,7 +234,11 @@ func (e *FlatForestEngine) predictBlockCompactFused(rows [][]float32, out []int3
 		}
 		var cls [8]int32
 		for ; b+8 <= len(rows); b += 8 {
-			e.quantizeBlockFused(rows[b:b+8], s.q)
+			if simdQ {
+				e.quantizeBlockSIMD(rows[b:b+8], s.q)
+			} else {
+				e.quantizeBlockFused(rows[b:b+8], s.q)
+			}
 			var stack [8][maxStackClasses]int32
 			lanes := voteLanes(&stack, s.votes, nc, 8)
 			for _, root := range e.roots {
@@ -248,7 +261,11 @@ func (e *FlatForestEngine) predictBlockCompactFused(rows [][]float32, out []int3
 		q0, q1 := s.q[0*nq:1*nq], s.q[1*nq:2*nq]
 		q2, q3 := s.q[2*nq:3*nq], s.q[3*nq:4*nq]
 		for ; b+4 <= len(rows); b += 4 {
-			e.quantizeBlockFused(rows[b:b+4], s.q)
+			if simdQ {
+				e.quantizeBlockSIMD(rows[b:b+4], s.q)
+			} else {
+				e.quantizeBlockFused(rows[b:b+4], s.q)
+			}
 			var stack [8][maxStackClasses]int32
 			lanes := voteLanes(&stack, s.votes, nc, 4)
 			for _, root := range e.roots {
@@ -267,7 +284,11 @@ func (e *FlatForestEngine) predictBlockCompactFused(rows [][]float32, out []int3
 	if width >= 2 {
 		q0, q1 := s.q[0*nq:1*nq], s.q[1*nq:2*nq]
 		for ; b+2 <= len(rows); b += 2 {
-			e.quantizeBlockFused(rows[b:b+2], s.q)
+			if simdQ {
+				e.quantizeBlockSIMD(rows[b:b+2], s.q)
+			} else {
+				e.quantizeBlockFused(rows[b:b+2], s.q)
+			}
 			var stack [8][maxStackClasses]int32
 			lanes := voteLanes(&stack, s.votes, nc, 2)
 			for _, root := range e.roots {
@@ -281,7 +302,11 @@ func (e *FlatForestEngine) predictBlockCompactFused(rows [][]float32, out []int3
 	}
 	q := s.q[:nq]
 	for ; b < len(rows); b++ {
-		e.quantizeBlockFused(rows[b:b+1], q)
+		if simdQ {
+			e.quantizeBlockSIMD(rows[b:b+1], q)
+		} else {
+			e.quantizeBlockFused(rows[b:b+1], q)
+		}
 		var stack [8][maxStackClasses]int32
 		lanes := voteLanes(&stack, s.votes, nc, 1)
 		for _, root := range e.roots {

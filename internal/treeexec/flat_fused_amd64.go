@@ -71,8 +71,24 @@ func fusedRank8(cuts []uint32, lo, n int32, keys *[8]uint32, ranks *[8]uint16) {
 	fusedRank8Go(cuts, lo, n, keys, ranks)
 }
 
+func fusedWalk16(nodes []uint64, q []uint16, st *simdWalk16, minActive int32) {
+	// minActive < 1 would never terminate once every lane finishes
+	// (0 < 0 fails the early-exit test); clamp before either form.
+	if minActive < 1 {
+		minActive = 1
+	}
+	if hasAVX2 {
+		fusedWalk16AVX2(nodes, q, st, minActive)
+		return
+	}
+	fusedWalk16Go(nodes, q, st, minActive)
+}
+
 //go:noescape
 func fusedWalk8AVX2(nodes []uint64, base int32, q []uint16, nq int32, cur *[8]int32)
+
+//go:noescape
+func fusedWalk16AVX2(nodes []uint64, q []uint16, st *simdWalk16, minActive int32)
 
 //go:noescape
 func fusedRank8AVX2(cuts []uint32, lo, n int32, keys *[8]uint32, ranks *[8]uint16)

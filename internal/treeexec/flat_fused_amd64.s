@@ -176,6 +176,144 @@ rankfinal:
 	VZEROUPPER
 	RET
 
+// func fusedWalk16AVX2(nodes []uint64, q []uint16, st *simdWalk16, minActive int32)
+//
+// Software-pipelined dual-group fused walk: two independent 8-lane
+// groups A (st lanes 0..7) and B (lanes 8..15) step together, with the
+// instruction stream interleaved so group B's field extraction, rank
+// gather and child select issue while group A's node gathers are in
+// flight, and vice versa — four independent VPGATHERDQ per level
+// instead of two, doubling the work the out-of-order core can overlap
+// with each gather round-trip.
+//
+// Unlike fusedWalk8AVX2, base and the rank offset are per-lane vectors
+// (st.base, st.qoff): the streaming driver refills finished lanes with
+// new (tree, row) pairs, so lanes of one group walk different trees.
+// Per level, for the active lanes of each group:
+//
+//	w    = nodes[base+cur]                  (VPGATHERDQ ×2)
+//	key  = w & 0xffff; feat = (w>>16)&0xffff
+//	qv   = q[qoff + feat]                   (VPGATHERDD, scale 2)
+//	b    = (key - qv) >> 31
+//	cur  = int16(kids >> (b<<4))            (VPSRLVD + sign-extend)
+//
+// The walk returns when the total active-lane count across both groups
+// drops below minActive (>= 1, clamped by the Go dispatch) so the
+// driver can retire votes and refill — lane compaction in scheduling
+// space. State at return matches fusedWalk16Go exactly: every level
+// steps all active lanes once, so the two forms agree mid-walk.
+//
+// Register plan — persistent: Y0/Y1 curA/curB, Y2/Y3 baseA/baseB,
+// Y4/Y5 qoffA/qoffB, Y13 all-ones, Y14 0xffff. Scratch: Y6..Y12, Y15;
+// active masks are recomputed before each use rather than kept live,
+// which is what makes the dual state fit the 16-register file.
+TEXT ·fusedWalk16AVX2(SB), NOSPLIT, $0-60
+	MOVQ nodes_base+0(FP), DI
+	MOVQ q_base+24(FP), SI
+	MOVQ st+48(FP), R8
+	MOVL minActive+56(FP), R9
+
+	VPCMPEQD Y13, Y13, Y13             // all ones (-1 dwords)
+	VPSRLD   $16, Y13, Y14             // 0x0000ffff
+
+	VMOVDQU (R8), Y0                   // curA
+	VMOVDQU 32(R8), Y1                 // curB
+	VMOVDQU 64(R8), Y2                 // baseA
+	VMOVDQU 96(R8), Y3                 // baseB
+	VMOVDQU 128(R8), Y4                // qoffA
+	VMOVDQU 160(R8), Y5                // qoffB
+
+walk16loop:
+	// Occupancy check: 4 mask bits per active dword lane, both groups.
+	VPCMPGTD  Y13, Y0, Y6              // activeA: cur > -1
+	VPCMPGTD  Y13, Y1, Y7              // activeB
+	VPMOVMSKB Y6, AX
+	VPMOVMSKB Y7, BX
+	POPCNTL   AX, AX
+	POPCNTL   BX, BX
+	ADDL      BX, AX
+	SHRL      $2, AX                   // byte count -> lane count
+	CMPL      AX, R9
+	JL        walk16done
+
+	// Group A node gathers (masks sign-extended per qword half; each
+	// gather clobbers its mask, so each gets its own copy).
+	VPADDD       Y2, Y0, Y8            // idxA = baseA + curA
+	VPMOVSXDQ    X6, Y9
+	VPXOR        Y11, Y11, Y11
+	VPGATHERDQ   Y9, (DI)(X8*8), Y11   // A words, lanes 0..3
+	VEXTRACTI128 $1, Y6, X10
+	VPMOVSXDQ    X10, Y10
+	VEXTRACTI128 $1, Y8, X9
+	VPXOR        Y12, Y12, Y12
+	VPGATHERDQ   Y10, (DI)(X9*8), Y12  // A words, lanes 4..7
+
+	// Group B node gathers — independent of A's, issued immediately so
+	// all four qword gathers are in flight together.
+	VPADDD       Y3, Y1, Y8            // idxB = baseB + curB
+	VPMOVSXDQ    X7, Y9
+	VPXOR        Y15, Y15, Y15
+	VPGATHERDQ   Y9, (DI)(X8*8), Y15   // B words, lanes 0..3
+	VEXTRACTI128 $1, Y7, X10
+	VPMOVSXDQ    X10, Y10
+	VEXTRACTI128 $1, Y8, X9
+	VPXOR        Y7, Y7, Y7
+	VPGATHERDQ   Y10, (DI)(X9*8), Y7   // B words, lanes 4..7
+
+	// A: compress word pairs, issue the rank gather. B's node gathers
+	// are still in flight underneath this block.
+	VSHUFPS    $0x88, Y12, Y11, Y8
+	VPERMQ     $0xD8, Y8, Y8           // kfA = key | feat<<16
+	VSHUFPS    $0xDD, Y12, Y11, Y9
+	VPERMQ     $0xD8, Y9, Y9           // kidsA
+	VPAND      Y14, Y8, Y10            // keyA
+	VPSRLD     $16, Y8, Y8
+	VPADDD     Y4, Y8, Y8              // rank index A = qoffA + featA
+	VPCMPGTD   Y13, Y0, Y6             // activeA, fresh copy as mask
+	VPXOR      Y11, Y11, Y11
+	VPGATHERDD Y6, (SI)(Y8*2), Y11     // qvA (32-bit loads, scale 2)
+
+	// B: compress and issue its rank gather while A's is in flight.
+	VSHUFPS    $0x88, Y7, Y15, Y8
+	VPERMQ     $0xD8, Y8, Y8           // kfB
+	VSHUFPS    $0xDD, Y7, Y15, Y12
+	VPERMQ     $0xD8, Y12, Y12         // kidsB
+	VPAND      Y14, Y8, Y15            // keyB
+	VPSRLD     $16, Y8, Y8
+	VPADDD     Y5, Y8, Y8              // rank index B = qoffB + featB
+	VPCMPGTD   Y13, Y1, Y6             // activeB, fresh copy as mask
+	VPXOR      Y7, Y7, Y7
+	VPGATHERDD Y6, (SI)(Y8*2), Y7      // qvB
+
+	// A: child select + masked cursor blend.
+	VPAND     Y14, Y11, Y11            // qvA
+	VPSUBD    Y11, Y10, Y10            // keyA - qvA
+	VPSRLD    $31, Y10, Y10            // b: 1 iff qvA > keyA
+	VPSLLD    $4, Y10, Y10             // shift = b * 16
+	VPSRLVD   Y10, Y9, Y9              // kidsA >> shift
+	VPSLLD    $16, Y9, Y9
+	VPSRAD    $16, Y9, Y9              // sign-extend the int16 child
+	VPCMPGTD  Y13, Y0, Y6
+	VPBLENDVB Y6, Y9, Y0, Y0           // step active A lanes only
+
+	// B: child select + masked cursor blend.
+	VPAND     Y14, Y7, Y7              // qvB
+	VPSUBD    Y7, Y15, Y15             // keyB - qvB
+	VPSRLD    $31, Y15, Y15
+	VPSLLD    $4, Y15, Y15
+	VPSRLVD   Y15, Y12, Y12            // kidsB >> shift
+	VPSLLD    $16, Y12, Y12
+	VPSRAD    $16, Y12, Y12
+	VPCMPGTD  Y13, Y1, Y6
+	VPBLENDVB Y6, Y12, Y1, Y1          // step active B lanes only
+	JMP       walk16loop
+
+walk16done:
+	VMOVDQU Y0, (R8)
+	VMOVDQU Y1, 32(R8)
+	VZEROUPPER
+	RET
+
 // func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 TEXT ·cpuid(SB), NOSPLIT, $0-24
 	MOVL leaf+0(FP), AX

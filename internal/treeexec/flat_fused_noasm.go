@@ -19,3 +19,11 @@ func fusedWalk8(nodes []uint64, base int32, q []uint16, nq int32, cur *[8]int32)
 func fusedRank8(cuts []uint32, lo, n int32, keys *[8]uint32, ranks *[8]uint16) {
 	fusedRank8Go(cuts, lo, n, keys, ranks)
 }
+
+func fusedWalk16(nodes []uint64, q []uint16, st *simdWalk16, minActive int32) {
+	// Same clamp as the amd64 dispatch: minActive < 1 never terminates.
+	if minActive < 1 {
+		minActive = 1
+	}
+	fusedWalk16Go(nodes, q, st, minActive)
+}

@@ -367,9 +367,15 @@ func TestSkewedDepthFinishDrains(t *testing.T) {
 	for i, x := range rows {
 		want[i] = ref.Predict(x)
 	}
-	for _, k := range []Kernel{KernelBranchy, KernelFused, KernelSIMD} {
+	for _, k := range []Kernel{KernelBranchy, KernelFused, KernelSIMDQuant, KernelSIMD} {
 		e.SetKernel(k)
-		for _, width := range []int{2, 4, 8} {
+		widths := []int{2, 4, 8}
+		if k == KernelSIMD {
+			// The dual-group walk's refill scheduling is exactly what a
+			// skewed-depth forest stresses: one lane pinning the group.
+			widths = append(widths, 16)
+		}
+		for _, width := range widths {
 			e.SetInterleave(width)
 			got := e.PredictBatch(rows, nil, 1, 8)
 			for i := range got {
@@ -514,22 +520,27 @@ func TestKernelForBoundaries(t *testing.T) {
 func TestKernelGatesFromLadder(t *testing.T) {
 	sizes := []int{10, 20, 40, 80}
 	for _, tc := range []struct {
-		bestAt              []Kernel
-		wantFused, wantSIMD int
+		bestAt                         []Kernel
+		wantFused, wantQuant, wantSIMD int
 	}{
-		{[]Kernel{KernelBranchy, KernelBranchy, KernelBranchy, KernelBranchy}, math.MaxInt, math.MaxInt},
-		{[]Kernel{KernelFused, KernelFused, KernelFused, KernelFused}, 10, math.MaxInt},
-		{[]Kernel{KernelBranchy, KernelBranchy, KernelFused, KernelFused}, 40, math.MaxInt},
-		{[]Kernel{KernelBranchy, KernelFused, KernelBranchy, KernelFused}, 20, math.MaxInt}, // noise forced monotone
-		{[]Kernel{KernelSIMD, KernelSIMD, KernelSIMD, KernelSIMD}, 10, 10},
-		{[]Kernel{KernelBranchy, KernelFused, KernelSIMD, KernelSIMD}, 20, 40},
-		{[]Kernel{KernelBranchy, KernelSIMD, KernelFused, KernelSIMD}, 20, 20}, // fused dip is noise
-		{[]Kernel{KernelFused, KernelBranchy, KernelSIMD, KernelBranchy}, 10, 40},
+		{[]Kernel{KernelBranchy, KernelBranchy, KernelBranchy, KernelBranchy}, math.MaxInt, math.MaxInt, math.MaxInt},
+		{[]Kernel{KernelFused, KernelFused, KernelFused, KernelFused}, 10, math.MaxInt, math.MaxInt},
+		{[]Kernel{KernelBranchy, KernelBranchy, KernelFused, KernelFused}, 40, math.MaxInt, math.MaxInt},
+		{[]Kernel{KernelBranchy, KernelFused, KernelBranchy, KernelFused}, 20, math.MaxInt, math.MaxInt}, // noise forced monotone
+		{[]Kernel{KernelSIMD, KernelSIMD, KernelSIMD, KernelSIMD}, 10, 10, 10},
+		{[]Kernel{KernelBranchy, KernelFused, KernelSIMD, KernelSIMD}, 20, 40, 40},
+		{[]Kernel{KernelBranchy, KernelSIMD, KernelFused, KernelSIMD}, 20, 20, 20}, // fused dip is noise
+		{[]Kernel{KernelFused, KernelBranchy, KernelSIMD, KernelBranchy}, 10, 40, 40},
+		// The hybrid sits between fused and simd in aggressiveness: a
+		// simd-quant win opens the quant gate but not the simd gate.
+		{[]Kernel{KernelSIMDQuant, KernelSIMDQuant, KernelSIMDQuant, KernelSIMDQuant}, 10, 10, math.MaxInt},
+		{[]Kernel{KernelBranchy, KernelFused, KernelSIMDQuant, KernelSIMD}, 20, 40, 80},
+		{[]Kernel{KernelBranchy, KernelSIMDQuant, KernelFused, KernelSIMD}, 20, 20, 80}, // fused dip is noise
 	} {
-		gotFused, gotSIMD := kernelGatesFromLadder(sizes, append([]Kernel(nil), tc.bestAt...))
-		if gotFused != tc.wantFused || gotSIMD != tc.wantSIMD {
-			t.Errorf("kernelGatesFromLadder(%v) = (%d, %d), want (%d, %d)",
-				tc.bestAt, gotFused, gotSIMD, tc.wantFused, tc.wantSIMD)
+		gotFused, gotQuant, gotSIMD := kernelGatesFromLadder(sizes, append([]Kernel(nil), tc.bestAt...))
+		if gotFused != tc.wantFused || gotQuant != tc.wantQuant || gotSIMD != tc.wantSIMD {
+			t.Errorf("kernelGatesFromLadder(%v) = (%d, %d, %d), want (%d, %d, %d)",
+				tc.bestAt, gotFused, gotQuant, gotSIMD, tc.wantFused, tc.wantQuant, tc.wantSIMD)
 		}
 	}
 }
@@ -545,6 +556,7 @@ func TestParseKernel(t *testing.T) {
 		{"", KernelBranchy, true},
 		{"branchy", KernelBranchy, true},
 		{"fused", KernelFused, true},
+		{"simd-quant", KernelSIMDQuant, true},
 		{"simd", KernelSIMD, true},
 		{"avx2", KernelBranchy, false},
 	} {
@@ -553,7 +565,9 @@ func TestParseKernel(t *testing.T) {
 			t.Errorf("ParseKernel(%q) = (%v, %v), want (%v, ok=%v)", tc.in, got, err, tc.want, tc.ok)
 		}
 	}
-	if KernelBranchy.String() != "branchy" || KernelFused.String() != "fused" || KernelSIMD.String() != "simd" {
-		t.Errorf("kernel names = %q/%q/%q", KernelBranchy.String(), KernelFused.String(), KernelSIMD.String())
+	if KernelBranchy.String() != "branchy" || KernelFused.String() != "fused" ||
+		KernelSIMDQuant.String() != "simd-quant" || KernelSIMD.String() != "simd" {
+		t.Errorf("kernel names = %q/%q/%q/%q", KernelBranchy.String(), KernelFused.String(),
+			KernelSIMDQuant.String(), KernelSIMD.String())
 	}
 }

@@ -25,8 +25,18 @@ import (
 // constants — one gate set per interleaving arena layout: see Calibrate
 // and CalibrateInterleave.
 
-// interleaveWidths are the supported cursor counts, in ascending order.
+// interleaveWidths are the supported scalar cursor counts, in ascending
+// order. The SIMD kernel additionally supports width 16 on the compact
+// arena — two 8-lane vector groups walked software-pipelined (see
+// fusedWalk16 and simdWidth16).
 var interleaveWidths = [4]int{1, 2, 4, 8}
+
+// simdWidth16 is the dual-group SIMD width: 16 rows per group as two
+// 8-lane halves whose independent gather chains the walk interleaves,
+// so the out-of-order core overlaps four node gathers per level instead
+// of two. Only the SIMD kernel walks it; the scalar kernels treat a
+// width of 16 as 8 (their cascades cap at the 8-way walk).
+const simdWidth16 = 16
 
 // Kernel selects how the compact batch kernel resolves each node's
 // child: the branchy kernel executes one data-dependent branch per
@@ -34,17 +44,20 @@ var interleaveWidths = [4]int{1, 2, 4, 8}
 // the node as a single pre-packed uint64 word and computes the child
 // with shifts — a data dependency instead of a control dependency, so a
 // deep walk mispredicts once per chain (the loop exit) rather than once
-// per level — and the SIMD kernel executes that same fused step for
+// per level — the SIMD-quant kernel vectorizes only the quantizer (each
+// feature's cut segment is shared across the group, so the 8-lane
+// binary search needs no gathers on its critical path) and walks
+// scalar-fused, and the SIMD kernel executes the full fused step for
 // eight lanes per instruction in vector registers (AVX2 gathers; see
-// flat_fused_amd64.s and the portable form in flat_simd.go). All
+// flat_fused_amd64.s and the portable forms in flat_simd.go). All
 // kernels produce bit-identical predictions; which one is faster is a
 // host property (mispredict penalty vs. dependent-chain latency vs.
 // gather throughput) that calibration measures alongside the interleave
-// width. Only the compact SoA arena has fused and SIMD forms; other
-// variants always run branchy. The constants are ordered by how
-// aggressively each kernel converts control flow into data flow —
-// kernelGatesFromLadder relies on that order when forcing a measured
-// ladder monotone.
+// width. Only the compact SoA arena has fused, SIMD-quant and SIMD
+// forms; other variants always run branchy. The constants are ordered
+// by how aggressively each kernel converts control flow into data
+// flow — kernelGatesFromLadder relies on that order when forcing a
+// measured ladder monotone.
 type Kernel int32
 
 const (
@@ -54,11 +67,20 @@ const (
 	// KernelFused is the branch-free walk over the packed nodes64 words
 	// (compact arenas only), with branchless binary-search quantization.
 	KernelFused
-	// KernelSIMD is the 8-lane vector form of the fused walk: one AVX2
-	// gather step advances all eight cursors of an interleaved group at
-	// once (compact arenas only). Calibration offers it only on hosts
-	// whose ISA runs it natively (SIMDAvailable); everywhere else a
-	// portable lane-parallel fallback keeps it runnable — and therefore
+	// KernelSIMDQuant is the hybrid kernel: 8-lane vector quantization
+	// (the one stage of the compact pipeline with no gather on its
+	// critical path — the cut segment is shared, so all lanes halve in
+	// lockstep) feeding the scalar fused walk. It captures the vector
+	// win where the SIMD walk stays gather-latency-bound (compact arenas
+	// only).
+	KernelSIMDQuant
+	// KernelSIMD is the full vector form of the fused walk: one AVX2
+	// gather step advances all cursors of an interleaved group at once
+	// (compact arenas only), 8 lanes per group — or two pipelined 8-lane
+	// groups at width 16, with finished lanes compacted out and refilled
+	// from the pending block. Calibration offers it only on hosts whose
+	// ISA runs it natively (SIMDAvailable); everywhere else a portable
+	// lane-parallel fallback keeps it runnable — and therefore
 	// testable — but never competitive.
 	KernelSIMD
 	// KernelAuto is not a kernel an engine can run: passing it to
@@ -72,6 +94,8 @@ func (k Kernel) String() string {
 	switch k {
 	case KernelFused:
 		return "fused"
+	case KernelSIMDQuant:
+		return "simd-quant"
 	case KernelSIMD:
 		return "simd"
 	}
@@ -80,34 +104,63 @@ func (k Kernel) String() string {
 
 // ParseKernel maps a kernel name from a flag or persisted record back
 // to the constant; the empty string is the legacy (pre-kernel) spelling
-// of branchy.
+// of branchy. Kernel values persist and parse by name, never by number,
+// so the constants above can be reordered (as the simd-quant insertion
+// did) without invalidating saved records.
 func ParseKernel(name string) (Kernel, error) {
 	switch name {
 	case "", "branchy":
 		return KernelBranchy, nil
 	case "fused":
 		return KernelFused, nil
+	case "simd-quant":
+		return KernelSIMDQuant, nil
 	case "simd":
 		return KernelSIMD, nil
 	}
-	return KernelBranchy, fmt.Errorf("treeexec: unknown kernel %q (branchy|fused|simd)", name)
+	return KernelBranchy, fmt.Errorf("treeexec: unknown kernel %q (branchy|fused|simd-quant|simd)", name)
 }
 
-// The engine's width and kernel travel together in one atomic int32
-// ("mode") so recalibration installs the (width, kernel) pair as a
-// single unit: a Batcher worker racing the store sees either the old
-// pair or the new one, never a half-installed mix of a width measured
-// under one kernel with the other kernel.
+// The engine's width, kernel and (for the width-16 SIMD walk) the lane
+// compaction threshold travel together in one atomic int32 ("mode") so
+// recalibration installs the tuple as a single unit: a Batcher worker
+// racing the store sees either the old tuple or the new one, never a
+// half-installed mix of a width measured under one kernel with the
+// other kernel.
 
 // packMode packs an interleave width (low byte) and a kernel (next
-// byte) into one mode word.
-func packMode(width int, k Kernel) int32 { return int32(width) | int32(k)<<8 }
+// byte) into one mode word, with the default compaction policy.
+func packMode(width int, k Kernel) int32 { return packModeRefill(width, k, 0) }
+
+// packModeRefill additionally encodes the width-16 SIMD walk's lane
+// compaction threshold (third byte): the minimum live-lane count below
+// which the walk returns to compact finished lanes out and refill them
+// from the pending block. Zero selects the kernel default
+// (defaultSIMDRefill); 1 disables early compaction (the walk drains to
+// its deepest lane, refilling only fully finished groups). Meaningless
+// for other kernels and widths, which ignore it.
+func packModeRefill(width int, k Kernel, refill int32) int32 {
+	return int32(width) | int32(k)<<8 | refill<<16
+}
 
 // modeWidth extracts the interleave width from a mode word.
 func modeWidth(m int32) int { return int(m & 0xff) }
 
 // modeKernel extracts the kernel from a mode word.
-func modeKernel(m int32) Kernel { return Kernel(m >> 8) }
+func modeKernel(m int32) Kernel { return Kernel((m >> 8) & 0xff) }
+
+// modeRefill extracts the width-16 lane compaction threshold from a
+// mode word (0 = kernel default).
+func modeRefill(m int32) int32 { return (m >> 16) & 0xff }
+
+// defaultSIMDRefill is the uncalibrated lane compaction threshold for
+// the width-16 SIMD walk: return to refill once fewer than 6 of the 16
+// lanes are still walking. High enough that a skewed-depth group stops
+// paying full vector steps for a handful of stragglers, low enough that
+// well-balanced groups rarely pay the refill round trip; calibration
+// times compaction on (this value) against off (threshold 1) and
+// installs the measured winner.
+const defaultSIMDRefill = 6
 
 // InterleaveGates holds the arena byte-size thresholds from which each
 // wider interleaved walk wins on this host, one set per interleaving
@@ -149,6 +202,18 @@ type InterleaveGates struct {
 	// (SIMDAvailable) — a gate table measured on an AVX2 box and carried
 	// to a host without it must not install the emulated fallback.
 	CompactSIMDMin int `json:"compact_simd_min,omitempty"`
+	// CompactSIMDQuantMin is the crossover for the hybrid SIMD-quant
+	// kernel (vector quantization, scalar fused walk): the smallest
+	// compact arena footprint from which it beats both scalar kernels.
+	// Same zero/MaxInt and ISA-gating semantics as CompactSIMDMin; when
+	// both SIMD thresholds pass, the full SIMD kernel wins (it is the
+	// more aggressive conversion and the ladder forces the order).
+	CompactSIMDQuantMin int `json:"compact_simdquant_min,omitempty"`
+	// CompactSIMD16Min is the footprint from which the SIMD kernel's
+	// dual-group width-16 walk beats its single-group width-8 form —
+	// meaningful only where CompactSIMDMin already selected the SIMD
+	// kernel. Same zero/MaxInt semantics.
+	CompactSIMD16Min int `json:"compact_simd16_min,omitempty"`
 }
 
 // DefaultInterleaveGates are the static thresholds used until Calibrate
@@ -215,21 +280,41 @@ func (g InterleaveGates) widthFor(v FlatVariant, arenaBytes int) int {
 
 // kernelFor selects the construction-time kernel for an arena
 // footprint: SIMD once a compact arena crosses the measured
-// CompactSIMDMin threshold on a host whose ISA runs it, fused past
-// CompactFusedMin, branchy everywhere else (including every non-compact
-// variant, which has neither form, and every legacy gate table, whose
-// zero thresholds disable both).
+// CompactSIMDMin threshold on a host whose ISA runs it, the hybrid
+// SIMD-quant kernel past CompactSIMDQuantMin (same ISA gate), fused
+// past CompactFusedMin, branchy everywhere else (including every
+// non-compact variant, which has none of the other forms, and every
+// legacy gate table, whose zero thresholds disable them all).
 func (g InterleaveGates) kernelFor(v FlatVariant, arenaBytes int) Kernel {
 	if v != FlatCompact {
 		return KernelBranchy
 	}
-	if simdKernelAvailable() && g.CompactSIMDMin > 0 && arenaBytes >= g.CompactSIMDMin {
-		return KernelSIMD
+	if simdKernelAvailable() {
+		if g.CompactSIMDMin > 0 && arenaBytes >= g.CompactSIMDMin {
+			return KernelSIMD
+		}
+		if g.CompactSIMDQuantMin > 0 && arenaBytes >= g.CompactSIMDQuantMin {
+			return KernelSIMDQuant
+		}
 	}
 	if g.CompactFusedMin > 0 && arenaBytes >= g.CompactFusedMin {
 		return KernelFused
 	}
 	return KernelBranchy
+}
+
+// modeFor resolves the full construction-time (width, kernel) pair:
+// widthFor's scalar ladder, widened to the dual-group 16 when the SIMD
+// kernel is selected and the footprint crosses CompactSIMD16Min. The
+// compaction threshold is left at the kernel default — it is installed
+// explicitly only by a per-engine calibration pass that measured it.
+func (g InterleaveGates) modeFor(v FlatVariant, arenaBytes int) (int, Kernel) {
+	w := g.widthFor(v, arenaBytes)
+	k := g.kernelFor(v, arenaBytes)
+	if k == KernelSIMD && g.CompactSIMD16Min > 0 && arenaBytes >= g.CompactSIMD16Min {
+		w = simdWidth16
+	}
+	return w, k
 }
 
 // ArenaBytes returns the engine's walked node footprint: 16 bytes per
@@ -266,11 +351,13 @@ func (e *FlatForestEngine) Kernel() Kernel { return modeKernel(e.mode.Load()) }
 
 // SetInterleave forces the batch kernel's cursor count, bypassing the
 // calibrated gates; the requested width is rounded down to the nearest
-// supported one (1, 2, 4, 8) and returned. Only the FLInt and compact
-// kernels interleave; other variants ignore the setting. The width is
-// installed atomically and the current kernel is preserved, so calling
-// while Batcher workers are in flight is safe (in-flight blocks finish
-// at the old width).
+// supported one (1, 2, 4, 8 — and 16 on the compact arena, where the
+// SIMD kernel walks two pipelined 8-lane groups; the scalar kernels run
+// a forced 16 as their 8-way cascade) and returned. Only the FLInt and
+// compact kernels interleave; other variants ignore the setting. The
+// width is installed atomically and the current kernel and compaction
+// threshold are preserved, so calling while Batcher workers are in
+// flight is safe (in-flight blocks finish at the old width).
 func (e *FlatForestEngine) SetInterleave(width int) int {
 	w := 1
 	for _, c := range interleaveWidths {
@@ -278,9 +365,12 @@ func (e *FlatForestEngine) SetInterleave(width int) int {
 			w = c
 		}
 	}
+	if e.variant == FlatCompact && width >= simdWidth16 {
+		w = simdWidth16
+	}
 	for {
 		old := e.mode.Load()
-		if e.mode.CompareAndSwap(old, packMode(w, modeKernel(old))) {
+		if e.mode.CompareAndSwap(old, packModeRefill(w, modeKernel(old), modeRefill(old))) {
 			break
 		}
 	}
@@ -310,12 +400,15 @@ func (e *FlatForestEngine) SetKernel(k Kernel) Kernel {
 		e.kernelPin.Store(0)
 		return e.Kernel()
 	}
-	if k != KernelFused && k != KernelSIMD {
+	if k != KernelFused && k != KernelSIMDQuant && k != KernelSIMD {
 		k = KernelBranchy
 	}
 	e.kernelPin.Store(int32(k) + 1)
 	for {
 		old := e.mode.Load()
+		// The compaction threshold is a SIMD-walk property; a forced
+		// kernel change resets it to the kernel default rather than
+		// carrying a value measured under another kernel.
 		if e.mode.CompareAndSwap(old, packMode(modeWidth(old), k)) {
 			break
 		}
@@ -326,20 +419,43 @@ func (e *FlatForestEngine) SetKernel(k Kernel) Kernel {
 
 // candidateKernels returns the kernels calibration competes for this
 // engine: the pinned one after SetKernel, every runnable kernel for an
-// unpinned compact arena (SIMD joins the slate only where the ISA runs
-// it natively — timing the emulated fallback would just burn budget),
-// branchy alone for everything else.
+// unpinned compact arena (the two SIMD kernels join the slate only
+// where the ISA runs them natively — timing the emulated fallback would
+// just burn budget), branchy alone for everything else.
 func (e *FlatForestEngine) candidateKernels() []Kernel {
 	if pin := e.kernelPin.Load(); pin != 0 {
 		return []Kernel{Kernel(pin - 1)}
 	}
 	if e.variant == FlatCompact {
 		if simdKernelAvailable() {
-			return []Kernel{KernelBranchy, KernelFused, KernelSIMD}
+			return []Kernel{KernelBranchy, KernelFused, KernelSIMDQuant, KernelSIMD}
 		}
 		return []Kernel{KernelBranchy, KernelFused}
 	}
 	return []Kernel{KernelBranchy}
+}
+
+// modeCandidates expands candidateKernels into the full candidate list
+// one calibration pass times: every scalar width per kernel, and — for
+// the SIMD kernel — the dual-group width 16 twice, with lane compaction
+// off (threshold 1: a group drains to its deepest lane before
+// refilling) and on (the default threshold: finished lanes are
+// compacted out and refilled mid-walk). The compaction threshold is a
+// measured dimension like any other, so hosts where the refill round
+// trip costs more than the straggler steps it saves never install it.
+func (e *FlatForestEngine) modeCandidates() []int32 {
+	var cands []int32
+	for _, k := range e.candidateKernels() {
+		for _, w := range interleaveWidths {
+			cands = append(cands, packMode(w, k))
+		}
+		if k == KernelSIMD && e.variant == FlatCompact {
+			cands = append(cands,
+				packModeRefill(simdWidth16, KernelSIMD, 1),
+				packModeRefill(simdWidth16, KernelSIMD, defaultSIMDRefill))
+		}
+	}
+	return cands
 }
 
 // Calibration sources for CalibrationSource: where the engine's current
@@ -405,8 +521,32 @@ func (e *FlatForestEngine) CalibrateInterleave(budget time.Duration) int {
 // compact kernels interleave; other variants return the current width
 // unchanged.
 func (e *FlatForestEngine) CalibrateInterleaveRows(rows [][]float32, budget time.Duration) int {
+	w, _ := e.CalibrateInterleaveRowsLadder(rows, budget)
+	return w
+}
+
+// ModeTiming is one calibration-ladder candidate's measured throughput:
+// the (width, kernel) pair — plus, for the width-16 SIMD walk, the lane
+// compaction threshold — and the rows/s it sustained on the timing
+// block. Benchmark reports record the full ladder so losing kernels'
+// trajectories stay visible across hosts and PRs instead of
+// disappearing behind the winner's gate.
+type ModeTiming struct {
+	Width      int     `json:"width"`
+	Kernel     string  `json:"kernel"`
+	Refill     int     `json:"refill,omitempty"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	Winner     bool    `json:"winner,omitempty"`
+}
+
+// CalibrateInterleaveRowsLadder is CalibrateInterleaveRows returning,
+// alongside the installed width, the per-candidate timing ladder the
+// decision was made from — every (width, kernel) pair that completed a
+// measured run, not just the winner. An empty ladder means the budget
+// was too small to measure anything and the incumbent mode was kept.
+func (e *FlatForestEngine) CalibrateInterleaveRowsLadder(rows [][]float32, budget time.Duration) (int, []ModeTiming) {
 	if e.variant != FlatFLInt && e.variant != FlatCompact {
-		return modeWidth(e.mode.Load())
+		return modeWidth(e.mode.Load()), nil
 	}
 	if budget <= 0 {
 		budget = 40 * time.Millisecond
@@ -431,18 +571,18 @@ func (e *FlatForestEngine) CalibrateInterleaveRows(rows [][]float32, budget time
 	// single width is measured; decimate evenly down to a bounded block,
 	// which preserves the sample's distribution.
 	sample = capRows(replicateRows(sample, minTimingRows), maxTimingRows)
-	w, k, measured := e.timeWidths(sample, budget)
-	// One store installs the (width, kernel) pair as a unit: an
-	// in-flight Batcher worker never observes a width measured under
-	// one kernel paired with the other.
-	e.mode.Store(packMode(w, k))
+	mode, measured, ladder := e.timeModes(sample, budget)
+	// One store installs the (width, kernel, compaction) tuple as a
+	// unit: an in-flight Batcher worker never observes a width measured
+	// under one kernel paired with the other.
+	e.mode.Store(mode)
 	if measured {
 		// A budget too small to time even one width returns the
 		// incumbent; recording a source for it would claim evidence
 		// that was never gathered.
 		e.calibSource.Store(source)
 	}
-	return w
+	return modeWidth(mode), ladder
 }
 
 // minTimingRows is the smallest row block timeWidths may run: big enough
@@ -482,60 +622,69 @@ func capRows(sample [][]float32, max int) [][]float32 {
 	return out
 }
 
-// timeWidths times the block kernel over rows at every supported
-// interleave width — and, for an unpinned compact engine, under both
-// the branchy and fused kernels — spending roughly budget wall time in
-// total, and returns the fastest (width, kernel) pair (on an exact tie
-// the first-measured candidate wins; the incumbent pair is returned
-// only when nothing was measured) plus whether any candidate actually
+// timeModes times the block kernel over rows at every candidate mode —
+// each supported interleave width under each competing kernel, plus the
+// width-16 SIMD walk's compaction-on/off pair — spending roughly budget
+// wall time in total, and returns the fastest mode word (on an exact
+// tie the first-measured candidate wins; the incumbent mode is returned
+// only when nothing was measured), whether any candidate actually
 // completed a measured run (false means the result is just the
-// incumbent and no timing evidence exists). It never touches the
-// engine's live mode field — every candidate runs through
-// predictBlockWidth — so timing is safe while Batcher workers serve
-// concurrently. The warm-up run of each candidate is counted against
-// that candidate's budget slice (it used to be untimed, so the real
-// cost of a calibration pass could far exceed the caller's budget on
-// arenas where a single block walk is expensive), and once the whole
-// budget is spent no further candidate even warms up, so the total wall
-// time is bounded by budget plus at most one block pass. A candidate
-// whose slice the warm-up alone exhausts does not compete: its only
-// sample is cache-cold, and candidates time in ascending width order,
-// so cold samples systematically favor the later (wider) walks — an
-// undersized budget keeps the incumbent instead of installing a mode
-// chosen by cache state.
-func (e *FlatForestEngine) timeWidths(rows [][]float32, budget time.Duration) (width int, kernel Kernel, measured bool) {
+// incumbent and no timing evidence exists), and the full per-candidate
+// ladder. It never touches the engine's live mode field — every
+// candidate runs through predictBlockMode — so timing is safe while
+// Batcher workers serve concurrently. The warm-up run of each candidate
+// is counted against that candidate's budget slice (it used to be
+// untimed, so the real cost of a calibration pass could far exceed the
+// caller's budget on arenas where a single block walk is expensive),
+// and once the whole budget is spent no further candidate even warms
+// up, so the total wall time is bounded by budget plus at most one
+// block pass. A candidate whose slice the warm-up alone exhausts does
+// not compete: its only sample is cache-cold, and candidates time in
+// ascending width order, so cold samples systematically favor the later
+// (wider) walks — an undersized budget keeps the incumbent instead of
+// installing a mode chosen by cache state.
+func (e *FlatForestEngine) timeModes(rows [][]float32, budget time.Duration) (mode int32, measured bool, ladder []ModeTiming) {
 	out := make([]int32, len(rows))
 	s := e.newScratch()
-	kernels := e.candidateKernels()
-	per := budget / time.Duration(len(interleaveWidths)*len(kernels))
-	m := e.mode.Load()
-	best, bestK, bestNs := modeWidth(m), modeKernel(m), math.MaxFloat64
+	cands := e.modeCandidates()
+	per := budget / time.Duration(len(cands))
+	best, bestNs := e.mode.Load(), math.MaxFloat64
+	bestLadder := -1
 	tstart := time.Now()
-	for _, w := range interleaveWidths {
-		for _, k := range kernels {
-			if time.Since(tstart) >= budget {
-				break
-			}
-			start := time.Now()
-			e.predictBlockWidth(rows, out, s, w, k) // warm up, counted
-			warm := time.Since(start)
-			var runs int
-			mstart := time.Now()
-			for time.Since(mstart) < per-warm {
-				e.predictBlockWidth(rows, out, s, w, k)
-				runs++
-			}
-			if runs == 0 {
-				continue
-			}
-			measured = true
-			ns := float64(time.Since(mstart).Nanoseconds()) / float64(runs)
-			if ns < bestNs {
-				best, bestK, bestNs = w, k, ns
-			}
+	for _, c := range cands {
+		if time.Since(tstart) >= budget {
+			break
+		}
+		w, k, refill := modeWidth(c), modeKernel(c), modeRefill(c)
+		start := time.Now()
+		e.predictBlockMode(rows, out, s, w, k, refill) // warm up, counted
+		warm := time.Since(start)
+		var runs int
+		mstart := time.Now()
+		for time.Since(mstart) < per-warm {
+			e.predictBlockMode(rows, out, s, w, k, refill)
+			runs++
+		}
+		if runs == 0 {
+			continue
+		}
+		measured = true
+		ns := float64(time.Since(mstart).Nanoseconds()) / float64(runs)
+		ladder = append(ladder, ModeTiming{
+			Width:      w,
+			Kernel:     k.String(),
+			Refill:     int(refill),
+			RowsPerSec: float64(len(rows)) / (ns / 1e9),
+		})
+		if ns < bestNs {
+			best, bestNs = c, ns
+			bestLadder = len(ladder) - 1
 		}
 	}
-	return best, bestK, measured
+	if bestLadder >= 0 {
+		ladder[bestLadder].Winner = true
+	}
+	return best, measured, ladder
 }
 
 // Calibrate measures the interleave crossover points on this host, one
@@ -556,63 +705,99 @@ func Calibrate(budget time.Duration) InterleaveGates {
 	sizes := []int{256 << 10, 1 << 20, 4 << 20, 16 << 20}
 	// The FLInt ladder times one candidate per width; the compact ladder
 	// times each width under every competing kernel — two on scalar-only
-	// hosts, three where the SIMD kernel is native. Split the budget so
-	// every candidate gets an equal slice — an even per-engine split
-	// would shrink each compact candidate's slice and raise the odds
-	// that budget starvation skips fused or SIMD at exactly the sizes
-	// where they win (a skipped candidate never competes, and the MaxInt
-	// gate that falls out would persist as "never won").
-	compactKernels := 2
-	if simdKernelAvailable() {
-		compactKernels = 3
-	}
+	// hosts, four where the SIMD kernels are native, plus the width-16
+	// walk's compaction-on/off pair. Split the budget so every candidate
+	// gets an equal slice — an even per-engine split would shrink each
+	// compact candidate's slice and raise the odds that budget
+	// starvation skips fused or SIMD at exactly the sizes where they win
+	// (a skipped candidate never competes, and the MaxInt gate that
+	// falls out would persist as "never won").
 	flintCands := len(interleaveWidths)
-	compactCands := compactKernels * len(interleaveWidths)
+	compactCands := 2 * len(interleaveWidths)
+	if simdKernelAvailable() {
+		compactCands = 4*len(interleaveWidths) + 2
+	}
 	perCand := budget / time.Duration(len(sizes)*(flintCands+compactCands))
 	flintBest := make([]int, len(sizes))
 	compactBest := make([]int, len(sizes))
 	compactKernel := make([]Kernel, len(sizes))
+	compact16 := make([]bool, len(sizes))
 	for si, bytes := range sizes {
 		fe := syntheticFLIntEngine(bytes)
-		flintBest[si], _, _ = fe.timeWidths(fe.representativeRows(64, uint32(0xB5297A4D+si)), perCand*time.Duration(flintCands))
+		fm, _, _ := fe.timeModes(fe.representativeRows(64, uint32(0xB5297A4D+si)), perCand*time.Duration(flintCands))
+		flintBest[si] = modeWidth(fm)
 		ce := syntheticCompactEngine(bytes)
-		compactBest[si], compactKernel[si], _ = ce.timeWidths(ce.representativeRows(64, uint32(0x68E31DA4+si)), perCand*time.Duration(compactCands))
+		cm, _, _ := ce.timeModes(ce.representativeRows(64, uint32(0x68E31DA4+si)), perCand*time.Duration(compactCands))
+		compactKernel[si] = modeKernel(cm)
+		w := modeWidth(cm)
+		compact16[si] = compactKernel[si] == KernelSIMD && w == simdWidth16
+		if w > 8 {
+			// The width gate ladder is the scalar 1/2/4/8 set; a width-16
+			// SIMD win implies the 8-way crossover and carries its own
+			// gate (CompactSIMD16Min).
+			w = 8
+		}
+		compactBest[si] = w
 	}
 	g := InterleaveGates{}
 	g.Min2, g.Min4, g.Min8 = gatesFromLadder(sizes, flintBest)
 	g.CompactMin2, g.CompactMin4, g.CompactMin8 = gatesFromLadder(sizes, compactBest)
-	g.CompactFusedMin, g.CompactSIMDMin = kernelGatesFromLadder(sizes, compactKernel)
+	g.CompactFusedMin, g.CompactSIMDQuantMin, g.CompactSIMDMin = kernelGatesFromLadder(sizes, compactKernel)
+	g.CompactSIMD16Min = simd16GateFromLadder(sizes, compact16)
 	SetInterleaveGates(g)
 	return g
 }
 
 // kernelGatesFromLadder turns per-size winning kernels into the byte
-// thresholds from which the fused and SIMD kernels win: kernels are
-// first forced monotone over the size ladder in branchy < fused < simd
-// order (a less aggressive kernel winning above a more aggressive one
-// is measurement noise — each step up the order hides more stall time
-// behind data flow, an advantage that only grows with walk depth and
-// fetch latency), then each threshold is the smallest size preferring
-// at least that kernel, or math.MaxInt when no size did. The SIMD
-// threshold is derived even on hosts where only two kernels competed:
-// with no size ever won by SIMD it lands on MaxInt, the recorded form
-// of "never won".
-func kernelGatesFromLadder(sizes []int, bestAt []Kernel) (fusedMin, simdMin int) {
+// thresholds from which the fused, SIMD-quant and SIMD kernels win:
+// kernels are first forced monotone over the size ladder in branchy <
+// fused < simd-quant < simd order (a less aggressive kernel winning
+// above a more aggressive one is measurement noise — each step up the
+// order hides more stall time behind data flow, an advantage that only
+// grows with walk depth and fetch latency), then each threshold is the
+// smallest size preferring at least that kernel, or math.MaxInt when no
+// size did. The SIMD thresholds are derived even on hosts where only
+// two kernels competed: with no size ever won by a vector kernel they
+// land on MaxInt, the recorded form of "never won".
+func kernelGatesFromLadder(sizes []int, bestAt []Kernel) (fusedMin, quantMin, simdMin int) {
 	for i := 1; i < len(bestAt); i++ {
 		if bestAt[i] < bestAt[i-1] {
 			bestAt[i] = bestAt[i-1]
 		}
 	}
-	fusedMin, simdMin = math.MaxInt, math.MaxInt
+	fusedMin, quantMin, simdMin = math.MaxInt, math.MaxInt, math.MaxInt
 	for i := len(sizes) - 1; i >= 0; i-- {
 		if bestAt[i] >= KernelFused {
 			fusedMin = sizes[i]
+		}
+		if bestAt[i] >= KernelSIMDQuant {
+			quantMin = sizes[i]
 		}
 		if bestAt[i] >= KernelSIMD {
 			simdMin = sizes[i]
 		}
 	}
-	return fusedMin, simdMin
+	return fusedMin, quantMin, simdMin
+}
+
+// simd16GateFromLadder turns per-size "the width-16 SIMD walk won"
+// flags into the CompactSIMD16Min byte threshold, monotone-forced the
+// same way as the other gates: once the dual-group walk wins at some
+// footprint it is assumed to keep winning above it (the gather-latency
+// exposure it hides only grows), so the threshold is the smallest
+// winning size, or math.MaxInt when none was.
+func simd16GateFromLadder(sizes []int, was16 []bool) int {
+	for i := 1; i < len(was16); i++ {
+		if was16[i-1] {
+			was16[i] = true
+		}
+	}
+	for i, b := range was16 {
+		if b {
+			return sizes[i]
+		}
+	}
+	return math.MaxInt
 }
 
 // gatesFromLadder turns per-size fastest widths into monotone byte
@@ -866,6 +1051,27 @@ func (e *FlatForestEngine) representativeRows(n int, seed uint32) [][]float32 {
 // caller's frame, so the block kernel stays allocation-free either way.
 func voteLanes(stack *[8][maxStackClasses]int32, scratch []int32, nc, k int) [8][]int32 {
 	var lanes [8][]int32
+	if nc <= maxStackClasses {
+		for i := 0; i < k; i++ {
+			lanes[i] = stack[i][:nc]
+		}
+		return lanes
+	}
+	for i := 0; i < k; i++ {
+		v := scratch[i*nc : (i+1)*nc]
+		for j := range v {
+			v[j] = 0
+		}
+		lanes[i] = v
+	}
+	return lanes
+}
+
+// voteLanes16 is voteLanes for the dual-group SIMD walk's 16 lanes
+// (k <= 16), with the same stack-or-scratch split; the scratch vote
+// buffer is sized for 16 lanes at construction.
+func voteLanes16(stack *[16][maxStackClasses]int32, scratch []int32, nc, k int) [16][]int32 {
+	var lanes [16][]int32
 	if nc <= maxStackClasses {
 		for i := 0; i < k; i++ {
 			lanes[i] = stack[i][:nc]

@@ -1,0 +1,317 @@
+package treeexec
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"flint/internal/dataset"
+)
+
+// Differential coverage for the width-16 dual-group walk and the hybrid
+// simd-quant kernel (flat_simd16.go). Like the 8-lane suite these run
+// identically under the AVX2 assembly and the portable forms.
+
+// TestSIMD16BitIdenticalAllWorkloads pins the dual-group streaming walk
+// against the FLInt arena on every bundled workload, at every refill
+// threshold class (kernel default, compaction off, aggressive) and with
+// 13-row batches so chunks of 16, partial chunks and the queue-dry
+// drain path are all exercised.
+func TestSIMD16BitIdenticalAllWorkloads(t *testing.T) {
+	for _, ds := range dataset.Names() {
+		ds := ds
+		t.Run(ds, func(t *testing.T) {
+			f, d := trainedForest(t, ds, 8, 6)
+			ref, err := NewFlat(f, FlatFLInt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := NewFlat(f, FlatCompact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Variant() != FlatCompact {
+				t.Fatalf("fell back to %v", e.Variant())
+			}
+			want := make([]int32, d.Len())
+			for i, x := range d.Features {
+				want[i] = ref.Predict(x)
+			}
+			e.SetKernel(KernelSIMD)
+			if w := e.SetInterleave(16); w != 16 {
+				t.Fatalf("SetInterleave(16) = %d on the compact arena", w)
+			}
+			if e.Interleave() != 16 || e.Kernel() != KernelSIMD {
+				t.Fatalf("installed mode = (%d, %v), want (16, simd)", e.Interleave(), e.Kernel())
+			}
+			got := e.PredictBatch(d.Features, nil, 2, 13)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("row %d: simd16 batch got %d want %d", i, got[i], want[i])
+				}
+			}
+			// Every compaction threshold class through the explicit-mode
+			// path: scheduling changes, answers must not.
+			s := e.newScratch()
+			out := make([]int32, d.Len())
+			for _, refill := range []int32{0, 1, 3, defaultSIMDRefill, 16} {
+				for i := range out {
+					out[i] = -1
+				}
+				e.predictBlockMode(d.Features, out, s, 16, KernelSIMD, refill)
+				for i := range out {
+					if out[i] != want[i] {
+						t.Fatalf("refill %d row %d: got %d want %d", refill, i, out[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSIMDQuantBitIdenticalAllWorkloads pins the hybrid kernel — vector
+// quantizer, scalar fused walk — on every workload at every width,
+// including the single-row serving paths under an installed simd-quant
+// mode.
+func TestSIMDQuantBitIdenticalAllWorkloads(t *testing.T) {
+	for _, ds := range dataset.Names() {
+		ds := ds
+		t.Run(ds, func(t *testing.T) {
+			f, d := trainedForest(t, ds, 8, 6)
+			ref, err := NewFlat(f, FlatFLInt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := NewFlat(f, FlatCompact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Variant() != FlatCompact {
+				t.Fatalf("fell back to %v", e.Variant())
+			}
+			e.SetKernel(KernelSIMDQuant)
+			want := make([]int32, d.Len())
+			for i, x := range d.Features {
+				want[i] = ref.Predict(x)
+				if got := e.Predict(x); got != want[i] {
+					t.Fatalf("row %d: simd-quant single-row got %d want %d", i, got, want[i])
+				}
+			}
+			for _, width := range []int{1, 2, 4, 8} {
+				e.SetInterleave(width)
+				if e.Kernel() != KernelSIMDQuant {
+					t.Fatalf("SetInterleave(%d) dropped the simd-quant kernel", width)
+				}
+				got := e.PredictBatch(d.Features, nil, 2, 13)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("width %d row %d: simd-quant batch got %d want %d", width, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSIMD16PartialGroups drives the streaming driver at every batch
+// length 1..16 plus sizes that leave partial trailing chunks, so every
+// lane-fill shape — full dual group, one group plus a partial, single
+// partial group — hits the refill and drain logic.
+func TestSIMD16PartialGroups(t *testing.T) {
+	f, d := trainedForest(t, "magic", 7, 7)
+	ref, err := NewFlat(f, FlatFLInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Variant() != FlatCompact {
+		t.Fatalf("fell back to %v", e.Variant())
+	}
+	s := e.newScratch()
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 23, 31, 33} {
+		rows := d.Features[:n]
+		want := make([]int32, n)
+		for i, x := range rows {
+			want[i] = ref.Predict(x)
+		}
+		for _, refill := range []int32{1, defaultSIMDRefill} {
+			out := make([]int32, n)
+			e.predictBlockMode(rows, out, s, 16, KernelSIMD, refill)
+			for i := range out {
+				if out[i] != want[i] {
+					t.Fatalf("n=%d refill=%d row %d: got %d want %d", n, refill, i, out[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFusedWalk16MatchesGo pins the dispatched dual-group walk against
+// the portable form at the STATE level: with per-lane trees, per-lane
+// row offsets, pre-finished and parked lanes, and every occupancy
+// threshold, both forms must hold identical cursors when the walk
+// returns — the streaming driver resumes a group mid-walk after each
+// refill, so final-class agreement alone would not be enough.
+func TestFusedWalk16MatchesGo(t *testing.T) {
+	e := syntheticCompactEngine(64 << 10)
+	rows := e.representativeRows(64, 0x2719)
+	nq := e.numPruned
+	q := make([]uint16, 16*nq+2)
+	rng := rand.New(rand.NewSource(41))
+	var inner []int32
+	for _, root := range e.roots {
+		if root >= 0 {
+			inner = append(inner, root)
+		}
+	}
+	if len(inner) == 0 {
+		t.Fatal("synthetic forest has no inner trees")
+	}
+	for at := 0; at+16 <= len(rows); at += 16 {
+		e.quantizeBlockSIMD(rows[at:at+8], q)
+		e.quantizeBlockSIMD(rows[at+8:at+16], q[8*nq:])
+		for _, minActive := range []int32{1, 4, defaultSIMDRefill, 12, 16} {
+			var st simdWalk16
+			for i := range st.cur {
+				st.base[i] = inner[rng.Intn(len(inner))]
+				st.qoff[i] = int32(rng.Intn(16)) * int32(nq)
+				switch rng.Intn(5) {
+				case 0:
+					st.cur[i] = ^int32(rng.Intn(3)) // pre-finished lane
+				case 1:
+					st.cur[i] = -1 // parked lane
+				}
+			}
+			stGo := st
+			fusedWalk16(e.nodes64, q, &st, minActive)
+			fusedWalk16Go(e.nodes64, q, &stGo, minActive)
+			if st != stGo {
+				t.Fatalf("minActive %d: dispatched state %+v, portable %+v", minActive, st, stGo)
+			}
+			active := 0
+			for i := range st.cur {
+				if st.cur[i] >= 0 {
+					active++
+				}
+			}
+			if int32(active) >= minActive {
+				t.Fatalf("minActive %d: walk returned with %d lanes still active", minActive, active)
+			}
+		}
+	}
+}
+
+// TestSIMD16ZeroAllocSteadyState pins the zero-alloc steady state for
+// both new paths: the width-16 dual-group walk and the simd-quant
+// hybrid, through the full Batcher serving stack.
+func TestSIMD16ZeroAllocSteadyState(t *testing.T) {
+	f, d := trainedForest(t, "magic", 6, 8)
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Variant() != FlatCompact {
+		t.Fatalf("fell back to %v", e.Variant())
+	}
+	for _, tc := range []struct {
+		kernel Kernel
+		width  int
+	}{
+		{KernelSIMD, 16},
+		{KernelSIMDQuant, 8},
+		{KernelSIMDQuant, 4},
+	} {
+		e.SetKernel(tc.kernel)
+		e.SetInterleave(tc.width)
+		b := NewBatcher(e, 2, 7)
+		out := make([]int32, d.Len())
+		b.Predict(d.Features, out) // warm up
+		if avg := testing.AllocsPerRun(20, func() {
+			b.Predict(d.Features, out)
+		}); avg != 0 {
+			t.Errorf("%v width=%d: Batcher.Predict allocates %.1f objects per batch, want 0",
+				tc.kernel, tc.width, avg)
+		}
+		b.Close()
+	}
+}
+
+// TestModeTransitionsUnderLiveTraffic cycles the installed (width,
+// kernel, refill) mode through every kernel family — x8 simd, x16 simd,
+// x4 fused, x8 simd-quant — while three goroutines Predict, asserting
+// bit-identical answers throughout. Run under -race (CI does) this pins
+// that the whole tuple installs atomically: a torn width/kernel pair
+// would either race or mis-answer.
+func TestModeTransitionsUnderLiveTraffic(t *testing.T) {
+	f, d := trainedForest(t, "sensorless", 6, 6)
+	ref, err := NewFlat(f, FlatFLInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Variant() != FlatCompact {
+		t.Fatalf("fell back to %v", e.Variant())
+	}
+	want := make([]int32, d.Len())
+	for i, x := range d.Features {
+		want[i] = ref.Predict(x)
+	}
+	b := NewBatcher(e, 3, 13)
+	defer b.Close()
+
+	stop := make(chan struct{})
+	errc := make(chan error, 3)
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]int32, d.Len())
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b.Predict(d.Features, out)
+				for i := range out {
+					if out[i] != want[i] {
+						select {
+						case errc <- fmt.Errorf("mode transition mismatch at row %d: got %d want %d", i, out[i], want[i]):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	for cycle := 0; cycle < 30; cycle++ {
+		for _, m := range []struct {
+			width  int
+			kernel Kernel
+		}{
+			{8, KernelSIMD},
+			{16, KernelSIMD},
+			{4, KernelFused},
+			{8, KernelSIMDQuant},
+		} {
+			e.SetKernel(m.kernel)
+			e.SetInterleave(m.width)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}

@@ -1,0 +1,78 @@
+//go:build linux
+
+package treeexec
+
+import (
+	"syscall"
+	"testing"
+	"unsafe"
+)
+
+// TestSIMDScratchOverreadPad asserts the +2-uint16 overread pad on the
+// compact rank scratch with hardware, not arithmetic: the SIMD walks
+// gather 32 bits per 16-bit rank, so the last lane's last element reads
+// two bytes past the logical end — newScratch pads s.q to absorb it.
+// This test rebuilds the scratch at the exact newScratch length flush
+// against an unmapped guard page and runs every vector kernel over it;
+// if a future resize silently drops the pad, the gather walks onto the
+// guard page and the test dies with SIGSEGV instead of shipping a
+// heap overread that only crashes when an allocation happens to end at
+// a page boundary in production.
+func TestSIMDScratchOverreadPad(t *testing.T) {
+	f, d := trainedForest(t, "magic", 7, 6)
+	ref, err := NewFlat(f, FlatFLInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Variant() != FlatCompact {
+		t.Fatalf("fell back to %v", e.Variant())
+	}
+	s := e.newScratch()
+	need := len(s.q) // the exact production size, pad included
+	page := syscall.Getpagesize()
+	dataBytes := ((2*need + page - 1) / page) * page
+	mem, err := syscall.Mmap(-1, 0, dataBytes+page,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_ANON|syscall.MAP_PRIVATE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer syscall.Munmap(mem)
+	if err := syscall.Mprotect(mem[dataBytes:], syscall.PROT_NONE); err != nil {
+		t.Fatal(err)
+	}
+	// The scratch ends exactly where the guard page begins.
+	buf := mem[dataBytes-2*need : dataBytes]
+	s.q = unsafe.Slice((*uint16)(unsafe.Pointer(&buf[0])), need)
+
+	rows := d.Features[:29] // full dual groups, a partial group, odd tail
+	want := make([]int32, len(rows))
+	for i, x := range rows {
+		want[i] = ref.Predict(x)
+	}
+	out := make([]int32, len(rows))
+	for _, tc := range []struct {
+		width  int
+		kernel Kernel
+		refill int32
+	}{
+		{16, KernelSIMD, 1},
+		{16, KernelSIMD, defaultSIMDRefill},
+		{8, KernelSIMD, 0},
+		{8, KernelSIMDQuant, 0},
+	} {
+		for i := range out {
+			out[i] = -1
+		}
+		e.predictBlockMode(rows, out, s, tc.width, tc.kernel, tc.refill)
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("%v width %d refill %d row %d: got %d want %d against the guard page",
+					tc.kernel, tc.width, tc.refill, i, out[i], want[i])
+			}
+		}
+	}
+}

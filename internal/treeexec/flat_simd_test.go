@@ -140,13 +140,20 @@ func TestSIMDAdversarialRandomForests(t *testing.T) {
 			}
 			rows = append(rows, x)
 		}
-		for _, width := range []int{1, 2, 4, 8} {
-			e.SetInterleave(width)
-			got := e.PredictBatch(rows, nil, 1, 16)
-			for i := range rows {
-				if want := ref.Predict(rows[i]); got[i] != want {
-					t.Fatalf("trial %d width %d row %d: simd got %d want %d for %v",
-						trial, width, i, got[i], want, rows[i])
+		for _, k := range []Kernel{KernelSIMD, KernelSIMDQuant} {
+			e.SetKernel(k)
+			widths := []int{1, 2, 4, 8}
+			if k == KernelSIMD {
+				widths = append(widths, 16)
+			}
+			for _, width := range widths {
+				e.SetInterleave(width)
+				got := e.PredictBatch(rows, nil, 1, 16)
+				for i := range rows {
+					if want := ref.Predict(rows[i]); got[i] != want {
+						t.Fatalf("trial %d kernel %v width %d row %d: got %d want %d for %v",
+							trial, k, width, i, got[i], want, rows[i])
+					}
 				}
 			}
 		}

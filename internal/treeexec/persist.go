@@ -43,11 +43,15 @@ func (e *FlatForestEngine) Fingerprint() ArenaFingerprint {
 // gate table, the engine's chosen width and walk kernel, and optionally
 // a sample of the traffic that mode was measured against (a
 // Batcher.SampleSnapshot), so the next deployment can seed its
-// reservoir with real rows. Kernel is "branchy", "fused" or "simd";
-// records written before the kernel axis existed carry no field and
-// load as branchy — the only kernel those deployments ever ran. A
-// "simd" record loaded on a host without the vector ISA installs as
-// branchy instead (see LoadCalibration).
+// reservoir with real rows. Kernel is "branchy", "fused", "simd-quant"
+// or "simd"; records written before the kernel axis existed carry no
+// field and load as branchy — the only kernel those deployments ever
+// ran. A "simd" or "simd-quant" record loaded on a host without the
+// vector ISA installs as branchy instead (see LoadCalibration).
+// SIMDRefill is the dual-group walk's calibrated lane-compaction
+// threshold; it accompanies width-16 simd records (0 — the field's
+// absence — means the kernel default) and records from before the
+// refill axis load unchanged.
 // Records written by a Batcher with drift detection armed additionally
 // carry the detection policy (Drift), so the redeployment that seeds
 // its reservoir from Rows can re-arm the same detector with
@@ -65,6 +69,7 @@ type CalibrationRecord struct {
 	Gates       InterleaveGates  `json:"gates"`
 	Width       int              `json:"width"`
 	Kernel      string           `json:"kernel,omitempty"`
+	SIMDRefill  int              `json:"simd_refill,omitempty"`
 	Rows        [][]float32      `json:"rows,omitempty"`
 	Drift       *DriftConfig     `json:"drift,omitempty"`
 }
@@ -104,12 +109,13 @@ func encodeCalibrationRecord(w io.Writer, rec *CalibrationRecord) error {
 // calibrationRecord builds the engine's persistable state; the filtered
 // row handling is shared between engine- and Batcher-level saves.
 func (e *FlatForestEngine) calibrationRecord(rows [][]float32) CalibrationRecord {
-	m := e.mode.Load() // one load, so width and kernel are a consistent pair
+	m := e.mode.Load() // one load, so width/kernel/refill are a consistent tuple
 	rec := CalibrationRecord{
 		Fingerprint: e.Fingerprint(),
 		Gates:       CurrentInterleaveGates(),
 		Width:       modeWidth(m),
 		Kernel:      modeKernel(m).String(),
+		SIMDRefill:  int(modeRefill(m)),
 	}
 	for _, r := range rows {
 		if len(r) == e.numFeatures && finiteRow(r) {
@@ -147,7 +153,8 @@ func (b *Batcher) servingRecord() CalibrationRecord {
 // sane: no negative thresholds (math.MaxInt — "width disabled" — is
 // valid).
 func validGates(g InterleaveGates) bool {
-	for _, v := range []int{g.Min2, g.Min4, g.Min8, g.CompactMin2, g.CompactMin4, g.CompactMin8, g.CompactFusedMin, g.CompactSIMDMin} {
+	for _, v := range []int{g.Min2, g.Min4, g.Min8, g.CompactMin2, g.CompactMin4, g.CompactMin8,
+		g.CompactFusedMin, g.CompactSIMDQuantMin, g.CompactSIMDMin, g.CompactSIMD16Min} {
 		if v < 0 {
 			return false
 		}
@@ -200,9 +207,9 @@ func (e *FlatForestEngine) installCalibration(rec *CalibrationRecord) error {
 		return fmt.Errorf("treeexec: calibration fingerprint %+v does not match engine arena %+v", got, want)
 	}
 	switch rec.Width {
-	case 1, 2, 4, 8:
+	case 1, 2, 4, 8, 16:
 	default:
-		return fmt.Errorf("treeexec: persisted interleave width %d is not a supported width (1, 2, 4, 8)", rec.Width)
+		return fmt.Errorf("treeexec: persisted interleave width %d is not a supported width (1, 2, 4, 8, 16)", rec.Width)
 	}
 	kernel, err := ParseKernel(rec.Kernel) // "" (a pre-kernel record) parses as branchy
 	if err != nil {
@@ -210,6 +217,15 @@ func (e *FlatForestEngine) installCalibration(rec *CalibrationRecord) error {
 	}
 	if kernel != KernelBranchy && e.variant != FlatCompact {
 		return fmt.Errorf("treeexec: persisted %v kernel is only valid for the compact arena, engine is %v", kernel, e.variant)
+	}
+	if rec.Width == 16 && kernel != KernelSIMD {
+		return fmt.Errorf("treeexec: persisted width 16 is only valid with the simd kernel, record has %q", rec.Kernel)
+	}
+	if rec.SIMDRefill < 0 || rec.SIMDRefill > 16 {
+		return fmt.Errorf("treeexec: persisted simd_refill %d out of range (0..16)", rec.SIMDRefill)
+	}
+	if rec.SIMDRefill != 0 && kernel != KernelSIMD {
+		return fmt.Errorf("treeexec: persisted simd_refill only accompanies the simd kernel, record has %q", rec.Kernel)
 	}
 	if !validGates(rec.Gates) {
 		return fmt.Errorf("treeexec: persisted gate table has negative thresholds: %+v", rec.Gates)
@@ -227,17 +243,23 @@ func (e *FlatForestEngine) installCalibration(rec *CalibrationRecord) error {
 		}
 	}
 	source := int32(calibSourcePersisted)
-	if kernel == KernelSIMD && !simdKernelAvailable() {
+	width, refill := rec.Width, int32(rec.SIMDRefill)
+	if (kernel == KernelSIMD || kernel == KernelSIMDQuant) && !simdKernelAvailable() {
 		// The record was measured on a host whose vector ISA this one
-		// lacks. Installing simd anyway would serve through the portable
-		// fallback — correct, but slower than the scalar kernels the
-		// calibration ladder rejected in its favor on the other machine.
-		// Downgrade to branchy (the kernel every host runs natively) and
-		// surface the downgrade via CalibrationSource.
+		// lacks. Installing a vector kernel anyway would serve through
+		// the portable fallback — correct, but slower than the scalar
+		// kernels the calibration ladder rejected in its favor on the
+		// other machine. Downgrade to branchy (the kernel every host
+		// runs natively) at a scalar width and surface the downgrade
+		// via CalibrationSource.
 		kernel = KernelBranchy
+		refill = 0
+		if width == 16 {
+			width = 8
+		}
 		source = calibSourceDegraded
 	}
-	e.mode.Store(packMode(rec.Width, kernel))
+	e.mode.Store(packModeRefill(width, kernel, refill))
 	e.calibSource.Store(source)
 	return nil
 }

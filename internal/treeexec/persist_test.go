@@ -278,6 +278,104 @@ func TestCalibrationKernelRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCalibrationSIMD16RoundTrip covers the width-16/refill axes of the
+// persisted mode: a dual-group simd record round-trips the full (width,
+// kernel, refill) tuple, downgrades to a scalar mode on hosts without
+// the vector ISA, and malformed combinations — width 16 under a scalar
+// kernel, a refill outside 0..16, a refill on a non-simd record — are
+// rejected without installing anything.
+func TestCalibrationSIMD16RoundTrip(t *testing.T) {
+	f, _ := trainedForest(t, "magic", 6, 5)
+	e, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.mode.Store(packModeRefill(16, KernelSIMD, 3))
+	var buf bytes.Buffer
+	if err := e.SaveCalibration(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"width": 16`) ||
+		!strings.Contains(buf.String(), `"kernel": "simd"`) ||
+		!strings.Contains(buf.String(), `"simd_refill": 3`) {
+		t.Fatalf("record does not carry the full mode tuple: %s", buf.String())
+	}
+
+	e2, err := NewFlat(f, FlatCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := e2.LoadCalibration(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Width != 16 || rec.Kernel != "simd" || rec.SIMDRefill != 3 {
+		t.Errorf("decoded record = (%d, %q, %d), want (16, simd, 3)", rec.Width, rec.Kernel, rec.SIMDRefill)
+	}
+	if simdKernelAvailable() {
+		m := e2.mode.Load()
+		if modeWidth(m) != 16 || modeKernel(m) != KernelSIMD || modeRefill(m) != 3 {
+			t.Errorf("installed mode = (%d, %v, %d), want (16, simd, 3)",
+				modeWidth(m), modeKernel(m), modeRefill(m))
+		}
+	} else {
+		// No native ISA: the whole vector mode degrades to a scalar one —
+		// branchy at width 8, refill cleared.
+		m := e2.mode.Load()
+		if modeWidth(m) != 8 || modeKernel(m) != KernelBranchy || modeRefill(m) != 0 {
+			t.Errorf("degraded mode = (%d, %v, %d), want (8, branchy, 0)",
+				modeWidth(m), modeKernel(m), modeRefill(m))
+		}
+		if e2.CalibrationSource() != "persisted-degraded" {
+			t.Errorf("source = %q, want persisted-degraded", e2.CalibrationSource())
+		}
+	}
+
+	// A simd-quant record degrades the same way (and at its scalar width).
+	e.mode.Store(packMode(8, KernelSIMDQuant))
+	var qbuf bytes.Buffer
+	if err := e.SaveCalibration(&qbuf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(qbuf.String(), `"kernel": "simd-quant"`) {
+		t.Fatalf("record does not carry the simd-quant kernel: %s", qbuf.String())
+	}
+	if _, err := e2.LoadCalibration(bytes.NewReader(qbuf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if simdKernelAvailable() {
+		if e2.Kernel() != KernelSIMDQuant || e2.Interleave() != 8 {
+			t.Errorf("simd-quant record loaded (%v, x%d), want (simd-quant, x8)", e2.Kernel(), e2.Interleave())
+		}
+	} else if e2.Kernel() != KernelBranchy {
+		t.Errorf("simd-quant record without the ISA loaded %v, want branchy", e2.Kernel())
+	}
+
+	reject := func(t *testing.T, doc, what string) {
+		t.Helper()
+		fresh, err := NewFlat(f, FlatCompact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := fresh.mode.Load()
+		if _, err := fresh.LoadCalibration(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s accepted", what)
+		}
+		if fresh.mode.Load() != before {
+			t.Errorf("rejected %s still changed the mode", what)
+		}
+	}
+	reject(t, strings.Replace(buf.String(), `"kernel": "simd"`, `"kernel": "fused"`, 1),
+		"width-16 record under a scalar kernel")
+	reject(t, strings.Replace(buf.String(), `"simd_refill": 3`, `"simd_refill": 17`, 1),
+		"refill above 16")
+	reject(t, strings.Replace(buf.String(), `"simd_refill": 3`, `"simd_refill": -1`, 1),
+		"negative refill")
+	fusedRefill := strings.Replace(buf.String(), `"width": 16`, `"width": 8`, 1)
+	reject(t, strings.Replace(fusedRefill, `"kernel": "simd"`, `"kernel": "fused"`, 1),
+		"refill on a non-simd record")
+}
+
 // TestSaveCalibrationFiltersRows pins the save-side row filter: rows of
 // the wrong width and rows carrying NaN/Inf (unrepresentable in JSON)
 // are dropped instead of failing the whole save.
